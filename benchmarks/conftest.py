@@ -1,0 +1,54 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Besides the
+pytest-benchmark timing, each benchmark writes the formatted table (the same
+rows the paper reports) to ``benchmarks/results/<name>.txt`` so the
+paper-vs-measured comparison in EXPERIMENTS.md can be refreshed from a single
+``pytest benchmarks/ --benchmark-only`` run.
+
+Benchmark scale knobs: the environment variable ``REPRO_BENCH_SCALE`` selects
+``small`` (default; seconds per table) or ``paper`` (the paper's full n and
+trial counts; hours).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    """Return the configured benchmark scale ('small' or 'paper')."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+    if scale not in ("small", "paper"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be 'small' or 'paper', got {scale!r}")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where formatted tables are written."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    """Benchmark scale fixture ('small' or 'paper')."""
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def record_table(results_dir):
+    """Callable fixture: persist a formatted table and echo it to stdout."""
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record

@@ -1,0 +1,135 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+1. Full-scan vs frontier update in the parallel peeler: identical results,
+   very different work (the paper's GPU does full scans; a work-efficient
+   CPU implementation would use the frontier).
+2. Subtable decoding vs flat decoding with global deduplication: both avoid
+   the double-peel hazard; subtables need fewer full rounds.
+3. Atomic-conflict serialization on/off in the cost model: changes constants,
+   never who wins.
+4. Raw engine throughput (edges peeled per second) for the three engines —
+   the number a downstream user sizing a deployment cares about.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.sparse_recovery import random_distinct_keys
+from repro.core import ParallelPeeler, SequentialPeeler, SubtablePeeler
+from repro.hypergraph import partitioned_hypergraph, random_hypergraph
+from repro.iblt import IBLT, FlatParallelDecoder, SubtableParallelDecoder
+from repro.parallel import CostModel, ParallelMachine
+
+
+def _graph_size(scale: str) -> int:
+    return 400_000 if scale == "paper" else 60_000
+
+
+@pytest.mark.benchmark(group="ablation-update-mode")
+def test_ablation_full_vs_frontier_update(benchmark, record_table, scale):
+    n = _graph_size(scale)
+    graph = random_hypergraph(n, 0.7, 4, seed=23)
+
+    def run_both():
+        full = ParallelPeeler(2, update="full").peel(graph)
+        frontier = ParallelPeeler(2, update="frontier").peel(graph)
+        return full, frontier
+
+    full, frontier = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    record_table(
+        "ablation_update_mode",
+        "Full-scan vs frontier update (n={}, c=0.7, r=4, k=2)\n"
+        "  rounds     : full={}  frontier={}\n"
+        "  total work : full={}  frontier={}  (ratio {:.2f}x)".format(
+            n, full.num_rounds, frontier.num_rounds,
+            full.total_work, frontier.total_work,
+            full.total_work / max(frontier.total_work, 1),
+        ),
+    )
+    assert full.num_rounds == frontier.num_rounds
+    assert np.array_equal(full.core_edge_mask, frontier.core_edge_mask)
+    # Full scans re-inspect every cell each round: strictly more work.
+    assert full.total_work > 1.5 * frontier.total_work
+
+
+@pytest.mark.benchmark(group="ablation-dedup")
+def test_ablation_subtable_vs_flat_decoder(benchmark, record_table, scale):
+    num_cells = 120_000 if scale == "paper" else 30_000
+    table = IBLT(num_cells, 3, seed=29)
+    table.insert(random_distinct_keys(int(0.75 * num_cells), seed=29))
+
+    def run_both():
+        sub = SubtableParallelDecoder().decode(table)
+        flat = FlatParallelDecoder().decode(table)
+        return sub, flat
+
+    sub, flat = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    record_table(
+        "ablation_decoder",
+        "Subtable vs flat (dedup) parallel decoding (cells={}, load 0.75, r=3)\n"
+        "  subtable: rounds={}  subrounds={}  success={}\n"
+        "  flat    : rounds={}  success={}".format(
+            num_cells, sub.rounds, sub.subrounds, sub.success, flat.rounds, flat.success
+        ),
+    )
+    assert sub.success and flat.success
+    assert sorted(map(int, sub.recovered)) == sorted(map(int, flat.recovered))
+    # Appendix B: subtables need no more full rounds than the flat scheme.
+    assert sub.rounds <= flat.rounds
+    # ... and fewer subrounds than the naive r * flat-rounds bound.
+    assert sub.subrounds < 3 * flat.rounds
+
+
+@pytest.mark.benchmark(group="ablation-conflicts")
+def test_ablation_atomic_conflict_costs(benchmark, record_table, scale):
+    num_cells = 120_000 if scale == "paper" else 30_000
+    table = IBLT(num_cells, 3, seed=31)
+    table.insert(random_distinct_keys(int(0.75 * num_cells), seed=31))
+
+    def run():
+        return SubtableParallelDecoder(track_conflicts=True).decode(table)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    machine = ParallelMachine(num_threads=4096)
+    with_conflicts = machine.time_recovery(
+        result.round_stats, num_cells=num_cells, edge_size=3,
+        conflict_depths=result.conflict_depths,
+    )
+    without_conflicts = machine.time_recovery(
+        result.round_stats, num_cells=num_cells, edge_size=3, conflict_depths=None
+    )
+    record_table(
+        "ablation_conflicts",
+        "Atomic-conflict serialization in the cost model (cells={}, load 0.75)\n"
+        "  max conflict depth observed : {}\n"
+        "  speedup with conflicts      : {:.2f}x\n"
+        "  speedup without conflicts   : {:.2f}x".format(
+            num_cells, max(result.conflict_depths, default=0),
+            with_conflicts.speedup, without_conflicts.speedup,
+        ),
+    )
+    # Conflicts only add constants; the parallel machine still wins either way.
+    assert with_conflicts.speedup > 1.0
+    assert without_conflicts.speedup >= with_conflicts.speedup
+
+
+@pytest.mark.benchmark(group="engine-throughput")
+@pytest.mark.parametrize("engine", ["parallel", "sequential", "subtable"])
+def test_engine_throughput(benchmark, engine, scale):
+    """Raw wall-clock throughput of each engine (edges peeled per run)."""
+    n = _graph_size(scale)
+    if engine == "subtable":
+        graph = partitioned_hypergraph(n, 0.7, 4, seed=37)
+        peeler = SubtablePeeler(2, track_stats=False)
+    else:
+        graph = random_hypergraph(n, 0.7, 4, seed=37)
+        peeler = (
+            ParallelPeeler(2, track_stats=False)
+            if engine == "parallel"
+            else SequentialPeeler(2, track_stats=False)
+        )
+
+    result = benchmark(lambda: peeler.peel(graph))
+    assert result.success

@@ -1,0 +1,86 @@
+"""Benchmark: regenerate Figure 1 (β_i evolution near the threshold).
+
+Paper reference (k=2, r=4): iterating the idealized recurrence at c = 0.77
+and c = 0.772 — just below c*_{2,4} ≈ 0.77228 — shows a long plateau where
+β_i lingers near the critical value x* before collapsing doubly
+exponentially; the plateau length scales like Θ(sqrt(1/ν)) (Theorem 5), which
+is why the c = 0.772 curve (ν ≈ 0.00028) stretches several times further
+than the c = 0.77 curve (ν ≈ 0.0023).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import format_figure1, run_figure1
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_beta_evolution(benchmark, record_table, scale):
+    densities = (0.77, 0.772)
+
+    series = benchmark.pedantic(
+        lambda: run_figure1(densities, k=2, r=4, max_rounds=3000), rounds=1, iterations=1
+    )
+    record_table("figure1", format_figure1(series, k=2, r=4))
+
+    close = series[0.772]
+    far = series[0.77]
+
+    # Closer to the threshold => smaller nu => longer plateau and more total
+    # rounds before extinction.
+    assert close.nu < far.nu
+    assert close.gap.plateau_rounds > far.gap.plateau_rounds
+    assert close.rounds_to_extinction > far.rounds_to_extinction
+
+    # Theorem 5 scaling: the plateau grows like sqrt(1/nu).  The ratio of the
+    # two plateau lengths should be within a factor ~2 of sqrt(nu_far/nu_close).
+    expected_ratio = math.sqrt(far.nu / close.nu)
+    measured_ratio = close.gap.plateau_rounds / max(far.gap.plateau_rounds, 1)
+    assert 0.5 * expected_ratio < measured_ratio < 2.0 * expected_ratio
+
+    # The beta sequences are monotone non-increasing and eventually vanish.
+    for s in series.values():
+        beta = s.beta
+        assert (beta[1:] <= beta[:-1] + 1e-12).all()
+        assert beta[-1] < 1e-9
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_theorem5_sweep(benchmark, record_table, scale):
+    """Extension of Figure 1: plateau length vs nu over a geometric sweep.
+
+    Verifies the sqrt(1/nu) law quantitatively by fitting the log-log slope
+    over a decade of nu values; Theorem 5 predicts slope ≈ -1/2.
+    """
+    from repro.analysis import peeling_threshold
+    from repro.analysis.threshold_gap import plateau_length
+
+    c_star = peeling_threshold(2, 4)
+    nus = (0.02, 0.01, 0.005, 0.0025, 0.00125)
+
+    def sweep():
+        return [plateau_length(c_star - nu, 2, 4, max_rounds=20_000) for nu in nus]
+
+    analyses = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Theorem 5 sweep (k=2, r=4): plateau rounds vs nu"]
+    for analysis in analyses:
+        lines.append(
+            f"  nu={analysis.nu:.5f}  plateau={analysis.plateau_rounds:4d}  "
+            f"sqrt(1/nu)={analysis.predicted_scale:7.2f}"
+        )
+
+    # Log-log slope of plateau length against nu.
+    xs = [math.log(a.nu) for a in analyses]
+    ys = [math.log(max(a.plateau_rounds, 1)) for a in analyses]
+    n = len(xs)
+    mean_x, mean_y = sum(xs) / n, sum(ys) / n
+    slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / sum(
+        (x - mean_x) ** 2 for x in xs
+    )
+    lines.append(f"  fitted log-log slope = {slope:.3f}  (Theorem 5 predicts -0.5)")
+    record_table("figure1_theorem5_sweep", "\n".join(lines))
+
+    assert -0.75 < slope < -0.30

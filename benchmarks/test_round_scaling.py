@@ -1,0 +1,66 @@
+"""Extension benchmark: round-count scaling laws (Theorems 1 and 3) in one plot.
+
+Not a numbered table in the paper, but the content of its headline theorems:
+below the threshold the measured rounds should correlate with ``log log n``
+(a fitted slope against ``log n`` of essentially zero), above the threshold
+they should grow linearly in ``log n`` (a clearly positive slope).  The paper
+demonstrates this qualitatively via Table 1; this benchmark fits the slopes
+explicitly so regressions in either engine or generator show up as a number.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import run_table1
+
+
+def _sizes(scale: str):
+    if scale == "paper":
+        return (10_000, 40_000, 160_000, 640_000, 2_560_000)
+    return (5_000, 20_000, 80_000)
+
+
+def _fit_slope(xs, ys) -> float:
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    denom = sum((x - mean_x) ** 2 for x in xs)
+    return sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / denom
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_round_scaling_below_vs_above(benchmark, record_table, scale):
+    sizes = _sizes(scale)
+    trials = 50 if scale == "paper" else 8
+
+    def sweep():
+        below = run_table1(sizes=sizes, densities=(0.7,), trials=trials, seed=41)
+        above = run_table1(sizes=sizes, densities=(0.85,), trials=trials, seed=43)
+        return below, above
+
+    below, above = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    log_n = [math.log(row.n) for row in below]
+    below_rounds = [row.avg_rounds for row in below]
+    above_rounds = [row.avg_rounds for row in above]
+    slope_below = _fit_slope(log_n, below_rounds)
+    slope_above = _fit_slope(log_n, above_rounds)
+
+    lines = ["Round scaling vs log n (k=2, r=4)",
+             f"  {'n':>9}  {'rounds c=0.70':>14}  {'rounds c=0.85':>14}"]
+    for b, a in zip(below, above):
+        lines.append(f"  {b.n:>9}  {b.avg_rounds:>14.3f}  {a.avg_rounds:>14.3f}")
+    lines.append(f"  fitted d(rounds)/d(log n): below = {slope_below:.3f}, above = {slope_above:.3f}")
+    lines.append("  Theorem 1 predicts ~0 below the threshold; Theorem 3 predicts a "
+                 "positive constant above it.")
+    record_table("round_scaling", "\n".join(lines))
+
+    # Below the threshold the rounds are essentially flat in log n ...
+    assert abs(slope_below) < 0.35
+    # ... while above it they grow clearly (paper Table 1: roughly +1.1 rounds
+    # per doubling of n, i.e. slope ≈ 1.6 in natural log).
+    assert slope_above > 0.5
+    assert slope_above > 3 * abs(slope_below)

@@ -1,0 +1,57 @@
+"""Benchmark: regenerate Table 1 (failures and rounds of parallel peeling).
+
+Paper reference (r=4, k=2, 1000 trials): below the threshold the average
+round count is essentially flat in n (12.5 → 13.0 at c=0.7; ~23.4 at
+c=0.75), and every trial succeeds; above the threshold every trial fails and
+the round count climbs roughly linearly in log n (10.8 → 19.6 at c=0.85).
+
+The small-scale defaults keep the same densities and reproduce the same
+shape: zero failures and flat rounds below threshold, all failures and
+growing rounds above.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import peeling_threshold
+from repro.experiments import PAPER_SIZES, format_table1, run_table1
+
+
+def _parameters(scale: str):
+    if scale == "paper":
+        return dict(sizes=PAPER_SIZES, densities=(0.7, 0.75, 0.8, 0.85), trials=1000)
+    return dict(sizes=(10_000, 20_000, 40_000, 80_000), densities=(0.7, 0.75, 0.8, 0.85), trials=10)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_rounds_vs_n(benchmark, record_table, scale):
+    params = _parameters(scale)
+
+    rows = benchmark.pedantic(
+        lambda: run_table1(seed=1, **params), rounds=1, iterations=1
+    )
+    record_table("table1", format_table1(rows))
+
+    c_star = peeling_threshold(2, 4)
+    by_density = {}
+    for row in rows:
+        by_density.setdefault(row.c, []).append(row)
+
+    for c, cells in by_density.items():
+        cells.sort(key=lambda row: row.n)
+        if c < c_star:
+            # Below threshold: all trials succeed, rounds ~ log log n (flat).
+            assert all(cell.failed == 0 for cell in cells)
+            assert cells[-1].avg_rounds - cells[0].avg_rounds <= 2.5
+        else:
+            # Above threshold: all trials fail, rounds grow with n.
+            assert all(cell.failed == cell.trials for cell in cells)
+            assert cells[-1].avg_rounds > cells[0].avg_rounds
+
+    # The paper's asymmetry: at the largest n, c=0.85 (above) needs more
+    # rounds than c=0.7 (below) even though it is "closer" to done per round.
+    largest = max(row.n for row in rows)
+    below = next(r for r in rows if r.n == largest and r.c == 0.7)
+    above = next(r for r in rows if r.n == largest and r.c == 0.85)
+    assert above.avg_rounds > below.avg_rounds

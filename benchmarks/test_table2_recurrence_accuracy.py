@@ -1,0 +1,58 @@
+"""Benchmark: regenerate Table 2 (recurrence λ_t vs. measured survivors).
+
+Paper reference (r=4, k=2, n=10^6, 1000 trials): the idealized recurrence
+predicts the number of unpeeled vertices per round to a relative error of
+roughly 10^-3 both below the threshold (c=0.7, extinction at round 13) and
+above it (c=0.85, convergence to ≈775,010 survivors).
+
+The small-scale run uses n=10^5 and 10 trials; the accuracy assertions are
+correspondingly looser (2% on the large early-round counts) but the shape —
+extinction below, a positive plateau above — is identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_table2, run_table2
+
+
+def _parameters(scale: str):
+    if scale == "paper":
+        return dict(n=1_000_000, trials=1000)
+    return dict(n=100_000, trials=10)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_below_threshold(benchmark, record_table, scale):
+    params = _parameters(scale)
+
+    rows = benchmark.pedantic(
+        lambda: run_table2(c=0.7, rounds=16, seed=2, **params), rounds=1, iterations=1
+    )
+    record_table("table2_c0.70", format_table2(rows, c=0.7))
+
+    # Early rounds (counts in the hundreds of thousands) match to ~2%.
+    for row in rows[:9]:
+        assert row.relative_error < 0.02
+    # Extinction: by round 14-16 essentially nothing is left, exactly as the
+    # recurrence predicts.
+    assert rows[-1].experiment < params["n"] * 1e-3
+    assert rows[-1].prediction < params["n"] * 1e-3
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_above_threshold(benchmark, record_table, scale):
+    params = _parameters(scale)
+
+    rows = benchmark.pedantic(
+        lambda: run_table2(c=0.85, rounds=20, seed=3, **params), rounds=1, iterations=1
+    )
+    record_table("table2_c0.85", format_table2(rows, c=0.85))
+
+    for row in rows:
+        assert row.relative_error < 0.02
+    # Above the threshold the process stalls at a positive fraction
+    # (paper: 775,010 of 10^6 ≈ 77.5%).
+    final_fraction = rows[-1].experiment / params["n"]
+    assert 0.70 < final_fraction < 0.85

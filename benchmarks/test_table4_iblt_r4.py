@@ -1,0 +1,71 @@
+"""Benchmark: regenerate Table 4 (IBLT with r=4 hash functions).
+
+Paper reference (2^24 cells): at load 0.75 (below c*_{2,4} ≈ 0.772) recovery
+is complete and the GPU is ~18× faster than serial (0.47s vs 8.37s); at load
+0.83 (well above the threshold) only 24.6% of items are recovered and the
+speedup drops to ~9× (0.25s vs 2.28s).  Note the r=4 above-threshold recovery
+fraction is much lower than the r=3 one (24.6% vs 50.1%) because 0.83 sits
+further beyond the r=4 threshold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_table34, run_table34
+from repro.parallel import ParallelMachine
+
+
+def _parameters(scale: str):
+    if scale == "paper":
+        return dict(num_cells=16_777_216)
+    return dict(num_cells=30_000)
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_iblt_r4(benchmark, record_table, scale):
+    params = _parameters(scale)
+    machine = ParallelMachine(num_threads=4096)
+
+    rows = benchmark.pedantic(
+        lambda: run_table34(4, loads=(0.75, 0.83), machine=machine, seed=7, **params),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("table4_r4", format_table34(rows))
+
+    below, above = rows
+    # Load 0.75 < c*_{2,4} ≈ 0.772: full recovery.
+    assert below.fraction_recovered == pytest.approx(1.0)
+    # Load 0.83 > threshold: small recovered fraction (paper: 24.6%).
+    assert above.fraction_recovered < 0.5
+
+    # Who-wins shape: parallel always wins, by less above the threshold.
+    assert below.recovery_speedup > 1.5
+    assert above.recovery_speedup < below.recovery_speedup
+
+    # Insertion speedups are load-insensitive.
+    assert below.insert_speedup == pytest.approx(above.insert_speedup, rel=0.25)
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table34_r4_vs_r3_above_threshold(benchmark, record_table, scale):
+    """Cross-table check: at load 0.83, r=4 recovers less than r=3.
+
+    This is the paper's 50.1% (Table 3) vs 24.6% (Table 4) contrast; the same
+    load sits further above the r=4 threshold than the r=3 one.
+    """
+    params = _parameters(scale)
+    machine = ParallelMachine(num_threads=4096)
+
+    def run_both():
+        r3 = run_table34(3, loads=(0.83,), machine=machine, seed=11, **params)[0]
+        r4 = run_table34(4, loads=(0.83,), machine=machine, seed=11, **params)[0]
+        return r3, r4
+
+    r3, r4 = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    record_table(
+        "table34_cross_r3_vs_r4",
+        format_table34([r3]) + "\n\n" + format_table34([r4]),
+    )
+    assert r4.fraction_recovered < r3.fraction_recovered

@@ -1,0 +1,43 @@
+"""Benchmark: regenerate Table 6 (subtable recurrence λ'_{i,j} vs experiment).
+
+Paper reference (r=4, k=2, n=10^6, c=0.7, 1000 trials): the subtable
+recurrence of Equation (B.1) predicts the number of vertices left after each
+subround to within a handful of vertices per million, all the way down to the
+final subrounds where only a few hundred vertices remain.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_table6, run_table6
+
+
+def _parameters(scale: str):
+    if scale == "paper":
+        return dict(n=1_000_000, trials=1000)
+    return dict(n=100_000, trials=10)
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_subtable_recurrence(benchmark, record_table, scale):
+    params = _parameters(scale)
+
+    rows = benchmark.pedantic(
+        lambda: run_table6(c=0.7, rounds=7, seed=19, **params), rounds=1, iterations=1
+    )
+    record_table("table6", format_table6(rows, c=0.7))
+
+    # Early subrounds (counts of order n) match the recurrence to ~2%.
+    for row in rows[:16]:
+        assert row.relative_error < 0.02
+
+    # The survivor sequence is non-increasing across subrounds and reaches
+    # (essentially) zero by the final recorded subround, as in the paper.
+    values = [row.experiment for row in rows]
+    assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+    assert values[-1] < params["n"] * 1e-3
+
+    # The prediction for the last paper row (i=7, j=4) is essentially zero.
+    last = rows[-1]
+    assert last.prediction < 1.0

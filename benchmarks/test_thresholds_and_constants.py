@@ -1,0 +1,57 @@
+"""Benchmark: the paper's headline constants (Section 2 and Appendix B).
+
+Not a table of its own, but the evaluation quotes c*_{2,3} ≈ 0.818,
+c*_{2,4} ≈ 0.772, c*_{3,3} ≈ 1.553 (Section 2), φ_2 ≈ 1.61 / φ_3 ≈ 1.83 /
+φ_4 ≈ 1.92 and the ratio log(r−1)/log(φ_{r−1}) ≈ 1.456 for r=3
+(Appendix B).  This benchmark times the threshold solver and records all the
+constants next to the paper's values.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import fibonacci_growth_rate, peeling_threshold
+from repro.analysis.fibonacci import subtable_round_ratio
+from repro.analysis.rounds import gao_leading_constant, leading_constant_below
+from repro.analysis.thresholds import threshold_minimizer
+
+PAPER_THRESHOLDS = {(2, 3): 0.818, (2, 4): 0.772, (3, 3): 1.553}
+PAPER_PHI = {2: 1.61, 3: 1.83, 4: 1.92}
+
+
+@pytest.mark.benchmark(group="constants")
+def test_thresholds_and_constants(benchmark, record_table, scale):
+    def compute():
+        threshold_minimizer.cache_clear()
+        return {pair: peeling_threshold(*pair) for pair in PAPER_THRESHOLDS}
+
+    thresholds = benchmark.pedantic(compute, rounds=3, iterations=1)
+
+    lines = ["Headline constants: paper vs computed"]
+    for (k, r), paper_value in PAPER_THRESHOLDS.items():
+        computed = thresholds[(k, r)]
+        lines.append(f"  c*_{{{k},{r}}}: paper {paper_value:.3f}   computed {computed:.6f}")
+        assert computed == pytest.approx(paper_value, abs=1e-3)
+
+    for order, paper_value in PAPER_PHI.items():
+        computed = fibonacci_growth_rate(order)
+        lines.append(f"  phi_{order}:    paper {paper_value:.2f}    computed {computed:.6f}")
+        assert computed == pytest.approx(paper_value, abs=0.01)
+
+    ratio_r3 = math.log(2) / math.log(fibonacci_growth_rate(2))
+    lines.append(f"  log(r-1)/log(phi_(r-1)) for r=3: paper 1.456  computed {ratio_r3:.4f}")
+    assert ratio_r3 == pytest.approx(1.44, abs=0.05)
+
+    # Extra context recorded for the docs: Theorem 1 vs Gao's constant and
+    # the Theorem 7 subround ratio for the Table 5 configuration.
+    lines.append(
+        f"  Theorem 1 constant (k=2,r=4): {leading_constant_below(2, 4):.4f}; "
+        f"Gao's constant: {gao_leading_constant(2, 4):.4f}"
+    )
+    lines.append(
+        f"  Theorem 7 subround ratio (k=2,r=4): {subtable_round_ratio(2, 4):.4f}"
+    )
+    record_table("constants", "\n".join(lines))

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""A peeling-decoded erasure code over a lossy channel (Section 6's coding analogy).
+
+Each of M message symbols is XORed into r=3 of the m encoded symbols; the
+receiver loses a fraction of the encoded symbols and decodes by peeling.
+Decoding succeeds exactly when the residual 2-core is empty, so the
+tolerable loss rate is governed by the peeling threshold: with M message
+symbols and m received symbols, decoding works w.h.p. while
+M / (received symbols) stays below c*_{2,3} ≈ 0.818.
+
+The example sweeps the channel loss rate and reports the decoded fraction
+and the number of parallel peeling rounds, showing the sharp threshold and
+the O(log log n) round count below it.
+
+Run with:  python examples/erasure_code.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import peeling_threshold
+from repro.apps import PeelingErasureCode, random_distinct_keys
+from repro.utils.tables import Table, format_float
+
+
+def main() -> None:
+    num_message = 50_000
+    overhead = 1.45
+    num_encoded = int(num_message * overhead)
+    r = 3
+    code = PeelingErasureCode(num_encoded=num_encoded, r=r, seed=21)
+    c_star = peeling_threshold(2, r)
+
+    print(f"Message symbols: {num_message:,}; encoded symbols: {num_encoded:,} "
+          f"(rate {num_message / num_encoded:.2f})")
+    print(f"Peeling threshold c*_{{2,{r}}} = {c_star:.3f}; the effective density "
+          f"(message symbols per received encoded symbol) crosses it at a loss rate "
+          f"of ~{1 - num_message / (c_star * num_encoded):.1%}.")
+    print("(Erasures also truncate edges — a symbol that loses some of its r copies is\n"
+          " harder to peel — so full recovery degrades somewhat before that point.)\n")
+
+    message = random_distinct_keys(num_message, seed=22)
+    block = code.encode(message)
+
+    rng = np.random.default_rng(23)
+    table = Table(
+        ["loss rate", "effective density", "decoded fraction", "success", "rounds"],
+        title="Peeling erasure code vs channel loss",
+    )
+    for loss in (0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35):
+        received = rng.random(num_encoded) >= loss
+        outcome = code.decode(block, received, mode="parallel")
+        effective_density = num_message / max(int(received.sum()), 1)
+        table.add_row(
+            format_float(loss, 2),
+            format_float(effective_density, 3),
+            f"{outcome.fraction_recovered:.1%}",
+            str(outcome.success),
+            outcome.rounds,
+        )
+    print(table.render())
+    print("\nNote the sharp transition once the effective density "
+          "(message symbols per received encoded symbol) crosses the threshold, "
+          "and the small, nearly constant round counts below it (Theorem 1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Set reconciliation across a link with IBLT difference digests.
+
+Scenario: two replicas each hold about one million keys that agree except
+for a few hundred recent writes on either side.  Instead of exchanging the
+full key sets (16 MB), each side sends a fixed-size IBLT digest sized for the
+*difference*; subtracting the digests and peeling the result yields exactly
+the keys each side is missing.
+
+The example measures the communication cost, verifies correctness, and shows
+how the number of peeling rounds (the latency of a parallel decoder) stays
+tiny because the difference digest operates far below the peeling threshold.
+
+Run with:  python examples/set_reconciliation.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.apps import SetReconciler, random_set_pair
+from repro.utils.tables import Table, format_float
+
+
+def main() -> None:
+    common = 1_000_000
+    only_a = 180
+    only_b = 240
+    expected_difference = only_a + only_b
+
+    # Size the digest for the difference with ~40% headroom below the r=3
+    # threshold c*_{2,3} ≈ 0.818 (i.e. cells ≈ 1.75 * d).
+    num_cells = 735  # 420 * 1.75
+    num_cells -= num_cells % 3
+
+    print(f"Replica A: {common + only_a:,} keys, replica B: {common + only_b:,} keys")
+    print(f"True difference: {expected_difference} keys")
+    print(f"Digest: {num_cells} cells x 24 bytes = {num_cells * 24:,} bytes "
+          f"(vs ~{(common + only_a) * 8 / 1e6:.0f} MB to ship the full set)\n")
+
+    set_a, set_b = random_set_pair(common, only_a, only_b, seed=3)
+    reconciler = SetReconciler(num_cells=num_cells, r=3, seed=9)
+
+    table = Table(
+        ["decoder", "success", "|A\\B|", "|B\\A|", "rounds", "wall-clock (s)"],
+        title="Reconciliation",
+    )
+    for decoder in ("serial", "parallel"):
+        start = time.perf_counter()
+        result = reconciler.reconcile(set_a, set_b, decoder=decoder)
+        elapsed = time.perf_counter() - start
+        table.add_row(
+            decoder,
+            str(result.success),
+            result.a_minus_b.size,
+            result.b_minus_a.size,
+            result.rounds,
+            format_float(elapsed, 3),
+        )
+    print(table.render())
+    print(f"\nbytes exchanged per direction: {result.bytes_exchanged:,}")
+
+    # What happens if the digest is undersized?  The difference hypergraph is
+    # then above the peeling threshold and listing fails — detectable, so the
+    # protocol can fall back to a larger digest.
+    tiny = SetReconciler(num_cells=max(3, (expected_difference // 2) // 3 * 3), r=3, seed=9)
+    failed = tiny.reconcile(set_a, set_b)
+    print(f"\nUndersized digest ({tiny.num_cells} cells): success={failed.success} "
+          f"(recovered {failed.a_minus_b.size + failed.b_minus_a.size} of {expected_difference}) "
+          "- the failure is detected and a larger digest can be retried.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Sparse recovery with an IBLT, serial vs. parallel recovery (Section 6).
+
+Scenario (the paper's motivating application): a stream inserts N = 500,000
+items into a set and later deletes all but n = 20,000 of them.  We want to
+recover the surviving set exactly using memory proportional to n, not N.
+
+The example builds an IBLT with ~1.33 n cells (load ≈ 0.75, safely below the
+r=3 threshold c*_{2,3} ≈ 0.818), streams the insertions and deletions
+through it, then recovers the survivors three ways:
+
+* the classical serial worklist decoder,
+* the paper's round-synchronous subtable decoder,
+* the flat (whole-table, dedup) decoder,
+
+and prices the serial vs. parallel recovery on the simulated parallel
+machine, reproducing the shape of Table 3.
+
+Run with:  python examples/sparse_recovery_iblt.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import IBLT, ParallelMachine, SubtableParallelDecoder
+from repro.apps import SparseRecovery, random_distinct_keys
+from repro.iblt import FlatParallelDecoder
+from repro.utils.tables import Table, format_float
+
+
+def main() -> None:
+    stream_length = 500_000
+    survivors = 20_000
+    r = 3
+    num_cells = 26_667 - (26_667 % r)  # ≈ 1.33 * survivors, load ≈ 0.75
+
+    print(f"Stream of {stream_length:,} insertions, {stream_length - survivors:,} deletions")
+    print(f"IBLT: {num_cells:,} cells, r={r} (load {survivors / num_cells:.3f})\n")
+
+    keys = random_distinct_keys(stream_length, seed=7)
+    surviving_keys = keys[:survivors]
+    deleted_keys = keys[survivors:]
+
+    pipeline = SparseRecovery(num_cells=num_cells, r=r, seed=11)
+    start = time.perf_counter()
+    table = pipeline.build_table(keys, deleted_keys)
+    build_seconds = time.perf_counter() - start
+    print(f"built table in {build_seconds:.2f}s "
+          f"({(2 * stream_length - survivors) / build_seconds:,.0f} updates/s)\n")
+
+    results = Table(
+        ["decoder", "success", "recovered", "rounds", "wall-clock (s)"],
+        title="Recovery results",
+    )
+    timings = {}
+    for name, decoder in [
+        ("serial worklist", "serial"),
+        ("parallel (subtables)", "parallel"),
+        ("parallel (flat + dedup)", "flat-parallel"),
+    ]:
+        start = time.perf_counter()
+        outcome = pipeline.recover(table, surviving_keys, decoder=decoder)
+        elapsed = time.perf_counter() - start
+        timings[name] = elapsed
+        results.add_row(
+            name,
+            str(outcome.success),
+            f"{outcome.fraction_recovered:.1%}",
+            outcome.rounds,
+            format_float(elapsed, 3),
+        )
+    print(results.render())
+
+    # Cost-model comparison (the Table 3 stand-in for the paper's GPU).
+    machine = ParallelMachine(num_threads=4096)
+    parallel_result = SubtableParallelDecoder().decode(table)
+    recovery = machine.time_recovery(
+        parallel_result.round_stats,
+        num_cells=num_cells,
+        edge_size=r,
+        conflict_depths=parallel_result.conflict_depths,
+    )
+    insert = machine.time_insertions(survivors, r)
+    print("\nSimulated parallel machine (4096 threads, arbitrary time units):")
+    print(f"  recovery: parallel {recovery.parallel_time:,.0f} vs serial {recovery.serial_time:,.0f} "
+          f"-> speedup {recovery.speedup:.1f}x over {recovery.rounds} rounds")
+    print(f"  insertion: speedup {insert.speedup:.1f}x")
+    print("\n(The paper's Tesla C2070 reports ~19x recovery and ~10-12x insertion "
+          "speedups at this load; the shape, not the absolute numbers, is the claim.)")
+
+
+if __name__ == "__main__":
+    main()

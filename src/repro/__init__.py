@@ -1,0 +1,110 @@
+"""repro — parallel peeling algorithms on random hypergraphs.
+
+A production-oriented reproduction of *Parallel Peeling Algorithms*
+(Jiang, Mitzenmacher, Thaler; SPAA 2014).  The package provides:
+
+* random r-uniform hypergraph models (:mod:`repro.hypergraph`),
+* sequential, round-synchronous parallel and subtable peeling engines
+  (:mod:`repro.core`),
+* the paper's analytical machinery — thresholds, survival recurrences,
+  round-complexity predictions (:mod:`repro.analysis`),
+* Invertible Bloom Lookup Tables with serial and parallel recovery
+  (:mod:`repro.iblt`) and applications built on them (:mod:`repro.apps`),
+* a simulated parallel machine standing in for the paper's GPU
+  (:mod:`repro.parallel`),
+* an experiment harness reproducing every table and figure of the paper's
+  evaluation (:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import random_hypergraph, peel_to_kcore, peeling_threshold
+>>> graph = random_hypergraph(10_000, 0.7, 4, seed=1)
+>>> result = peel_to_kcore(graph, k=2)
+>>> result.success
+True
+>>> round(peeling_threshold(2, 4), 3)
+0.772
+"""
+
+from repro._version import __version__
+
+# Hypergraph substrate
+from repro.hypergraph import (
+    Hypergraph,
+    random_hypergraph,
+    binomial_hypergraph,
+    partitioned_hypergraph,
+    hypergraph_from_edges,
+    kcore,
+    has_empty_kcore,
+)
+
+# Peeling engines
+from repro.core import (
+    ParallelPeeler,
+    SequentialPeeler,
+    SubtablePeeler,
+    peel_to_kcore,
+    PeelingResult,
+)
+
+# Analysis
+from repro.analysis import (
+    peeling_threshold,
+    iterate_recurrence,
+    predicted_survivors,
+    iterate_subtable_recurrence,
+    rounds_below_threshold,
+    rounds_above_threshold,
+    rounds_with_subtables,
+    fibonacci_growth_rate,
+    predict_rounds,
+)
+
+# IBLT + applications
+from repro.iblt import IBLT, SubtableParallelDecoder, FlatParallelDecoder
+from repro.apps import (
+    SparseRecovery,
+    SetReconciler,
+    PeelingErasureCode,
+    XorSatSolver,
+    random_xorsat,
+)
+
+# Parallel substrate
+from repro.parallel import ParallelMachine, CostModel
+
+__all__ = [
+    "__version__",
+    "Hypergraph",
+    "random_hypergraph",
+    "binomial_hypergraph",
+    "partitioned_hypergraph",
+    "hypergraph_from_edges",
+    "kcore",
+    "has_empty_kcore",
+    "ParallelPeeler",
+    "SequentialPeeler",
+    "SubtablePeeler",
+    "peel_to_kcore",
+    "PeelingResult",
+    "peeling_threshold",
+    "iterate_recurrence",
+    "predicted_survivors",
+    "iterate_subtable_recurrence",
+    "rounds_below_threshold",
+    "rounds_above_threshold",
+    "rounds_with_subtables",
+    "fibonacci_growth_rate",
+    "predict_rounds",
+    "IBLT",
+    "SubtableParallelDecoder",
+    "FlatParallelDecoder",
+    "SparseRecovery",
+    "SetReconciler",
+    "PeelingErasureCode",
+    "XorSatSolver",
+    "random_xorsat",
+    "ParallelMachine",
+    "CostModel",
+]

@@ -1,0 +1,93 @@
+"""Theoretical analysis of the peeling process.
+
+Implements the analytical machinery of the paper:
+
+* :mod:`~repro.analysis.thresholds` — the load threshold
+  :math:`c^*_{k,r}` of Equation (2.1) together with the minimizing point
+  :math:`x^*`.
+* :mod:`~repro.analysis.recurrences` — the idealized branching-process
+  recurrences :math:`\\rho_i, \\lambda_i, \\beta_i` (Equations 3.2–3.4) and
+  the subtable recurrences of Appendix B (Equation B.1).
+* :mod:`~repro.analysis.fibonacci` — order-r Fibonacci sequences and their
+  growth rates :math:`\\phi_r` used by Theorem 7.
+* :mod:`~repro.analysis.rounds` — closed-form round-complexity predictions of
+  Theorems 1, 2, 3, 5 and 7.
+* :mod:`~repro.analysis.threshold_gap` — the three-phase
+  :math:`\\Theta(\\sqrt{1/\\nu})` analysis of Section 7.
+"""
+
+from repro.analysis.thresholds import (
+    peeling_threshold,
+    threshold_minimizer,
+    poisson_tail,
+    survival_update,
+)
+from repro.analysis.recurrences import (
+    RecurrenceTrace,
+    iterate_recurrence,
+    lambda_trace,
+    predicted_survivors,
+    SubtableRecurrenceTrace,
+    iterate_subtable_recurrence,
+    predicted_subtable_survivors,
+)
+from repro.analysis.fibonacci import (
+    fibonacci_sequence,
+    fibonacci_growth_rate,
+    subtable_round_ratio,
+)
+from repro.analysis.rounds import (
+    rounds_below_threshold,
+    rounds_above_threshold,
+    rounds_with_subtables,
+    leading_constant_below,
+    leading_constant_subtables,
+    gao_leading_constant,
+    predict_rounds,
+)
+from repro.analysis.threshold_gap import (
+    gap_rounds_estimate,
+    beta_fixed_point,
+    critical_point,
+    plateau_length,
+)
+from repro.analysis.degree_evolution import (
+    DegreeHistogram,
+    predicted_edge_survival,
+    predicted_mean_residual_degree,
+    measured_degree_distribution,
+    distribution_distance,
+)
+
+__all__ = [
+    "peeling_threshold",
+    "threshold_minimizer",
+    "poisson_tail",
+    "survival_update",
+    "RecurrenceTrace",
+    "iterate_recurrence",
+    "lambda_trace",
+    "predicted_survivors",
+    "SubtableRecurrenceTrace",
+    "iterate_subtable_recurrence",
+    "predicted_subtable_survivors",
+    "fibonacci_sequence",
+    "fibonacci_growth_rate",
+    "subtable_round_ratio",
+    "rounds_below_threshold",
+    "rounds_above_threshold",
+    "rounds_with_subtables",
+    "leading_constant_below",
+    "leading_constant_subtables",
+    "gao_leading_constant",
+    "predict_rounds",
+    "gap_rounds_estimate",
+    "beta_fixed_point",
+    "critical_point",
+    "plateau_length",
+    "DegreeHistogram",
+    "predicted_edge_survival",
+    "predicted_mean_residual_degree",
+    "measured_degree_distribution",
+    "distribution_distance",
+]

@@ -1,0 +1,235 @@
+"""Idealized branching-process recurrences (Sections 3.1 and Appendix B).
+
+Below the threshold, the peeling process is accurately described by the
+recurrences (with :math:`\\rho_0 = 1`, :math:`\\beta_i = \\rho_{i-1}^{r-1} rc`):
+
+.. math::
+
+    \\rho_i &= \\Pr[\\mathrm{Poisson}(\\beta_i) \\ge k - 1], \\\\
+    \\lambda_i &= \\Pr[\\mathrm{Poisson}(\\beta_i) \\ge k],
+
+where :math:`\\lambda_i` is the probability that a given vertex survives
+``i`` rounds of parallel peeling; Table 2 of the paper shows
+:math:`\\lambda_i n` matches simulation to within a relative error of about
+:math:`10^{-3}`.
+
+Appendix B gives the subtable variant (Equation B.1): with the vertex set
+split into ``r`` subtables processed serially within each round,
+
+.. math::
+
+    \\rho_{i,j} = \\Pr\\Bigl[\\mathrm{Poisson}\\bigl(rc \\prod_{h<j}\\rho_{i,h}
+                 \\prod_{h>j}\\rho_{i-1,h}\\bigr) \\ge k-1\\Bigr],
+
+and the fraction of vertices left after subround ``(i, j)`` is
+:math:`\\lambda'_{i,j} = \\frac1r(\\sum_{h\\le j}\\lambda_{i,h} +
+\\sum_{h>j}\\lambda_{i-1,h})` (Table 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.thresholds import poisson_tail
+from repro.utils.validation import check_positive_float, check_positive_int
+
+__all__ = [
+    "RecurrenceTrace",
+    "iterate_recurrence",
+    "lambda_trace",
+    "predicted_survivors",
+    "SubtableRecurrenceTrace",
+    "iterate_subtable_recurrence",
+    "predicted_subtable_survivors",
+]
+
+
+@dataclass(frozen=True)
+class RecurrenceTrace:
+    """Evolution of the idealized recurrence for ``rounds`` rounds.
+
+    Attributes
+    ----------
+    c, k, r:
+        Parameters of the process.
+    rho:
+        ``rho[i]`` is the probability a non-root vertex survives ``i`` rounds
+        (``rho[0] == 1``).
+    beta:
+        ``beta[i]`` is the expected number of surviving descendant edges going
+        into round ``i`` (``beta[i] = rho[i-1]^(r-1) * r * c``); ``beta[0]``
+        is defined as ``r*c`` for convenience.
+    lam:
+        ``lam[i]`` is the probability the *root* survives ``i`` rounds
+        (``lam[0] == 1``).
+    """
+
+    c: float
+    k: int
+    r: int
+    rho: np.ndarray
+    beta: np.ndarray
+    lam: np.ndarray
+
+    @property
+    def rounds(self) -> int:
+        """Number of iterated rounds (arrays have ``rounds + 1`` entries)."""
+        return len(self.rho) - 1
+
+    def rounds_to_extinction(self, tol: float = 0.0) -> Optional[int]:
+        """First round ``t`` with ``lam[t] <= tol``, or None if never reached."""
+        below = np.flatnonzero(self.lam <= tol)
+        if below.size == 0:
+            return None
+        return int(below[0])
+
+
+def iterate_recurrence(c: float, k: int, r: int, rounds: int) -> RecurrenceTrace:
+    """Iterate the idealized recurrence (Equations 3.2–3.4) for ``rounds`` rounds.
+
+    Parameters
+    ----------
+    c:
+        Edge density.
+    k:
+        Peel-to-k-core threshold (a vertex survives a round iff it has at
+        least ``k-1`` surviving child edges; the root needs ``k``).
+    r:
+        Edge size.
+    rounds:
+        Number of rounds to iterate.
+
+    Returns
+    -------
+    RecurrenceTrace
+    """
+    c = check_positive_float(c, "c")
+    k = check_positive_int(k, "k")
+    r = check_positive_int(r, "r")
+    rounds = check_positive_int(rounds, "rounds") if rounds != 0 else 0
+    rho = np.empty(rounds + 1, dtype=float)
+    beta = np.empty(rounds + 1, dtype=float)
+    lam = np.empty(rounds + 1, dtype=float)
+    rho[0] = 1.0
+    beta[0] = r * c
+    lam[0] = 1.0
+    for i in range(1, rounds + 1):
+        beta[i] = rho[i - 1] ** (r - 1) * r * c
+        rho[i] = poisson_tail(beta[i], k - 1)
+        lam[i] = poisson_tail(beta[i], k)
+    return RecurrenceTrace(c=c, k=k, r=r, rho=rho, beta=beta, lam=lam)
+
+
+def lambda_trace(c: float, k: int, r: int, rounds: int) -> np.ndarray:
+    """Return ``lam[1..rounds]`` — the per-round survival probabilities.
+
+    ``lambda_trace(c, k, r, T)[t-1]`` is the idealized probability a vertex
+    survives ``t`` rounds; multiplying by ``n`` gives the predicted number of
+    unpeeled vertices after round ``t`` (the "Prediction" column of Table 2).
+    """
+    return iterate_recurrence(c, k, r, rounds).lam[1:]
+
+
+def predicted_survivors(n: int, c: float, k: int, r: int, rounds: int) -> np.ndarray:
+    """Predicted number of surviving vertices after rounds ``1..rounds``.
+
+    This is the Prediction column of Table 2: ``lambda_t * n``.
+    """
+    n = check_positive_int(n, "n")
+    return lambda_trace(c, k, r, rounds) * n
+
+
+# --------------------------------------------------------------------------- #
+# Subtable recurrences (Appendix B)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SubtableRecurrenceTrace:
+    """Evolution of the subtable recurrence of Appendix B.
+
+    ``rho[i, j]``, ``lam[i, j]`` and ``beta[i, j]`` are indexed by round ``i``
+    (0-based; row 0 is the all-ones initial condition) and subtable ``j``
+    (0-based).  ``lam_prime[i, j]`` is the fraction of *all* vertices still
+    unpeeled after subround ``(i, j)`` — the Prediction column of Table 6
+    divided by ``n``.
+    """
+
+    c: float
+    k: int
+    r: int
+    rho: np.ndarray
+    beta: np.ndarray
+    lam: np.ndarray
+    lam_prime: np.ndarray
+
+    @property
+    def rounds(self) -> int:
+        """Number of iterated full rounds."""
+        return self.rho.shape[0] - 1
+
+    def subround_lambda(self, round_index: int, subtable_index: int) -> float:
+        """``lambda'_{i,j}`` with 1-based round index ``i`` as in Table 6."""
+        if round_index < 1 or round_index > self.rounds:
+            raise IndexError(f"round_index must be in [1, {self.rounds}]")
+        if subtable_index < 1 or subtable_index > self.r:
+            raise IndexError(f"subtable_index must be in [1, {self.r}]")
+        return float(self.lam_prime[round_index, subtable_index - 1])
+
+
+def iterate_subtable_recurrence(
+    c: float, k: int, r: int, rounds: int
+) -> SubtableRecurrenceTrace:
+    """Iterate the subtable recurrences (Equation B.1) for ``rounds`` rounds.
+
+    Within round ``i`` the ``r`` subtables are processed in order
+    ``j = 1..r``; peeling subtable ``j`` already sees the updated survival of
+    subtables ``h < j`` from the *same* round, which is what makes the
+    process contract "Fibonacci exponentially" (Theorem 7).
+    """
+    c = check_positive_float(c, "c")
+    k = check_positive_int(k, "k")
+    r = check_positive_int(r, "r")
+    if r < 2:
+        raise ValueError(f"r must be >= 2 for the subtable model, got {r}")
+    rounds = check_positive_int(rounds, "rounds") if rounds != 0 else 0
+
+    rho = np.ones((rounds + 1, r), dtype=float)
+    beta = np.zeros((rounds + 1, r), dtype=float)
+    lam = np.ones((rounds + 1, r), dtype=float)
+    lam_prime = np.ones((rounds + 1, r), dtype=float)
+    beta[0, :] = r * c
+
+    for i in range(1, rounds + 1):
+        for j in range(r):
+            # product over subtables already peeled this round (h < j) uses
+            # row i; the rest (h > j) uses the previous round's row i-1.
+            prod_current = np.prod(rho[i, :j]) if j > 0 else 1.0
+            prod_previous = np.prod(rho[i - 1, j + 1:]) if j < r - 1 else 1.0
+            mean = r * c * prod_current * prod_previous
+            beta[i, j] = mean
+            rho[i, j] = poisson_tail(mean, k - 1)
+            lam[i, j] = poisson_tail(mean, k)
+            # Fraction of all vertices unpeeled after subround (i, j):
+            # subtables h <= j have been updated this round, the rest carry
+            # last round's survival.
+            done = lam[i, : j + 1].sum()
+            pending = lam[i - 1, j + 1:].sum()
+            lam_prime[i, j] = (done + pending) / r
+    return SubtableRecurrenceTrace(
+        c=c, k=k, r=r, rho=rho, beta=beta, lam=lam, lam_prime=lam_prime
+    )
+
+
+def predicted_subtable_survivors(
+    n: int, c: float, k: int, r: int, rounds: int
+) -> np.ndarray:
+    """Predicted survivors after each subround — the Prediction column of Table 6.
+
+    Returns an array of shape ``(rounds, r)``; entry ``[i-1, j-1]`` is
+    ``lambda'_{i,j} * n``.
+    """
+    n = check_positive_int(n, "n")
+    trace = iterate_subtable_recurrence(c, k, r, rounds)
+    return trace.lam_prime[1:, :] * n

@@ -1,0 +1,171 @@
+"""Rounds as a function of the distance to the threshold (Section 7 / Theorem 5).
+
+When the edge density ``c`` sits a distance ``ν = c*_{k,r} − c`` below the
+threshold, the peeling process spends ``Θ(sqrt(1/ν))`` rounds crawling across
+a plateau where ``β_i`` hovers near the critical value ``x*`` before the
+doubly-exponential collapse of Theorem 1 kicks in.  Figure 1 of the paper
+plots exactly this plateau for ``k=2, r=4`` at ``c = 0.77`` and ``c = 0.772``
+(the threshold is ``c*_{2,4} ≈ 0.77228``).
+
+This module exposes the fixed point ``β`` above the threshold, the critical
+point ``x*``, an empirical plateau-length measurement on the idealized
+recurrence, and the ``Θ(sqrt(1/ν))`` prediction it is compared against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.recurrences import iterate_recurrence
+from repro.analysis.thresholds import peeling_threshold, poisson_tail, threshold_minimizer
+from repro.utils.validation import check_positive_float, check_positive_int
+
+__all__ = [
+    "critical_point",
+    "beta_fixed_point",
+    "plateau_length",
+    "gap_rounds_estimate",
+    "GapAnalysis",
+]
+
+
+def critical_point(k: int, r: int) -> float:
+    """The minimizing point ``x*`` of Equation (2.1).
+
+    ``x*`` is the expected number of surviving descendant edges per vertex at
+    the threshold density; Appendix C shows ``x* >= k − 1``.
+    """
+    return threshold_minimizer(k, r)[0]
+
+
+def beta_fixed_point(
+    c: float, k: int, r: int, *, tol: float = 1e-13, max_iter: int = 100_000
+) -> float:
+    """The largest fixed point of the β-recurrence (Equation 4.1).
+
+    Above the threshold this is the positive limit ``β > 0`` the recurrence
+    converges to (the k-core occupies a constant fraction of the graph);
+    below the threshold the only fixed point reached from ``β_0 = rc`` is 0.
+    Computed by direct iteration from ``ρ_0 = 1``, which converges
+    monotonically.
+    """
+    c = check_positive_float(c, "c")
+    k = check_positive_int(k, "k")
+    r = check_positive_int(r, "r")
+    rho = 1.0
+    beta = r * c
+    for _ in range(max_iter):
+        new_beta = (rho ** (r - 1)) * r * c
+        new_rho = poisson_tail(new_beta, k - 1)
+        if abs(new_beta - beta) < tol and abs(new_rho - rho) < tol:
+            return float(new_beta)
+        beta, rho = new_beta, new_rho
+    return float(beta)
+
+
+@dataclass(frozen=True)
+class GapAnalysis:
+    """Result of :func:`plateau_length`.
+
+    Attributes
+    ----------
+    c, k, r:
+        Process parameters.
+    nu:
+        Distance ``c* − c`` to the threshold (positive below the threshold).
+    plateau_rounds:
+        Number of rounds the idealized β-recurrence spends inside the window
+        ``[x* − width, x* + width]`` around the critical point.
+    total_rounds_to_tau:
+        Rounds until ``β_i`` first drops below ``tau``.
+    predicted_scale:
+        ``sqrt(1/ν)`` — Theorem 5 says ``plateau_rounds = Θ(predicted_scale)``.
+    """
+
+    c: float
+    k: int
+    r: int
+    nu: float
+    plateau_rounds: int
+    total_rounds_to_tau: int
+    predicted_scale: float
+
+
+def plateau_length(
+    c: float,
+    k: int,
+    r: int,
+    *,
+    window: float = 0.25,
+    tau: Optional[float] = None,
+    max_rounds: int = 200_000,
+) -> GapAnalysis:
+    """Measure the near-threshold plateau of the idealized β-recurrence.
+
+    Parameters
+    ----------
+    c:
+        Edge density, must be strictly below the threshold ``c*_{k,r}``.
+    window:
+        Half-width (as a fraction of ``x*``) of the plateau window around the
+        critical point ``x*``.
+    tau:
+        β value that marks the start of the doubly-exponential phase; defaults
+        to ``x*/2``.
+    max_rounds:
+        Safety cap on the number of iterated rounds.
+
+    Returns
+    -------
+    GapAnalysis
+    """
+    c = check_positive_float(c, "c")
+    k = check_positive_int(k, "k")
+    r = check_positive_int(r, "r")
+    x_star, c_star = threshold_minimizer(k, r)
+    if c >= c_star:
+        raise ValueError(
+            f"plateau_length requires c < c*_{{{k},{r}}} = {c_star:.6f}, got c={c}"
+        )
+    nu = c_star - c
+    if tau is None:
+        tau = x_star / 2.0
+    trace = iterate_recurrence(c, k, r, max_rounds)
+    beta = trace.beta[1:]
+    lower = x_star * (1.0 - window)
+    upper = x_star * (1.0 + window)
+    in_window = (beta >= lower) & (beta <= upper)
+    plateau_rounds = int(in_window.sum())
+    below_tau = np.flatnonzero(beta < tau)
+    total_rounds = int(below_tau[0]) + 1 if below_tau.size else max_rounds
+    return GapAnalysis(
+        c=c,
+        k=k,
+        r=r,
+        nu=nu,
+        plateau_rounds=plateau_rounds,
+        total_rounds_to_tau=total_rounds,
+        predicted_scale=sqrt(1.0 / nu),
+    )
+
+
+def gap_rounds_estimate(n: int, c: float, k: int, r: int) -> float:
+    """Theorem 5's round estimate ``Θ(sqrt(1/ν)) + log log n / log((k−1)(r−1))``.
+
+    Returns the sum of the two leading terms with unit constants; the
+    experiment harness compares its *scaling* in ``ν`` against the measured
+    plateau, not its absolute value.
+    """
+    from repro.analysis.rounds import rounds_below_threshold  # local import avoids cycle
+
+    n = check_positive_int(n, "n")
+    c = check_positive_float(c, "c")
+    c_star = peeling_threshold(k, r)
+    if c >= c_star:
+        raise ValueError(f"c={c} must be below the threshold {c_star:.6f}")
+    nu = c_star - c
+    return sqrt(1.0 / nu) + rounds_below_threshold(n, k, r)

@@ -1,0 +1,157 @@
+"""The peeling threshold :math:`c^*_{k,r}` (Equation 2.1).
+
+From Molloy's analysis, peeling an r-uniform hypergraph with edge density
+``c`` to an empty k-core succeeds with high probability exactly when
+``c < c*_{k,r}`` where
+
+.. math::
+
+    c^*_{k,r} \\;=\\; \\min_{x > 0}
+        \\frac{x}{r\\,\\bigl(1 - e^{-x} \\sum_{j=0}^{k-2} x^j/j!\\bigr)^{r-1}} .
+
+The special case ``k = r = 2`` is excluded (as in the paper).  The module
+also exposes the Poisson-tail survival update
+
+.. math:: \\rho \\mapsto \\Pr[\\mathrm{Poisson}(\\rho^{r-1} r c) \\ge k-1]
+
+which drives every recurrence in :mod:`repro.analysis.recurrences`.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+from scipy import optimize, special
+
+from repro.utils.validation import check_positive_float, check_positive_int
+
+__all__ = [
+    "poisson_tail",
+    "survival_update",
+    "threshold_objective",
+    "threshold_minimizer",
+    "peeling_threshold",
+]
+
+
+def poisson_tail(mean, threshold: int):
+    """Return ``Pr[Poisson(mean) >= threshold]`` (vectorized in ``mean``).
+
+    Uses the regularized upper incomplete gamma function
+    ``gammaincc(threshold, mean)``, which equals the Poisson upper tail and is
+    numerically stable for tiny and huge means alike.
+
+    Parameters
+    ----------
+    mean:
+        Poisson mean(s), ``>= 0``.
+    threshold:
+        Integer ``t``; the probability that the variable is ``>= t``.
+        For ``t <= 0`` the result is identically 1.
+    """
+    mean_arr = np.asarray(mean, dtype=float)
+    if np.any(mean_arr < 0):
+        raise ValueError("Poisson mean must be non-negative")
+    if threshold <= 0:
+        result = np.ones_like(mean_arr)
+    else:
+        result = special.gammainc(threshold, mean_arr)
+        # gammainc(t, mu) = Pr[Poisson(mu) >= t] for integer t >= 1.
+    if np.isscalar(mean) or np.ndim(mean) == 0:
+        return float(result)
+    return result
+
+
+def survival_update(rho, c: float, k: int, r: int):
+    """One step of the idealized survival recurrence (Equation 3.2).
+
+    ``rho`` is the probability that a child vertex survived the previous
+    round; the returned value is the probability that the parent survives the
+    current round:
+
+    .. math:: \\rho' = \\Pr[\\mathrm{Poisson}(\\rho^{r-1} r c) \\ge k - 1].
+    """
+    c = check_positive_float(c, "c")
+    k = check_positive_int(k, "k")
+    r = check_positive_int(r, "r")
+    rho_arr = np.asarray(rho, dtype=float)
+    beta = np.power(rho_arr, r - 1) * r * c
+    return poisson_tail(beta, k - 1)
+
+
+def threshold_objective(x, c_unused: None = None, *, k: int, r: int):
+    """The function minimized in Equation (2.1), vectorized in ``x``.
+
+    .. math:: F(x) = \\frac{x}{r (1 - e^{-x}\\sum_{j=0}^{k-2} x^j/j!)^{r-1}}
+    """
+    x_arr = np.asarray(x, dtype=float)
+    tail = poisson_tail(x_arr, k - 1)  # 1 - e^{-x} sum_{j<=k-2} x^j/j!
+    with np.errstate(divide="ignore", invalid="ignore"):
+        value = x_arr / (r * np.power(tail, r - 1))
+    value = np.where(tail <= 0, np.inf, value)
+    if np.isscalar(x) or np.ndim(x) == 0:
+        return float(value)
+    return value
+
+
+def _validate_k_r(k: int, r: int) -> Tuple[int, int]:
+    k = check_positive_int(k, "k")
+    r = check_positive_int(r, "r")
+    if k < 2 or r < 2:
+        raise ValueError(f"require k >= 2 and r >= 2, got k={k}, r={r}")
+    if k == 2 and r == 2:
+        raise ValueError(
+            "the case k = r = 2 (2-core of a random graph) is excluded, "
+            "matching the paper"
+        )
+    return k, r
+
+
+@lru_cache(maxsize=256)
+def threshold_minimizer(k: int, r: int) -> Tuple[float, float]:
+    """Return ``(x_star, c_star)`` for Equation (2.1).
+
+    ``x_star`` is the minimizing point — the expected number of surviving
+    descendant edges per vertex exactly at the threshold density — and
+    ``c_star`` is the threshold itself.
+
+    The objective is smooth and unimodal on ``(0, ∞)`` with a unique interior
+    minimum for the admissible ``(k, r)``; the paper's Appendix C shows the
+    minimizer satisfies ``x* >= k - 1``.  We bracket on ``[k-1, k-1+B]`` with
+    an expanding upper bound and refine with bounded scalar minimization.
+    """
+    k, r = _validate_k_r(k, r)
+    lower = max(k - 1.0, 1e-6)
+    upper = max(4.0 * k, 8.0)
+    # Expand the bracket until the objective is increasing at the right edge.
+    for _ in range(64):
+        probe = threshold_objective(np.array([upper * 0.98, upper]), k=k, r=r)
+        if probe[1] > probe[0]:
+            break
+        upper *= 2.0
+    result = optimize.minimize_scalar(
+        lambda x: threshold_objective(x, k=k, r=r),
+        bounds=(lower * 0.5, upper),
+        method="bounded",
+        options={"xatol": 1e-12},
+    )
+    x_star = float(result.x)
+    c_star = float(threshold_objective(x_star, k=k, r=r))
+    return x_star, c_star
+
+
+def peeling_threshold(k: int, r: int) -> float:
+    """The threshold density :math:`c^*_{k,r}` of Equation (2.1).
+
+    Examples (values quoted in Section 2 of the paper):
+
+    >>> round(peeling_threshold(2, 3), 3)
+    0.818
+    >>> round(peeling_threshold(2, 4), 3)
+    0.772
+    >>> round(peeling_threshold(3, 3), 3)
+    1.553
+    """
+    return threshold_minimizer(k, r)[1]

@@ -1,0 +1,53 @@
+"""End-to-end applications built on peeling.
+
+* :class:`~repro.apps.sparse_recovery.SparseRecovery` — recover the survivors
+  of an insert/delete stream from an IBLT sized for the final set.
+* :class:`~repro.apps.set_reconciliation.SetReconciler` — compute the
+  symmetric difference of two remote sets from IBLT difference digests.
+* :class:`~repro.apps.erasure_code.PeelingErasureCode` — fixed-degree XOR
+  erasure code decoded by peeling the 2-core.
+* :class:`~repro.apps.xorsat.XorSatSolver` — random k-XORSAT solved by
+  peeling (the pure literal rule) plus GF(2) elimination on the core.
+"""
+
+from repro.apps.sparse_recovery import (
+    SparseRecovery,
+    SparseRecoveryResult,
+    random_distinct_keys,
+)
+from repro.apps.set_reconciliation import (
+    ReconciliationResult,
+    SetReconciler,
+    random_set_pair,
+)
+from repro.apps.erasure_code import DecodeOutcome, EncodedBlock, PeelingErasureCode
+from repro.apps.xorsat import (
+    XorSatInstance,
+    XorSatSolution,
+    XorSatSolver,
+    random_xorsat,
+)
+from repro.apps.orientation import (
+    MultiChoiceHashTable,
+    OrientationResult,
+    PeelingOrienter,
+)
+
+__all__ = [
+    "SparseRecovery",
+    "SparseRecoveryResult",
+    "random_distinct_keys",
+    "ReconciliationResult",
+    "SetReconciler",
+    "random_set_pair",
+    "DecodeOutcome",
+    "EncodedBlock",
+    "PeelingErasureCode",
+    "XorSatInstance",
+    "XorSatSolution",
+    "XorSatSolver",
+    "random_xorsat",
+    "MultiChoiceHashTable",
+    "OrientationResult",
+    "PeelingOrienter",
+]

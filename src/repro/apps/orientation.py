@@ -1,0 +1,221 @@
+"""Hypergraph orientation / hash-table assignment via peeling (cuckoo-style).
+
+The cuckoo-hashing connection cited in the paper's introduction: hash each of
+``m`` items to ``r`` candidate buckets and ask for an assignment of every
+item to one of its candidates such that no bucket receives more than ``ℓ``
+items.  In hypergraph language this is an *orientation*: point every edge at
+one of its vertices so that in-degrees stay ≤ ℓ.
+
+Peeling gives a simple sufficient condition with an explicit construction:
+if the ``(ℓ+1)``-core of the hypergraph is empty, process the edges in
+**reverse peel order** and assign each edge to the vertex whose sub-threshold
+degree caused its removal.  At the moment that vertex triggered the removal
+it had at most ``ℓ`` incident edges left, all of which are assigned to it at
+the latest now, so its final load is at most ``ℓ``.  Below the threshold
+``c*_{ℓ+1, r}`` this succeeds with high probability, in linear time, and —
+the subject of the paper — in ``O(log log n)`` parallel rounds.
+
+This module implements the assigner on top of the peeling engines and a
+small :class:`MultiChoiceHashTable` convenience wrapper that uses it to build
+a static hash table with worst-case ``O(r)`` lookups and guaranteed bucket
+loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional, Sequence
+
+import numpy as np
+
+from repro.core.peeling import ParallelPeeler, SequentialPeeler
+from repro.core.results import UNPEELED, PeelingResult
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.iblt.hashing import KeyHasher
+from repro.utils.validation import check_nonnegative_int, check_positive_int
+
+__all__ = ["OrientationResult", "PeelingOrienter", "MultiChoiceHashTable"]
+
+
+@dataclass(frozen=True)
+class OrientationResult:
+    """Outcome of :meth:`PeelingOrienter.orient`.
+
+    Attributes
+    ----------
+    success:
+        True when every edge received a vertex and no vertex exceeds the load
+        bound.
+    assignment:
+        ``(m,)`` array; entry ``e`` is the vertex edge ``e`` was assigned to,
+        or ``-1`` for unassigned edges (only when ``success`` is False).
+    loads:
+        ``(n,)`` array of resulting vertex loads.
+    max_load:
+        Maximum entry of ``loads``.
+    rounds:
+        Peeling rounds used (parallel mode) — the parallel construction time.
+    unassigned:
+        Number of edges left unassigned (edges of the non-empty core).
+    """
+
+    success: bool
+    assignment: np.ndarray
+    loads: np.ndarray
+    max_load: int
+    rounds: int
+    unassigned: int
+
+
+class PeelingOrienter:
+    """Assign each edge to one of its vertices with load at most ``max_load``.
+
+    Parameters
+    ----------
+    max_load:
+        Bucket capacity ``ℓ``; the construction peels to the ``(ℓ+1)``-core.
+    mode:
+        ``"parallel"`` (round-synchronous peeling, reports rounds) or
+        ``"sequential"`` (greedy worklist).
+    """
+
+    def __init__(self, max_load: int = 1, *, mode: Literal["parallel", "sequential"] = "parallel") -> None:
+        self.max_load = check_positive_int(max_load, "max_load")
+        if mode not in ("parallel", "sequential"):
+            raise ValueError(f"mode must be 'parallel' or 'sequential', got {mode!r}")
+        self.mode = mode
+
+    def orient(self, graph: Hypergraph) -> OrientationResult:
+        """Orient ``graph``; see :class:`OrientationResult`."""
+        k = self.max_load + 1
+        if self.mode == "parallel":
+            peel = ParallelPeeler(k, track_stats=False).peel(graph)
+            rounds = peel.num_rounds
+        else:
+            peel = SequentialPeeler(k, track_stats=False).peel(graph)
+            rounds = 1
+
+        m = graph.num_edges
+        n = graph.num_vertices
+        assignment = np.full(m, -1, dtype=np.int64)
+        loads = np.zeros(n, dtype=np.int64)
+        edges = graph.edges
+        edge_rounds = peel.edge_peel_round
+        vertex_rounds = peel.vertex_peel_round
+
+        peeled = np.flatnonzero(edge_rounds != UNPEELED)
+        # Assign each peeled edge to the vertex whose removal peeled it: that
+        # vertex had fewer than k = max_load + 1 alive incident edges at the
+        # time, and every one of them is assigned to it (then or earlier), so
+        # its load never exceeds max_load.
+        if peeled.size:
+            members = edges[peeled]                              # (p, r)
+            responsible = vertex_rounds[members] == edge_rounds[peeled, None]
+            # Every peeled edge has at least one responsible endpoint; argmax
+            # picks the first.
+            column = np.argmax(responsible, axis=1)
+            targets = members[np.arange(peeled.size), column]
+            assignment[peeled] = targets
+            np.add.at(loads, targets, 1)
+
+        unassigned = int(m - peeled.size)
+        success = unassigned == 0 and bool((loads <= self.max_load).all())
+        return OrientationResult(
+            success=success,
+            assignment=assignment,
+            loads=loads,
+            max_load=int(loads.max()) if n else 0,
+            rounds=rounds,
+            unassigned=unassigned,
+        )
+
+
+class MultiChoiceHashTable:
+    """A static r-choice hash table built with the peeling orienter.
+
+    Each key hashes to ``r`` candidate buckets (one per subtable, as in the
+    paper's IBLT layout); construction assigns every key to one candidate so
+    that no bucket holds more than ``bucket_capacity`` keys.  Lookup probes
+    the ``r`` candidates — worst-case ``O(r)`` — and membership is exact.
+
+    Parameters
+    ----------
+    num_buckets:
+        Total bucket count (must be divisible by ``r``).
+    r:
+        Number of candidate buckets per key.
+    bucket_capacity:
+        Maximum keys per bucket (``ℓ``); construction succeeds w.h.p. while
+        the load ``num_keys / num_buckets`` stays below ``c*_{ℓ+1, r}``.
+    seed:
+        Hash-family seed.
+    """
+
+    def __init__(
+        self,
+        num_buckets: int,
+        r: int = 3,
+        *,
+        bucket_capacity: int = 1,
+        seed: int = 0,
+    ) -> None:
+        self.num_buckets = check_positive_int(num_buckets, "num_buckets")
+        self.r = check_positive_int(r, "r")
+        self.bucket_capacity = check_positive_int(bucket_capacity, "bucket_capacity")
+        self.hasher = KeyHasher(num_cells=self.num_buckets, r=self.r, layout="subtables", seed=int(seed))
+        self._bucket_keys: Optional[np.ndarray] = None
+        self._bucket_ptr: Optional[np.ndarray] = None
+        self.construction_rounds = 0
+
+    def build(self, keys: Sequence[int] | np.ndarray) -> bool:
+        """Attempt to place ``keys``; returns True on success.
+
+        On failure (the (ℓ+1)-core of the choice hypergraph is non-empty) the
+        table is left unbuilt and ``False`` is returned so the caller can
+        rehash with a different seed or grow the table.
+        """
+        keys_arr = np.atleast_1d(np.asarray(keys, dtype=np.uint64))
+        if (keys_arr == 0).any():
+            raise ValueError("keys must be non-zero")
+        if np.unique(keys_arr).size != keys_arr.size:
+            raise ValueError("keys must be distinct")
+        cells = self.hasher.cell_indices(keys_arr) if keys_arr.size else np.empty((0, self.r), dtype=np.int64)
+        graph = Hypergraph(self.num_buckets, cells, allow_duplicate_vertices=True, validate=False)
+        orienter = PeelingOrienter(self.bucket_capacity, mode="parallel")
+        result = orienter.orient(graph)
+        self.construction_rounds = result.rounds
+        if not result.success:
+            return False
+        # Bucket the keys by their assigned vertex into a CSR layout.
+        order = np.argsort(result.assignment, kind="stable")
+        sorted_buckets = result.assignment[order]
+        sorted_keys = keys_arr[order]
+        counts = np.bincount(sorted_buckets, minlength=self.num_buckets) if keys_arr.size else np.zeros(self.num_buckets, dtype=np.int64)
+        ptr = np.zeros(self.num_buckets + 1, dtype=np.int64)
+        np.cumsum(counts, out=ptr[1:])
+        self._bucket_keys = sorted_keys
+        self._bucket_ptr = ptr
+        return True
+
+    @property
+    def is_built(self) -> bool:
+        """True once :meth:`build` has succeeded."""
+        return self._bucket_keys is not None
+
+    def __contains__(self, key: int) -> bool:
+        if not self.is_built:
+            raise RuntimeError("table has not been built; call build() first")
+        assert self._bucket_keys is not None and self._bucket_ptr is not None
+        key_u = np.uint64(key)
+        for bucket in self.hasher.cell_indices(key_u):
+            start, stop = self._bucket_ptr[bucket], self._bucket_ptr[bucket + 1]
+            if (self._bucket_keys[start:stop] == key_u).any():
+                return True
+        return False
+
+    def bucket_loads(self) -> np.ndarray:
+        """Per-bucket key counts of the built table."""
+        if not self.is_built:
+            raise RuntimeError("table has not been built; call build() first")
+        assert self._bucket_ptr is not None
+        return np.diff(self._bucket_ptr)

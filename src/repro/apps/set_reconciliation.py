@@ -1,0 +1,155 @@
+"""Set reconciliation with IBLT difference digests (Eppstein et al. style).
+
+Two parties hold sets ``A`` and ``B`` that differ in only ``d`` elements.
+Each builds an IBLT of size ``O(d)`` over its own set with a shared hash
+family; one party ships its table to the other, who computes the cell-wise
+difference and lists it.  Keys recovered with positive sign are in ``A\\B``,
+keys recovered with negative sign are in ``B\\A``.  The listing step is the
+signed peeling process, so everything the paper proves about parallel peeling
+rounds applies to reconciliation latency as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.iblt.iblt import IBLT
+from repro.iblt.parallel_decode import SubtableParallelDecoder
+from repro.utils.rng import SeedLike, resolve_rng
+from repro.utils.validation import check_nonnegative_int, check_positive_int
+
+__all__ = ["ReconciliationResult", "SetReconciler", "random_set_pair"]
+
+
+def random_set_pair(
+    common: int,
+    only_a: int,
+    only_b: int,
+    *,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate two overlapping key sets with the requested difference sizes.
+
+    Returns
+    -------
+    (a, b):
+        Arrays of distinct uint64 keys with ``|a ∩ b| = common``,
+        ``|a \\ b| = only_a`` and ``|b \\ a| = only_b``.
+    """
+    from repro.apps.sparse_recovery import random_distinct_keys
+
+    common = check_nonnegative_int(common, "common")
+    only_a = check_nonnegative_int(only_a, "only_a")
+    only_b = check_nonnegative_int(only_b, "only_b")
+    keys = random_distinct_keys(common + only_a + only_b, seed)
+    shared = keys[:common]
+    a_only = keys[common: common + only_a]
+    b_only = keys[common + only_a:]
+    return np.concatenate([shared, a_only]), np.concatenate([shared, b_only])
+
+
+@dataclass(frozen=True)
+class ReconciliationResult:
+    """Outcome of a set-reconciliation round trip.
+
+    Attributes
+    ----------
+    a_minus_b, b_minus_a:
+        Recovered difference sets.
+    success:
+        True when both recovered differences match the ground truth exactly
+        (or, when no ground truth was supplied, when the difference digest
+        decoded completely).
+    rounds, subrounds:
+        Decoder rounds (latency proxy).
+    bytes_exchanged:
+        Size of the transmitted digest in bytes (3 fields × 8 bytes × cells),
+        the communication cost reconciliation is designed to minimize.
+    """
+
+    a_minus_b: np.ndarray
+    b_minus_a: np.ndarray
+    success: bool
+    rounds: int
+    subrounds: int
+    bytes_exchanged: int
+
+
+class SetReconciler:
+    """Reconcile two key sets through IBLT difference digests.
+
+    Parameters
+    ----------
+    num_cells:
+        Digest size; must comfortably exceed the expected difference ``d``
+        divided by the peeling threshold (≈ ``1.3 d`` for r=3, k=2).
+    r:
+        Hash functions per key.
+    seed:
+        Shared hash-family seed (both parties must agree on it).
+    """
+
+    def __init__(self, num_cells: int, r: int = 3, *, seed: int = 0) -> None:
+        self.num_cells = check_positive_int(num_cells, "num_cells")
+        self.r = check_positive_int(r, "r")
+        self.seed = int(seed)
+
+    def digest(self, keys: Sequence[int] | np.ndarray) -> IBLT:
+        """Build this party's IBLT digest of ``keys``."""
+        table = IBLT(self.num_cells, self.r, layout="subtables", seed=self.seed)
+        arr = np.asarray(keys, dtype=np.uint64)
+        if arr.size:
+            table.insert(arr)
+        return table
+
+    def reconcile(
+        self,
+        set_a: Sequence[int] | np.ndarray,
+        set_b: Sequence[int] | np.ndarray,
+        *,
+        decoder: Literal["serial", "parallel"] = "parallel",
+    ) -> ReconciliationResult:
+        """Full round trip: digest both sets, subtract, decode, verify.
+
+        The ground-truth difference is computed locally (we hold both sets in
+        this simulation) purely to grade the result.
+        """
+        a = np.asarray(set_a, dtype=np.uint64)
+        b = np.asarray(set_b, dtype=np.uint64)
+        digest_a = self.digest(a)
+        digest_b = self.digest(b)
+        difference = digest_a.subtract(digest_b)
+
+        if decoder == "serial":
+            outcome = difference.decode()
+            recovered_pos, recovered_neg = outcome.recovered, outcome.removed
+            rounds, subrounds = outcome.rounds, outcome.subrounds
+            decoded_ok = outcome.success
+        elif decoder == "parallel":
+            presult = SubtableParallelDecoder().decode(difference)
+            recovered_pos, recovered_neg = presult.recovered, presult.removed
+            rounds, subrounds = presult.rounds, presult.subrounds
+            decoded_ok = presult.success
+        else:
+            raise ValueError(f"unknown decoder {decoder!r}")
+
+        truth_a_minus_b: Set[int] = set(map(int, a)) - set(map(int, b))
+        truth_b_minus_a: Set[int] = set(map(int, b)) - set(map(int, a))
+        got_a_minus_b = set(map(int, recovered_pos))
+        got_b_minus_a = set(map(int, recovered_neg))
+        success = (
+            decoded_ok
+            and got_a_minus_b == truth_a_minus_b
+            and got_b_minus_a == truth_b_minus_a
+        )
+        return ReconciliationResult(
+            a_minus_b=recovered_pos,
+            b_minus_a=recovered_neg,
+            success=success,
+            rounds=rounds,
+            subrounds=subrounds,
+            bytes_exchanged=3 * 8 * self.num_cells,
+        )

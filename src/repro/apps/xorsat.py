@@ -1,0 +1,320 @@
+"""Random k-XORSAT solved by peeling plus Gaussian elimination (intro application).
+
+A k-XORSAT instance is a system of linear equations over GF(2): each equation
+XORs ``k`` distinct variables and equals a parity bit.  The classical solver
+(Molloy's "pure literal rule" analysis is the basis of the paper's Section 2)
+peels variables of degree 1 — a variable appearing in a single equation can
+always be set to satisfy that equation once the rest is solved — and what
+remains is exactly the 2-core of the hypergraph whose vertices are variables
+and whose edges are equations.  Below the threshold ``c*_{2,k}`` the core is
+empty and peeling alone solves the instance in linear time (and
+``O(log log n)`` parallel rounds); above it the residual core must be solved
+by Gaussian elimination (or declared unsatisfiable).
+
+This module implements the full pipeline:
+
+* :func:`random_xorsat` — draw a random instance with a planted solution
+  (always satisfiable) or with uniform parities;
+* :class:`XorSatSolver` — peel (sequentially or in parallel rounds), solve
+  the core with dense GF(2) elimination, back-substitute in reverse peel
+  order, and report which phase did the work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional, Tuple
+
+import numpy as np
+
+from repro.core.peeling import ParallelPeeler, SequentialPeeler
+from repro.core.results import UNPEELED
+from repro.hypergraph.generators import random_hypergraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.utils.rng import SeedLike, resolve_rng
+from repro.utils.validation import check_nonnegative_int, check_positive_int
+
+__all__ = ["XorSatInstance", "XorSatSolution", "random_xorsat", "XorSatSolver"]
+
+
+@dataclass(frozen=True)
+class XorSatInstance:
+    """A k-XORSAT instance.
+
+    Attributes
+    ----------
+    num_variables:
+        Number of variables ``n``.
+    clauses:
+        ``(m, k)`` array; row ``i`` lists the variables of equation ``i``.
+    parities:
+        ``(m,)`` array of 0/1 right-hand sides.
+    planted:
+        The planted solution used to generate the parities, if any.
+    """
+
+    num_variables: int
+    clauses: np.ndarray
+    parities: np.ndarray
+    planted: Optional[np.ndarray] = None
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of equations ``m``."""
+        return int(self.clauses.shape[0])
+
+    @property
+    def clause_size(self) -> int:
+        """Variables per equation ``k``."""
+        return int(self.clauses.shape[1]) if self.num_clauses else 0
+
+    @property
+    def density(self) -> float:
+        """Equations per variable (the edge density of the induced hypergraph)."""
+        return self.num_clauses / self.num_variables if self.num_variables else 0.0
+
+    def to_hypergraph(self) -> Hypergraph:
+        """The hypergraph whose vertices are variables and edges are equations."""
+        return Hypergraph(self.num_variables, self.clauses, validate=False,
+                          allow_duplicate_vertices=True)
+
+    def check(self, assignment: np.ndarray) -> bool:
+        """True when ``assignment`` (0/1 per variable) satisfies every equation."""
+        values = np.asarray(assignment, dtype=np.uint8)
+        if values.shape != (self.num_variables,):
+            raise ValueError(
+                f"assignment must have shape ({self.num_variables},), got {values.shape}"
+            )
+        if self.num_clauses == 0:
+            return True
+        lhs = values[self.clauses].sum(axis=1) % 2
+        return bool((lhs == self.parities).all())
+
+
+def random_xorsat(
+    num_variables: int,
+    density: float,
+    clause_size: int = 3,
+    *,
+    planted: bool = True,
+    seed: SeedLike = None,
+) -> XorSatInstance:
+    """Draw a random k-XORSAT instance.
+
+    Parameters
+    ----------
+    num_variables:
+        Number of variables ``n``.
+    density:
+        Equations per variable ``c`` (``round(c*n)`` equations are drawn).
+    clause_size:
+        Variables per equation ``k`` (the hypergraph edge size ``r``).
+    planted:
+        If True (default) parities are generated from a random planted
+        assignment, so the instance is satisfiable by construction; if False
+        parities are uniform random bits (above the satisfiability threshold
+        such instances are typically unsatisfiable).
+    seed:
+        RNG seed.
+    """
+    num_variables = check_positive_int(num_variables, "num_variables")
+    clause_size = check_positive_int(clause_size, "clause_size")
+    rng = resolve_rng(seed)
+    graph = random_hypergraph(num_variables, density, clause_size, seed=rng)
+    clauses = np.asarray(graph.edges)
+    if planted:
+        assignment = rng.integers(0, 2, size=num_variables, dtype=np.uint8)
+        parities = (
+            assignment[clauses].sum(axis=1) % 2 if clauses.size else np.zeros(0, dtype=np.uint8)
+        ).astype(np.uint8)
+        return XorSatInstance(num_variables, clauses, parities, planted=assignment)
+    parities = rng.integers(0, 2, size=clauses.shape[0], dtype=np.uint8)
+    return XorSatInstance(num_variables, clauses, parities, planted=None)
+
+
+@dataclass(frozen=True)
+class XorSatSolution:
+    """Result of :meth:`XorSatSolver.solve`.
+
+    Attributes
+    ----------
+    satisfiable:
+        Whether a satisfying assignment was found.
+    assignment:
+        A satisfying 0/1 assignment when ``satisfiable`` (otherwise the
+        partial assignment reached before inconsistency was detected).
+    peeled_clauses:
+        Number of equations eliminated by peeling.
+    core_clauses:
+        Number of equations left to Gaussian elimination (the 2-core size).
+    peeling_rounds:
+        Parallel peeling rounds used (1 when the sequential peeler ran).
+    elimination_rank:
+        Rank of the core system found by Gaussian elimination.
+    """
+
+    satisfiable: bool
+    assignment: np.ndarray
+    peeled_clauses: int
+    core_clauses: int
+    peeling_rounds: int
+    elimination_rank: int
+
+
+class XorSatSolver:
+    """Peeling + GF(2) elimination solver for k-XORSAT.
+
+    Parameters
+    ----------
+    mode:
+        ``"parallel"`` uses the round-synchronous peeler (and reports its
+        round count); ``"sequential"`` uses the greedy worklist peeler.
+    """
+
+    def __init__(self, mode: Literal["parallel", "sequential"] = "parallel") -> None:
+        if mode not in ("parallel", "sequential"):
+            raise ValueError(f"mode must be 'parallel' or 'sequential', got {mode!r}")
+        self.mode = mode
+
+    # ------------------------------------------------------------------ #
+    def solve(self, instance: XorSatInstance) -> XorSatSolution:
+        """Solve ``instance``; see :class:`XorSatSolution` for the fields."""
+        n = instance.num_variables
+        clauses = instance.clauses
+        parities = instance.parities.astype(np.uint8).copy()
+        graph = instance.to_hypergraph()
+
+        if self.mode == "parallel":
+            peel = ParallelPeeler(2, track_stats=False).peel(graph)
+            rounds = peel.num_rounds
+        else:
+            peel = SequentialPeeler(2, track_stats=False).peel(graph)
+            rounds = 1
+
+        core_mask = peel.core_edge_mask
+        peeled_mask = ~core_mask
+        assignment = np.zeros(n, dtype=np.uint8)
+        assigned = np.zeros(n, dtype=bool)
+
+        # 1. Solve the 2-core by dense GF(2) elimination (it is tiny below
+        #    the threshold — usually empty — and a constant fraction above).
+        core_clause_idx = np.flatnonzero(core_mask)
+        rank = 0
+        consistent = True
+        if core_clause_idx.size:
+            core_vars = np.unique(clauses[core_clause_idx].reshape(-1))
+            var_col = {int(v): i for i, v in enumerate(core_vars)}
+            rows = np.zeros((core_clause_idx.size, core_vars.size + 1), dtype=np.uint8)
+            for row, clause_id in enumerate(core_clause_idx):
+                for v in clauses[clause_id]:
+                    rows[row, var_col[int(v)]] ^= 1
+                rows[row, -1] = parities[clause_id]
+            solved, rank, solution = _gf2_solve(rows)
+            consistent = solved
+            if solved:
+                assignment[core_vars] = solution
+                assigned[core_vars] = True
+
+        # 2. Back-substitute the peeled equations in reverse peel order.  Each
+        #    peeled equation has a "responsible" (pivot) variable — the vertex
+        #    whose sub-k degree caused the removal — which appears in no
+        #    later-peeled equation and not in the core, so by the time the
+        #    equation is processed every *other* variable already has its
+        #    final value (later pivots are set, core variables are set, and
+        #    never-pivot variables stay 0), and setting the pivot satisfies
+        #    the equation without disturbing anything processed earlier.
+        if consistent and peeled_mask.any():
+            order = self._peel_order(peel, peeled_mask)
+            edge_rounds = peel.edge_peel_round
+            vertex_rounds = peel.vertex_peel_round
+            for clause_id in reversed(order):
+                members = clauses[clause_id]
+                pivot = None
+                for v in members:
+                    v = int(v)
+                    if vertex_rounds[v] == edge_rounds[clause_id] and not assigned[v]:
+                        pivot = v
+                        break
+                parity = int(parities[clause_id])
+                parity ^= int(assignment[members].sum() % 2)
+                if pivot is None:
+                    # Cannot happen for a genuinely peeled equation; guard for
+                    # duplicate-endpoint corner cases by falling back to any
+                    # unassigned variable, or detecting inconsistency.
+                    free = [int(v) for v in members if not assigned[v]]
+                    if free:
+                        pivot = free[0]
+                    elif parity != 0:
+                        consistent = False
+                        break
+                    else:
+                        continue
+                assignment[pivot] = parity
+                assigned[pivot] = True
+
+        satisfiable = consistent and instance.check(assignment)
+        return XorSatSolution(
+            satisfiable=satisfiable,
+            assignment=assignment,
+            peeled_clauses=int(peeled_mask.sum()),
+            core_clauses=int(core_mask.sum()),
+            peeling_rounds=rounds,
+            elimination_rank=rank,
+        )
+
+    @staticmethod
+    def _peel_order(peel, peeled_mask: np.ndarray) -> np.ndarray:
+        """Clause indices in (an order consistent with) the peeling order."""
+        if peel.peel_order.size:
+            return peel.peel_order
+        # Parallel peeler: order by peel round; ties are independent of each
+        # other (they were peeled simultaneously), so any order within a
+        # round is valid.
+        peeled = np.flatnonzero(peeled_mask)
+        rounds = peel.edge_peel_round[peeled]
+        return peeled[np.argsort(rounds, kind="stable")]
+
+
+def _gf2_solve(rows: np.ndarray) -> Tuple[bool, int, np.ndarray]:
+    """Solve an augmented GF(2) system ``[A | b]`` by Gaussian elimination.
+
+    Returns ``(consistent, rank, solution)`` where ``solution`` sets free
+    variables to 0.
+    """
+    system = rows.astype(np.uint8).copy()
+    num_rows, width = system.shape
+    num_vars = width - 1
+    pivot_cols = []
+    row = 0
+    for col in range(num_vars):
+        pivot = None
+        for candidate in range(row, num_rows):
+            if system[candidate, col]:
+                pivot = candidate
+                break
+        if pivot is None:
+            continue
+        system[[row, pivot]] = system[[pivot, row]]
+        mask = system[:, col].astype(bool)
+        mask[row] = False
+        system[mask] ^= system[row]
+        pivot_cols.append(col)
+        row += 1
+        if row == num_rows:
+            break
+    rank = row
+    # Inconsistent iff a zero row has parity 1.
+    inconsistent = bool((system[rank:, :-1].sum(axis=1) == 0).any() and
+                        (system[rank:, -1] == 1).any())
+    if inconsistent:
+        # Pinpoint precisely: a row that is all-zero on the left with rhs 1.
+        lhs_zero = (system[rank:, :-1] == 0).all(axis=1)
+        inconsistent = bool((system[rank:, -1][lhs_zero] == 1).any())
+    solution = np.zeros(num_vars, dtype=np.uint8)
+    if not inconsistent:
+        for i in reversed(range(rank)):
+            col = pivot_cols[i]
+            acc = int(system[i, -1])
+            acc ^= int((system[i, col + 1: num_vars] & solution[col + 1:]).sum() % 2)
+            solution[col] = acc
+    return (not inconsistent), rank, solution

@@ -1,0 +1,206 @@
+"""Command-line interface: reproduce any table or figure from a terminal.
+
+Examples
+--------
+::
+
+    python -m repro table1 --sizes 10000 20000 --densities 0.7 0.85 --trials 10
+    python -m repro table2 --n 100000 --c 0.7
+    python -m repro table3            # IBLT, r=3
+    python -m repro table4            # IBLT, r=4
+    python -m repro table5
+    python -m repro table6
+    python -m repro figure1
+    python -m repro thresholds --k 2 --r 4
+    python -m repro peel --n 100000 --c 0.7 --r 4 --k 2
+
+Every sub-command prints the same layout the paper's tables use; the
+defaults are the scaled-down settings documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis import peeling_threshold
+from repro.analysis.rounds import predict_rounds
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the evaluation of 'Parallel Peeling Algorithms' (SPAA 2014).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t1 = sub.add_parser("table1", help="parallel peeling failures and rounds vs n")
+    t1.add_argument("--sizes", type=int, nargs="+", default=[10_000, 20_000, 40_000])
+    t1.add_argument("--densities", type=float, nargs="+", default=[0.7, 0.75, 0.8, 0.85])
+    t1.add_argument("--trials", type=int, default=10)
+    t1.add_argument("--r", type=int, default=4)
+    t1.add_argument("--k", type=int, default=2)
+    t1.add_argument("--seed", type=int, default=1)
+
+    t2 = sub.add_parser("table2", help="recurrence prediction vs experiment")
+    t2.add_argument("--n", type=int, default=100_000)
+    t2.add_argument("--c", type=float, default=0.7)
+    t2.add_argument("--rounds", type=int, default=16)
+    t2.add_argument("--trials", type=int, default=5)
+    t2.add_argument("--seed", type=int, default=1)
+
+    for name, default_r in (("table3", 3), ("table4", 4)):
+        t = sub.add_parser(name, help=f"IBLT recovery/insertion with r={default_r}")
+        t.add_argument("--num-cells", type=int, default=30_000)
+        t.add_argument("--loads", type=float, nargs="+", default=[0.75, 0.83])
+        t.add_argument("--threads", type=int, default=4096)
+        t.add_argument("--seed", type=int, default=1)
+        t.set_defaults(iblt_r=default_r)
+
+    t5 = sub.add_parser("table5", help="subtable peeling subrounds vs n")
+    t5.add_argument("--sizes", type=int, nargs="+", default=[10_000, 20_000, 40_000])
+    t5.add_argument("--densities", type=float, nargs="+", default=[0.7, 0.75])
+    t5.add_argument("--trials", type=int, default=10)
+    t5.add_argument("--seed", type=int, default=1)
+
+    t6 = sub.add_parser("table6", help="subtable recurrence vs experiment")
+    t6.add_argument("--n", type=int, default=100_000)
+    t6.add_argument("--c", type=float, default=0.7)
+    t6.add_argument("--rounds", type=int, default=7)
+    t6.add_argument("--trials", type=int, default=5)
+    t6.add_argument("--seed", type=int, default=1)
+
+    f1 = sub.add_parser("figure1", help="beta evolution near the threshold")
+    f1.add_argument("--densities", type=float, nargs="+", default=[0.77, 0.772])
+    f1.add_argument("--k", type=int, default=2)
+    f1.add_argument("--r", type=int, default=4)
+
+    th = sub.add_parser("thresholds", help="print c*_{k,r} and round predictions")
+    th.add_argument("--k", type=int, default=2)
+    th.add_argument("--r", type=int, default=4)
+    th.add_argument("--n", type=int, default=1_000_000)
+
+    peel = sub.add_parser("peel", help="peel one random hypergraph and report rounds")
+    peel.add_argument("--n", type=int, default=100_000)
+    peel.add_argument("--c", type=float, default=0.7)
+    peel.add_argument("--r", type=int, default=4)
+    peel.add_argument("--k", type=int, default=2)
+    peel.add_argument("--mode", choices=["parallel", "sequential", "subtable"], default="parallel")
+    peel.add_argument("--seed", type=int, default=1)
+
+    return parser
+
+
+def _run_table1(args) -> str:
+    from repro.experiments import format_table1, run_table1
+
+    rows = run_table1(
+        sizes=args.sizes, densities=args.densities, r=args.r, k=args.k,
+        trials=args.trials, seed=args.seed,
+    )
+    return format_table1(rows)
+
+
+def _run_table2(args) -> str:
+    from repro.experiments import format_table2, run_table2
+
+    rows = run_table2(n=args.n, c=args.c, rounds=args.rounds, trials=args.trials, seed=args.seed)
+    return format_table2(rows, c=args.c)
+
+
+def _run_table34(args) -> str:
+    from repro.experiments import format_table34, run_table34
+    from repro.parallel import ParallelMachine
+
+    rows = run_table34(
+        args.iblt_r,
+        loads=tuple(args.loads),
+        num_cells=args.num_cells,
+        machine=ParallelMachine(num_threads=args.threads),
+        seed=args.seed,
+    )
+    return format_table34(rows)
+
+
+def _run_table5(args) -> str:
+    from repro.experiments import format_table5, run_table5
+
+    rows = run_table5(
+        sizes=args.sizes, densities=args.densities, trials=args.trials, seed=args.seed
+    )
+    return format_table5(rows)
+
+
+def _run_table6(args) -> str:
+    from repro.experiments import format_table6, run_table6
+
+    rows = run_table6(n=args.n, c=args.c, rounds=args.rounds, trials=args.trials, seed=args.seed)
+    return format_table6(rows, c=args.c)
+
+
+def _run_figure1(args) -> str:
+    from repro.experiments import format_figure1, run_figure1
+
+    series = run_figure1(tuple(args.densities), k=args.k, r=args.r)
+    return format_figure1(series, k=args.k, r=args.r)
+
+
+def _run_thresholds(args) -> str:
+    c_star = peeling_threshold(args.k, args.r)
+    lines = [f"c*_{{{args.k},{args.r}}} = {c_star:.6f}"]
+    for c in (0.9 * c_star, 0.99 * c_star, 1.01 * c_star, 1.1 * c_star):
+        prediction = predict_rounds(args.n, c, args.k, args.r)
+        lines.append(
+            f"  c = {c:.4f} ({prediction.regime:>8}): predicted rounds at n={args.n}: "
+            f"{prediction.rounds:.0f}"
+        )
+    return "\n".join(lines)
+
+
+def _run_peel(args) -> str:
+    from repro.core import peel_to_kcore
+    from repro.hypergraph import partitioned_hypergraph, random_hypergraph
+
+    if args.mode == "subtable":
+        n = args.n + (-args.n) % args.r
+        graph = partitioned_hypergraph(n, args.c, args.r, seed=args.seed)
+    else:
+        graph = random_hypergraph(args.n, args.c, args.r, seed=args.seed)
+    result = peel_to_kcore(graph, args.k, mode=args.mode)
+    lines = [result.summary()]
+    prediction = predict_rounds(graph.num_vertices, args.c, args.k, args.r)
+    lines.append(
+        f"recurrence prediction: {prediction.rounds:.0f} rounds ({prediction.regime} threshold "
+        f"c* = {prediction.threshold:.4f})"
+    )
+    return "\n".join(lines)
+
+
+_DISPATCH = {
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "table3": _run_table34,
+    "table4": _run_table34,
+    "table5": _run_table5,
+    "table6": _run_table6,
+    "figure1": _run_figure1,
+    "thresholds": _run_thresholds,
+    "peel": _run_peel,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    output = _DISPATCH[args.command](args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

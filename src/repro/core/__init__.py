@@ -1,0 +1,25 @@
+"""Peeling engines — the paper's primary contribution.
+
+* :class:`~repro.core.peeling.ParallelPeeler` — round-synchronous parallel
+  peeling (Sections 3–4): each round removes every vertex of degree ``< k``.
+* :class:`~repro.core.peeling.SequentialPeeler` — the classical greedy
+  one-at-a-time baseline.
+* :class:`~repro.core.subtable.SubtablePeeler` — the Appendix B variant used
+  by the GPU IBLT implementation: ``r`` serial subrounds per round, one per
+  subtable.
+* :func:`~repro.core.peeling.peel_to_kcore` — convenience front door.
+"""
+
+from repro.core.peeling import ParallelPeeler, SequentialPeeler, peel_to_kcore
+from repro.core.subtable import SubtablePeeler
+from repro.core.results import PeelingResult, RoundStats, UNPEELED
+
+__all__ = [
+    "ParallelPeeler",
+    "SequentialPeeler",
+    "SubtablePeeler",
+    "peel_to_kcore",
+    "PeelingResult",
+    "RoundStats",
+    "UNPEELED",
+]

@@ -1,0 +1,281 @@
+"""Sequential and round-synchronous parallel peeling engines.
+
+The peeling process repeatedly removes vertices with degree less than ``k``
+together with their incident edges; what remains is the k-core.  The paper's
+subject is the *parallel* (round-synchronous) schedule: in each round every
+vertex of degree ``< k`` is removed simultaneously.  Both schedules reach the
+same k-core (it is order-independent); they differ only in round structure
+and work, which is exactly what the experiments measure.
+
+Implementation notes
+--------------------
+Both engines work on NumPy arrays: the ``(m, r)`` edge array plus live masks
+and a degree vector.  The parallel engine's inner loop is fully vectorized
+(boolean masks and ``np.subtract.at`` scatter updates), which is the
+idiomatic pure-Python path to competitive throughput.  The sequential engine
+keeps an explicit worklist and removes one vertex at a time, giving the
+linear-time baseline the paper's serial implementation corresponds to.
+"""
+
+from __future__ import annotations
+
+from typing import List, Literal, Optional
+
+import numpy as np
+
+from repro.core.results import UNPEELED, PeelingResult, RoundStats
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ParallelPeeler", "SequentialPeeler", "peel_to_kcore"]
+
+UpdateMode = Literal["full", "frontier"]
+
+
+class ParallelPeeler:
+    """Round-synchronous parallel peeling (the process analyzed in Section 3).
+
+    Parameters
+    ----------
+    k:
+        Degree threshold; vertices of degree ``< k`` are removed each round.
+    update:
+        ``"full"`` re-examines every live vertex each round (this is what the
+        paper's GPU implementation does — one thread per cell per round);
+        ``"frontier"`` only re-examines vertices that lost an incident edge
+        in the previous round.  Both produce identical results; they differ
+        only in the recorded *work* (used by the cost model and the
+        work-ablation benchmark).
+    max_rounds:
+        Safety cap on the number of rounds (defaults to ``4 * n + 16`` at run
+        time, far above the theoretical maximum).
+    track_stats:
+        Record per-round :class:`~repro.core.results.RoundStats` (default
+        True; disable for the tightest inner-loop benchmarks).
+    """
+
+    def __init__(
+        self,
+        k: int,
+        *,
+        update: UpdateMode = "full",
+        max_rounds: Optional[int] = None,
+        track_stats: bool = True,
+    ) -> None:
+        self.k = check_positive_int(k, "k")
+        if update not in ("full", "frontier"):
+            raise ValueError(f"update must be 'full' or 'frontier', got {update!r}")
+        self.update: UpdateMode = update
+        if max_rounds is not None:
+            max_rounds = check_positive_int(max_rounds, "max_rounds")
+        self.max_rounds = max_rounds
+        self.track_stats = bool(track_stats)
+
+    def peel(self, graph: Hypergraph) -> PeelingResult:
+        """Run the parallel peeling process on ``graph``.
+
+        Returns
+        -------
+        PeelingResult
+            ``num_rounds`` counts rounds that removed at least one vertex,
+            matching the "Rounds" column of Table 1.
+        """
+        k = self.k
+        n = graph.num_vertices
+        m = graph.num_edges
+        edges = graph.edges
+        degrees = graph.degrees()
+        vertex_alive = np.ones(n, dtype=bool)
+        edge_alive = np.ones(m, dtype=bool)
+        vertex_peel_round = np.full(n, UNPEELED, dtype=np.int64)
+        edge_peel_round = np.full(m, UNPEELED, dtype=np.int64)
+        stats: List[RoundStats] = []
+
+        limit = self.max_rounds if self.max_rounds is not None else 4 * max(n, 1) + 16
+        # Frontier mode starts by examining everything once.
+        candidates = np.arange(n, dtype=np.int64)
+        rounds = 0
+        vertices_remaining = n
+        edges_remaining = m
+
+        for round_index in range(1, limit + 1):
+            if self.update == "full":
+                examined = int(vertex_alive.sum())
+                removable_mask = vertex_alive & (degrees < k)
+                removable = np.flatnonzero(removable_mask)
+            else:
+                if candidates.size:
+                    cand = candidates[vertex_alive[candidates]]
+                else:
+                    cand = candidates
+                examined = int(cand.size)
+                removable = cand[degrees[cand] < k]
+                removable_mask = np.zeros(n, dtype=bool)
+                removable_mask[removable] = True
+
+            if removable.size == 0:
+                break
+            rounds = round_index
+            vertex_alive[removable] = False
+            vertex_peel_round[removable] = round_index
+            vertices_remaining -= int(removable.size)
+
+            if m > 0:
+                dying_mask = edge_alive & removable_mask[edges].any(axis=1)
+                dying = np.flatnonzero(dying_mask)
+            else:
+                dying = np.empty(0, dtype=np.int64)
+            touched: np.ndarray
+            if dying.size:
+                edge_alive[dying] = False
+                edge_peel_round[dying] = round_index
+                edges_remaining -= int(dying.size)
+                endpoints = edges[dying].reshape(-1)
+                np.subtract.at(degrees, endpoints, 1)
+                touched = np.unique(endpoints)
+            else:
+                touched = np.empty(0, dtype=np.int64)
+
+            if self.update == "frontier":
+                candidates = touched[vertex_alive[touched]] if touched.size else touched
+
+            if self.track_stats:
+                stats.append(
+                    RoundStats(
+                        round_index=round_index,
+                        vertices_peeled=int(removable.size),
+                        edges_peeled=int(dying.size),
+                        vertices_remaining=vertices_remaining,
+                        edges_remaining=edges_remaining,
+                        work=examined,
+                    )
+                )
+        else:  # pragma: no cover - loop exhausted without fixed point
+            raise RuntimeError(
+                f"parallel peeling did not reach a fixed point within {limit} rounds"
+            )
+
+        return PeelingResult(
+            k=k,
+            mode="parallel",
+            num_rounds=rounds,
+            num_subrounds=rounds,
+            success=edges_remaining == 0,
+            vertex_peel_round=vertex_peel_round,
+            edge_peel_round=edge_peel_round,
+            round_stats=stats,
+        )
+
+
+class SequentialPeeler:
+    """Greedy one-vertex-at-a-time peeling (the serial baseline).
+
+    This is the classical linear-time algorithm: keep a worklist of vertices
+    with degree ``< k``; repeatedly pop one, remove it and its incident
+    edges, and push any neighbour whose degree drops below ``k``.  It reaches
+    the same k-core as :class:`ParallelPeeler` but its "rounds" have no
+    meaning — instead it reports the order in which edges were peeled, which
+    the IBLT and erasure-code decoders rely on.
+    """
+
+    def __init__(self, k: int, *, track_stats: bool = True) -> None:
+        self.k = check_positive_int(k, "k")
+        self.track_stats = bool(track_stats)
+
+    def peel(self, graph: Hypergraph) -> PeelingResult:
+        """Run sequential peeling on ``graph``."""
+        k = self.k
+        n = graph.num_vertices
+        m = graph.num_edges
+        edges = graph.edges
+        incidence_ptr = graph.incidence_ptr
+        incidence_edges = graph.incidence_edges
+        degrees = graph.degrees()
+        vertex_alive = np.ones(n, dtype=bool)
+        edge_alive = np.ones(m, dtype=bool)
+        vertex_peel_round = np.full(n, UNPEELED, dtype=np.int64)
+        edge_peel_round = np.full(m, UNPEELED, dtype=np.int64)
+        peel_order: List[int] = []
+        work = 0
+
+        # Initial worklist: every vertex currently below the threshold.
+        worklist = list(np.flatnonzero(degrees < k))
+        step = 0
+        while worklist:
+            v = int(worklist.pop())
+            work += 1
+            if not vertex_alive[v] or degrees[v] >= k:
+                continue
+            step += 1
+            vertex_alive[v] = False
+            vertex_peel_round[v] = step
+            for e in incidence_edges[incidence_ptr[v]: incidence_ptr[v + 1]]:
+                e = int(e)
+                if not edge_alive[e]:
+                    continue
+                edge_alive[e] = False
+                edge_peel_round[e] = step
+                peel_order.append(e)
+                for u in edges[e]:
+                    u = int(u)
+                    degrees[u] -= 1
+                    if vertex_alive[u] and degrees[u] < k:
+                        worklist.append(u)
+
+        edges_remaining = int(edge_alive.sum())
+        stats: List[RoundStats] = []
+        if self.track_stats:
+            stats.append(
+                RoundStats(
+                    round_index=1,
+                    vertices_peeled=int((~vertex_alive).sum()),
+                    edges_peeled=m - edges_remaining,
+                    vertices_remaining=int(vertex_alive.sum()),
+                    edges_remaining=edges_remaining,
+                    work=work,
+                )
+            )
+        return PeelingResult(
+            k=k,
+            mode="sequential",
+            num_rounds=step and 1 or 0,
+            num_subrounds=step and 1 or 0,
+            success=edges_remaining == 0,
+            vertex_peel_round=vertex_peel_round,
+            edge_peel_round=edge_peel_round,
+            round_stats=stats,
+            peel_order=np.asarray(peel_order, dtype=np.int64),
+        )
+
+
+def peel_to_kcore(
+    graph: Hypergraph,
+    k: int,
+    *,
+    mode: Literal["parallel", "sequential", "subtable"] = "parallel",
+    update: UpdateMode = "full",
+) -> PeelingResult:
+    """Convenience front door: peel ``graph`` to its k-core.
+
+    Parameters
+    ----------
+    graph:
+        The hypergraph to peel.
+    k:
+        Degree threshold.
+    mode:
+        ``"parallel"`` (round-synchronous, the paper's main subject),
+        ``"sequential"`` (greedy baseline) or ``"subtable"`` (Appendix B;
+        requires a partitioned hypergraph).
+    update:
+        Work-accounting mode for the parallel engine (ignored otherwise).
+    """
+    if mode == "parallel":
+        return ParallelPeeler(k, update=update).peel(graph)
+    if mode == "sequential":
+        return SequentialPeeler(k).peel(graph)
+    if mode == "subtable":
+        from repro.core.subtable import SubtablePeeler  # local import avoids a cycle
+
+        return SubtablePeeler(k).peel(graph)
+    raise ValueError(f"unknown mode {mode!r}")

@@ -1,0 +1,179 @@
+"""Result objects returned by the peeling engines.
+
+Every engine produces a :class:`PeelingResult` carrying the full per-round
+history of the process (survivor counts, peel rounds for every vertex and
+edge, and work accounting used by the simulated parallel machine), so the
+experiment harness can reproduce every column of the paper's tables from a
+single run without re-executing the process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["RoundStats", "PeelingResult"]
+
+UNPEELED = -1
+"""Sentinel used in peel-round arrays for vertices/edges never peeled."""
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """Per-round bookkeeping emitted by the peeling engines.
+
+    Attributes
+    ----------
+    round_index:
+        1-based round number (for subtable peeling, the *subround* number).
+    vertices_peeled:
+        Number of vertices removed this round.
+    edges_peeled:
+        Number of edges removed this round.
+    vertices_remaining:
+        Vertices still unpeeled after this round.
+    edges_remaining:
+        Edges still present after this round.
+    work:
+        Number of vertex inspections performed this round (full scans inspect
+        every live cell, frontier scans only the candidates); feeds the
+        work/depth cost model of :mod:`repro.parallel`.
+    subtable:
+        Subtable processed this round (subtable engines only), else ``None``.
+    """
+
+    round_index: int
+    vertices_peeled: int
+    edges_peeled: int
+    vertices_remaining: int
+    edges_remaining: int
+    work: int
+    subtable: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class PeelingResult:
+    """Complete outcome of a peeling run.
+
+    Attributes
+    ----------
+    k:
+        Degree threshold used.
+    mode:
+        Engine identifier (``"parallel"``, ``"sequential"``, ``"subtable"``).
+    num_rounds:
+        Number of rounds in which at least one vertex was removed.  This is
+        the quantity averaged in the paper's Table 1 ("Rounds") — the final
+        fixed-point check that removes nothing is not counted.
+    num_subrounds:
+        Total subrounds executed (equal to ``num_rounds`` for non-subtable
+        engines; for subtable peeling this is what Table 5 reports).
+    success:
+        True when the k-core is empty (no edges remain).
+    vertex_peel_round:
+        Array of shape ``(n,)``; entry ``v`` is the (1-based) round in which
+        vertex ``v`` was peeled, or ``-1`` if it survives in the k-core.
+        Subtable engines record the *round* (not subround) here.
+    edge_peel_round:
+        Array of shape ``(m,)``; analogous for edges.
+    round_stats:
+        Per-round :class:`RoundStats`, in execution order.
+    peel_order:
+        For sequential peeling, the order in which edges were removed (edge
+        indices); empty for round-synchronous engines.
+    """
+
+    k: int
+    mode: str
+    num_rounds: int
+    num_subrounds: int
+    success: bool
+    vertex_peel_round: np.ndarray
+    edge_peel_round: np.ndarray
+    round_stats: List[RoundStats] = field(default_factory=list)
+    peel_order: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices in the peeled hypergraph."""
+        return int(self.vertex_peel_round.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges in the peeled hypergraph."""
+        return int(self.edge_peel_round.shape[0])
+
+    @property
+    def core_vertex_mask(self) -> np.ndarray:
+        """Boolean mask of vertices never peeled (the k-core vertices)."""
+        return self.vertex_peel_round == UNPEELED
+
+    @property
+    def core_edge_mask(self) -> np.ndarray:
+        """Boolean mask of edges never peeled (the k-core edges)."""
+        return self.edge_peel_round == UNPEELED
+
+    @property
+    def core_size(self) -> int:
+        """Number of edges remaining in the k-core."""
+        return int(self.core_edge_mask.sum())
+
+    @property
+    def vertices_remaining_per_round(self) -> np.ndarray:
+        """Vertices still unpeeled after each executed (sub)round."""
+        return np.array([s.vertices_remaining for s in self.round_stats], dtype=np.int64)
+
+    @property
+    def edges_remaining_per_round(self) -> np.ndarray:
+        """Edges still present after each executed (sub)round."""
+        return np.array([s.edges_remaining for s in self.round_stats], dtype=np.int64)
+
+    @property
+    def total_work(self) -> int:
+        """Total vertex inspections across all rounds (work term of the cost model)."""
+        return int(sum(s.work for s in self.round_stats))
+
+    def survivors_after_round(self, round_index: int) -> int:
+        """Vertices unpeeled after round ``round_index`` (1-based).
+
+        Rounds past the last executed round return the final survivor count;
+        round 0 returns the total vertex count.
+        """
+        if round_index < 0:
+            raise ValueError(f"round_index must be >= 0, got {round_index}")
+        if round_index == 0:
+            return self.num_vertices
+        # Round-synchronous engines: one stats entry per round.  Subtable
+        # engines: survivors after round i = survivors after its last subround.
+        per_round = self._per_full_round_survivors()
+        if round_index > len(per_round):
+            return int(per_round[-1]) if per_round else self.num_vertices
+        return int(per_round[round_index - 1])
+
+    def _per_full_round_survivors(self) -> List[int]:
+        if not self.round_stats:
+            return []
+        if self.mode != "subtable":
+            return [s.vertices_remaining for s in self.round_stats]
+        # Subtable engines emit one stats entry per subround; a new full round
+        # starts whenever the subtable index wraps back to 0.
+        survivors: List[int] = []
+        for stats in self.round_stats:
+            if stats.subtable in (None, 0):
+                survivors.append(stats.vertices_remaining)
+            else:
+                survivors[-1] = stats.vertices_remaining
+        return survivors
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        status = "empty core" if self.success else f"core of {self.core_size} edges"
+        return (
+            f"{self.mode} peeling (k={self.k}): {self.num_rounds} rounds"
+            f" ({self.num_subrounds} subrounds), {status}"
+        )

@@ -1,0 +1,71 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Each module exposes a ``run_*`` function producing structured rows and a
+``format_*`` function printing the same layout the paper reports; the
+``benchmarks/`` directory wires them into pytest-benchmark targets and
+EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from repro.experiments.runner import run_trials, summarize, TrialSummary
+from repro.experiments.table1 import (
+    PAPER_DENSITIES,
+    PAPER_SIZES,
+    Table1Row,
+    format_table1,
+    run_table1,
+    run_table1_cell,
+)
+from repro.experiments.table2 import Table2Row, format_table2, run_table2
+from repro.experiments.table34 import (
+    PAPER_LOADS,
+    IBLTBenchmarkRow,
+    format_table34,
+    run_iblt_experiment,
+    run_table34,
+)
+from repro.experiments.table5 import (
+    PAPER_DENSITIES_T5,
+    Table5Row,
+    format_table5,
+    run_table5,
+    run_table5_cell,
+)
+from repro.experiments.table6 import Table6Row, format_table6, run_table6
+from repro.experiments.figure1 import (
+    PAPER_FIGURE1_DENSITIES,
+    Figure1Series,
+    format_figure1,
+    run_figure1,
+)
+
+__all__ = [
+    "run_trials",
+    "summarize",
+    "TrialSummary",
+    "PAPER_DENSITIES",
+    "PAPER_SIZES",
+    "Table1Row",
+    "format_table1",
+    "run_table1",
+    "run_table1_cell",
+    "Table2Row",
+    "format_table2",
+    "run_table2",
+    "PAPER_LOADS",
+    "IBLTBenchmarkRow",
+    "format_table34",
+    "run_iblt_experiment",
+    "run_table34",
+    "PAPER_DENSITIES_T5",
+    "Table5Row",
+    "format_table5",
+    "run_table5",
+    "run_table5_cell",
+    "Table6Row",
+    "format_table6",
+    "run_table6",
+    "PAPER_FIGURE1_DENSITIES",
+    "Figure1Series",
+    "format_figure1",
+    "run_figure1",
+]

@@ -1,0 +1,111 @@
+"""Figure 1 — evolution of β_i near the threshold (Section 7 / Appendix C).
+
+Figure 1 plots the idealized β-recurrence (Equation C.1) for ``k=2, r=4`` at
+edge densities ``c = 0.77`` and ``c = 0.772``, just below the threshold
+``c*_{2,4} ≈ 0.77228``.  The striking feature is the long plateau where β_i
+lingers near the critical value ``x*`` for ``Θ(sqrt(1/ν))`` rounds before the
+doubly-exponential collapse takes over — the content of Theorem 5.
+
+:func:`run_figure1` produces the per-round β series for any set of densities
+plus the plateau-length analysis; :func:`format_figure1` renders an ASCII
+summary (round counts and plateau sizes), which is the text-mode stand-in for
+the plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.recurrences import iterate_recurrence
+from repro.analysis.threshold_gap import GapAnalysis, plateau_length
+from repro.analysis.thresholds import peeling_threshold, threshold_minimizer
+from repro.utils.tables import Table, format_float
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Figure1Series", "run_figure1", "format_figure1", "PAPER_FIGURE1_DENSITIES"]
+
+PAPER_FIGURE1_DENSITIES: tuple = (0.77, 0.772)
+"""Edge densities plotted in the paper's Figure 1 (k=2, r=4)."""
+
+
+@dataclass(frozen=True)
+class Figure1Series:
+    """One curve of Figure 1.
+
+    Attributes
+    ----------
+    c:
+        Edge density of the curve.
+    nu:
+        Distance to the threshold, ``c* − c``.
+    beta:
+        β_i values, ``beta[i]`` being the value entering round ``i+1``
+        (``beta[0] = r·c``).
+    rounds_to_extinction:
+        First round at which β drops below ``1e-12`` (effectively zero).
+    gap:
+        The :class:`~repro.analysis.threshold_gap.GapAnalysis` for this
+        density (plateau length vs. the ``sqrt(1/ν)`` prediction).
+    """
+
+    c: float
+    nu: float
+    beta: np.ndarray
+    rounds_to_extinction: int
+    gap: GapAnalysis
+
+
+def run_figure1(
+    densities: Sequence[float] = PAPER_FIGURE1_DENSITIES,
+    *,
+    k: int = 2,
+    r: int = 4,
+    max_rounds: int = 2_000,
+) -> Dict[float, Figure1Series]:
+    """Iterate the idealized β-recurrence for each density in ``densities``."""
+    max_rounds = check_positive_int(max_rounds, "max_rounds")
+    c_star = peeling_threshold(k, r)
+    series: Dict[float, Figure1Series] = {}
+    for c in densities:
+        if c >= c_star:
+            raise ValueError(
+                f"Figure 1 densities must be below the threshold {c_star:.6f}, got {c}"
+            )
+        trace = iterate_recurrence(c, k, r, max_rounds)
+        beta = trace.beta
+        below = np.flatnonzero(beta < 1e-12)
+        rounds_to_extinction = int(below[0]) if below.size else max_rounds
+        gap = plateau_length(c, k, r, max_rounds=max_rounds)
+        series[float(c)] = Figure1Series(
+            c=float(c),
+            nu=float(c_star - c),
+            beta=beta,
+            rounds_to_extinction=rounds_to_extinction,
+            gap=gap,
+        )
+    return series
+
+
+def format_figure1(series: Dict[float, Figure1Series], *, k: int = 2, r: int = 4) -> str:
+    """Summarize the Figure 1 curves as a table (plateau and total rounds)."""
+    x_star, c_star = threshold_minimizer(k, r)
+    table = Table(
+        ["c", "nu = c* - c", "plateau rounds", "sqrt(1/nu)", "rounds to beta=0"],
+        title=(
+            f"Figure 1: beta evolution near the threshold "
+            f"(k={k}, r={r}, c*={c_star:.5f}, x*={x_star:.4f})"
+        ),
+    )
+    for c in sorted(series):
+        s = series[c]
+        table.add_row(
+            format_float(s.c, 5),
+            format_float(s.nu, 6),
+            str(s.gap.plateau_rounds),
+            format_float(s.gap.predicted_scale, 2),
+            str(s.rounds_to_extinction),
+        )
+    return table.render()

@@ -1,0 +1,74 @@
+"""Shared trial-running machinery for the experiment harness.
+
+Every experiment in the paper averages a statistic over independent trials.
+:func:`run_trials` owns the plumbing: it derives one independent RNG per
+trial (so results are reproducible and order-independent), dispatches the
+trials on an execution backend, and returns the per-trial results in order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from repro.parallel.backend import ExecutionBackend, SerialBackend
+from repro.utils.rng import SeedLike, spawn_rngs
+from repro.utils.validation import check_positive_int
+
+__all__ = ["run_trials", "TrialSummary", "summarize"]
+
+R = TypeVar("R")
+
+
+def run_trials(
+    trial: Callable[[np.random.Generator], R],
+    num_trials: int,
+    *,
+    seed: SeedLike = None,
+    backend: Optional[ExecutionBackend] = None,
+) -> List[R]:
+    """Run ``trial`` ``num_trials`` times with independent RNGs.
+
+    Parameters
+    ----------
+    trial:
+        Callable taking a :class:`numpy.random.Generator` and returning the
+        per-trial result.
+    num_trials:
+        Number of independent repetitions.
+    seed:
+        Base seed; per-trial generators are spawned from it.
+    backend:
+        Execution backend (defaults to the serial backend).
+    """
+    num_trials = check_positive_int(num_trials, "num_trials")
+    rngs = spawn_rngs(seed, num_trials)
+    backend = backend if backend is not None else SerialBackend()
+    return backend.map(trial, rngs)
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Mean/min/max/std summary of a scalar per-trial statistic."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+
+def summarize(values: Sequence[float]) -> TrialSummary:
+    """Summarize a sequence of per-trial scalars."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sequence")
+    return TrialSummary(
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=0)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        count=int(arr.size),
+    )

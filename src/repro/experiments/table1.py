@@ -1,0 +1,164 @@
+"""Table 1 — failures and average rounds of parallel peeling vs. n and c.
+
+The paper runs 1000 trials of the parallel peeling process on
+``G^4_{n, cn}`` with ``k = 2`` for ``c ∈ {0.7, 0.75, 0.8, 0.85}`` and
+``n = 10000 · 2^i`` up to 2.56 million, reporting, per (n, c), the number of
+failed trials (non-empty 2-core) and the average number of rounds.  Below the
+threshold (``c*_{2,4} ≈ 0.772``) the rounds grow like ``log log n`` (barely
+at all); above it they grow linearly in ``log n``.
+
+:func:`run_table1` reproduces the sweep at configurable scale;
+:func:`format_table1` prints the same layout as the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.peeling import ParallelPeeler
+from repro.experiments.runner import run_trials
+from repro.hypergraph.generators import random_hypergraph
+from repro.parallel.backend import ExecutionBackend
+from repro.utils.rng import SeedLike, derive_seed
+from repro.utils.tables import Table, format_float, format_int
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "PAPER_DENSITIES",
+    "PAPER_SIZES",
+    "Table1Row",
+    "run_table1_cell",
+    "run_table1",
+    "format_table1",
+]
+
+PAPER_DENSITIES: tuple = (0.7, 0.75, 0.8, 0.85)
+"""Edge densities used in the paper's Table 1."""
+
+PAPER_SIZES: tuple = (
+    10_000,
+    20_000,
+    40_000,
+    80_000,
+    160_000,
+    320_000,
+    640_000,
+    1_280_000,
+    2_560_000,
+)
+"""Vertex counts used in the paper's Table 1."""
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One (n, c) cell of Table 1.
+
+    Attributes
+    ----------
+    n, c, r, k:
+        Parameters of the sweep point.
+    trials:
+        Number of independent trials run.
+    failed:
+        Number of trials with a non-empty k-core.
+    avg_rounds:
+        Mean number of parallel rounds over the trials.
+    std_rounds:
+        Standard deviation of the round count.
+    """
+
+    n: int
+    c: float
+    r: int
+    k: int
+    trials: int
+    failed: int
+    avg_rounds: float
+    std_rounds: float
+
+
+def run_table1_cell(
+    n: int,
+    c: float,
+    *,
+    r: int = 4,
+    k: int = 2,
+    trials: int = 25,
+    seed: SeedLike = None,
+    backend: Optional[ExecutionBackend] = None,
+) -> Table1Row:
+    """Run the trials for a single (n, c) cell of Table 1."""
+    n = check_positive_int(n, "n")
+    trials = check_positive_int(trials, "trials")
+    peeler = ParallelPeeler(k, update="full", track_stats=False)
+
+    def one_trial(rng: np.random.Generator):
+        graph = random_hypergraph(n, c, r, seed=rng)
+        result = peeler.peel(graph)
+        return (result.num_rounds, result.success)
+
+    results = run_trials(one_trial, trials, seed=seed, backend=backend)
+    rounds = np.array([row[0] for row in results], dtype=float)
+    failed = sum(1 for row in results if not row[1])
+    return Table1Row(
+        n=n,
+        c=float(c),
+        r=r,
+        k=k,
+        trials=trials,
+        failed=failed,
+        avg_rounds=float(rounds.mean()),
+        std_rounds=float(rounds.std(ddof=0)),
+    )
+
+
+def run_table1(
+    sizes: Sequence[int] = (10_000, 20_000, 40_000, 80_000),
+    densities: Sequence[float] = PAPER_DENSITIES,
+    *,
+    r: int = 4,
+    k: int = 2,
+    trials: int = 25,
+    seed: SeedLike = 0,
+    backend: Optional[ExecutionBackend] = None,
+) -> List[Table1Row]:
+    """Run the full Table 1 sweep.
+
+    Defaults are scaled down from the paper (25 trials, n up to 80k) so the
+    sweep completes in seconds; pass ``sizes=PAPER_SIZES, trials=1000`` to run
+    at paper scale.
+    """
+    rows: List[Table1Row] = []
+    for c in densities:
+        for n in sizes:
+            cell_seed = derive_seed(seed, "table1", int(round(c * 1000)), n)
+            rows.append(
+                run_table1_cell(
+                    n, c, r=r, k=k, trials=trials, seed=cell_seed, backend=backend
+                )
+            )
+    return rows
+
+
+def format_table1(rows: Sequence[Table1Row]) -> str:
+    """Render Table 1 in the paper's layout (one column pair per density)."""
+    densities = sorted({row.c for row in rows})
+    sizes = sorted({row.n for row in rows})
+    by_key = {(row.n, row.c): row for row in rows}
+    columns = ["n"]
+    for c in densities:
+        columns.extend([f"c={c:g} Failed", f"c={c:g} Rounds"])
+    table = Table(columns, title="Table 1: parallel peeling failures and rounds")
+    for n in sizes:
+        cells = [format_int(n)]
+        for c in densities:
+            row = by_key.get((n, c))
+            if row is None:
+                cells.extend(["-", "-"])
+            else:
+                cells.extend([format_int(row.failed), format_float(row.avg_rounds, 3)])
+        table.add_row(*cells)
+    return table.render()

@@ -1,0 +1,50 @@
+"""Random r-uniform hypergraph substrate.
+
+This subpackage provides the hypergraph data structure and the random models
+used throughout the paper:
+
+* :class:`~repro.hypergraph.hypergraph.Hypergraph` — an immutable r-uniform
+  hypergraph backed by NumPy arrays with a CSR vertex→edge incidence index.
+* :func:`~repro.hypergraph.generators.random_hypergraph` — the
+  :math:`G^r_{n,cn}` model (exactly ``cn`` edges, each of ``r`` distinct
+  vertices chosen uniformly at random).
+* :func:`~repro.hypergraph.generators.binomial_hypergraph` — the
+  :math:`G^r_c` model of Section 3.2.1 (each edge present independently with
+  probability :math:`q = cn/\\binom{n}{r}`).
+* :func:`~repro.hypergraph.generators.partitioned_hypergraph` — the subtable
+  model of Appendix B (vertices split into ``r`` equal parts, one vertex per
+  part per edge).
+* k-core utilities in :mod:`~repro.hypergraph.kcore`.
+"""
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.generators import (
+    random_hypergraph,
+    binomial_hypergraph,
+    partitioned_hypergraph,
+    hypergraph_from_edges,
+    edge_density,
+)
+from repro.hypergraph.kcore import (
+    kcore,
+    kcore_mask,
+    kcore_size,
+    has_empty_kcore,
+    verify_kcore,
+    reference_kcore_mask,
+)
+
+__all__ = [
+    "Hypergraph",
+    "random_hypergraph",
+    "binomial_hypergraph",
+    "partitioned_hypergraph",
+    "hypergraph_from_edges",
+    "edge_density",
+    "kcore",
+    "kcore_mask",
+    "kcore_size",
+    "has_empty_kcore",
+    "verify_kcore",
+    "reference_kcore_mask",
+]

@@ -1,0 +1,226 @@
+"""Random hypergraph generators used by the paper.
+
+Three models appear in the paper:
+
+* ``G^r_{n,cn}`` (Section 2): exactly ``round(c*n)`` edges, each consisting of
+  ``r`` distinct vertices chosen uniformly at random — implemented by
+  :func:`random_hypergraph`.
+* ``G^r_c`` (Section 3.2.1): every possible edge appears independently with
+  probability ``q = cn / C(n, r)`` — implemented by
+  :func:`binomial_hypergraph`.  For the sparse densities of interest the edge
+  count is Binomial(C(n,r), q) ≈ Poisson(cn); we sample the count exactly and
+  then draw that many uniform edges without replacement of the *slot*, which
+  matches the model up to the (vanishing) probability of a repeated edge.
+* the subtable model (Appendix B): vertices are split into ``r`` equal
+  subtables and each edge takes exactly one uniform vertex from each subtable
+  — implemented by :func:`partitioned_hypergraph`.  This is exactly the
+  hypergraph an IBLT with ``r`` subtables defines.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.utils.rng import SeedLike, resolve_rng
+from repro.utils.validation import (
+    check_nonnegative_int,
+    check_positive_float,
+    check_positive_int,
+)
+
+__all__ = [
+    "random_hypergraph",
+    "binomial_hypergraph",
+    "partitioned_hypergraph",
+    "hypergraph_from_edges",
+    "edge_density",
+]
+
+
+def edge_density(num_vertices: int, num_edges: int) -> float:
+    """Edge density ``c = m / n`` of a hypergraph with the given counts."""
+    n = check_positive_int(num_vertices, "num_vertices")
+    m = check_nonnegative_int(num_edges, "num_edges")
+    return m / n
+
+
+def _sample_distinct_rows(
+    rng: np.random.Generator, num_vertices: int, num_edges: int, r: int
+) -> np.ndarray:
+    """Sample an ``(m, r)`` array of edges with distinct vertices per row.
+
+    Strategy: draw all rows at once with replacement, then resample only the
+    rows that contain a duplicate.  For ``r << n`` the expected number of
+    resampling passes is O(1), so the generator runs at NumPy speed.
+    """
+    if num_edges == 0:
+        return np.empty((0, r), dtype=np.int64)
+    if r > num_vertices:
+        raise ValueError(
+            f"cannot draw {r} distinct vertices from a set of {num_vertices}"
+        )
+    edges = rng.integers(0, num_vertices, size=(num_edges, r), dtype=np.int64)
+    if r == 1:
+        return edges
+    for _ in range(64):
+        sorted_rows = np.sort(edges, axis=1)
+        bad = (sorted_rows[:, 1:] == sorted_rows[:, :-1]).any(axis=1)
+        num_bad = int(bad.sum())
+        if num_bad == 0:
+            return edges
+        edges[bad] = rng.integers(0, num_vertices, size=(num_bad, r), dtype=np.int64)
+    # Extremely unlikely fallback (e.g. r close to n): per-row choice without
+    # replacement, still vectorized over the few remaining bad rows.
+    sorted_rows = np.sort(edges, axis=1)
+    bad = (sorted_rows[:, 1:] == sorted_rows[:, :-1]).any(axis=1)
+    for idx in np.flatnonzero(bad):
+        edges[idx] = rng.choice(num_vertices, size=r, replace=False)
+    return edges
+
+
+def random_hypergraph(
+    num_vertices: int,
+    edge_density: float,
+    edge_size: int,
+    *,
+    num_edges: Optional[int] = None,
+    seed: SeedLike = None,
+) -> Hypergraph:
+    """Sample from the ``G^r_{n,cn}`` model of Section 2.
+
+    Parameters
+    ----------
+    num_vertices:
+        ``n``, the number of vertices.
+    edge_density:
+        ``c``; the graph has ``round(c * n)`` edges unless ``num_edges``
+        overrides the count.
+    edge_size:
+        ``r``, vertices per edge (``r >= 2``).
+    num_edges:
+        Explicit edge count ``m`` (overrides ``edge_density`` if given).
+    seed:
+        Anything accepted by :func:`repro.utils.rng.resolve_rng`.
+
+    Returns
+    -------
+    Hypergraph
+        A hypergraph with ``n`` vertices and ``m`` edges, each edge consisting
+        of ``r`` distinct uniformly random vertices.
+    """
+    n = check_positive_int(num_vertices, "num_vertices")
+    r = check_positive_int(edge_size, "edge_size")
+    if r < 2:
+        raise ValueError(f"edge_size must be >= 2, got {r}")
+    if num_edges is None:
+        c = check_positive_float(edge_density, "edge_density")
+        m = int(round(c * n))
+    else:
+        m = check_nonnegative_int(num_edges, "num_edges")
+    rng = resolve_rng(seed)
+    edges = _sample_distinct_rows(rng, n, m, r)
+    return Hypergraph(n, edges, validate=False)
+
+
+def binomial_hypergraph(
+    num_vertices: int,
+    edge_density: float,
+    edge_size: int,
+    *,
+    seed: SeedLike = None,
+) -> Hypergraph:
+    """Sample from the ``G^r_c`` model of Section 3.2.1.
+
+    Every one of the :math:`\\binom{n}{r}` possible edges appears
+    independently with probability :math:`q = cn / \\binom{n}{r}`.  We sample
+    the edge count ``M ~ Binomial(C(n,r), q)`` exactly (falling back to a
+    Poisson approximation only when ``C(n, r)`` overflows the int64 binomial
+    sampler) and then draw ``M`` uniform r-subsets.
+    """
+    n = check_positive_int(num_vertices, "num_vertices")
+    r = check_positive_int(edge_size, "edge_size")
+    if r < 2:
+        raise ValueError(f"edge_size must be >= 2, got {r}")
+    c = check_positive_float(edge_density, "edge_density")
+    rng = resolve_rng(seed)
+    total_slots = comb(n, r)
+    if total_slots == 0:
+        return Hypergraph(n, np.empty((0, r), dtype=np.int64), validate=False)
+    q = min(1.0, c * n / total_slots)
+    if total_slots <= 2**62:
+        m = int(rng.binomial(total_slots, q))
+    else:  # pragma: no cover - requires astronomically large n
+        m = int(rng.poisson(c * n))
+    edges = _sample_distinct_rows(rng, n, m, r)
+    return Hypergraph(n, edges, validate=False)
+
+
+def partitioned_hypergraph(
+    num_vertices: int,
+    edge_density: float,
+    edge_size: int,
+    *,
+    num_edges: Optional[int] = None,
+    seed: SeedLike = None,
+) -> Hypergraph:
+    """Sample from the subtable model of Appendix B.
+
+    The ``n`` vertices are split into ``r`` consecutive blocks ("subtables")
+    of size ``n // r`` (``n`` must be divisible by ``r``), and each of the
+    ``round(c*n)`` edges contains exactly one uniformly random vertex from
+    each block.  This is the hypergraph defined by an IBLT that hashes each
+    item once into each of ``r`` subtables.
+
+    Returns
+    -------
+    Hypergraph
+        A partitioned hypergraph whose ``vertex_partition`` maps vertex ``v``
+        to ``v // (n // r)`` and whose edge column ``j`` always lies in
+        subtable ``j``.
+    """
+    n = check_positive_int(num_vertices, "num_vertices")
+    r = check_positive_int(edge_size, "edge_size")
+    if r < 2:
+        raise ValueError(f"edge_size must be >= 2, got {r}")
+    if n % r != 0:
+        raise ValueError(
+            f"num_vertices ({n}) must be divisible by edge_size ({r}) "
+            "for the subtable model"
+        )
+    if num_edges is None:
+        c = check_positive_float(edge_density, "edge_density")
+        m = int(round(c * n))
+    else:
+        m = check_nonnegative_int(num_edges, "num_edges")
+    rng = resolve_rng(seed)
+    block = n // r
+    # Column j holds a uniform vertex from [j*block, (j+1)*block).
+    offsets = np.arange(r, dtype=np.int64) * block
+    edges = rng.integers(0, block, size=(m, r), dtype=np.int64) + offsets[None, :]
+    vertex_partition = np.repeat(np.arange(r, dtype=np.int64), block)
+    return Hypergraph(
+        n,
+        edges,
+        vertex_partition=vertex_partition,
+        num_partitions=r,
+        validate=False,
+    )
+
+
+def hypergraph_from_edges(
+    num_vertices: int,
+    edges: Sequence[Sequence[int]] | np.ndarray,
+    *,
+    allow_duplicate_vertices: bool = False,
+) -> Hypergraph:
+    """Build a hypergraph from an explicit edge list (validated)."""
+    return Hypergraph(
+        num_vertices,
+        np.asarray(edges, dtype=np.int64),
+        allow_duplicate_vertices=allow_duplicate_vertices,
+        validate=True,
+    )

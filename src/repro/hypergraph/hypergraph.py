@@ -1,0 +1,318 @@
+"""The r-uniform hypergraph data structure.
+
+A :class:`Hypergraph` stores its edges as an ``(m, r)`` integer array (one row
+per edge, one column per endpoint) plus a lazily built CSR incidence index
+mapping each vertex to the edges containing it.  All peeling engines operate
+on these arrays with vectorized NumPy kernels, which is the idiomatic way to
+get C-speed inner loops in pure Python (see the HPC guides: vectorize, avoid
+copies, prefer contiguous arrays).
+
+Vertices are integers in ``[0, n)`` and edges are integers in ``[0, m)``.
+A vertex may appear in no edge at all (isolated vertices are legal and are
+trivially peeled in round 1 whenever ``k >= 1``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative_int, check_positive_int
+
+__all__ = ["Hypergraph"]
+
+
+class Hypergraph:
+    """An immutable r-uniform hypergraph.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices ``n``; vertices are labelled ``0 .. n-1``.
+    edges:
+        Array-like of shape ``(m, r)``; row ``e`` lists the ``r`` vertices of
+        edge ``e``.  Vertices within an edge must be distinct unless
+        ``allow_duplicate_vertices=True`` (hashing applications can produce
+        duplicate endpoints; the paper's remark after Theorem 1 discusses
+        them).
+    edge_partition:
+        Optional array of shape ``(r,)`` giving, for the subtable model, the
+        partition (subtable) index of each edge *column*.  ``None`` for
+        unpartitioned hypergraphs.
+    vertex_partition:
+        Optional array of shape ``(n,)`` mapping each vertex to its subtable,
+        present only for partitioned hypergraphs.
+    allow_duplicate_vertices:
+        Permit repeated vertices within a single edge.
+    validate:
+        If True (default), check the edge array for out-of-range or duplicate
+        vertices.  Generators that construct edges they already know to be
+        valid pass False to skip the O(m·r) check.
+    """
+
+    __slots__ = (
+        "_n",
+        "_edges",
+        "_r",
+        "_vertex_partition",
+        "_num_partitions",
+        "_incidence_ptr",
+        "_incidence_edges",
+        "_degrees",
+    )
+
+    def __init__(
+        self,
+        num_vertices: int,
+        edges: Iterable[Sequence[int]] | np.ndarray,
+        *,
+        vertex_partition: Optional[np.ndarray] = None,
+        num_partitions: int = 0,
+        allow_duplicate_vertices: bool = False,
+        validate: bool = True,
+    ) -> None:
+        self._n = check_nonnegative_int(num_vertices, "num_vertices")
+        edge_array = np.asarray(edges, dtype=np.int64)
+        if edge_array.size == 0:
+            edge_array = edge_array.reshape(0, 0)
+        if edge_array.ndim != 2:
+            raise ValueError(
+                f"edges must be a 2-D array of shape (m, r), got shape {edge_array.shape}"
+            )
+        self._edges = np.ascontiguousarray(edge_array)
+        self._r = int(edge_array.shape[1]) if edge_array.shape[0] > 0 else int(edge_array.shape[1])
+
+        if vertex_partition is not None:
+            vp = np.asarray(vertex_partition, dtype=np.int64)
+            if vp.shape != (self._n,):
+                raise ValueError(
+                    f"vertex_partition must have shape ({self._n},), got {vp.shape}"
+                )
+            self._vertex_partition = np.ascontiguousarray(vp)
+            self._num_partitions = check_positive_int(num_partitions, "num_partitions")
+            if vp.size and (vp.min() < 0 or vp.max() >= self._num_partitions):
+                raise ValueError("vertex_partition entries must lie in [0, num_partitions)")
+        else:
+            self._vertex_partition = None
+            self._num_partitions = 0
+
+        if validate:
+            self._validate_edges(allow_duplicate_vertices)
+
+        self._incidence_ptr: Optional[np.ndarray] = None
+        self._incidence_edges: Optional[np.ndarray] = None
+        self._degrees: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    def _validate_edges(self, allow_duplicate_vertices: bool) -> None:
+        edges = self._edges
+        if edges.shape[0] == 0:
+            return
+        if edges.min() < 0 or edges.max() >= self._n:
+            raise ValueError(
+                "edge endpoints must be vertex indices in "
+                f"[0, {self._n}); found values outside this range"
+            )
+        if not allow_duplicate_vertices and edges.shape[1] > 1:
+            sorted_rows = np.sort(edges, axis=1)
+            dup = (sorted_rows[:, 1:] == sorted_rows[:, :-1]).any(axis=1)
+            if dup.any():
+                bad = int(np.flatnonzero(dup)[0])
+                raise ValueError(
+                    f"edge {bad} contains duplicate vertices {edges[bad].tolist()}; "
+                    "pass allow_duplicate_vertices=True to permit this"
+                )
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges ``m``."""
+        return int(self._edges.shape[0])
+
+    @property
+    def edge_size(self) -> int:
+        """Uniformity ``r`` (0 for an empty edge set with unknown arity)."""
+        return self._r
+
+    @property
+    def edges(self) -> np.ndarray:
+        """The ``(m, r)`` edge array (read-only view)."""
+        view = self._edges.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def edge_density(self) -> float:
+        """Edge density ``c = m / n`` (0.0 for an empty vertex set)."""
+        if self._n == 0:
+            return 0.0
+        return self.num_edges / self._n
+
+    @property
+    def is_partitioned(self) -> bool:
+        """True when the hypergraph carries a subtable partition."""
+        return self._vertex_partition is not None
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of subtables (0 when unpartitioned)."""
+        return self._num_partitions
+
+    @property
+    def vertex_partition(self) -> np.ndarray:
+        """Per-vertex subtable index; raises if unpartitioned."""
+        if self._vertex_partition is None:
+            raise ValueError("hypergraph has no subtable partition")
+        view = self._vertex_partition.view()
+        view.setflags(write=False)
+        return view
+
+    # ------------------------------------------------------------------ #
+    # incidence structure
+    # ------------------------------------------------------------------ #
+    def _build_incidence(self) -> None:
+        """Build the CSR vertex→edge index with a counting sort (O(n + m·r))."""
+        m = self.num_edges
+        r = self._r
+        flat_vertices = self._edges.reshape(-1)
+        counts = np.bincount(flat_vertices, minlength=self._n) if m > 0 else np.zeros(self._n, dtype=np.int64)
+        ptr = np.zeros(self._n + 1, dtype=np.int64)
+        np.cumsum(counts, out=ptr[1:])
+        incidence = np.empty(m * r, dtype=np.int64)
+        if m > 0:
+            # Stable counting sort of (vertex, edge) pairs by vertex.
+            order = np.argsort(flat_vertices, kind="stable")
+            incidence[:] = order // r
+        self._incidence_ptr = ptr
+        self._incidence_edges = incidence
+        self._degrees = counts.astype(np.int64)
+
+    @property
+    def incidence_ptr(self) -> np.ndarray:
+        """CSR row-pointer array of length ``n + 1`` into :attr:`incidence_edges`."""
+        if self._incidence_ptr is None:
+            self._build_incidence()
+        assert self._incidence_ptr is not None
+        view = self._incidence_ptr.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def incidence_edges(self) -> np.ndarray:
+        """Concatenated incident-edge lists, indexed by :attr:`incidence_ptr`."""
+        if self._incidence_edges is None:
+            self._build_incidence()
+        assert self._incidence_edges is not None
+        view = self._incidence_edges.view()
+        view.setflags(write=False)
+        return view
+
+    def degrees(self) -> np.ndarray:
+        """Return the degree (number of incident edges) of every vertex.
+
+        A vertex appearing ``t`` times in one edge contributes ``t`` to its
+        degree, matching the multiset semantics used by hashing applications.
+        """
+        if self._degrees is None:
+            self._build_incidence()
+        assert self._degrees is not None
+        return self._degrees.copy()
+
+    def degree(self, vertex: int) -> int:
+        """Degree of a single vertex."""
+        if not (0 <= vertex < self._n):
+            raise IndexError(f"vertex {vertex} out of range [0, {self._n})")
+        return int(self.degrees_view[vertex])
+
+    @property
+    def degrees_view(self) -> np.ndarray:
+        """Read-only degree array (no copy)."""
+        if self._degrees is None:
+            self._build_incidence()
+        assert self._degrees is not None
+        view = self._degrees.view()
+        view.setflags(write=False)
+        return view
+
+    def incident_edges(self, vertex: int) -> np.ndarray:
+        """Edges incident to ``vertex`` (a copy; safe to mutate)."""
+        if not (0 <= vertex < self._n):
+            raise IndexError(f"vertex {vertex} out of range [0, {self._n})")
+        ptr = self.incidence_ptr
+        return self.incidence_edges[ptr[vertex]: ptr[vertex + 1]].copy()
+
+    def edge_vertices(self, edge: int) -> np.ndarray:
+        """Vertices of edge ``edge`` (a copy)."""
+        if not (0 <= edge < self.num_edges):
+            raise IndexError(f"edge {edge} out of range [0, {self.num_edges})")
+        return self._edges[edge].copy()
+
+    # ------------------------------------------------------------------ #
+    # derived graphs
+    # ------------------------------------------------------------------ #
+    def subgraph_of_edges(self, edge_mask: np.ndarray) -> "Hypergraph":
+        """Return the hypergraph induced by the edges where ``edge_mask`` is True.
+
+        The vertex set (and labelling) is preserved; only edges are dropped.
+        """
+        mask = np.asarray(edge_mask, dtype=bool)
+        if mask.shape != (self.num_edges,):
+            raise ValueError(
+                f"edge_mask must have shape ({self.num_edges},), got {mask.shape}"
+            )
+        return Hypergraph(
+            self._n,
+            self._edges[mask],
+            vertex_partition=self._vertex_partition,
+            num_partitions=self._num_partitions if self.is_partitioned else 0,
+            allow_duplicate_vertices=True,
+            validate=False,
+        )
+
+    def to_networkx(self):
+        """Return a bipartite ``networkx.Graph`` (vertices vs. edge nodes).
+
+        Vertex ``v`` becomes node ``("v", v)`` and edge ``e`` becomes node
+        ``("e", e)``.  Handy for visual inspection and for cross-checking the
+        peeling engines against an independent graph library in tests.
+        """
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(("v", int(v)) for v in range(self._n))
+        graph.add_nodes_from(("e", int(e)) for e in range(self.num_edges))
+        for e in range(self.num_edges):
+            for v in self._edges[e]:
+                graph.add_edge(("e", int(e)), ("v", int(v)))
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # dunder methods
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:
+        part = f", partitions={self._num_partitions}" if self.is_partitioned else ""
+        return (
+            f"Hypergraph(n={self._n}, m={self.num_edges}, r={self._r}{part})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hypergraph):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and self._edges.shape == other._edges.shape
+            and bool(np.array_equal(self._edges, other._edges))
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely used
+        return hash((self._n, self.num_edges, self._r))

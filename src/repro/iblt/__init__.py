@@ -1,0 +1,31 @@
+"""Invertible Bloom Lookup Tables and their parallel recovery (Section 6).
+
+* :class:`~repro.iblt.iblt.IBLT` — the table itself, with vectorized batch
+  insert/delete, signed counts, difference digests (:meth:`IBLT.subtract`)
+  and the classical serial recovery.
+* :class:`~repro.iblt.parallel_decode.SubtableParallelDecoder` — the paper's
+  round-synchronous recovery with ``r`` serial subrounds per round.
+* :class:`~repro.iblt.parallel_decode.FlatParallelDecoder` — the
+  whole-table-per-round ablation variant.
+* :class:`~repro.iblt.hashing.KeyHasher` — the hash family mapping keys to
+  cells and computing checksums.
+"""
+
+from repro.iblt.hashing import KeyHasher, checksum_keys, splitmix64
+from repro.iblt.iblt import IBLT, IBLTDecodeResult
+from repro.iblt.parallel_decode import (
+    FlatParallelDecoder,
+    ParallelDecodeResult,
+    SubtableParallelDecoder,
+)
+
+__all__ = [
+    "KeyHasher",
+    "checksum_keys",
+    "splitmix64",
+    "IBLT",
+    "IBLTDecodeResult",
+    "FlatParallelDecoder",
+    "ParallelDecodeResult",
+    "SubtableParallelDecoder",
+]

@@ -1,0 +1,147 @@
+"""Hashing utilities for Invertible Bloom Lookup Tables.
+
+Keys are unsigned 64-bit integers.  Cell indices and checksums are produced
+by seeded SplitMix64-style mixers, which are fast, stateless, vectorize over
+NumPy arrays and have far better distribution than Python's builtin ``hash``
+for adversarially regular inputs (e.g. consecutive integers).
+
+Two table layouts are supported, mirroring Section 6:
+
+* ``"subtables"`` — the table is split into ``r`` equal subtables and hash
+  function ``j`` maps a key into subtable ``j`` only.  This is the layout the
+  paper's GPU implementation uses to avoid deleting an item twice.
+* ``"flat"`` — all ``r`` hash functions map into the whole table (classic
+  IBLT layout); the same key may even collide with itself, producing a
+  duplicate endpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, derive_seed
+from repro.utils.validation import check_positive_int
+
+__all__ = ["splitmix64", "KeyHasher", "checksum_keys"]
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def splitmix64(values: np.ndarray | int, seed: int = 0) -> np.ndarray | int:
+    """SplitMix64 finalizer applied to ``values`` (vectorized).
+
+    Parameters
+    ----------
+    values:
+        Scalar or array of unsigned 64-bit integers.
+    seed:
+        Seed mixed into the input before finalization; different seeds give
+        (empirically) independent hash functions.
+
+    Returns
+    -------
+    Same shape as ``values``, dtype ``uint64``.
+    """
+    scalar = np.isscalar(values) or np.ndim(values) == 0
+    x = np.asarray(values, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        z = x + np.uint64(seed) * _GOLDEN + _GOLDEN
+        z = (z ^ (z >> np.uint64(30))) * _MIX1
+        z = (z ^ (z >> np.uint64(27))) * _MIX2
+        z = z ^ (z >> np.uint64(31))
+    if scalar:
+        return np.uint64(z)
+    return z
+
+
+def checksum_keys(keys: np.ndarray | int, seed: int = 0x5EED) -> np.ndarray | int:
+    """Checksum of one or many keys (a keyed SplitMix64 digest).
+
+    The checksum is what lets the decoder distinguish a *pure* cell (exactly
+    one item) from a cell whose key field happens to XOR to a plausible
+    value: a cell is pure only if ``checksum(key_sum) == check_sum``.
+    """
+    return splitmix64(keys, seed=seed ^ 0xC0FFEE)
+
+
+Layout = Literal["subtables", "flat"]
+
+
+@dataclass(frozen=True)
+class KeyHasher:
+    """Maps keys to their ``r`` cells and computes checksums.
+
+    Parameters
+    ----------
+    num_cells:
+        Total number of cells in the table.  For the ``"subtables"`` layout
+        this must be divisible by ``r``.
+    r:
+        Number of hash functions (cells per key).
+    layout:
+        ``"subtables"`` or ``"flat"`` (see module docstring).
+    seed:
+        Base seed; per-hash-function seeds are derived deterministically.
+    """
+
+    num_cells: int
+    r: int
+    layout: Layout = "subtables"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_cells, "num_cells")
+        check_positive_int(self.r, "r")
+        if self.r < 2:
+            raise ValueError(f"r must be >= 2, got {self.r}")
+        if self.layout not in ("subtables", "flat"):
+            raise ValueError(f"layout must be 'subtables' or 'flat', got {self.layout!r}")
+        if self.layout == "subtables" and self.num_cells % self.r != 0:
+            raise ValueError(
+                f"num_cells ({self.num_cells}) must be divisible by r ({self.r}) "
+                "for the subtable layout"
+            )
+
+    @property
+    def subtable_size(self) -> int:
+        """Cells per subtable (only meaningful for the subtable layout)."""
+        if self.layout != "subtables":
+            raise ValueError("subtable_size is undefined for the flat layout")
+        return self.num_cells // self.r
+
+    def cell_indices(self, keys: np.ndarray | int) -> np.ndarray:
+        """Return the ``(len(keys), r)`` array of cell indices for ``keys``.
+
+        For the subtable layout, column ``j`` always lies within subtable
+        ``j`` (``[j * subtable_size, (j+1) * subtable_size)``).
+        """
+        scalar = np.isscalar(keys) or np.ndim(keys) == 0
+        keys_arr = np.atleast_1d(np.asarray(keys, dtype=np.uint64))
+        out = np.empty((keys_arr.size, self.r), dtype=np.int64)
+        if self.layout == "subtables":
+            block = self.subtable_size
+            for j in range(self.r):
+                hashed = splitmix64(keys_arr, seed=derive_seed(self.seed, "cell", j))
+                out[:, j] = (hashed % np.uint64(block)).astype(np.int64) + j * block
+        else:
+            for j in range(self.r):
+                hashed = splitmix64(keys_arr, seed=derive_seed(self.seed, "cell", j))
+                out[:, j] = (hashed % np.uint64(self.num_cells)).astype(np.int64)
+        if scalar:
+            return out[0]
+        return out
+
+    def checksums(self, keys: np.ndarray | int) -> np.ndarray:
+        """Checksums of ``keys`` under this hasher's checksum seed."""
+        return checksum_keys(np.asarray(keys, dtype=np.uint64), seed=derive_seed(self.seed, "checksum"))
+
+    def subtable_of_cell(self, cells: np.ndarray | int) -> np.ndarray | int:
+        """Subtable index of each cell (subtable layout only)."""
+        if self.layout != "subtables":
+            raise ValueError("cells do not belong to subtables in the flat layout")
+        return np.asarray(cells, dtype=np.int64) // self.subtable_size

@@ -1,0 +1,318 @@
+"""Round-synchronous parallel IBLT recovery (Section 6 / Appendix B).
+
+The paper's GPU recovery proceeds in rounds.  In each round, one (virtual)
+thread per cell checks whether its cell is pure; pure cells recover their
+item and XOR it out of the item's other cells with atomic operations.  The
+implementation must never delete the same item twice, so the table is split
+into ``r`` subtables processed serially within a round: the first pure cell
+found for an item removes it from every other subtable before those subtables
+are scanned.
+
+Two decoders are provided:
+
+* :class:`SubtableParallelDecoder` — the paper's scheme (requires the
+  ``"subtables"`` layout); rounds consist of ``r`` subrounds.
+* :class:`FlatParallelDecoder` — the ablation alternative: scan the whole
+  table each round and deduplicate recovered keys before removal (a
+  "compare-and-mark" scheme), which also avoids double deletion but needs a
+  global duplicate-elimination step each round.
+
+Both record per-(sub)round :class:`~repro.core.results.RoundStats` and
+atomic-conflict depths so the :class:`~repro.parallel.machine.ParallelMachine`
+cost model can price them, and both mutate a scratch copy unless asked to
+work in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.results import RoundStats
+from repro.iblt.iblt import IBLT, IBLTDecodeResult
+from repro.parallel.atomics import AtomicConflictTracker
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "ParallelDecodeResult",
+    "SubtableParallelDecoder",
+    "FlatParallelDecoder",
+]
+
+
+@dataclass(frozen=True)
+class ParallelDecodeResult:
+    """Outcome of a round-synchronous recovery, with work/conflict accounting.
+
+    Extends the information in :class:`~repro.iblt.iblt.IBLTDecodeResult`
+    with per-round statistics consumed by the simulated parallel machine.
+    """
+
+    decode: IBLTDecodeResult
+    round_stats: List[RoundStats]
+    conflict_depths: List[int]
+
+    @property
+    def rounds(self) -> int:
+        """Number of full rounds executed."""
+        return self.decode.rounds
+
+    @property
+    def subrounds(self) -> int:
+        """Number of subrounds executed (equals rounds for the flat decoder)."""
+        return self.decode.subrounds
+
+    @property
+    def success(self) -> bool:
+        """True when the table fully decoded."""
+        return self.decode.success
+
+    @property
+    def recovered(self) -> np.ndarray:
+        """Keys recovered with positive sign."""
+        return self.decode.recovered
+
+    @property
+    def removed(self) -> np.ndarray:
+        """Keys recovered with negative sign."""
+        return self.decode.removed
+
+
+def _pure_cells_in_range(table: IBLT, start: int, stop: int, signed: bool) -> np.ndarray:
+    """Indices of pure cells within ``[start, stop)`` (absolute indices)."""
+    counts = table.count[start:stop]
+    candidate = np.abs(counts) == 1 if signed else counts == 1
+    idx = np.flatnonzero(candidate)
+    if idx.size == 0:
+        return idx
+    keys = table.key_sum[start + idx]
+    expected = table.hasher.checksums(keys)
+    ok = (expected == table.check_sum[start + idx]) & (keys != 0)
+    return start + idx[ok]
+
+
+def _remove_keys(
+    table: IBLT,
+    keys: np.ndarray,
+    signs: np.ndarray,
+    tracker: Optional[AtomicConflictTracker],
+) -> int:
+    """Remove ``keys`` (with per-key ``signs``) from all their cells.
+
+    Returns the number of atomic XOR operations issued.  Removal is the
+    vectorized analogue of what each GPU thread does after recovering its
+    cell's item.
+    """
+    if keys.size == 0:
+        return 0
+    cells = table.hasher.cell_indices(keys)
+    checks = table.hasher.checksums(keys)
+    flat_cells = cells.reshape(-1)
+    if tracker is not None:
+        tracker.record_round(flat_cells)
+    for j in range(cells.shape[1]):
+        column = cells[:, j]
+        np.subtract.at(table.count, column, signs)
+        np.bitwise_xor.at(table.key_sum, column, keys)
+        np.bitwise_xor.at(table.check_sum, column, checks)
+    return int(flat_cells.size)
+
+
+class SubtableParallelDecoder:
+    """The paper's recovery scheme: ``r`` serial subrounds per round.
+
+    Parameters
+    ----------
+    signed:
+        Treat ``count == −1`` cells as pure as well (difference digests).
+    max_rounds:
+        Safety cap on the number of full rounds.
+    track_conflicts:
+        Record atomic-conflict depths per subround (slightly more work).
+    """
+
+    def __init__(
+        self,
+        *,
+        signed: bool = True,
+        max_rounds: Optional[int] = None,
+        track_conflicts: bool = True,
+    ) -> None:
+        self.signed = bool(signed)
+        if max_rounds is not None:
+            max_rounds = check_positive_int(max_rounds, "max_rounds")
+        self.max_rounds = max_rounds
+        self.track_conflicts = bool(track_conflicts)
+
+    def decode(self, iblt: IBLT, *, in_place: bool = False) -> ParallelDecodeResult:
+        """Run subtable-parallel recovery on ``iblt``."""
+        if iblt.layout != "subtables":
+            raise ValueError(
+                "SubtableParallelDecoder requires an IBLT built with the "
+                "'subtables' layout"
+            )
+        table = iblt if in_place else iblt.copy()
+        r = table.r
+        subtable_size = table.hasher.subtable_size
+        tracker = AtomicConflictTracker(table.num_cells) if self.track_conflicts else None
+        recovered: List[np.ndarray] = []
+        removed: List[np.ndarray] = []
+        stats: List[RoundStats] = []
+        limit = self.max_rounds if self.max_rounds is not None else 4 * table.num_cells + 16
+
+        cells_scanned = 0
+        subround = 0
+        last_active_subround = 0
+        rounds_executed = 0
+        items_outstanding = abs(table.net_items)
+
+        for round_index in range(1, limit + 1):
+            recovered_this_round = 0
+            for j in range(r):
+                subround += 1
+                start = j * subtable_size
+                stop = start + subtable_size
+                cells_scanned += subtable_size
+                pure = _pure_cells_in_range(table, start, stop, self.signed)
+                if pure.size:
+                    keys = table.key_sum[pure].copy()
+                    signs = table.count[pure].copy()
+                    positive = keys[signs > 0]
+                    negative = keys[signs < 0]
+                    if positive.size:
+                        recovered.append(positive)
+                    if negative.size:
+                        removed.append(negative)
+                    _remove_keys(table, keys, signs, tracker)
+                    recovered_this_round += int(pure.size)
+                    last_active_subround = subround
+                    items_outstanding = max(items_outstanding - int(pure.size), 0)
+                elif tracker is not None:
+                    tracker.record_round(np.empty(0, dtype=np.int64))
+                stats.append(
+                    RoundStats(
+                        round_index=subround,
+                        vertices_peeled=int(pure.size),
+                        edges_peeled=int(pure.size),
+                        vertices_remaining=int(np.count_nonzero(table.count)),
+                        edges_remaining=items_outstanding,
+                        work=subtable_size,
+                        subtable=j,
+                    )
+                )
+            if recovered_this_round == 0:
+                break
+            rounds_executed = round_index
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"parallel recovery did not terminate within {limit} rounds")
+
+        recovered_arr = (
+            np.concatenate(recovered) if recovered else np.empty(0, dtype=np.uint64)
+        )
+        removed_arr = np.concatenate(removed) if removed else np.empty(0, dtype=np.uint64)
+        decode = IBLTDecodeResult(
+            recovered=recovered_arr,
+            removed=removed_arr,
+            success=table.is_empty(),
+            rounds=rounds_executed,
+            subrounds=last_active_subround,
+            cells_scanned=cells_scanned,
+        )
+        conflict_depths = tracker.round_depths if tracker is not None else []
+        return ParallelDecodeResult(decode=decode, round_stats=stats, conflict_depths=conflict_depths)
+
+
+class FlatParallelDecoder:
+    """Whole-table rounds with key deduplication (the ablation variant).
+
+    Every round scans all cells at once; an item pure in several cells at the
+    same instant would be recovered (and deleted) several times, so recovered
+    keys are deduplicated with a global ``np.unique`` before removal.  The
+    paper's subtable scheme avoids the need for this global step; the
+    ablation benchmark compares the two.
+    """
+
+    def __init__(
+        self,
+        *,
+        signed: bool = True,
+        max_rounds: Optional[int] = None,
+        track_conflicts: bool = True,
+    ) -> None:
+        self.signed = bool(signed)
+        if max_rounds is not None:
+            max_rounds = check_positive_int(max_rounds, "max_rounds")
+        self.max_rounds = max_rounds
+        self.track_conflicts = bool(track_conflicts)
+
+    def decode(self, iblt: IBLT, *, in_place: bool = False) -> ParallelDecodeResult:
+        """Run flat round-synchronous recovery on ``iblt``."""
+        table = iblt if in_place else iblt.copy()
+        tracker = AtomicConflictTracker(table.num_cells) if self.track_conflicts else None
+        recovered: List[np.ndarray] = []
+        removed: List[np.ndarray] = []
+        stats: List[RoundStats] = []
+        limit = self.max_rounds if self.max_rounds is not None else 4 * table.num_cells + 16
+        cells_scanned = 0
+        rounds_executed = 0
+        items_outstanding = abs(table.net_items)
+
+        for round_index in range(1, limit + 1):
+            cells_scanned += table.num_cells
+            pure = _pure_cells_in_range(table, 0, table.num_cells, self.signed)
+            if pure.size == 0:
+                stats.append(
+                    RoundStats(
+                        round_index=round_index,
+                        vertices_peeled=0,
+                        edges_peeled=0,
+                        vertices_remaining=int(np.count_nonzero(table.count)),
+                        edges_remaining=items_outstanding,
+                        work=table.num_cells,
+                    )
+                )
+                break
+            keys = table.key_sum[pure].copy()
+            signs = table.count[pure].copy()
+            # An item may be pure in several cells simultaneously; keep one
+            # occurrence of each (its sign is the same everywhere).
+            keys, first = np.unique(keys, return_index=True)
+            signs = signs[first]
+            positive = keys[signs > 0]
+            negative = keys[signs < 0]
+            if positive.size:
+                recovered.append(positive)
+            if negative.size:
+                removed.append(negative)
+            _remove_keys(table, keys, signs, tracker)
+            rounds_executed = round_index
+            items_outstanding = max(items_outstanding - int(keys.size), 0)
+            stats.append(
+                RoundStats(
+                    round_index=round_index,
+                    vertices_peeled=int(keys.size),
+                    edges_peeled=int(keys.size),
+                    vertices_remaining=int(np.count_nonzero(table.count)),
+                    edges_remaining=items_outstanding,
+                    work=table.num_cells,
+                )
+            )
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"parallel recovery did not terminate within {limit} rounds")
+
+        recovered_arr = (
+            np.concatenate(recovered) if recovered else np.empty(0, dtype=np.uint64)
+        )
+        removed_arr = np.concatenate(removed) if removed else np.empty(0, dtype=np.uint64)
+        decode = IBLTDecodeResult(
+            recovered=recovered_arr,
+            removed=removed_arr,
+            success=table.is_empty(),
+            rounds=rounds_executed,
+            subrounds=rounds_executed,
+            cells_scanned=cells_scanned,
+        )
+        conflict_depths = tracker.round_depths if tracker is not None else []
+        return ParallelDecodeResult(decode=decode, round_stats=stats, conflict_depths=conflict_depths)

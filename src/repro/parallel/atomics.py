@@ -1,0 +1,87 @@
+"""Atomic-XOR conflict accounting.
+
+Section 6 of the paper: *"atomic operations can be a bottleneck in any
+parallel implementation; if t threads try to write to the same memory
+location, the algorithm will take at least t (serial) time steps."*
+
+During a parallel IBLT insertion round every item issues ``r`` atomic XORs;
+during a recovery round every recovered item issues up to ``r`` atomic XORs
+into other cells.  The depth contribution of a round is therefore the maximum
+number of XORs landing on any single cell.  :class:`AtomicConflictTracker`
+computes that maximum from the list of target cells, and
+:func:`atomic_xor_depth` is the stateless helper used by the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["atomic_xor_depth", "AtomicConflictTracker"]
+
+
+def atomic_xor_depth(targets: Sequence[int] | np.ndarray, num_cells: int) -> int:
+    """Serial depth induced by atomic XORs onto ``targets``.
+
+    Returns the maximum multiplicity of any cell among ``targets`` — the
+    number of serialized steps a round needs when every conflicting write to
+    the same cell must execute one after the other.  An empty target list has
+    depth 0.
+    """
+    arr = np.asarray(targets, dtype=np.int64)
+    if arr.size == 0:
+        return 0
+    if num_cells <= 0:
+        raise ValueError(f"num_cells must be positive, got {num_cells}")
+    if arr.min() < 0 or arr.max() >= num_cells:
+        raise ValueError("atomic XOR target out of range")
+    counts = np.bincount(arr, minlength=num_cells)
+    return int(counts.max())
+
+
+@dataclass
+class AtomicConflictTracker:
+    """Accumulates per-round atomic-conflict statistics.
+
+    Attributes
+    ----------
+    num_cells:
+        Size of the table the atomics target.
+    round_depths:
+        Per recorded round, the maximum number of conflicting XORs on one cell.
+    round_ops:
+        Per recorded round, the total number of XORs issued.
+    """
+
+    num_cells: int
+    round_depths: List[int] = field(default_factory=list)
+    round_ops: List[int] = field(default_factory=list)
+
+    def record_round(self, targets: Sequence[int] | np.ndarray) -> int:
+        """Record one round of atomic XORs and return its conflict depth."""
+        depth = atomic_xor_depth(targets, self.num_cells)
+        self.round_depths.append(depth)
+        self.round_ops.append(int(np.asarray(targets).size))
+        return depth
+
+    @property
+    def total_ops(self) -> int:
+        """Total atomic XORs recorded across all rounds."""
+        return int(sum(self.round_ops))
+
+    @property
+    def max_depth(self) -> int:
+        """Worst conflict depth over all recorded rounds (0 if none)."""
+        return max(self.round_depths, default=0)
+
+    @property
+    def total_depth(self) -> int:
+        """Sum of per-round conflict depths (serialized critical-path steps)."""
+        return int(sum(self.round_depths))
+
+    def reset(self) -> None:
+        """Forget all recorded rounds."""
+        self.round_depths.clear()
+        self.round_ops.clear()

@@ -1,0 +1,248 @@
+"""Work/depth cost model for a synchronous parallel machine.
+
+The paper's GPU numbers (Tables 3 and 4) are shaped by three facts:
+
+1. insertion parallelizes embarrassingly over items (minus atomic conflicts);
+2. each *recovery* round scans **every** cell ("the parallel implementation
+   examines every cell in every round"), so the parallel cost per round is
+   ``ceil(cells / threads)`` plus a kernel-launch overhead;
+3. the number of rounds is tiny below the threshold (``O(log log n)``) and
+   large above it (``Ω(log n)``), which is why the parallel speedup drops
+   from ~20× to ~7× above the threshold.
+
+:class:`ParallelMachine` turns the per-round work recorded in a
+:class:`~repro.core.results.PeelingResult` (or raw round work sequences) into
+simulated execution times under a configurable :class:`CostModel`, and also
+prices the serial baseline so the two are comparable.  Absolute times are
+arbitrary units; only ratios (speedups, crossovers) are meaningful, which is
+all the reproduction claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.results import PeelingResult, RoundStats
+from repro.utils.validation import check_positive_float, check_positive_int
+
+__all__ = ["CostModel", "SimulatedTiming", "ParallelMachine"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation costs of the simulated machine (arbitrary time units).
+
+    Attributes
+    ----------
+    cell_op_cost:
+        Cost of inspecting one cell / processing one item on one thread.
+    atomic_op_cost:
+        Cost of one atomic XOR (uncontended).
+    round_overhead:
+        Fixed overhead per parallel round (kernel launch + barrier).
+    serial_op_cost:
+        Cost of one operation on the serial baseline machine.  Set equal to
+        ``cell_op_cost`` by default; the paper's serial C++ baseline is
+        roughly as fast per operation as one GPU thread, so the interesting
+        ratios come from parallelism, not per-op disparity.
+    transfer_cost_per_item:
+        Host→device transfer cost per item (the paper includes transfer time
+        in its GPU numbers).
+    """
+
+    cell_op_cost: float = 1.0
+    atomic_op_cost: float = 1.0
+    round_overhead: float = 100.0
+    serial_op_cost: float = 1.0
+    transfer_cost_per_item: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in (
+            "cell_op_cost",
+            "atomic_op_cost",
+            "round_overhead",
+            "serial_op_cost",
+            "transfer_cost_per_item",
+        ):
+            value = getattr(self, name)
+            if not np.isfinite(value) or value < 0:
+                raise ValueError(f"{name} must be a finite non-negative number, got {value}")
+
+
+@dataclass(frozen=True)
+class SimulatedTiming:
+    """Simulated parallel and serial times for one workload.
+
+    Attributes
+    ----------
+    parallel_time:
+        Simulated time on the parallel machine.
+    serial_time:
+        Simulated time of the serial baseline doing the same job.
+    rounds:
+        Number of parallel rounds executed.
+    parallel_work:
+        Total operations performed by the parallel execution (it may do more
+        work than the serial baseline, e.g. full-table scans every round).
+    serial_work:
+        Total operations of the serial baseline.
+    """
+
+    parallel_time: float
+    serial_time: float
+    rounds: int
+    parallel_work: int
+    serial_work: int
+
+    @property
+    def speedup(self) -> float:
+        """Serial time divided by parallel time (``inf`` if parallel time is 0)."""
+        if self.parallel_time == 0:
+            return float("inf")
+        return self.serial_time / self.parallel_time
+
+
+class ParallelMachine:
+    """A synchronous parallel machine with ``num_threads`` threads.
+
+    Parameters
+    ----------
+    num_threads:
+        Hardware parallelism.  The paper's Tesla C2070 exposes thousands of
+        resident threads; the default of 4096 gives speedup magnitudes in the
+        same regime as the paper's 10–20×, but any value > 1 preserves the
+        qualitative shape (who wins and where the advantage shrinks).
+    cost_model:
+        Per-operation costs; see :class:`CostModel`.
+    """
+
+    def __init__(self, num_threads: int = 4096, cost_model: Optional[CostModel] = None) -> None:
+        self.num_threads = check_positive_int(num_threads, "num_threads")
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+
+    # ------------------------------------------------------------------ #
+    # Insertion / deletion phase
+    # ------------------------------------------------------------------ #
+    def time_insertions(
+        self,
+        num_items: int,
+        edge_size: int,
+        *,
+        max_conflict_depth: int = 1,
+        include_transfer: bool = True,
+    ) -> SimulatedTiming:
+        """Simulated timing of inserting (or deleting) ``num_items`` items.
+
+        Each item hashes into ``edge_size`` cells and issues one atomic XOR
+        per cell.  One thread is devoted to each item (Section 6), so the
+        parallel depth is ``ceil(items / threads)`` item-steps, times the
+        per-item cost, plus the worst atomic-conflict serialization observed
+        (``max_conflict_depth`` atomic ops).
+        """
+        num_items = check_positive_int(num_items, "num_items") if num_items else 0
+        edge_size = check_positive_int(edge_size, "edge_size")
+        cm = self.cost_model
+        per_item_cost = cm.cell_op_cost + edge_size * cm.atomic_op_cost
+        serial_work = num_items * edge_size
+        serial_time = num_items * per_item_cost if num_items else 0.0
+        waves = ceil(num_items / self.num_threads) if num_items else 0
+        parallel_time = waves * per_item_cost + cm.round_overhead * (1 if num_items else 0)
+        parallel_time += max(0, max_conflict_depth - 1) * cm.atomic_op_cost
+        if include_transfer and num_items:
+            parallel_time += num_items * cm.transfer_cost_per_item
+        return SimulatedTiming(
+            parallel_time=float(parallel_time),
+            serial_time=float(serial_time),
+            rounds=1 if num_items else 0,
+            parallel_work=serial_work,
+            serial_work=serial_work,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Recovery phase
+    # ------------------------------------------------------------------ #
+    def time_recovery(
+        self,
+        round_stats: Sequence[RoundStats] | PeelingResult,
+        *,
+        num_cells: Optional[int] = None,
+        edge_size: int = 3,
+        full_scan: bool = True,
+        conflict_depths: Optional[Sequence[int]] = None,
+    ) -> SimulatedTiming:
+        """Simulated timing of the round-based recovery phase.
+
+        Parameters
+        ----------
+        round_stats:
+            The per-round stats of a peeling run (or the
+            :class:`~repro.core.results.PeelingResult` itself).
+        num_cells:
+            Table size; required when ``full_scan`` is True and
+            ``round_stats`` entries do not already carry full-scan work.
+        edge_size:
+            Number of cells touched per recovered item (the ``r`` atomic
+            XOR fan-out).
+        full_scan:
+            If True (the paper's GPU behaviour) every round scans every cell:
+            per-round parallel work is ``num_cells`` regardless of how few
+            items are recovered.  If False, per-round work is the recorded
+            frontier work.
+        conflict_depths:
+            Optional per-round atomic conflict depths (from
+            :class:`~repro.parallel.atomics.AtomicConflictTracker`); defaults
+            to no contention.
+        """
+        if isinstance(round_stats, PeelingResult):
+            stats = list(round_stats.round_stats)
+        else:
+            stats = list(round_stats)
+        cm = self.cost_model
+        edge_size = check_positive_int(edge_size, "edge_size")
+        if full_scan:
+            if num_cells is None:
+                raise ValueError("num_cells is required when full_scan=True")
+            num_cells = check_positive_int(num_cells, "num_cells")
+
+        parallel_time = 0.0
+        parallel_work = 0
+        serial_work = 0
+        for index, stat in enumerate(stats):
+            scan_work = num_cells if full_scan else stat.work
+            atomic_ops = stat.vertices_peeled * edge_size
+            round_work = scan_work + atomic_ops
+            parallel_work += round_work
+            waves = ceil(scan_work / self.num_threads) if scan_work else 0
+            atomic_waves = ceil(atomic_ops / self.num_threads) if atomic_ops else 0
+            round_time = (
+                waves * cm.cell_op_cost
+                + atomic_waves * cm.atomic_op_cost
+                + cm.round_overhead
+            )
+            if conflict_depths is not None and index < len(conflict_depths):
+                round_time += max(0, conflict_depths[index] - 1) * cm.atomic_op_cost
+            parallel_time += round_time
+            # The serial baseline only touches cells as it pops them off its
+            # worklist: its work is proportional to items recovered (plus the
+            # one-time initial scan accounted below).
+            serial_work += atomic_ops + stat.vertices_peeled
+
+        # Serial baseline: one initial scan of the table to seed the worklist,
+        # then work proportional to what was actually recovered.
+        if full_scan and num_cells is not None:
+            serial_work += num_cells
+        serial_time = serial_work * cm.serial_op_cost
+        return SimulatedTiming(
+            parallel_time=float(parallel_time),
+            serial_time=float(serial_time),
+            rounds=len(stats),
+            parallel_work=int(parallel_work),
+            serial_work=int(serial_work),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"ParallelMachine(num_threads={self.num_threads}, cost_model={self.cost_model})"

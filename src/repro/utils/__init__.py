@@ -1,0 +1,36 @@
+"""Shared utilities: RNG handling, validation, timing, and tabular reporting.
+
+These helpers are deliberately small and dependency-free (NumPy only) so that
+every other subpackage can import them without creating cycles.
+"""
+
+from repro.utils.rng import resolve_rng, spawn_rngs, derive_seed
+from repro.utils.validation import (
+    check_positive_int,
+    check_nonnegative_int,
+    check_positive_float,
+    check_probability,
+    check_in_range,
+    check_array_1d,
+    require,
+)
+from repro.utils.timing import Timer, WallClock
+from repro.utils.tables import Table, format_float, format_int
+
+__all__ = [
+    "resolve_rng",
+    "spawn_rngs",
+    "derive_seed",
+    "check_positive_int",
+    "check_nonnegative_int",
+    "check_positive_float",
+    "check_probability",
+    "check_in_range",
+    "check_array_1d",
+    "require",
+    "Timer",
+    "WallClock",
+    "Table",
+    "format_float",
+    "format_int",
+]

@@ -1,0 +1,78 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmark scripts print the same rows the paper's tables report; this
+module renders those rows as aligned monospace tables without any third-party
+dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Sequence
+
+__all__ = ["Table", "format_float", "format_int"]
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Format a float with ``digits`` decimals, collapsing -0.0 to 0.0."""
+    if value == 0:
+        value = 0.0
+    return f"{value:.{digits}f}"
+
+
+def format_int(value: int) -> str:
+    """Format an integer with no grouping (matches the paper's tables)."""
+    return f"{int(value):d}"
+
+
+@dataclass
+class Table:
+    """A simple column-aligned text table.
+
+    Parameters
+    ----------
+    columns:
+        Header labels, one per column.
+    title:
+        Optional title printed above the table.
+    """
+
+    columns: Sequence[str]
+    title: Optional[str] = None
+    rows: List[List[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        """Append a row; cells are converted with ``str``."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(cell) for cell in cells])
+
+    def extend(self, rows: Iterable[Sequence[Any]]) -> None:
+        """Append many rows at once."""
+        for row in rows:
+            self.add_row(*row)
+
+    def render(self) -> str:
+        """Render the table as an aligned monospace string."""
+        headers = [str(c) for c in self.columns]
+        widths = [len(h) for h in headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_row(cells: Sequence[str]) -> str:
+            return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt_row(headers))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(fmt_row(row))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,88 @@
+"""Lightweight timing helpers for the experiment harness.
+
+The paper reports wall-clock times for the serial and parallel IBLT
+implementations; we provide a context-manager timer and an injectable clock so
+tests can exercise timing code paths deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["WallClock", "Timer"]
+
+
+class WallClock:
+    """Monotonic clock wrapper; swap out ``now`` in tests for determinism."""
+
+    def __init__(self, now: Optional[Callable[[], float]] = None) -> None:
+        self._now = now if now is not None else time.perf_counter
+
+    def now(self) -> float:
+        """Return the current time in seconds (monotonic)."""
+        return self._now()
+
+
+@dataclass
+class Timer:
+    """Accumulating named-section timer.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer.section("insert"):
+    ...     pass
+    >>> "insert" in timer.totals
+    True
+    """
+
+    clock: WallClock = field(default_factory=WallClock)
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+    _stack: List[tuple] = field(default_factory=list)
+
+    def section(self, name: str) -> "_TimerSection":
+        """Return a context manager that accumulates into section ``name``."""
+        return _TimerSection(self, name)
+
+    def add(self, name: str, elapsed: float) -> None:
+        """Record ``elapsed`` seconds against section ``name``."""
+        if elapsed < 0:
+            raise ValueError(f"elapsed must be non-negative, got {elapsed}")
+        self.totals[name] = self.totals.get(name, 0.0) + elapsed
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Total seconds recorded under ``name`` (0.0 if never recorded)."""
+        return self.totals.get(name, 0.0)
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per call recorded under ``name``."""
+        count = self.counts.get(name, 0)
+        if count == 0:
+            return 0.0
+        return self.totals[name] / count
+
+    def reset(self) -> None:
+        """Clear all recorded sections."""
+        self.totals.clear()
+        self.counts.clear()
+
+
+class _TimerSection:
+    """Context manager produced by :meth:`Timer.section`."""
+
+    def __init__(self, timer: Timer, name: str) -> None:
+        self._timer = timer
+        self._name = name
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "_TimerSection":
+        self._start = self._timer.clock.now()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._start is not None
+        self._timer.add(self._name, self._timer.clock.now() - self._start)

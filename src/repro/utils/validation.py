@@ -1,0 +1,99 @@
+"""Argument-validation helpers used throughout the package.
+
+Each helper raises ``ValueError``/``TypeError`` with a message naming the
+offending parameter, so call sites stay one-liners and error messages stay
+consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+__all__ = [
+    "require",
+    "check_positive_int",
+    "check_nonnegative_int",
+    "check_positive_float",
+    "check_probability",
+    "check_in_range",
+    "check_array_1d",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer ``>= 1`` and return it as int."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def check_nonnegative_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer ``>= 0`` and return it as int."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return int(value)
+
+
+def check_positive_float(value: Any, name: str) -> float:
+    """Validate that ``value`` is a finite number ``> 0`` and return it as float."""
+    if isinstance(value, bool) or not isinstance(value, (int, float, np.integer, np.floating)):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    value = float(value)
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value}")
+    return value
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Validate that ``value`` lies in ``[0, 1]`` and return it as float."""
+    if isinstance(value, bool) or not isinstance(value, (int, float, np.integer, np.floating)):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    value = float(value)
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_in_range(
+    value: Any,
+    name: str,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate that ``value`` lies within ``[low, high]`` (or open interval)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float, np.integer, np.floating)):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    value = float(value)
+    if inclusive:
+        if low is not None and value < low:
+            raise ValueError(f"{name} must be >= {low}, got {value}")
+        if high is not None and value > high:
+            raise ValueError(f"{name} must be <= {high}, got {value}")
+    else:
+        if low is not None and value <= low:
+            raise ValueError(f"{name} must be > {low}, got {value}")
+        if high is not None and value >= high:
+            raise ValueError(f"{name} must be < {high}, got {value}")
+    return value
+
+
+def check_array_1d(value: Any, name: str, dtype: Any = None) -> np.ndarray:
+    """Coerce ``value`` to a 1-D NumPy array (optionally of ``dtype``)."""
+    arr = np.asarray(value, dtype=dtype)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    return arr

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hypergraph import Hypergraph, partitioned_hypergraph, random_hypergraph
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for tests that need ad-hoc randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_graph() -> Hypergraph:
+    """A 6-vertex, 4-edge, 3-uniform hypergraph with a known 2-core.
+
+    Edges: {0,1,2}, {1,2,3}, {2,3,4}, {1,2,4}.  Vertex 5 is isolated and
+    vertex 0 has degree 1, so peeling with k=2 removes edge 0 first; the rest
+    form a 2-core on vertices {1,2,3,4}.
+    """
+    edges = [[0, 1, 2], [1, 2, 3], [2, 3, 4], [1, 2, 4]]
+    return Hypergraph(6, edges)
+
+
+@pytest.fixture
+def path_like_graph() -> Hypergraph:
+    """A 3-uniform 'path' that peels completely with k=2.
+
+    Edges: {0,1,2}, {2,3,4}, {4,5,6}.  Every edge has an endpoint of degree 1
+    at every stage, so the 2-core is empty.
+    """
+    edges = [[0, 1, 2], [2, 3, 4], [4, 5, 6]]
+    return Hypergraph(7, edges)
+
+
+@pytest.fixture
+def small_below_threshold() -> Hypergraph:
+    """A random G^4_{n,cn} well below the 2-core threshold (c=0.6)."""
+    return random_hypergraph(4000, 0.6, 4, seed=101)
+
+
+@pytest.fixture
+def small_above_threshold() -> Hypergraph:
+    """A random G^4_{n,cn} well above the 2-core threshold (c=0.9)."""
+    return random_hypergraph(4000, 0.9, 4, seed=202)
+
+
+@pytest.fixture
+def small_partitioned() -> Hypergraph:
+    """A partitioned (subtable-model) hypergraph below the threshold."""
+    return partitioned_hypergraph(4000, 0.6, 4, seed=303)

@@ -1,0 +1,236 @@
+"""Tests for the application layer: sparse recovery, reconciliation, erasure code."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    PeelingErasureCode,
+    SetReconciler,
+    SparseRecovery,
+    random_distinct_keys,
+    random_set_pair,
+)
+
+
+class TestRandomKeys:
+    def test_count_and_distinctness(self):
+        keys = random_distinct_keys(5000, seed=1)
+        assert keys.size == 5000
+        assert np.unique(keys).size == 5000
+        assert (keys != 0).all()
+
+    def test_zero_count(self):
+        assert random_distinct_keys(0).size == 0
+
+    def test_reproducible(self):
+        assert np.array_equal(random_distinct_keys(100, seed=3), random_distinct_keys(100, seed=3))
+
+
+class TestSparseRecovery:
+    def test_run_below_threshold_succeeds(self):
+        pipeline = SparseRecovery(num_cells=3000, r=3, seed=1)
+        result = pipeline.run(stream_length=50_000, survivors=2000, seed=2)
+        assert result.success
+        assert result.fraction_recovered == 1.0
+        assert sorted(map(int, result.recovered)) == sorted(map(int, result.expected))
+
+    def test_run_with_serial_decoder(self):
+        pipeline = SparseRecovery(num_cells=1500, r=3, seed=1)
+        result = pipeline.run(stream_length=10_000, survivors=1000, seed=3, decoder="serial")
+        assert result.success
+
+    def test_run_with_flat_parallel_decoder(self):
+        pipeline = SparseRecovery(num_cells=1500, r=3, seed=1)
+        result = pipeline.run(
+            stream_length=10_000, survivors=1000, seed=3, decoder="flat-parallel"
+        )
+        assert result.success
+
+    def test_overloaded_table_fails_partially(self):
+        pipeline = SparseRecovery(num_cells=900, r=3, seed=4)
+        result = pipeline.run(stream_length=5_000, survivors=870, seed=5)
+        assert not result.success
+        assert result.fraction_recovered < 1.0
+
+    def test_survivors_cannot_exceed_stream(self):
+        pipeline = SparseRecovery(num_cells=300, r=3)
+        with pytest.raises(ValueError):
+            pipeline.run(stream_length=10, survivors=11)
+
+    def test_zero_survivors(self):
+        pipeline = SparseRecovery(num_cells=300, r=3, seed=6)
+        result = pipeline.run(stream_length=500, survivors=0, seed=7)
+        assert result.success
+        assert result.fraction_recovered == 1.0
+        assert result.recovered.size == 0
+
+    def test_unknown_decoder_rejected(self):
+        pipeline = SparseRecovery(num_cells=300, r=3)
+        table = pipeline.build_table(np.array([1], dtype=np.uint64), np.empty(0, dtype=np.uint64))
+        with pytest.raises(ValueError):
+            pipeline.recover(table, np.array([1], dtype=np.uint64), decoder="magic")
+
+    def test_space_is_proportional_to_survivors_not_stream(self):
+        # The whole point of sparse recovery: a table of 3000 cells handles a
+        # stream of 100k insertions as long as only ~2000 survive.
+        pipeline = SparseRecovery(num_cells=3000, r=4, seed=8)
+        result = pipeline.run(stream_length=100_000, survivors=2000, seed=9)
+        assert result.success
+
+
+class TestSetReconciliation:
+    def test_random_set_pair_shapes(self):
+        a, b = random_set_pair(100, 5, 7, seed=1)
+        assert a.size == 105 and b.size == 107
+        assert len(set(map(int, a)) & set(map(int, b))) == 100
+
+    def test_reconcile_small_difference(self):
+        a, b = random_set_pair(5000, 20, 30, seed=2)
+        reconciler = SetReconciler(num_cells=300, r=3, seed=3)
+        result = reconciler.reconcile(a, b)
+        assert result.success
+        assert result.a_minus_b.size == 20
+        assert result.b_minus_a.size == 30
+
+    def test_reconcile_identical_sets(self):
+        a, b = random_set_pair(1000, 0, 0, seed=4)
+        result = SetReconciler(num_cells=120, r=3, seed=5).reconcile(a, b)
+        assert result.success
+        assert result.a_minus_b.size == 0 and result.b_minus_a.size == 0
+
+    def test_reconcile_serial_decoder(self):
+        a, b = random_set_pair(2000, 10, 10, seed=6)
+        result = SetReconciler(num_cells=300, r=3, seed=7).reconcile(a, b, decoder="serial")
+        assert result.success
+
+    def test_digest_too_small_fails_gracefully(self):
+        a, b = random_set_pair(1000, 200, 200, seed=8)
+        result = SetReconciler(num_cells=90, r=3, seed=9).reconcile(a, b)
+        assert not result.success
+
+    def test_bytes_exchanged(self):
+        reconciler = SetReconciler(num_cells=120, r=3)
+        a, b = random_set_pair(10, 1, 1, seed=10)
+        assert reconciler.reconcile(a, b).bytes_exchanged == 3 * 8 * 120
+
+    def test_unknown_decoder_rejected(self):
+        a, b = random_set_pair(10, 1, 1, seed=11)
+        with pytest.raises(ValueError):
+            SetReconciler(120, 3).reconcile(a, b, decoder="psychic")
+
+    def test_communication_independent_of_set_size(self):
+        small = SetReconciler(num_cells=300, r=3, seed=12)
+        a1, b1 = random_set_pair(100, 10, 10, seed=13)
+        a2, b2 = random_set_pair(50_000, 10, 10, seed=14)
+        r1 = small.reconcile(a1, b1)
+        r2 = small.reconcile(a2, b2)
+        assert r1.success and r2.success
+        assert r1.bytes_exchanged == r2.bytes_exchanged
+
+
+class TestErasureCode:
+    def _message(self, size: int, seed: int = 0) -> np.ndarray:
+        return random_distinct_keys(size, seed=seed)
+
+    def test_encode_shapes(self):
+        code = PeelingErasureCode(num_encoded=300, r=3, seed=1)
+        block = code.encode(self._message(150))
+        assert block.symbols.shape == (300,)
+        assert block.assignments.shape == (150, 3)
+        assert block.num_encoded == 300 and block.num_message == 150
+
+    def test_decode_no_erasures(self):
+        code = PeelingErasureCode(num_encoded=300, r=3, seed=2)
+        message = self._message(150, seed=2)
+        block = code.encode(message)
+        outcome = code.decode(block, np.ones(300, dtype=bool))
+        assert outcome.success
+        assert np.array_equal(outcome.message, message)
+
+    def test_decode_with_light_erasures(self):
+        code = PeelingErasureCode(num_encoded=400, r=3, seed=3)
+        message = self._message(200, seed=3)
+        block = code.encode(message)
+        rng = np.random.default_rng(4)
+        received = np.ones(400, dtype=bool)
+        received[rng.choice(400, size=20, replace=False)] = False
+        outcome = code.decode(block, received)
+        assert outcome.success
+
+    def test_decode_serial_matches_parallel(self):
+        code = PeelingErasureCode(num_encoded=400, r=3, seed=5)
+        message = self._message(220, seed=5)
+        block = code.encode(message)
+        rng = np.random.default_rng(6)
+        received = np.ones(400, dtype=bool)
+        received[rng.choice(400, size=30, replace=False)] = False
+        serial = code.decode(block, received, mode="serial")
+        parallel = code.decode(block, received, mode="parallel")
+        assert serial.success == parallel.success
+        assert np.array_equal(serial.recovered_mask, parallel.recovered_mask)
+        assert np.array_equal(serial.message, parallel.message)
+
+    def test_heavy_erasures_fail(self):
+        code = PeelingErasureCode(num_encoded=300, r=3, seed=7)
+        message = self._message(200, seed=7)
+        block = code.encode(message)
+        received = np.zeros(300, dtype=bool)
+        received[:60] = True  # 80% erased
+        outcome = code.decode(block, received)
+        assert not outcome.success
+        assert outcome.fraction_recovered < 1.0
+
+    def test_recovered_symbols_always_correct(self):
+        code = PeelingErasureCode(num_encoded=300, r=3, seed=8)
+        message = self._message(200, seed=8)
+        block = code.encode(message)
+        rng = np.random.default_rng(9)
+        received = rng.random(300) > 0.3
+        outcome = code.decode(block, received)
+        recovered_idx = np.flatnonzero(outcome.recovered_mask)
+        assert np.array_equal(outcome.message[recovered_idx], message[recovered_idx])
+
+    def test_zero_message_symbol_rejected(self):
+        code = PeelingErasureCode(num_encoded=30, r=3)
+        with pytest.raises(ValueError):
+            code.encode(np.array([0, 1], dtype=np.uint64))
+
+    def test_bad_received_mask_shape(self):
+        code = PeelingErasureCode(num_encoded=30, r=3)
+        block = code.encode(np.array([5], dtype=np.uint64))
+        with pytest.raises(ValueError):
+            code.decode(block, np.ones(29, dtype=bool))
+
+    def test_invalid_mode(self):
+        code = PeelingErasureCode(num_encoded=30, r=3)
+        block = code.encode(np.array([5], dtype=np.uint64))
+        with pytest.raises(ValueError):
+            code.decode(block, np.ones(30, dtype=bool), mode="sideways")
+
+    def test_r_exceeding_encoded_rejected(self):
+        with pytest.raises(ValueError):
+            PeelingErasureCode(num_encoded=2, r=3)
+
+    @given(
+        num_message=st.integers(min_value=1, max_value=60),
+        seed=st.integers(min_value=0, max_value=500),
+        erased=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_recovered_prefix_correct(self, num_message, seed, erased):
+        code = PeelingErasureCode(num_encoded=240, r=3, seed=seed)
+        message = random_distinct_keys(num_message, seed=seed + 1)
+        block = code.encode(message)
+        rng = np.random.default_rng(seed + 2)
+        received = np.ones(240, dtype=bool)
+        if erased:
+            received[rng.choice(240, size=erased, replace=False)] = False
+        outcome = code.decode(block, received)
+        recovered_idx = np.flatnonzero(outcome.recovered_mask)
+        assert np.array_equal(outcome.message[recovered_idx], message[recovered_idx])
+        unrecovered = np.flatnonzero(~outcome.recovered_mask)
+        assert (outcome.message[unrecovered] == 0).all()

@@ -1,0 +1,118 @@
+"""Tests for the residual-degree evolution analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.degree_evolution import (
+    DegreeHistogram,
+    distribution_distance,
+    measured_degree_distribution,
+    predicted_edge_survival,
+    predicted_mean_residual_degree,
+)
+from repro.core import ParallelPeeler
+from repro.hypergraph import Hypergraph, random_hypergraph
+
+
+class TestPredictions:
+    def test_round_zero_is_one(self):
+        survival = predicted_edge_survival(0.7, 2, 4, 5)
+        assert survival[0] == pytest.approx(1.0)
+        assert survival.shape == (6,)
+
+    def test_survival_monotone_decreasing_below_threshold(self):
+        survival = predicted_edge_survival(0.7, 2, 4, 12)
+        assert (np.diff(survival) <= 1e-12).all()
+        assert survival[-1] < 1e-3
+
+    def test_survival_positive_limit_above_threshold(self):
+        survival = predicted_edge_survival(0.85, 2, 4, 80)
+        assert survival[-1] > 0.3
+
+    def test_mean_degree_is_rc_times_survival(self):
+        mean = predicted_mean_residual_degree(0.7, 2, 4, 6)
+        survival = predicted_edge_survival(0.7, 2, 4, 6)
+        assert np.allclose(mean, 4 * 0.7 * survival)
+
+    def test_zero_rounds(self):
+        assert predicted_edge_survival(0.7, 2, 4, 0).shape == (1,)
+
+    def test_invalid_parameters(self):
+        with pytest.raises((ValueError, TypeError)):
+            predicted_edge_survival(0.7, 0, 4, 3)
+
+
+class TestMeasurement:
+    @pytest.fixture(scope="class")
+    def run(self):
+        graph = random_hypergraph(50_000, 0.7, 4, seed=3)
+        result = ParallelPeeler(2).peel(graph)
+        return graph, result
+
+    def test_round_zero_matches_raw_degrees(self, run):
+        graph, result = run
+        histogram = measured_degree_distribution(graph, result, 0)[0]
+        assert histogram.mean == pytest.approx(graph.degrees().mean())
+        assert histogram.edges_alive_fraction == pytest.approx(1.0)
+        assert histogram.pmf.sum() == pytest.approx(1.0)
+
+    def test_mean_degree_tracks_prediction(self, run):
+        graph, result = run
+        rounds = 7
+        measured = measured_degree_distribution(graph, result, rounds)
+        predicted = predicted_mean_residual_degree(0.7, 2, 4, rounds)
+        for t in range(rounds + 1):
+            assert measured[t].mean == pytest.approx(predicted[t], rel=0.05)
+
+    def test_edge_survival_tracks_prediction(self, run):
+        graph, result = run
+        rounds = 7
+        measured = measured_degree_distribution(graph, result, rounds)
+        predicted = predicted_edge_survival(0.7, 2, 4, rounds)
+        for t in range(rounds + 1):
+            assert measured[t].edges_alive_fraction == pytest.approx(predicted[t], rel=0.05, abs=0.01)
+
+    def test_survival_monotone_in_measurement(self, run):
+        graph, result = run
+        measured = measured_degree_distribution(graph, result, 10)
+        fractions = [h.edges_alive_fraction for h in measured]
+        assert all(a >= b - 1e-12 for a, b in zip(fractions, fractions[1:]))
+
+    def test_high_degrees_folded_into_last_bin(self, run):
+        graph, result = run
+        histogram = measured_degree_distribution(graph, result, 0, max_degree=3)[0]
+        assert histogram.pmf.shape == (4,)
+        assert histogram.pmf.sum() == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        graph = Hypergraph(10, np.empty((0, 3), dtype=np.int64))
+        result = ParallelPeeler(2).peel(graph)
+        histogram = measured_degree_distribution(graph, result, 2)
+        assert all(h.mean == 0.0 for h in histogram)
+        assert all(h.edges_alive_fraction == 0.0 for h in histogram)
+
+
+class TestDistance:
+    def test_identical_histograms(self):
+        h = DegreeHistogram(0, np.array([0.5, 0.5]), mean=0.5, edges_alive_fraction=1.0)
+        assert distribution_distance(h, h) == 0.0
+
+    def test_disjoint_histograms(self):
+        a = DegreeHistogram(0, np.array([1.0, 0.0]), mean=0.0, edges_alive_fraction=1.0)
+        b = DegreeHistogram(0, np.array([0.0, 1.0]), mean=1.0, edges_alive_fraction=1.0)
+        assert distribution_distance(a, b) == pytest.approx(1.0)
+
+    def test_different_lengths(self):
+        a = DegreeHistogram(0, np.array([1.0]), mean=0.0, edges_alive_fraction=1.0)
+        b = DegreeHistogram(0, np.array([0.5, 0.5]), mean=0.5, edges_alive_fraction=1.0)
+        assert distribution_distance(a, b) == pytest.approx(0.5)
+
+    def test_measured_distribution_shifts_over_rounds(self):
+        graph = random_hypergraph(20_000, 0.7, 4, seed=4)
+        result = ParallelPeeler(2).peel(graph)
+        measured = measured_degree_distribution(graph, result, 6)
+        # Distribution keeps moving towards degree 0 as peeling progresses.
+        assert distribution_distance(measured[0], measured[6]) > 0.2
+        assert measured[6].pmf[0] > measured[0].pmf[0]

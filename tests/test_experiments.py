@@ -1,0 +1,187 @@
+"""Tests for the experiment harness (Tables 1–6 and Figure 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    Figure1Series,
+    format_figure1,
+    format_table1,
+    format_table2,
+    format_table34,
+    format_table5,
+    format_table6,
+    run_figure1,
+    run_iblt_experiment,
+    run_table1,
+    run_table1_cell,
+    run_table2,
+    run_table34,
+    run_table5,
+    run_table5_cell,
+    run_table6,
+    summarize,
+)
+from repro.experiments.runner import run_trials
+
+
+class TestRunner:
+    def test_run_trials_reproducible(self):
+        def trial(rng):
+            return int(rng.integers(0, 10**6))
+
+        assert run_trials(trial, 5, seed=1) == run_trials(trial, 5, seed=1)
+        assert run_trials(trial, 5, seed=1) != run_trials(trial, 5, seed=2)
+
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.minimum == 1.0 and summary.maximum == 3.0
+        assert summary.count == 3
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestTable1:
+    def test_cell_below_threshold(self):
+        row = run_table1_cell(5000, 0.7, trials=5, seed=1)
+        assert row.failed == 0
+        assert 8 <= row.avg_rounds <= 16
+
+    def test_cell_above_threshold(self):
+        row = run_table1_cell(5000, 0.85, trials=5, seed=2)
+        assert row.failed == 5
+        assert row.avg_rounds >= 8
+
+    def test_sweep_and_format(self):
+        rows = run_table1(sizes=(2000, 4000), densities=(0.7, 0.85), trials=3, seed=3)
+        assert len(rows) == 4
+        text = format_table1(rows)
+        assert "c=0.7" in text and "c=0.85" in text and "2000" in text
+
+    def test_rounds_grow_above_threshold(self):
+        rows = run_table1(sizes=(2000, 32_000), densities=(0.85,), trials=4, seed=4)
+        small, large = rows[0], rows[1]
+        assert large.avg_rounds > small.avg_rounds + 1.5
+
+    def test_rounds_nearly_flat_below_threshold(self):
+        rows = run_table1(sizes=(2000, 32_000), densities=(0.7,), trials=4, seed=5)
+        small, large = rows[0], rows[1]
+        assert abs(large.avg_rounds - small.avg_rounds) <= 2.0
+
+
+class TestTable2:
+    def test_prediction_matches_experiment_below_threshold(self):
+        rows = run_table2(n=30_000, c=0.7, rounds=14, trials=4, seed=1)
+        # Early rounds (large counts) must track the recurrence to ~2%.
+        for row in rows[:8]:
+            assert row.relative_error < 0.02
+        text = format_table2(rows, c=0.7)
+        assert "Prediction" in text
+
+    def test_prediction_matches_experiment_above_threshold(self):
+        rows = run_table2(n=30_000, c=0.85, rounds=12, trials=4, seed=2)
+        for row in rows:
+            assert row.relative_error < 0.02
+
+    def test_survivor_counts_monotone(self):
+        rows = run_table2(n=10_000, c=0.7, rounds=10, trials=2, seed=3)
+        experiments = [row.experiment for row in rows]
+        assert all(a >= b for a, b in zip(experiments, experiments[1:]))
+
+
+class TestTables34:
+    def test_below_threshold_full_recovery_and_speedup(self):
+        row = run_iblt_experiment(3, 0.75, num_cells=9000, seed=1)
+        assert row.fraction_recovered == pytest.approx(1.0)
+        assert row.recovery_speedup > 2.0
+        assert row.insert_speedup > 2.0
+
+    def test_above_threshold_partial_recovery_and_smaller_speedup(self):
+        below = run_iblt_experiment(3, 0.75, num_cells=9000, seed=2)
+        above = run_iblt_experiment(3, 0.83, num_cells=9000, seed=2)
+        assert above.fraction_recovered < 0.9
+        assert above.rounds >= below.rounds
+        assert above.recovery_speedup < below.recovery_speedup
+
+    def test_r4_table4_shape(self):
+        below = run_iblt_experiment(4, 0.75, num_cells=8000, seed=3)
+        above = run_iblt_experiment(4, 0.83, num_cells=8000, seed=3)
+        assert below.fraction_recovered == pytest.approx(1.0)
+        # r=4 threshold is ≈0.772, so 0.83 recovers only a small fraction
+        # (paper: 24.6%).
+        assert above.fraction_recovered < 0.5
+
+    def test_run_table34_and_format(self):
+        rows = run_table34(3, loads=(0.5, 0.75), num_cells=6000, seed=4)
+        assert len(rows) == 2
+        text = format_table34(rows)
+        assert "Load" in text and "Recovery speedup" in text
+
+    def test_format_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_table34([])
+
+    def test_num_cells_rounded_to_multiple_of_r(self):
+        row = run_iblt_experiment(3, 0.5, num_cells=1000, seed=5)
+        assert row.num_cells % 3 == 0
+
+
+class TestTables56:
+    def test_table5_cell_below_threshold(self):
+        row = run_table5_cell(4000, 0.7, trials=4, seed=1)
+        assert row.failed == 0
+        assert row.avg_subrounds <= 4 * row.avg_rounds
+        assert row.avg_subrounds >= row.avg_rounds
+
+    def test_table5_sweep_and_format(self):
+        rows = run_table5(sizes=(2000, 4000), densities=(0.7,), trials=3, seed=2)
+        assert len(rows) == 2
+        assert "Subrounds" in format_table5(rows)
+
+    def test_table5_subrounds_about_twice_table1_rounds(self):
+        t5 = run_table5_cell(20_000, 0.7, trials=4, seed=3)
+        t1 = run_table1_cell(20_000, 0.7, trials=4, seed=3)
+        ratio = t5.avg_subrounds / t1.avg_rounds
+        # Paper: ratio ≈ 2 (26.1/12.6); certainly between 1 and 4.
+        assert 1.2 < ratio < 3.5
+
+    def test_table6_prediction_accuracy(self):
+        rows = run_table6(n=30_000, c=0.7, rounds=5, trials=4, seed=4)
+        assert len(rows) == 20
+        for row in rows[:12]:
+            assert row.relative_error < 0.03
+        assert "Prediction" in format_table6(rows, c=0.7)
+
+    def test_table6_survivors_monotone(self):
+        rows = run_table6(n=10_000, c=0.7, rounds=4, trials=2, seed=5)
+        values = [row.experiment for row in rows]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+
+class TestFigure1:
+    def test_series_structure(self):
+        series = run_figure1((0.75, 0.77), k=2, r=4, max_rounds=500)
+        assert set(series) == {0.75, 0.77}
+        for s in series.values():
+            assert isinstance(s, Figure1Series)
+            assert s.beta[0] == pytest.approx(4 * s.c)
+            assert s.nu > 0
+
+    def test_plateau_grows_closer_to_threshold(self):
+        series = run_figure1((0.75, 0.772), k=2, r=4, max_rounds=2000)
+        assert series[0.772].gap.plateau_rounds > series[0.75].gap.plateau_rounds
+        assert series[0.772].rounds_to_extinction > series[0.75].rounds_to_extinction
+
+    def test_above_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            run_figure1((0.8,), k=2, r=4)
+
+    def test_format(self):
+        series = run_figure1((0.75,), k=2, r=4, max_rounds=500)
+        text = format_figure1(series, k=2, r=4)
+        assert "plateau" in text and "0.75" in text

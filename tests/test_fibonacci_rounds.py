@@ -1,0 +1,191 @@
+"""Tests for fibonacci growth rates and round-complexity predictions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.fibonacci import (
+    fibonacci_growth_rate,
+    fibonacci_sequence,
+    subtable_round_ratio,
+)
+from repro.analysis.rounds import (
+    gao_leading_constant,
+    leading_constant_below,
+    leading_constant_subtables,
+    predict_rounds,
+    rounds_above_threshold,
+    rounds_below_threshold,
+    rounds_with_subtables,
+)
+from repro.analysis.thresholds import peeling_threshold
+
+
+class TestFibonacciSequence:
+    def test_order2_is_classic_fibonacci(self):
+        assert fibonacci_sequence(2, 10) == [1, 1, 2, 3, 5, 8, 13, 21, 34, 55]
+
+    def test_order3_tribonacci(self):
+        assert fibonacci_sequence(3, 8) == [1, 1, 1, 3, 5, 9, 17, 31]
+
+    def test_short_lengths(self):
+        assert fibonacci_sequence(3, 2) == [1, 1]
+        assert fibonacci_sequence(2, 1) == [1]
+
+    def test_invalid_args(self):
+        with pytest.raises((ValueError, TypeError)):
+            fibonacci_sequence(0, 5)
+        with pytest.raises((ValueError, TypeError)):
+            fibonacci_sequence(2, 0)
+
+    def test_growth_matches_rate(self):
+        seq = fibonacci_sequence(3, 40)
+        ratio = seq[-1] / seq[-2]
+        assert ratio == pytest.approx(fibonacci_growth_rate(3), rel=1e-6)
+
+
+class TestGrowthRate:
+    def test_golden_ratio(self):
+        assert fibonacci_growth_rate(2) == pytest.approx((1 + math.sqrt(5)) / 2, rel=1e-9)
+
+    def test_paper_constants(self):
+        # Paper: phi_2 ≈ 1.61, phi_3 ≈ 1.83, phi_4 ≈ 1.92.
+        assert fibonacci_growth_rate(2) == pytest.approx(1.618, abs=1e-3)
+        assert fibonacci_growth_rate(3) == pytest.approx(1.839, abs=1e-3)
+        assert fibonacci_growth_rate(4) == pytest.approx(1.928, abs=1e-3)
+
+    def test_order_one(self):
+        assert fibonacci_growth_rate(1) == 1.0
+
+    def test_rates_increase_towards_two(self):
+        rates = [fibonacci_growth_rate(p) for p in range(2, 9)]
+        assert all(a < b for a, b in zip(rates, rates[1:]))
+        assert rates[-1] < 2.0
+
+    def test_rate_is_root_of_characteristic_polynomial(self):
+        for order in (2, 3, 4, 5):
+            phi = fibonacci_growth_rate(order)
+            assert phi**order == pytest.approx(sum(phi**i for i in range(order)), rel=1e-9)
+
+
+class TestSubtableRoundRatio:
+    def test_paper_value_r3_k2(self):
+        # Paper: log(r-1)/log(phi_{r-1}) ≈ 1.456 for r=3 (k=2).
+        assert subtable_round_ratio(2, 3) == pytest.approx(
+            math.log(2) / math.log(fibonacci_growth_rate(2)), rel=1e-12
+        )
+        assert subtable_round_ratio(2, 3) == pytest.approx(1.44, abs=0.05)
+
+    def test_large_r_approaches_log2(self):
+        ratio = subtable_round_ratio(2, 9)
+        assert ratio == pytest.approx(math.log2(8), abs=0.12)
+
+    def test_ratio_below_r(self):
+        for r in (3, 4, 5, 6):
+            assert subtable_round_ratio(2, r) < r
+
+    def test_invalid_r(self):
+        with pytest.raises(ValueError):
+            subtable_round_ratio(2, 2)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            subtable_round_ratio(1, 3)
+
+
+class TestLeadingConstants:
+    def test_theorem1_constant(self):
+        assert leading_constant_below(2, 4) == pytest.approx(1 / math.log(3), rel=1e-12)
+        assert leading_constant_below(3, 3) == pytest.approx(1 / math.log(4), rel=1e-12)
+
+    def test_theorem1_requires_k_plus_r_ge_5(self):
+        with pytest.raises(ValueError):
+            leading_constant_below(2, 2)
+
+    def test_gao_constant_is_larger(self):
+        for k, r in [(2, 3), (2, 4), (3, 3), (3, 4)]:
+            assert gao_leading_constant(k, r) > leading_constant_below(k, r)
+
+    def test_gao_invalid_combination(self):
+        with pytest.raises(ValueError):
+            gao_leading_constant(2, 2)
+
+    def test_theorem7_constant(self):
+        expected = 1.0 / (math.log(fibonacci_growth_rate(3)) + math.log(1))
+        assert leading_constant_subtables(2, 4) == pytest.approx(expected, rel=1e-12)
+
+    def test_theorem7_requires_r_ge_3(self):
+        with pytest.raises(ValueError):
+            leading_constant_subtables(2, 2)
+
+    def test_subtable_constant_larger_than_plain_for_k2(self):
+        # More subrounds than plain rounds (but less than r times as many).
+        for r in (3, 4, 5):
+            assert leading_constant_subtables(2, r) > leading_constant_below(2, r)
+            assert leading_constant_subtables(2, r) < r * leading_constant_below(2, r)
+
+
+class TestRoundFormulas:
+    def test_below_threshold_grows_like_loglog(self):
+        small = rounds_below_threshold(10**4, 2, 4)
+        large = rounds_below_threshold(10**8, 2, 4)
+        assert large > small
+        assert large - small < 1.0  # log log grows extremely slowly
+
+    def test_below_threshold_additive_constant(self):
+        base = rounds_below_threshold(10**6, 2, 4)
+        assert rounds_below_threshold(10**6, 2, 4, constant=3.0) == pytest.approx(base + 3.0)
+
+    def test_subtable_formula(self):
+        assert rounds_with_subtables(10**6, 2, 4) > rounds_below_threshold(10**6, 2, 4)
+
+    def test_above_threshold_requires_c_above(self):
+        with pytest.raises(ValueError):
+            rounds_above_threshold(10**6, 0.5, 2, 4)
+
+    def test_above_threshold_scales_with_log_n(self):
+        c = peeling_threshold(2, 4) + 0.05
+        assert rounds_above_threshold(10**8, c, 2, 4) == pytest.approx(
+            2 * rounds_above_threshold(10**4, c, 2, 4), rel=1e-9
+        )
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            rounds_below_threshold(2, 2, 4)
+
+
+class TestPredictRounds:
+    def test_below_threshold_prediction_matches_simulation_scale(self):
+        prediction = predict_rounds(1_000_000, 0.7, 2, 4)
+        assert prediction.regime == "below"
+        # Paper Table 1: ~13 rounds at this density for large n.
+        assert 12 <= prediction.rounds <= 15
+
+    def test_above_threshold_prediction(self):
+        prediction = predict_rounds(1_000_000, 0.85, 2, 4)
+        assert prediction.regime == "above"
+        # Paper Table 1: ~18-20 rounds at n ≈ 1.28M-2.56M.
+        assert 14 <= prediction.rounds <= 28
+
+    def test_above_threshold_rounds_grow_with_n(self):
+        small = predict_rounds(10_000, 0.85, 2, 4).rounds
+        large = predict_rounds(2_560_000, 0.85, 2, 4).rounds
+        assert large > small + 4
+
+    def test_below_threshold_rounds_nearly_flat_in_n(self):
+        small = predict_rounds(10_000, 0.7, 2, 4).rounds
+        large = predict_rounds(2_560_000, 0.7, 2, 4).rounds
+        assert large - small <= 2
+
+    def test_threshold_field(self):
+        prediction = predict_rounds(1000, 0.7, 2, 4)
+        assert prediction.threshold == pytest.approx(peeling_threshold(2, 4))
+
+    def test_near_threshold_takes_many_rounds(self):
+        # At c = 0.772 (nu ≈ 0.0003) Theorem 5 predicts a ~sqrt(1/nu) ≈ 60
+        # round plateau on top of the log log n term.
+        prediction = predict_rounds(1_000_000, 0.772, 2, 4)
+        assert prediction.rounds > 40

@@ -1,0 +1,156 @@
+"""Tests for the random hypergraph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import (
+    binomial_hypergraph,
+    edge_density,
+    hypergraph_from_edges,
+    partitioned_hypergraph,
+    random_hypergraph,
+)
+
+
+class TestRandomHypergraph:
+    def test_edge_count_matches_density(self):
+        graph = random_hypergraph(1000, 0.7, 3, seed=1)
+        assert graph.num_edges == 700
+        assert graph.num_vertices == 1000
+
+    def test_explicit_num_edges_overrides_density(self):
+        graph = random_hypergraph(100, 0.5, 3, num_edges=37, seed=1)
+        assert graph.num_edges == 37
+
+    def test_edges_have_distinct_vertices(self):
+        graph = random_hypergraph(50, 2.0, 4, seed=7)
+        edges = np.sort(graph.edges, axis=1)
+        assert not (edges[:, 1:] == edges[:, :-1]).any()
+
+    def test_reproducible_with_seed(self):
+        a = random_hypergraph(200, 0.8, 3, seed=5)
+        b = random_hypergraph(200, 0.8, 3, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = random_hypergraph(200, 0.8, 3, seed=5)
+        b = random_hypergraph(200, 0.8, 3, seed=6)
+        assert a != b
+
+    def test_rejects_r_below_two(self):
+        with pytest.raises(ValueError):
+            random_hypergraph(100, 0.5, 1, seed=1)
+
+    def test_rejects_nonpositive_density(self):
+        with pytest.raises(ValueError):
+            random_hypergraph(100, 0.0, 3, seed=1)
+
+    def test_zero_edges_allowed_explicitly(self):
+        graph = random_hypergraph(100, 0.5, 3, num_edges=0, seed=1)
+        assert graph.num_edges == 0
+
+    def test_r_larger_than_n_rejected(self):
+        with pytest.raises(ValueError):
+            random_hypergraph(3, 1.0, 5, seed=1)
+
+    def test_vertices_roughly_uniform(self):
+        # With 20k edges of size 3 over 200 vertices, every vertex should be
+        # hit many times; a completely skipped vertex would signal a broken
+        # sampler.
+        graph = random_hypergraph(200, 100.0, 3, seed=3)
+        assert (graph.degrees() > 0).all()
+
+    @given(
+        n=st.integers(min_value=10, max_value=300),
+        c=st.floats(min_value=0.1, max_value=2.0),
+        r=st.integers(min_value=2, max_value=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_valid_edges(self, n, c, r):
+        graph = random_hypergraph(n, c, r, seed=0)
+        assert graph.num_edges == int(round(c * n))
+        if graph.num_edges:
+            assert graph.edges.min() >= 0
+            assert graph.edges.max() < n
+            sorted_edges = np.sort(graph.edges, axis=1)
+            assert not (sorted_edges[:, 1:] == sorted_edges[:, :-1]).any()
+
+
+class TestBinomialHypergraph:
+    def test_mean_edge_count_near_cn(self):
+        n, c = 2000, 0.7
+        counts = [
+            binomial_hypergraph(n, c, 3, seed=seed).num_edges for seed in range(5)
+        ]
+        mean = np.mean(counts)
+        # Poisson(1400): 5-sample mean within ~5 standard errors.
+        assert abs(mean - c * n) < 5 * np.sqrt(c * n / 5)
+
+    def test_distinct_vertices_within_edges(self):
+        graph = binomial_hypergraph(300, 1.0, 4, seed=2)
+        edges = np.sort(graph.edges, axis=1)
+        assert not (edges[:, 1:] == edges[:, :-1]).any()
+
+    def test_reproducible(self):
+        a = binomial_hypergraph(500, 0.5, 3, seed=9)
+        b = binomial_hypergraph(500, 0.5, 3, seed=9)
+        assert a == b
+
+    def test_rejects_r_below_two(self):
+        with pytest.raises(ValueError):
+            binomial_hypergraph(100, 0.5, 1, seed=1)
+
+
+class TestPartitionedHypergraph:
+    def test_partition_structure(self):
+        graph = partitioned_hypergraph(400, 0.7, 4, seed=1)
+        assert graph.is_partitioned
+        assert graph.num_partitions == 4
+        block = 100
+        edges = graph.edges
+        for j in range(4):
+            assert (edges[:, j] >= j * block).all()
+            assert (edges[:, j] < (j + 1) * block).all()
+
+    def test_edge_count(self):
+        graph = partitioned_hypergraph(400, 0.7, 4, seed=1)
+        assert graph.num_edges == 280
+
+    def test_requires_divisible_n(self):
+        with pytest.raises(ValueError, match="divisible"):
+            partitioned_hypergraph(401, 0.7, 4, seed=1)
+
+    def test_explicit_num_edges(self):
+        graph = partitioned_hypergraph(40, 0.5, 4, num_edges=11, seed=1)
+        assert graph.num_edges == 11
+
+    def test_reproducible(self):
+        a = partitioned_hypergraph(200, 0.8, 4, seed=5)
+        b = partitioned_hypergraph(200, 0.8, 4, seed=5)
+        assert a == b
+
+    def test_vertex_partition_matches_blocks(self):
+        graph = partitioned_hypergraph(40, 0.5, 4, seed=1)
+        partition = graph.vertex_partition
+        assert partition.tolist() == sum(([j] * 10 for j in range(4)), [])
+
+
+class TestFromEdgesAndDensity:
+    def test_from_edges_validates(self):
+        with pytest.raises(ValueError):
+            hypergraph_from_edges(3, [[0, 1, 7]])
+
+    def test_from_edges_roundtrip(self):
+        graph = hypergraph_from_edges(5, [[0, 1, 2], [2, 3, 4]])
+        assert graph.num_edges == 2
+
+    def test_edge_density_helper(self):
+        assert edge_density(100, 70) == pytest.approx(0.7)
+
+    def test_edge_density_rejects_zero_vertices(self):
+        with pytest.raises(ValueError):
+            edge_density(0, 10)

@@ -1,0 +1,121 @@
+"""Tests for the IBLT hash family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.iblt.hashing import KeyHasher, checksum_keys, splitmix64
+
+
+class TestSplitmix:
+    def test_deterministic(self):
+        keys = np.arange(1, 100, dtype=np.uint64)
+        assert np.array_equal(splitmix64(keys, seed=3), splitmix64(keys, seed=3))
+
+    def test_seed_changes_output(self):
+        keys = np.arange(1, 100, dtype=np.uint64)
+        assert not np.array_equal(splitmix64(keys, seed=3), splitmix64(keys, seed=4))
+
+    def test_scalar_input(self):
+        out = splitmix64(12345, seed=0)
+        assert isinstance(out, np.uint64)
+
+    def test_no_trivial_fixed_point_at_zero(self):
+        assert splitmix64(0, seed=0) != 0
+
+    def test_distinct_inputs_rarely_collide(self):
+        keys = np.arange(1, 100_001, dtype=np.uint64)
+        hashed = splitmix64(keys, seed=1)
+        assert np.unique(hashed).size == keys.size
+
+    def test_output_dtype(self):
+        out = splitmix64(np.array([1, 2, 3], dtype=np.uint64))
+        assert out.dtype == np.uint64
+
+
+class TestChecksum:
+    def test_checksum_differs_from_hash(self):
+        keys = np.arange(1, 1000, dtype=np.uint64)
+        assert not np.array_equal(checksum_keys(keys), splitmix64(keys))
+
+    def test_checksum_deterministic(self):
+        assert checksum_keys(42) == checksum_keys(42)
+
+    def test_checksum_seed_sensitivity(self):
+        assert checksum_keys(42, seed=1) != checksum_keys(42, seed=2)
+
+
+class TestKeyHasher:
+    def test_subtable_layout_column_ranges(self):
+        hasher = KeyHasher(num_cells=300, r=3, layout="subtables", seed=0)
+        keys = np.arange(1, 2001, dtype=np.uint64)
+        cells = hasher.cell_indices(keys)
+        assert cells.shape == (2000, 3)
+        for j in range(3):
+            assert (cells[:, j] >= j * 100).all()
+            assert (cells[:, j] < (j + 1) * 100).all()
+
+    def test_flat_layout_whole_range(self):
+        hasher = KeyHasher(num_cells=100, r=3, layout="flat", seed=0)
+        cells = hasher.cell_indices(np.arange(1, 5001, dtype=np.uint64))
+        assert cells.min() >= 0 and cells.max() < 100
+
+    def test_scalar_key(self):
+        hasher = KeyHasher(num_cells=300, r=3, seed=0)
+        out = hasher.cell_indices(7)
+        assert out.shape == (3,)
+
+    def test_deterministic_per_seed(self):
+        keys = np.arange(1, 101, dtype=np.uint64)
+        a = KeyHasher(300, 3, seed=1).cell_indices(keys)
+        b = KeyHasher(300, 3, seed=1).cell_indices(keys)
+        c = KeyHasher(300, 3, seed=2).cell_indices(keys)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_subtable_size(self):
+        assert KeyHasher(300, 3).subtable_size == 100
+
+    def test_subtable_size_flat_rejected(self):
+        with pytest.raises(ValueError):
+            _ = KeyHasher(300, 3, layout="flat").subtable_size
+
+    def test_divisibility_required_for_subtables(self):
+        with pytest.raises(ValueError):
+            KeyHasher(301, 3, layout="subtables")
+
+    def test_flat_no_divisibility_needed(self):
+        KeyHasher(301, 3, layout="flat")
+
+    def test_r_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            KeyHasher(100, 1)
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ValueError):
+            KeyHasher(100, 2, layout="wavy")  # type: ignore[arg-type]
+
+    def test_subtable_of_cell(self):
+        hasher = KeyHasher(300, 3)
+        assert hasher.subtable_of_cell(0) == 0
+        assert hasher.subtable_of_cell(150) == 1
+        assert np.array_equal(hasher.subtable_of_cell(np.array([0, 100, 299])), [0, 1, 2])
+
+    def test_subtable_of_cell_flat_rejected(self):
+        with pytest.raises(ValueError):
+            KeyHasher(300, 3, layout="flat").subtable_of_cell(5)
+
+    def test_cell_distribution_roughly_uniform(self):
+        hasher = KeyHasher(num_cells=90, r=3, seed=4)
+        keys = np.arange(1, 30_001, dtype=np.uint64)
+        cells = hasher.cell_indices(keys)
+        counts = np.bincount(cells.reshape(-1), minlength=90)
+        # 90k hashes into 90 cells: each cell expects 1000; allow wide slack.
+        assert counts.min() > 700
+        assert counts.max() < 1300
+
+    def test_checksums_match_module_function(self):
+        hasher = KeyHasher(90, 3, seed=5)
+        keys = np.array([1, 2, 3], dtype=np.uint64)
+        assert np.array_equal(hasher.checksums(keys), hasher.checksums(keys))

@@ -1,0 +1,167 @@
+"""Tests for the Hypergraph data structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hypergraph import Hypergraph
+
+
+class TestConstruction:
+    def test_basic_properties(self, tiny_graph):
+        assert tiny_graph.num_vertices == 6
+        assert tiny_graph.num_edges == 4
+        assert tiny_graph.edge_size == 3
+
+    def test_edge_density(self, tiny_graph):
+        assert tiny_graph.edge_density == pytest.approx(4 / 6)
+
+    def test_empty_edges(self):
+        graph = Hypergraph(5, np.empty((0, 3), dtype=np.int64))
+        assert graph.num_edges == 0
+        assert graph.edge_density == 0.0
+
+    def test_zero_vertices(self):
+        graph = Hypergraph(0, np.empty((0, 2), dtype=np.int64))
+        assert graph.num_vertices == 0
+        assert graph.edge_density == 0.0
+
+    def test_out_of_range_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(3, [[0, 1, 5]])
+
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(3, [[-1, 1, 2]])
+
+    def test_duplicate_vertices_rejected_by_default(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Hypergraph(4, [[1, 1, 2]])
+
+    def test_duplicate_vertices_allowed_when_opted_in(self):
+        graph = Hypergraph(4, [[1, 1, 2]], allow_duplicate_vertices=True)
+        assert graph.num_edges == 1
+        assert graph.degree(1) == 2
+
+    def test_non_2d_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(4, np.array([1, 2, 3]))
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(-1, [])
+
+    def test_repr_mentions_sizes(self, tiny_graph):
+        assert "n=6" in repr(tiny_graph) and "m=4" in repr(tiny_graph)
+
+
+class TestDegreesAndIncidence:
+    def test_degrees(self, tiny_graph):
+        degrees = tiny_graph.degrees()
+        assert degrees.tolist() == [1, 3, 4, 2, 2, 0]
+
+    def test_degree_single(self, tiny_graph):
+        assert tiny_graph.degree(2) == 4
+        assert tiny_graph.degree(5) == 0
+
+    def test_degree_out_of_range(self, tiny_graph):
+        with pytest.raises(IndexError):
+            tiny_graph.degree(6)
+
+    def test_degrees_returns_copy(self, tiny_graph):
+        degrees = tiny_graph.degrees()
+        degrees[0] = 99
+        assert tiny_graph.degree(0) == 1
+
+    def test_degrees_view_readonly(self, tiny_graph):
+        view = tiny_graph.degrees_view
+        with pytest.raises(ValueError):
+            view[0] = 5
+
+    def test_incident_edges(self, tiny_graph):
+        assert sorted(tiny_graph.incident_edges(0).tolist()) == [0]
+        assert sorted(tiny_graph.incident_edges(2).tolist()) == [0, 1, 2, 3]
+        assert tiny_graph.incident_edges(5).size == 0
+
+    def test_incident_edges_out_of_range(self, tiny_graph):
+        with pytest.raises(IndexError):
+            tiny_graph.incident_edges(-1)
+
+    def test_incidence_consistency(self, tiny_graph):
+        # Every (vertex, edge) incidence appears exactly once in the CSR index.
+        ptr = tiny_graph.incidence_ptr
+        inc = tiny_graph.incidence_edges
+        assert ptr[-1] == tiny_graph.num_edges * tiny_graph.edge_size
+        for v in range(tiny_graph.num_vertices):
+            for e in inc[ptr[v]: ptr[v + 1]]:
+                assert v in tiny_graph.edge_vertices(int(e))
+
+    def test_edge_vertices(self, tiny_graph):
+        assert tiny_graph.edge_vertices(0).tolist() == [0, 1, 2]
+
+    def test_edge_vertices_out_of_range(self, tiny_graph):
+        with pytest.raises(IndexError):
+            tiny_graph.edge_vertices(4)
+
+    def test_edges_view_readonly(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.edges[0, 0] = 3
+
+    def test_degree_sum_equals_mr(self, small_below_threshold):
+        graph = small_below_threshold
+        assert graph.degrees().sum() == graph.num_edges * graph.edge_size
+
+
+class TestPartition:
+    def test_unpartitioned_flags(self, tiny_graph):
+        assert not tiny_graph.is_partitioned
+        assert tiny_graph.num_partitions == 0
+        with pytest.raises(ValueError):
+            _ = tiny_graph.vertex_partition
+
+    def test_partition_shape_validated(self):
+        with pytest.raises(ValueError):
+            Hypergraph(4, [[0, 1]], vertex_partition=np.array([0, 1]), num_partitions=2)
+
+    def test_partition_values_validated(self):
+        with pytest.raises(ValueError):
+            Hypergraph(
+                2, [[0, 1]], vertex_partition=np.array([0, 5]), num_partitions=2
+            )
+
+    def test_partition_roundtrip(self, small_partitioned):
+        graph = small_partitioned
+        assert graph.is_partitioned
+        assert graph.num_partitions == 4
+        partition = graph.vertex_partition
+        block = graph.num_vertices // 4
+        assert partition[0] == 0 and partition[-1] == 3
+        # Edge column j always lies inside subtable j.
+        edges = graph.edges
+        for j in range(4):
+            assert (partition[edges[:, j]] == j).all()
+
+
+class TestSubgraphAndConversion:
+    def test_subgraph_of_edges(self, tiny_graph):
+        sub = tiny_graph.subgraph_of_edges(np.array([True, False, True, False]))
+        assert sub.num_edges == 2
+        assert sub.num_vertices == tiny_graph.num_vertices
+
+    def test_subgraph_bad_mask_shape(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.subgraph_of_edges(np.array([True, False]))
+
+    def test_to_networkx_bipartite(self, tiny_graph):
+        nx_graph = tiny_graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 6 + 4
+        assert nx_graph.number_of_edges() == 4 * 3
+
+    def test_equality(self):
+        a = Hypergraph(4, [[0, 1, 2]])
+        b = Hypergraph(4, [[0, 1, 2]])
+        c = Hypergraph(4, [[0, 1, 3]])
+        assert a == b
+        assert a != c
+        assert a != "not a graph"

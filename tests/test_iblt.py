@@ -1,0 +1,226 @@
+"""Tests for the IBLT table and its serial recovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.sparse_recovery import random_distinct_keys
+from repro.iblt import IBLT
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        table = IBLT(300, 3)
+        assert table.num_cells == 300
+        assert table.r == 3
+        assert table.load == 0.0
+        assert table.is_empty()
+
+    def test_subtable_divisibility(self):
+        with pytest.raises(ValueError):
+            IBLT(301, 3, layout="subtables")
+
+    def test_flat_layout_any_size(self):
+        IBLT(301, 3, layout="flat")
+
+    def test_repr(self):
+        assert "num_cells=300" in repr(IBLT(300, 3))
+
+
+class TestInsertDelete:
+    def test_insert_updates_load(self):
+        table = IBLT(300, 3)
+        table.insert(np.arange(1, 31, dtype=np.uint64))
+        assert table.net_items == 30
+        assert table.load == pytest.approx(0.1)
+
+    def test_insert_then_delete_restores_empty(self):
+        table = IBLT(300, 3)
+        keys = np.arange(1, 101, dtype=np.uint64)
+        table.insert(keys)
+        table.delete(keys)
+        assert table.is_empty()
+        assert table.net_items == 0
+
+    def test_partial_delete_leaves_difference(self):
+        table = IBLT(300, 3, seed=1)
+        table.insert(np.arange(1, 101, dtype=np.uint64))
+        table.delete(np.arange(1, 51, dtype=np.uint64))
+        result = table.decode()
+        assert result.success
+        assert sorted(map(int, result.recovered)) == list(range(51, 101))
+
+    def test_zero_key_rejected(self):
+        table = IBLT(300, 3)
+        with pytest.raises(ValueError):
+            table.insert([0])
+
+    def test_empty_batch_noop(self):
+        table = IBLT(300, 3)
+        table.insert(np.empty(0, dtype=np.uint64))
+        table.delete(np.empty(0, dtype=np.uint64))
+        assert table.is_empty()
+
+    def test_single_scalar_like_insert(self):
+        table = IBLT(300, 3)
+        table.insert([7])
+        assert table.net_items == 1
+        result = table.decode()
+        assert result.success and result.recovered.tolist() == [7]
+
+    def test_2d_keys_rejected(self):
+        with pytest.raises(ValueError):
+            IBLT(300, 3).insert(np.ones((2, 2), dtype=np.uint64))
+
+    def test_counts_sum_consistent(self):
+        table = IBLT(300, 3)
+        table.insert(np.arange(1, 41, dtype=np.uint64))
+        assert table.count.sum() == 40 * 3
+
+    def test_copy_independent(self):
+        table = IBLT(300, 3)
+        table.insert([1, 2, 3])
+        clone = table.copy()
+        clone.insert([4])
+        assert table.net_items == 3
+        assert clone.net_items == 4
+
+
+class TestPureCells:
+    def test_pure_cells_detected(self):
+        table = IBLT(30, 3, seed=2)
+        table.insert([5])
+        mask = table.pure_cell_mask()
+        assert mask.sum() == 3  # a lone key occupies 3 pure cells
+
+    def test_unsigned_mode_ignores_negative(self):
+        table = IBLT(30, 3, seed=2)
+        table.delete([5])
+        assert table.pure_cell_mask(signed=True).sum() == 3
+        assert table.pure_cell_mask(signed=False).sum() == 0
+
+    def test_colliding_keys_not_pure(self):
+        table = IBLT(30, 3, seed=2)
+        table.insert([5, 9])
+        mask = table.pure_cell_mask()
+        # Cells holding both keys must not be flagged pure.
+        shared = (table.count >= 2)
+        assert not (mask & shared).any()
+
+
+class TestGet:
+    def test_get_absent_key_zero(self):
+        table = IBLT(300, 3, seed=3)
+        table.insert([10, 20, 30])
+        assert table.get(999999) in (0, None)
+
+    def test_get_present_key(self):
+        table = IBLT(300, 3, seed=3)
+        table.insert([10])
+        assert table.get(10) == 1
+
+    def test_get_deleted_key(self):
+        table = IBLT(300, 3, seed=3)
+        table.delete([10])
+        assert table.get(10) == -1
+
+
+class TestSerialDecode:
+    def test_decode_small_set(self):
+        table = IBLT(300, 3, seed=4)
+        keys = np.arange(1, 151, dtype=np.uint64)
+        table.insert(keys)
+        result = table.decode()
+        assert result.success
+        assert sorted(map(int, result.recovered)) == list(range(1, 151))
+        assert result.removed.size == 0
+
+    def test_decode_below_threshold_load(self):
+        table = IBLT(3000, 3, seed=5)
+        keys = random_distinct_keys(2100, seed=5)  # load 0.70 < 0.818
+        table.insert(keys)
+        result = table.decode()
+        assert result.success
+        assert result.recovered.size == 2100
+
+    def test_decode_overloaded_table_fails(self):
+        table = IBLT(600, 3, seed=6)
+        keys = random_distinct_keys(590, seed=6)  # load ~0.98 > threshold
+        table.insert(keys)
+        result = table.decode()
+        assert not result.success
+        assert result.recovered.size < 590
+
+    def test_decode_preserves_table_by_default(self):
+        table = IBLT(300, 3, seed=7)
+        table.insert([1, 2, 3])
+        table.decode()
+        assert not table.is_empty()
+
+    def test_decode_in_place_consumes_table(self):
+        table = IBLT(300, 3, seed=7)
+        table.insert([1, 2, 3])
+        result = table.decode(in_place=True)
+        assert result.success
+        assert table.is_empty()
+
+    def test_decode_signed_difference(self):
+        table = IBLT(300, 3, seed=8)
+        table.insert([1, 2, 3])
+        table.delete([10, 11])
+        result = table.decode()
+        assert result.success
+        assert sorted(map(int, result.recovered)) == [1, 2, 3]
+        assert sorted(map(int, result.removed)) == [10, 11]
+
+    def test_decode_empty_table(self):
+        result = IBLT(300, 3).decode()
+        assert result.success
+        assert result.recovered.size == 0
+
+    def test_decode_flat_layout(self):
+        table = IBLT(400, 3, layout="flat", seed=9)
+        keys = random_distinct_keys(200, seed=9)
+        table.insert(keys)
+        result = table.decode()
+        assert result.success
+        assert result.recovered.size == 200
+
+    def test_cells_scanned_positive(self):
+        table = IBLT(300, 3, seed=10)
+        table.insert([1, 2, 3])
+        assert table.decode().cells_scanned >= 300
+
+
+class TestSubtract:
+    def test_subtract_recovers_symmetric_difference(self):
+        a = IBLT(600, 3, seed=11)
+        b = IBLT(600, 3, seed=11)
+        shared = np.arange(1, 1001, dtype=np.uint64)
+        a.insert(shared)
+        b.insert(shared)
+        a.insert([2000, 2001])
+        b.insert([3000])
+        diff = a.subtract(b)
+        result = diff.decode()
+        assert result.success
+        assert sorted(map(int, result.recovered)) == [2000, 2001]
+        assert sorted(map(int, result.removed)) == [3000]
+
+    def test_subtract_requires_same_geometry(self):
+        a = IBLT(300, 3, seed=1)
+        b = IBLT(600, 3, seed=1)
+        with pytest.raises(ValueError):
+            a.subtract(b)
+
+    def test_subtract_requires_same_seed(self):
+        a = IBLT(300, 3, seed=1)
+        b = IBLT(300, 3, seed=2)
+        with pytest.raises(ValueError):
+            a.subtract(b)
+
+    def test_subtract_self_is_empty(self):
+        a = IBLT(300, 3, seed=1)
+        a.insert(np.arange(1, 50, dtype=np.uint64))
+        assert a.subtract(a.copy()).is_empty()

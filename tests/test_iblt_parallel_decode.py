@@ -1,0 +1,159 @@
+"""Tests for the parallel (round-synchronous) IBLT decoders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.sparse_recovery import random_distinct_keys
+from repro.iblt import IBLT, FlatParallelDecoder, SubtableParallelDecoder
+
+
+def _loaded_table(num_cells: int, load: float, r: int = 3, seed: int = 0, layout: str = "subtables"):
+    table = IBLT(num_cells, r, layout=layout, seed=seed)
+    keys = random_distinct_keys(int(load * num_cells), seed=seed + 1)
+    table.insert(keys)
+    return table, keys
+
+
+class TestSubtableDecoder:
+    def test_recovers_everything_below_threshold(self):
+        table, keys = _loaded_table(3000, 0.70, r=3, seed=1)
+        result = SubtableParallelDecoder().decode(table)
+        assert result.success
+        assert sorted(map(int, result.recovered)) == sorted(map(int, keys))
+
+    def test_agrees_with_serial_decode(self):
+        table, keys = _loaded_table(3000, 0.75, r=3, seed=2)
+        serial = table.decode()
+        parallel = SubtableParallelDecoder().decode(table)
+        assert serial.success == parallel.success
+        assert sorted(map(int, serial.recovered)) == sorted(map(int, parallel.recovered))
+
+    def test_overloaded_table_partial_recovery(self):
+        table, keys = _loaded_table(3000, 0.95, r=3, seed=3)
+        result = SubtableParallelDecoder().decode(table)
+        assert not result.success
+        assert 0 < result.recovered.size < keys.size
+        # Everything recovered must be a genuine key.
+        assert np.isin(result.recovered, keys).all()
+
+    def test_requires_subtable_layout(self):
+        table = IBLT(300, 3, layout="flat")
+        with pytest.raises(ValueError):
+            SubtableParallelDecoder().decode(table)
+
+    def test_does_not_mutate_by_default(self):
+        table, _ = _loaded_table(300, 0.5, seed=4)
+        SubtableParallelDecoder().decode(table)
+        assert not table.is_empty()
+
+    def test_in_place_consumes_table(self):
+        table, _ = _loaded_table(300, 0.5, seed=4)
+        result = SubtableParallelDecoder().decode(table, in_place=True)
+        assert result.success
+        assert table.is_empty()
+
+    def test_rounds_and_subrounds_relationship(self):
+        table, _ = _loaded_table(3000, 0.70, r=3, seed=5)
+        result = SubtableParallelDecoder().decode(table)
+        assert result.rounds >= 1
+        assert result.rounds <= result.subrounds <= 3 * result.rounds
+
+    def test_round_stats_cover_all_subrounds(self):
+        table, _ = _loaded_table(900, 0.6, r=3, seed=6)
+        result = SubtableParallelDecoder().decode(table)
+        assert len(result.round_stats) >= result.subrounds
+        assert all(s.work == 300 for s in result.round_stats)
+
+    def test_signed_difference_decoding(self):
+        a = IBLT(600, 3, seed=7)
+        b = IBLT(600, 3, seed=7)
+        shared = random_distinct_keys(300, seed=8)
+        a.insert(shared)
+        b.insert(shared)
+        a.insert([11111])
+        b.insert([22222, 33333])
+        diff = a.subtract(b)
+        result = SubtableParallelDecoder().decode(diff)
+        assert result.success
+        assert list(map(int, result.recovered)) == [11111]
+        assert sorted(map(int, result.removed)) == [22222, 33333]
+
+    def test_unsigned_mode_skips_negative_cells(self):
+        table = IBLT(300, 3, seed=9)
+        table.delete([5])
+        result = SubtableParallelDecoder(signed=False).decode(table)
+        assert not result.success
+        assert result.removed.size == 0
+
+    def test_empty_table(self):
+        result = SubtableParallelDecoder().decode(IBLT(300, 3))
+        assert result.success
+        assert result.rounds == 0
+
+    def test_conflict_tracking_optional(self):
+        table, _ = _loaded_table(300, 0.5, seed=10)
+        with_tracking = SubtableParallelDecoder(track_conflicts=True).decode(table)
+        without = SubtableParallelDecoder(track_conflicts=False).decode(table)
+        assert with_tracking.conflict_depths != [] or with_tracking.rounds == 0
+        assert without.conflict_depths == []
+
+    def test_no_duplicate_recoveries(self):
+        table, keys = _loaded_table(3000, 0.7, r=4, seed=11)
+        result = SubtableParallelDecoder().decode(table)
+        recovered = list(map(int, result.recovered))
+        assert len(recovered) == len(set(recovered))
+
+    def test_r4_table(self):
+        table, keys = _loaded_table(4000, 0.70, r=4, seed=12)
+        result = SubtableParallelDecoder().decode(table)
+        assert result.success
+        assert result.recovered.size == keys.size
+
+
+class TestFlatDecoder:
+    def test_recovers_everything_below_threshold(self):
+        table, keys = _loaded_table(3000, 0.70, r=3, seed=20, layout="flat")
+        result = FlatParallelDecoder().decode(table)
+        assert result.success
+        assert sorted(map(int, result.recovered)) == sorted(map(int, keys))
+
+    def test_deduplicates_simultaneously_pure_items(self):
+        # A single key is pure in all of its r cells at once; without
+        # deduplication it would be removed r times and corrupt the table.
+        table = IBLT(300, 3, layout="flat", seed=21)
+        table.insert([123456])
+        result = FlatParallelDecoder().decode(table)
+        assert result.success
+        assert result.recovered.tolist() == [123456]
+
+    def test_works_on_subtable_layout_too(self):
+        table, keys = _loaded_table(3000, 0.70, r=3, seed=22)
+        result = FlatParallelDecoder().decode(table)
+        assert result.success
+
+    def test_agrees_with_subtable_decoder_on_success(self):
+        table, keys = _loaded_table(3000, 0.75, r=3, seed=23)
+        flat = FlatParallelDecoder().decode(table)
+        sub = SubtableParallelDecoder().decode(table)
+        assert flat.success == sub.success
+        assert sorted(map(int, flat.recovered)) == sorted(map(int, sub.recovered))
+
+    def test_rounds_not_fewer_than_needed(self):
+        table, _ = _loaded_table(3000, 0.7, r=3, seed=24)
+        flat = FlatParallelDecoder().decode(table)
+        sub = SubtableParallelDecoder().decode(table)
+        # Subtable decoding peels at least as much per full round, so it never
+        # needs more rounds than the flat decoder.
+        assert sub.rounds <= flat.rounds
+
+    def test_work_counts_full_scans(self):
+        table, _ = _loaded_table(900, 0.6, r=3, seed=25, layout="flat")
+        result = FlatParallelDecoder().decode(table)
+        assert all(s.work == 900 for s in result.round_stats)
+
+    def test_empty_table(self):
+        result = FlatParallelDecoder().decode(IBLT(300, 3, layout="flat"))
+        assert result.success
+        assert result.rounds == 0

@@ -1,0 +1,103 @@
+"""Property-based tests (hypothesis) for the IBLT."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.iblt import IBLT, FlatParallelDecoder, SubtableParallelDecoder
+
+key_sets = st.lists(
+    st.integers(min_value=1, max_value=2**62), min_size=0, max_size=60, unique=True
+)
+
+
+class TestRoundTripProperties:
+    @given(keys=key_sets, seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=50, deadline=None)
+    def test_insert_then_delete_is_identity(self, keys, seed):
+        table = IBLT(300, 3, seed=seed)
+        arr = np.asarray(keys, dtype=np.uint64)
+        if arr.size:
+            table.insert(arr)
+            table.delete(arr)
+        assert table.is_empty()
+
+    @given(keys=key_sets, seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=50, deadline=None)
+    def test_low_load_decoding_recovers_exactly(self, keys, seed):
+        # 60 keys in 300 cells is load 0.2, far below every threshold: decode
+        # must recover the exact set.
+        table = IBLT(300, 3, seed=seed)
+        arr = np.asarray(keys, dtype=np.uint64)
+        if arr.size:
+            table.insert(arr)
+        result = table.decode()
+        assert result.success
+        assert sorted(map(int, result.recovered)) == sorted(keys)
+
+    @given(keys=key_sets, seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=50, deadline=None)
+    def test_parallel_and_serial_recover_same_set(self, keys, seed):
+        table = IBLT(300, 3, seed=seed)
+        arr = np.asarray(keys, dtype=np.uint64)
+        if arr.size:
+            table.insert(arr)
+        serial = table.decode()
+        parallel = SubtableParallelDecoder().decode(table)
+        flat = FlatParallelDecoder().decode(table)
+        assert sorted(map(int, serial.recovered)) == sorted(map(int, parallel.recovered))
+        assert sorted(map(int, serial.recovered)) == sorted(map(int, flat.recovered))
+
+    @given(
+        a_keys=key_sets,
+        b_keys=key_sets,
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_subtract_recovers_symmetric_difference(self, a_keys, b_keys, seed):
+        table_a = IBLT(600, 3, seed=seed)
+        table_b = IBLT(600, 3, seed=seed)
+        if a_keys:
+            table_a.insert(np.asarray(a_keys, dtype=np.uint64))
+        if b_keys:
+            table_b.insert(np.asarray(b_keys, dtype=np.uint64))
+        result = table_a.subtract(table_b).decode()
+        assert result.success
+        assert sorted(map(int, result.recovered)) == sorted(set(a_keys) - set(b_keys))
+        assert sorted(map(int, result.removed)) == sorted(set(b_keys) - set(a_keys))
+
+    @given(keys=key_sets, seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_recovered_keys_are_always_genuine(self, keys, seed):
+        # Even when decoding fails (overload is impossible here, but the
+        # property must hold regardless), nothing is hallucinated.
+        table = IBLT(60, 3, seed=seed)
+        arr = np.asarray(keys, dtype=np.uint64)
+        if arr.size:
+            table.insert(arr)
+        result = table.decode()
+        assert set(map(int, result.recovered)) <= set(keys)
+
+    @given(
+        keys=key_sets,
+        batch_split=st.integers(min_value=0, max_value=60),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_insertion_order_is_irrelevant(self, keys, batch_split, seed):
+        split = min(batch_split, len(keys))
+        one = IBLT(300, 3, seed=seed)
+        two = IBLT(300, 3, seed=seed)
+        arr = np.asarray(keys, dtype=np.uint64)
+        if arr.size:
+            one.insert(arr)
+            if split:
+                two.insert(arr[:split])
+            if arr.size - split:
+                two.insert(arr[split:][::-1])
+        assert np.array_equal(one.count, two.count)
+        assert np.array_equal(one.key_sum, two.key_sum)
+        assert np.array_equal(one.check_sum, two.check_sum)

@@ -1,0 +1,134 @@
+"""Tests for IBLT serialization and the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.sparse_recovery import random_distinct_keys
+from repro.cli import build_parser, main
+from repro.iblt import IBLT, SubtableParallelDecoder
+
+
+class TestIBLTSerialization:
+    def test_roundtrip_preserves_state(self):
+        table = IBLT(300, 3, seed=5)
+        table.insert(random_distinct_keys(150, seed=6))
+        clone = IBLT.from_bytes(table.to_bytes())
+        assert clone.num_cells == table.num_cells
+        assert clone.r == table.r
+        assert clone.layout == table.layout
+        assert clone.net_items == table.net_items
+        assert np.array_equal(clone.count, table.count)
+        assert np.array_equal(clone.key_sum, table.key_sum)
+        assert np.array_equal(clone.check_sum, table.check_sum)
+
+    def test_roundtrip_decodes_identically(self):
+        table = IBLT(600, 3, seed=7)
+        keys = random_distinct_keys(400, seed=8)
+        table.insert(keys)
+        clone = IBLT.from_bytes(table.to_bytes())
+        original = sorted(map(int, table.decode().recovered))
+        restored = sorted(map(int, clone.decode().recovered))
+        assert original == restored == sorted(map(int, keys))
+
+    def test_payload_size(self):
+        table = IBLT(300, 3)
+        payload = table.to_bytes()
+        assert len(payload) == len(IBLT._MAGIC) + 5 * 8 + 3 * 8 * 300
+
+    def test_flat_layout_roundtrip(self):
+        table = IBLT(101, 3, layout="flat", seed=9)
+        table.insert([1, 2, 3])
+        clone = IBLT.from_bytes(table.to_bytes())
+        assert clone.layout == "flat"
+        assert clone.decode().success
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            IBLT.from_bytes(b"NOTANIBLT" + b"\x00" * 100)
+
+    def test_truncated_payload_rejected(self):
+        payload = IBLT(300, 3).to_bytes()
+        with pytest.raises(ValueError, match="truncated"):
+            IBLT.from_bytes(payload[:-8])
+
+    def test_reconciliation_over_serialized_digest(self):
+        """End-to-end: party B serializes its digest, party A deserializes,
+        subtracts and decodes — the actual wire protocol."""
+        seed = 11
+        a_keys = random_distinct_keys(500, seed=12)
+        b_keys = np.concatenate([a_keys[:480], random_distinct_keys(15, seed=13)])
+        digest_a = IBLT(300, 3, seed=seed)
+        digest_a.insert(a_keys)
+        digest_b = IBLT(300, 3, seed=seed)
+        digest_b.insert(b_keys)
+        wire = digest_b.to_bytes()
+        received = IBLT.from_bytes(wire)
+        diff = digest_a.subtract(received)
+        result = SubtableParallelDecoder().decode(diff)
+        assert result.success
+        assert sorted(map(int, result.recovered)) == sorted(map(int, a_keys[480:]))
+        assert sorted(map(int, result.removed)) == sorted(
+            set(map(int, b_keys)) - set(map(int, a_keys))
+        )
+
+
+class TestCLI:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_thresholds_command(self, capsys):
+        assert main(["thresholds", "--k", "2", "--r", "4", "--n", "10000"]) == 0
+        out = capsys.readouterr().out
+        assert "c*_{2,4} = 0.772" in out
+        assert "below" in out and "above" in out
+
+    def test_peel_command(self, capsys):
+        assert main(["peel", "--n", "5000", "--c", "0.7", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "parallel peeling" in out
+        assert "empty core" in out
+
+    def test_peel_subtable_mode(self, capsys):
+        assert main(["peel", "--n", "5000", "--c", "0.7", "--mode", "subtable"]) == 0
+        assert "subtable peeling" in capsys.readouterr().out
+
+    def test_table1_command(self, capsys):
+        code = main([
+            "table1", "--sizes", "2000", "--densities", "0.7", "--trials", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "c=0.7" in out
+
+    def test_table2_command(self, capsys):
+        assert main(["table2", "--n", "5000", "--trials", "2", "--rounds", "8"]) == 0
+        assert "Prediction" in capsys.readouterr().out
+
+    def test_table3_command(self, capsys):
+        assert main(["table3", "--num-cells", "3000", "--loads", "0.6"]) == 0
+        assert "r=3" in capsys.readouterr().out
+
+    def test_table4_command(self, capsys):
+        assert main(["table4", "--num-cells", "3000", "--loads", "0.6"]) == 0
+        assert "r=4" in capsys.readouterr().out
+
+    def test_table5_command(self, capsys):
+        assert main([
+            "table5", "--sizes", "2000", "--densities", "0.7", "--trials", "2",
+        ]) == 0
+        assert "Subrounds" in capsys.readouterr().out
+
+    def test_table6_command(self, capsys):
+        assert main(["table6", "--n", "4000", "--trials", "2", "--rounds", "4"]) == 0
+        assert "subtable recurrence" in capsys.readouterr().out
+
+    def test_figure1_command(self, capsys):
+        assert main(["figure1", "--densities", "0.76"]) == 0
+        assert "beta evolution" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tableX"])

@@ -1,0 +1,141 @@
+"""Tests for k-core computation and verification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import (
+    Hypergraph,
+    has_empty_kcore,
+    kcore,
+    kcore_mask,
+    kcore_size,
+    random_hypergraph,
+    reference_kcore_mask,
+    verify_kcore,
+)
+
+
+class TestKCoreSmall:
+    def test_tiny_graph_core(self, tiny_graph):
+        result = kcore(tiny_graph, 2)
+        # Edge {0,1,2} is peeled (vertex 0 has degree 1); the other three
+        # edges survive on vertices {1,2,3,4}.
+        assert result.edge_mask.tolist() == [False, True, True, True]
+        assert result.vertex_mask.tolist() == [False, True, True, True, True, False]
+        assert result.num_core_vertices == 4
+        assert result.num_core_edges == 3
+        assert not result.is_empty
+
+    def test_path_graph_empty_core(self, path_like_graph):
+        result = kcore(path_like_graph, 2)
+        assert result.is_empty
+        assert result.num_core_edges == 0
+        assert not result.vertex_mask.any()
+
+    def test_k1_core_keeps_all_edges(self, tiny_graph):
+        result = kcore(tiny_graph, 1)
+        assert result.edge_mask.all()
+        # Vertex 5 is isolated, hence not in the 1-core.
+        assert not result.vertex_mask[5]
+
+    def test_large_k_empties_everything(self, tiny_graph):
+        result = kcore(tiny_graph, 10)
+        assert result.is_empty
+        assert not result.vertex_mask.any()
+
+    def test_empty_graph(self):
+        graph = Hypergraph(4, np.empty((0, 3), dtype=np.int64))
+        result = kcore(graph, 2)
+        assert result.is_empty
+        assert result.num_core_vertices == 0
+
+    def test_k_must_be_positive(self, tiny_graph):
+        with pytest.raises((ValueError, TypeError)):
+            kcore(tiny_graph, 0)
+
+    def test_kcore_mask_matches_result(self, tiny_graph):
+        assert np.array_equal(kcore_mask(tiny_graph, 2), kcore(tiny_graph, 2).vertex_mask)
+
+    def test_kcore_size(self, tiny_graph):
+        assert kcore_size(tiny_graph, 2) == (4, 3)
+
+    def test_has_empty_kcore(self, tiny_graph, path_like_graph):
+        assert not has_empty_kcore(tiny_graph, 2)
+        assert has_empty_kcore(path_like_graph, 2)
+
+    def test_duplicate_vertex_edge(self):
+        # One edge with a repeated vertex: that vertex has degree 2 from a
+        # single edge but its partner has degree 1, so the 2-core is empty.
+        graph = Hypergraph(3, [[0, 0, 1]], allow_duplicate_vertices=True)
+        assert has_empty_kcore(graph, 2)
+
+
+class TestVerifyKcore:
+    def test_valid_result_verifies(self, tiny_graph):
+        assert verify_kcore(tiny_graph, 2, kcore(tiny_graph, 2))
+
+    def test_tampered_edge_mask_fails(self, tiny_graph):
+        result = kcore(tiny_graph, 2)
+        bad = type(result)(
+            vertex_mask=result.vertex_mask,
+            edge_mask=np.zeros_like(result.edge_mask),
+            k=result.k,
+        )
+        assert not verify_kcore(tiny_graph, 2, bad)
+
+    def test_tampered_vertex_mask_fails(self, tiny_graph):
+        result = kcore(tiny_graph, 2)
+        vm = result.vertex_mask.copy()
+        vm[0] = True
+        bad = type(result)(vertex_mask=vm, edge_mask=result.edge_mask, k=result.k)
+        assert not verify_kcore(tiny_graph, 2, bad)
+
+    def test_wrong_shape_fails(self, tiny_graph):
+        result = kcore(tiny_graph, 2)
+        bad = type(result)(
+            vertex_mask=result.vertex_mask[:-1], edge_mask=result.edge_mask, k=result.k
+        )
+        assert not verify_kcore(tiny_graph, 2, bad)
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_matches_reference_on_random_graphs(self, seed, k):
+        graph = random_hypergraph(120, 1.2, 3, seed=seed)
+        fast = kcore(graph, k).vertex_mask
+        slow = reference_kcore_mask(graph, k)
+        assert np.array_equal(fast, slow)
+
+    @given(
+        n=st.integers(min_value=5, max_value=60),
+        m=st.integers(min_value=0, max_value=80),
+        r=st.integers(min_value=2, max_value=4),
+        k=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_reference(self, n, m, r, k, seed):
+        if r > n:
+            return
+        graph = random_hypergraph(n, 1.0, r, num_edges=m, seed=seed)
+        fast = kcore(graph, k)
+        slow = reference_kcore_mask(graph, k)
+        assert np.array_equal(fast.vertex_mask, slow)
+        assert verify_kcore(graph, k, fast)
+
+    def test_density_monotonicity(self):
+        # Adding edges can only grow the k-core edge count statistically; we
+        # check the specific nested construction where the first m edges are
+        # shared, so the core of the smaller graph is a subset of the larger.
+        big = random_hypergraph(200, 1.5, 3, seed=11)
+        small = big.subgraph_of_edges(np.arange(big.num_edges) < 150)
+        core_small = kcore(small, 2)
+        core_big = kcore(big, 2)
+        surviving_small = set(np.flatnonzero(core_small.edge_mask).tolist())
+        surviving_big = set(np.flatnonzero(core_big.edge_mask).tolist())
+        assert surviving_small <= surviving_big

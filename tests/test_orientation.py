@@ -1,0 +1,147 @@
+"""Tests for the peeling-based orientation / multi-choice hash table."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import peeling_threshold
+from repro.apps.orientation import MultiChoiceHashTable, OrientationResult, PeelingOrienter
+from repro.apps.sparse_recovery import random_distinct_keys
+from repro.hypergraph import Hypergraph, random_hypergraph
+
+
+class TestPeelingOrienter:
+    @pytest.mark.parametrize("mode", ["parallel", "sequential"])
+    def test_below_threshold_orients_with_load_one(self, mode):
+        # max_load=1 -> peel to the 2-core; c=0.7 < c*_{2,3} ≈ 0.818.
+        graph = random_hypergraph(5000, 0.7, 3, seed=1)
+        result = PeelingOrienter(1, mode=mode).orient(graph)
+        assert result.success
+        assert result.max_load <= 1
+        assert result.unassigned == 0
+        assert (result.assignment >= 0).all()
+
+    def test_assignment_targets_are_edge_members(self):
+        graph = random_hypergraph(3000, 0.7, 3, seed=2)
+        result = PeelingOrienter(1).orient(graph)
+        edges = graph.edges
+        for e in range(0, graph.num_edges, 37):
+            assert result.assignment[e] in edges[e]
+
+    def test_loads_consistent_with_assignment(self):
+        graph = random_hypergraph(3000, 0.7, 3, seed=3)
+        result = PeelingOrienter(1).orient(graph)
+        recomputed = np.bincount(result.assignment, minlength=graph.num_vertices)
+        assert np.array_equal(recomputed, result.loads)
+
+    def test_above_threshold_fails_with_unassigned_edges(self):
+        graph = random_hypergraph(5000, 0.9, 3, seed=4)  # above c*_{2,3}
+        result = PeelingOrienter(1).orient(graph)
+        assert not result.success
+        assert result.unassigned > 0
+
+    def test_higher_capacity_uses_higher_core(self):
+        # max_load=2 -> 3-core threshold c*_{3,3} ≈ 1.553; density 1.4 is
+        # below it, so orientation with load 2 succeeds even though load-1
+        # orientation is hopeless at that density.
+        graph = random_hypergraph(5000, 1.4, 3, seed=5)
+        assert not PeelingOrienter(1).orient(graph).success
+        result = PeelingOrienter(2).orient(graph)
+        assert result.success
+        assert result.max_load <= 2
+
+    def test_parallel_rounds_reported(self):
+        graph = random_hypergraph(20_000, 0.7, 3, seed=6)
+        result = PeelingOrienter(1, mode="parallel").orient(graph)
+        assert result.success
+        assert 1 <= result.rounds <= 30
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            PeelingOrienter(1, mode="diagonal")  # type: ignore[arg-type]
+
+    def test_empty_graph(self):
+        graph = Hypergraph(10, np.empty((0, 3), dtype=np.int64))
+        result = PeelingOrienter(1).orient(graph)
+        assert result.success
+        assert result.unassigned == 0
+
+    @given(
+        n=st.integers(min_value=9, max_value=120),
+        m=st.integers(min_value=0, max_value=80),
+        r=st.integers(min_value=2, max_value=4),
+        capacity=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_load_bound_always_respected(self, n, m, r, capacity, seed):
+        """Whenever orientation claims success, every vertex load is within
+        the bound and every edge points at one of its own vertices."""
+        graph = random_hypergraph(n, 1.0, r, num_edges=m, seed=seed)
+        result = PeelingOrienter(capacity).orient(graph)
+        assigned = result.assignment >= 0
+        # Loads recomputed from scratch must respect the bound on success.
+        if result.success:
+            assert assigned.all()
+            assert result.loads.max(initial=0) <= capacity
+        if m:
+            edges = graph.edges
+            rows = np.flatnonzero(assigned)
+            for e in rows:
+                assert result.assignment[e] in edges[e]
+
+
+class TestMultiChoiceHashTable:
+    def test_build_and_lookup(self):
+        keys = random_distinct_keys(4000, seed=7)
+        table = MultiChoiceHashTable(6000, r=3, bucket_capacity=1, seed=8)
+        assert table.build(keys)
+        assert table.is_built
+        assert table.bucket_loads().max() <= 1
+        for key in keys[:200]:
+            assert int(key) in table
+        misses = random_distinct_keys(200, seed=9)
+        false_positives = sum(1 for key in misses if int(key) in table and int(key) not in set(map(int, keys)))
+        assert false_positives == 0
+
+    def test_build_fails_above_threshold(self):
+        c_star = peeling_threshold(2, 3)
+        num_buckets = 3000
+        keys = random_distinct_keys(int((c_star + 0.08) * num_buckets), seed=10)
+        table = MultiChoiceHashTable(num_buckets, r=3, bucket_capacity=1, seed=11)
+        assert not table.build(keys)
+        assert not table.is_built
+
+    def test_capacity_two_allows_higher_load(self):
+        num_buckets = 3000
+        keys = random_distinct_keys(int(1.4 * num_buckets), seed=12)
+        table = MultiChoiceHashTable(num_buckets, r=3, bucket_capacity=2, seed=13)
+        assert table.build(keys)
+        assert table.bucket_loads().max() <= 2
+        assert int(keys[0]) in table
+
+    def test_lookup_before_build_raises(self):
+        table = MultiChoiceHashTable(300, r=3)
+        with pytest.raises(RuntimeError):
+            _ = 5 in table
+        with pytest.raises(RuntimeError):
+            table.bucket_loads()
+
+    def test_duplicate_keys_rejected(self):
+        table = MultiChoiceHashTable(300, r=3)
+        with pytest.raises(ValueError):
+            table.build(np.array([5, 5], dtype=np.uint64))
+
+    def test_zero_key_rejected(self):
+        table = MultiChoiceHashTable(300, r=3)
+        with pytest.raises(ValueError):
+            table.build(np.array([0], dtype=np.uint64))
+
+    def test_construction_rounds_small(self):
+        keys = random_distinct_keys(20_000, seed=14)
+        table = MultiChoiceHashTable(30_000, r=3, bucket_capacity=1, seed=15)
+        assert table.build(keys)
+        assert table.construction_rounds <= 25

@@ -1,0 +1,206 @@
+"""Tests for the simulated parallel machine, atomics and execution backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ParallelPeeler
+from repro.core.results import RoundStats
+from repro.hypergraph import random_hypergraph
+from repro.parallel import (
+    AtomicConflictTracker,
+    CostModel,
+    ParallelMachine,
+    SerialBackend,
+    ThreadPoolBackend,
+    atomic_xor_depth,
+    get_backend,
+)
+
+
+class TestAtomicXorDepth:
+    def test_no_targets(self):
+        assert atomic_xor_depth([], 10) == 0
+
+    def test_all_distinct(self):
+        assert atomic_xor_depth([0, 1, 2, 3], 10) == 1
+
+    def test_conflicts_counted(self):
+        assert atomic_xor_depth([5, 5, 5, 2], 10) == 3
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            atomic_xor_depth([10], 10)
+
+    def test_bad_num_cells(self):
+        with pytest.raises(ValueError):
+            atomic_xor_depth([0], 0)
+
+
+class TestConflictTracker:
+    def test_record_and_aggregate(self):
+        tracker = AtomicConflictTracker(num_cells=10)
+        assert tracker.record_round([1, 2, 3]) == 1
+        assert tracker.record_round([4, 4]) == 2
+        assert tracker.total_ops == 5
+        assert tracker.max_depth == 2
+        assert tracker.total_depth == 3
+
+    def test_reset(self):
+        tracker = AtomicConflictTracker(num_cells=10)
+        tracker.record_round([1, 1])
+        tracker.reset()
+        assert tracker.total_ops == 0
+        assert tracker.max_depth == 0
+
+
+class TestCostModel:
+    def test_defaults_valid(self):
+        CostModel()
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(cell_op_cost=-1.0)
+
+    def test_nan_cost_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(round_overhead=float("nan"))
+
+
+class TestInsertionTiming:
+    def test_speedup_with_many_threads(self):
+        machine = ParallelMachine(num_threads=1024)
+        timing = machine.time_insertions(100_000, 3)
+        assert timing.speedup > 5.0
+
+    def test_single_thread_no_speedup(self):
+        machine = ParallelMachine(num_threads=1, cost_model=CostModel(round_overhead=0.0,
+                                                                      transfer_cost_per_item=0.0))
+        timing = machine.time_insertions(10_000, 3)
+        assert timing.speedup <= 1.0 + 1e-9
+
+    def test_zero_items(self):
+        timing = ParallelMachine().time_insertions(0, 3)
+        assert timing.parallel_time == 0.0
+        assert timing.serial_time == 0.0
+        assert timing.rounds == 0
+
+    def test_conflicts_add_time(self):
+        machine = ParallelMachine(num_threads=1024)
+        base = machine.time_insertions(10_000, 3, max_conflict_depth=1)
+        contended = machine.time_insertions(10_000, 3, max_conflict_depth=50)
+        assert contended.parallel_time > base.parallel_time
+        assert contended.serial_time == base.serial_time
+
+    def test_transfer_cost_toggle(self):
+        machine = ParallelMachine(num_threads=1024)
+        with_transfer = machine.time_insertions(10_000, 3, include_transfer=True)
+        without = machine.time_insertions(10_000, 3, include_transfer=False)
+        assert with_transfer.parallel_time > without.parallel_time
+
+
+class TestRecoveryTiming:
+    def _stats(self, rounds: int, cells: int, peeled_per_round: int):
+        remaining = cells
+        stats = []
+        for i in range(1, rounds + 1):
+            remaining -= peeled_per_round
+            stats.append(
+                RoundStats(
+                    round_index=i,
+                    vertices_peeled=peeled_per_round,
+                    edges_peeled=peeled_per_round,
+                    vertices_remaining=max(remaining, 0),
+                    edges_remaining=max(remaining, 0),
+                    work=cells,
+                )
+            )
+        return stats
+
+    def test_full_scan_requires_num_cells(self):
+        machine = ParallelMachine()
+        with pytest.raises(ValueError):
+            machine.time_recovery(self._stats(3, 1000, 10), full_scan=True)
+
+    def test_more_rounds_cost_more(self):
+        machine = ParallelMachine(num_threads=4096)
+        few = machine.time_recovery(self._stats(5, 10_000, 100), num_cells=10_000, edge_size=3)
+        many = machine.time_recovery(self._stats(40, 10_000, 100), num_cells=10_000, edge_size=3)
+        assert many.parallel_time > few.parallel_time
+        assert many.rounds == 40
+
+    def test_speedup_declines_with_round_count(self):
+        """The paper's key observation: above threshold (more rounds, less
+        recovered) the parallel advantage shrinks."""
+        machine = ParallelMachine(num_threads=4096)
+        below = machine.time_recovery(
+            self._stats(10, 100_000, 9000), num_cells=100_000, edge_size=3
+        )
+        above = machine.time_recovery(
+            self._stats(40, 100_000, 500), num_cells=100_000, edge_size=3
+        )
+        assert below.speedup > above.speedup
+
+    def test_accepts_peeling_result(self):
+        graph = random_hypergraph(2000, 0.6, 3, seed=1)
+        result = ParallelPeeler(2).peel(graph)
+        machine = ParallelMachine()
+        timing = machine.time_recovery(result, num_cells=2000, edge_size=3)
+        assert timing.rounds == len(result.round_stats)
+        assert timing.parallel_time > 0
+
+    def test_frontier_mode_uses_recorded_work(self):
+        machine = ParallelMachine()
+        stats = self._stats(3, 1000, 10)
+        frontier = machine.time_recovery(stats, full_scan=False, edge_size=3)
+        full = machine.time_recovery(stats, num_cells=1000, full_scan=True, edge_size=3)
+        assert frontier.parallel_work <= full.parallel_work
+
+    def test_conflict_depths_add_time(self):
+        machine = ParallelMachine()
+        stats = self._stats(3, 1000, 10)
+        base = machine.time_recovery(stats, num_cells=1000, edge_size=3)
+        contended = machine.time_recovery(
+            stats, num_cells=1000, edge_size=3, conflict_depths=[100, 100, 100]
+        )
+        assert contended.parallel_time > base.parallel_time
+
+    def test_zero_parallel_time_speedup(self):
+        from repro.parallel.machine import SimulatedTiming
+
+        timing = SimulatedTiming(parallel_time=0.0, serial_time=1.0, rounds=1,
+                                 parallel_work=0, serial_work=1)
+        assert timing.speedup == float("inf")
+
+
+class TestBackends:
+    def test_serial_backend_order(self):
+        backend = SerialBackend()
+        assert backend.map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+
+    def test_thread_backend_order(self):
+        with ThreadPoolBackend(max_workers=2) as backend:
+            assert backend.map(lambda x: x * 2, list(range(20))) == [2 * i for i in range(20)]
+
+    def test_thread_backend_reusable(self):
+        backend = ThreadPoolBackend(max_workers=2)
+        assert backend.map(lambda x: x + 1, [1]) == [2]
+        assert backend.map(lambda x: x + 1, [2]) == [3]
+        backend.close()
+
+    def test_get_backend(self):
+        assert isinstance(get_backend("serial"), SerialBackend)
+        assert isinstance(get_backend("threads"), ThreadPoolBackend)
+        with pytest.raises(ValueError):
+            get_backend("gpu")
+
+    def test_backends_give_identical_results_for_trials(self):
+        from repro.experiments.runner import run_trials
+
+        def trial(rng):
+            return int(rng.integers(0, 1000))
+
+        serial = run_trials(trial, 8, seed=7, backend=SerialBackend())
+        threaded = run_trials(trial, 8, seed=7, backend=ThreadPoolBackend(max_workers=4))
+        assert serial == threaded

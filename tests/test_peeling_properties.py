@@ -1,0 +1,138 @@
+"""Property-based tests (hypothesis) for the peeling engines.
+
+The central invariants:
+
+1. every engine produces exactly the k-core (order independence);
+2. the parallel engine's per-round histories are internally consistent;
+3. peeling is monotone in k (a (k+1)-core is contained in the k-core);
+4. subtable peeling agrees with plain peeling on the final core.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ParallelPeeler, SequentialPeeler, SubtablePeeler
+from repro.core.results import UNPEELED
+from repro.hypergraph import (
+    Hypergraph,
+    kcore,
+    partitioned_hypergraph,
+    random_hypergraph,
+    reference_kcore_mask,
+)
+
+graph_params = st.tuples(
+    st.integers(min_value=6, max_value=80),      # n
+    st.integers(min_value=0, max_value=120),     # m
+    st.integers(min_value=2, max_value=4),       # r
+    st.integers(min_value=0, max_value=2**31),   # seed
+)
+
+
+def _build(params) -> Hypergraph:
+    n, m, r, seed = params
+    r = min(r, n)
+    if r < 2:
+        r = 2
+    return random_hypergraph(n, 1.0, r, num_edges=m, seed=seed)
+
+
+class TestEnginesAgree:
+    @given(params=graph_params, k=st.integers(min_value=2, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_parallel_equals_sequential_equals_reference(self, params, k):
+        graph = _build(params)
+        par = ParallelPeeler(k).peel(graph)
+        seq = SequentialPeeler(k).peel(graph)
+        ref_vertices = reference_kcore_mask(graph, k)
+        assert np.array_equal(par.core_edge_mask, seq.core_edge_mask)
+        # Vertices with positive residual degree must agree with the slow
+        # reference k-core exactly.
+        assert np.array_equal(par.core_vertex_mask, ref_vertices) or np.array_equal(
+            par.core_vertex_mask & (graph.degrees() > 0), ref_vertices
+        )
+        assert par.success == seq.success == (par.core_edge_mask.sum() == 0)
+
+    @given(params=graph_params, k=st.integers(min_value=2, max_value=3))
+    @settings(max_examples=40, deadline=None)
+    def test_full_and_frontier_identical(self, params, k):
+        graph = _build(params)
+        full = ParallelPeeler(k, update="full").peel(graph)
+        frontier = ParallelPeeler(k, update="frontier").peel(graph)
+        assert np.array_equal(full.vertex_peel_round, frontier.vertex_peel_round)
+        assert np.array_equal(full.edge_peel_round, frontier.edge_peel_round)
+        assert full.num_rounds == frontier.num_rounds
+
+    @given(
+        n_blocks=st.integers(min_value=3, max_value=30),
+        m=st.integers(min_value=0, max_value=90),
+        r=st.integers(min_value=3, max_value=4),
+        k=st.integers(min_value=2, max_value=3),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_subtable_core_matches_kcore(self, n_blocks, m, r, k, seed):
+        n = n_blocks * r
+        graph = partitioned_hypergraph(n, 1.0, r, num_edges=m, seed=seed)
+        sub = SubtablePeeler(k).peel(graph)
+        ref = kcore(graph, k)
+        assert np.array_equal(sub.core_edge_mask, ref.edge_mask)
+        assert sub.success == ref.is_empty
+
+
+class TestStructuralInvariants:
+    @given(params=graph_params, k=st.integers(min_value=2, max_value=3))
+    @settings(max_examples=40, deadline=None)
+    def test_core_vertices_have_degree_at_least_k(self, params, k):
+        graph = _build(params)
+        result = ParallelPeeler(k).peel(graph)
+        if graph.num_edges == 0:
+            return
+        surviving_edges = graph.edges[result.core_edge_mask]
+        if surviving_edges.size == 0:
+            return
+        degrees = np.bincount(surviving_edges.reshape(-1), minlength=graph.num_vertices)
+        core_vertices = np.flatnonzero(result.core_vertex_mask)
+        assert (degrees[core_vertices] >= k).all()
+
+    @given(params=graph_params)
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_k(self, params):
+        graph = _build(params)
+        core2 = ParallelPeeler(2).peel(graph).core_edge_mask
+        core3 = ParallelPeeler(3).peel(graph).core_edge_mask
+        # The 3-core is a subgraph of the 2-core.
+        assert not (core3 & ~core2).any()
+
+    @given(params=graph_params, k=st.integers(min_value=2, max_value=3))
+    @settings(max_examples=40, deadline=None)
+    def test_round_histories_consistent(self, params, k):
+        graph = _build(params)
+        result = ParallelPeeler(k).peel(graph)
+        total_peeled = sum(s.vertices_peeled for s in result.round_stats)
+        assert total_peeled == int((result.vertex_peel_round != UNPEELED).sum())
+        total_edges_peeled = sum(s.edges_peeled for s in result.round_stats)
+        assert total_edges_peeled == int((result.edge_peel_round != UNPEELED).sum())
+        # Peel rounds are in 1..num_rounds (or UNPEELED).
+        peeled_rounds = result.vertex_peel_round[result.vertex_peel_round != UNPEELED]
+        if peeled_rounds.size:
+            assert peeled_rounds.min() >= 1
+            assert peeled_rounds.max() <= result.num_rounds
+
+    @given(params=graph_params, k=st.integers(min_value=2, max_value=3))
+    @settings(max_examples=40, deadline=None)
+    def test_edge_peel_round_never_before_vertex(self, params, k):
+        graph = _build(params)
+        result = ParallelPeeler(k).peel(graph)
+        for e in range(graph.num_edges):
+            edge_round = result.edge_peel_round[e]
+            endpoint_rounds = result.vertex_peel_round[graph.edge_vertices(e)]
+            peeled = endpoint_rounds[endpoint_rounds != UNPEELED]
+            if edge_round == UNPEELED:
+                assert peeled.size == 0
+            else:
+                assert edge_round == peeled.min()

@@ -1,0 +1,178 @@
+"""Tests for the idealized and subtable recurrences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.recurrences import (
+    iterate_recurrence,
+    iterate_subtable_recurrence,
+    lambda_trace,
+    predicted_subtable_survivors,
+    predicted_survivors,
+)
+from repro.analysis.thresholds import peeling_threshold
+
+# Paper Table 2, c = 0.7 (r=4, k=2, n = 1e6): predicted survivors per round.
+PAPER_TABLE2_C07 = {
+    1: 768922,
+    2: 673647,
+    3: 608076,
+    4: 553064,
+    5: 500466,
+    6: 444828,
+    7: 380873,
+    8: 302531,
+    9: 204442,
+    10: 93245,
+    11: 14159,
+    12: 74,
+}
+
+# Paper Table 2, c = 0.85: the recurrence converges to a positive limit.
+PAPER_TABLE2_C085 = {
+    1: 853158,
+    2: 811184,
+    3: 793026,
+    4: 784269,
+    5: 779841,
+    10: 775209,
+    15: 775018,
+    20: 775010,
+}
+
+# Paper Table 6 (subtables, c=0.7, r=4, k=2, n=1e6): lambda'_{i,j} * n.
+PAPER_TABLE6_C07 = {
+    (1, 1): 942230,
+    (1, 2): 876807,
+    (1, 3): 801855,
+    (1, 4): 714875,
+    (2, 1): 678767,
+    (2, 4): 581912,
+    (3, 4): 472470,
+    (4, 4): 336458,
+    (5, 4): 131789,
+    (6, 4): 3649,
+    (7, 1): 348,
+    (7, 2): 6,
+}
+
+
+class TestBasicStructure:
+    def test_initial_conditions(self):
+        trace = iterate_recurrence(0.7, 2, 4, 5)
+        assert trace.rho[0] == 1.0
+        assert trace.lam[0] == 1.0
+        assert trace.beta[0] == pytest.approx(4 * 0.7)
+        assert trace.rounds == 5
+
+    def test_probabilities_in_unit_interval(self):
+        trace = iterate_recurrence(0.9, 3, 3, 50)
+        assert ((trace.rho >= 0) & (trace.rho <= 1)).all()
+        assert ((trace.lam >= 0) & (trace.lam <= 1)).all()
+        assert (trace.beta >= 0).all()
+
+    def test_lambda_below_rho(self):
+        # Needing k surviving children is harder than needing k-1.
+        trace = iterate_recurrence(0.7, 2, 4, 15)
+        assert (trace.lam[1:] <= trace.rho[1:] + 1e-15).all()
+
+    def test_monotone_decrease_below_threshold(self):
+        trace = iterate_recurrence(0.7, 2, 4, 25)
+        assert (np.diff(trace.lam[1:]) <= 1e-12).all()
+
+    def test_lambda_trace_matches_trace(self):
+        trace = iterate_recurrence(0.7, 2, 4, 8)
+        assert np.allclose(lambda_trace(0.7, 2, 4, 8), trace.lam[1:])
+
+    def test_rounds_to_extinction_below_threshold(self):
+        trace = iterate_recurrence(0.7, 2, 4, 40)
+        t = trace.rounds_to_extinction(tol=1e-9)
+        assert t is not None and 10 < t < 20
+
+    def test_rounds_to_extinction_above_threshold_is_none(self):
+        trace = iterate_recurrence(0.85, 2, 4, 200)
+        assert trace.rounds_to_extinction(tol=1e-9) is None
+
+    def test_invalid_parameters(self):
+        with pytest.raises((ValueError, TypeError)):
+            iterate_recurrence(-0.5, 2, 4, 5)
+        with pytest.raises((ValueError, TypeError)):
+            iterate_recurrence(0.7, 0, 4, 5)
+
+
+class TestPaperTable2Values:
+    """The recurrence must reproduce the paper's Prediction column exactly."""
+
+    @pytest.mark.parametrize("t,expected", sorted(PAPER_TABLE2_C07.items()))
+    def test_c07_predictions(self, t, expected):
+        predicted = predicted_survivors(1_000_000, 0.7, 2, 4, t)[t - 1]
+        assert predicted == pytest.approx(expected, abs=1.0)
+
+    @pytest.mark.parametrize("t,expected", sorted(PAPER_TABLE2_C085.items()))
+    def test_c085_predictions(self, t, expected):
+        predicted = predicted_survivors(1_000_000, 0.85, 2, 4, t)[t - 1]
+        assert predicted == pytest.approx(expected, abs=1.5)
+
+    def test_c07_extinction_round_13(self):
+        # Paper: prediction drops to ~0.00001 * n at round 13 and 0 at 14.
+        predicted = predicted_survivors(1_000_000, 0.7, 2, 4, 14)
+        assert predicted[12] < 1.0
+        assert predicted[13] < 1e-3
+
+    def test_c085_limit_positive(self):
+        predicted = predicted_survivors(1_000_000, 0.85, 2, 4, 60)
+        assert predicted[-1] == pytest.approx(775_010, abs=5.0)
+
+
+class TestSubtableRecurrence:
+    def test_shapes(self):
+        trace = iterate_subtable_recurrence(0.7, 2, 4, 6)
+        assert trace.rho.shape == (7, 4)
+        assert trace.lam_prime.shape == (7, 4)
+        assert trace.rounds == 6
+
+    def test_initial_rows_are_ones(self):
+        trace = iterate_subtable_recurrence(0.7, 2, 4, 3)
+        assert (trace.rho[0] == 1.0).all()
+        assert (trace.lam[0] == 1.0).all()
+
+    def test_lambda_prime_monotone_within_rounds(self):
+        trace = iterate_subtable_recurrence(0.7, 2, 4, 6)
+        flat = trace.lam_prime[1:].reshape(-1)
+        assert (np.diff(flat) <= 1e-12).all()
+
+    def test_subround_lambda_accessor(self):
+        trace = iterate_subtable_recurrence(0.7, 2, 4, 3)
+        assert trace.subround_lambda(1, 1) == pytest.approx(trace.lam_prime[1, 0])
+        with pytest.raises(IndexError):
+            trace.subround_lambda(0, 1)
+        with pytest.raises(IndexError):
+            trace.subround_lambda(1, 5)
+
+    @pytest.mark.parametrize("key,expected", sorted(PAPER_TABLE6_C07.items()))
+    def test_paper_table6_predictions(self, key, expected):
+        i, j = key
+        predicted = predicted_subtable_survivors(1_000_000, 0.7, 2, 4, i)[i - 1, j - 1]
+        assert predicted == pytest.approx(expected, abs=2.0)
+
+    def test_subtables_converge_faster_per_round_than_plain(self):
+        plain = iterate_recurrence(0.7, 2, 4, 8)
+        sub = iterate_subtable_recurrence(0.7, 2, 4, 8)
+        # After the same number of full rounds, subtable peeling has peeled
+        # strictly more (its last-subround survival is smaller).
+        assert sub.lam_prime[8, -1] < plain.lam[8]
+
+    def test_r2_rejected_message(self):
+        with pytest.raises(ValueError):
+            iterate_subtable_recurrence(0.7, 2, 1, 4)
+
+    def test_above_threshold_positive_limit(self):
+        trace = iterate_subtable_recurrence(0.85, 2, 4, 120)
+        assert trace.lam_prime[-1, -1] > 0.5
+
+    def test_predicted_subtable_survivors_shape(self):
+        out = predicted_subtable_survivors(1000, 0.7, 2, 4, 5)
+        assert out.shape == (5, 4)
+        assert (out <= 1000).all() and (out >= 0).all()

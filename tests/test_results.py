@@ -1,0 +1,87 @@
+"""Tests for the PeelingResult / RoundStats containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ParallelPeeler, SubtablePeeler
+from repro.core.results import UNPEELED, PeelingResult, RoundStats
+from repro.hypergraph import partitioned_hypergraph, random_hypergraph
+
+
+def _manual_result() -> PeelingResult:
+    stats = [
+        RoundStats(1, vertices_peeled=3, edges_peeled=2, vertices_remaining=7,
+                   edges_remaining=4, work=10),
+        RoundStats(2, vertices_peeled=2, edges_peeled=2, vertices_remaining=5,
+                   edges_remaining=2, work=7),
+    ]
+    return PeelingResult(
+        k=2,
+        mode="parallel",
+        num_rounds=2,
+        num_subrounds=2,
+        success=False,
+        vertex_peel_round=np.array([1, 1, 1, 2, 2, -1, -1, -1, -1, -1]),
+        edge_peel_round=np.array([1, 1, 2, 2, -1, -1]),
+        round_stats=stats,
+    )
+
+
+class TestDerivedViews:
+    def test_counts(self):
+        result = _manual_result()
+        assert result.num_vertices == 10
+        assert result.num_edges == 6
+        assert result.core_size == 2
+
+    def test_core_masks(self):
+        result = _manual_result()
+        assert result.core_vertex_mask.sum() == 5
+        assert result.core_edge_mask.sum() == 2
+
+    def test_per_round_arrays(self):
+        result = _manual_result()
+        assert result.vertices_remaining_per_round.tolist() == [7, 5]
+        assert result.edges_remaining_per_round.tolist() == [4, 2]
+
+    def test_total_work(self):
+        assert _manual_result().total_work == 17
+
+    def test_survivors_after_round(self):
+        result = _manual_result()
+        assert result.survivors_after_round(0) == 10
+        assert result.survivors_after_round(1) == 7
+        assert result.survivors_after_round(2) == 5
+        assert result.survivors_after_round(99) == 5
+
+    def test_survivors_negative_round_rejected(self):
+        with pytest.raises(ValueError):
+            _manual_result().survivors_after_round(-1)
+
+    def test_summary_string(self):
+        text = _manual_result().summary()
+        assert "parallel" in text and "2 rounds" in text
+
+    def test_unpeeled_sentinel(self):
+        assert UNPEELED == -1
+
+
+class TestSubtableGrouping:
+    def test_per_round_survivors_group_by_subtable(self):
+        graph = partitioned_hypergraph(4000, 0.6, 4, seed=1)
+        result = SubtablePeeler(2).peel(graph)
+        # Survivors after full round i must equal the survivors recorded by
+        # the last subround of round i.
+        per_round = [result.survivors_after_round(t) for t in range(1, result.num_rounds + 1)]
+        stats = result.round_stats
+        r = 4
+        for i, value in enumerate(per_round[:-1], start=1):
+            last_subround_of_round = stats[min(i * r, len(stats)) - 1]
+            assert value == last_subround_of_round.vertices_remaining
+
+    def test_parallel_and_subtable_round_zero(self):
+        graph = random_hypergraph(500, 0.6, 4, seed=2)
+        result = ParallelPeeler(2).peel(graph)
+        assert result.survivors_after_round(0) == 500

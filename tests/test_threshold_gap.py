@@ -1,0 +1,92 @@
+"""Tests for the Section 7 / Theorem 5 near-threshold analysis."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.threshold_gap import (
+    beta_fixed_point,
+    critical_point,
+    gap_rounds_estimate,
+    plateau_length,
+)
+from repro.analysis.thresholds import peeling_threshold, threshold_minimizer
+
+
+class TestCriticalPoint:
+    def test_matches_minimizer(self):
+        assert critical_point(2, 4) == pytest.approx(threshold_minimizer(2, 4)[0])
+
+    def test_at_least_k_minus_one(self):
+        for k, r in [(2, 3), (2, 4), (3, 3), (4, 3)]:
+            assert critical_point(k, r) >= k - 1 - 1e-9
+
+
+class TestBetaFixedPoint:
+    def test_below_threshold_fixed_point_is_zero(self):
+        assert beta_fixed_point(0.7, 2, 4) == pytest.approx(0.0, abs=1e-8)
+
+    def test_above_threshold_fixed_point_positive(self):
+        beta = beta_fixed_point(0.85, 2, 4)
+        assert beta > 1.0
+
+    def test_fixed_point_satisfies_equation(self):
+        from repro.analysis.thresholds import poisson_tail
+
+        c, k, r = 0.85, 2, 4
+        beta = beta_fixed_point(c, k, r)
+        rho = poisson_tail(beta, k - 1)
+        assert beta == pytest.approx(rho ** (r - 1) * r * c, rel=1e-6)
+
+    def test_fixed_point_increases_with_c(self):
+        assert beta_fixed_point(0.9, 2, 4) > beta_fixed_point(0.85, 2, 4)
+
+
+class TestPlateau:
+    def test_requires_below_threshold(self):
+        with pytest.raises(ValueError):
+            plateau_length(0.85, 2, 4)
+
+    def test_gap_fields(self):
+        analysis = plateau_length(0.76, 2, 4)
+        assert analysis.nu == pytest.approx(peeling_threshold(2, 4) - 0.76)
+        assert analysis.predicted_scale == pytest.approx(math.sqrt(1 / analysis.nu))
+        assert analysis.plateau_rounds >= 0
+        assert analysis.total_rounds_to_tau >= analysis.plateau_rounds
+
+    def test_plateau_grows_as_c_approaches_threshold(self):
+        far = plateau_length(0.74, 2, 4)
+        near = plateau_length(0.77, 2, 4)
+        nearer = plateau_length(0.772, 2, 4)
+        assert far.plateau_rounds < near.plateau_rounds < nearer.plateau_rounds
+
+    def test_sqrt_scaling(self):
+        """Theorem 5: plateau rounds scale like sqrt(1/nu).
+
+        Quadrupling 1/nu should roughly double the plateau length; we allow a
+        generous factor because the constant in Θ(·) is unknown.
+        """
+        c_star = peeling_threshold(2, 4)
+        a = plateau_length(c_star - 0.02, 2, 4)
+        b = plateau_length(c_star - 0.005, 2, 4)
+        ratio = b.plateau_rounds / max(a.plateau_rounds, 1)
+        assert 1.4 < ratio < 3.0  # ideal ratio 2.0
+
+    def test_total_rounds_exceed_plateau(self):
+        analysis = plateau_length(0.77, 2, 4)
+        assert analysis.total_rounds_to_tau > analysis.plateau_rounds
+
+
+class TestGapRoundsEstimate:
+    def test_rejects_above_threshold(self):
+        with pytest.raises(ValueError):
+            gap_rounds_estimate(10**6, 0.85, 2, 4)
+
+    def test_estimate_increases_near_threshold(self):
+        assert gap_rounds_estimate(10**6, 0.772, 2, 4) > gap_rounds_estimate(10**6, 0.7, 2, 4)
+
+    def test_estimate_positive(self):
+        assert gap_rounds_estimate(10**6, 0.7, 2, 4) > 0

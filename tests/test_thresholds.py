@@ -1,0 +1,140 @@
+"""Tests for the threshold computation (Equation 2.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.analysis.thresholds import (
+    peeling_threshold,
+    poisson_tail,
+    survival_update,
+    threshold_minimizer,
+    threshold_objective,
+)
+
+
+class TestPoissonTail:
+    @pytest.mark.parametrize("mean", [0.1, 0.7, 1.0, 3.5, 10.0])
+    @pytest.mark.parametrize("threshold", [1, 2, 3, 5])
+    def test_matches_scipy(self, mean, threshold):
+        expected = stats.poisson.sf(threshold - 1, mean)
+        assert poisson_tail(mean, threshold) == pytest.approx(expected, rel=1e-10)
+
+    def test_threshold_zero_is_one(self):
+        assert poisson_tail(2.3, 0) == 1.0
+        assert poisson_tail(0.0, 0) == 1.0
+
+    def test_zero_mean(self):
+        assert poisson_tail(0.0, 1) == pytest.approx(0.0)
+        assert poisson_tail(0.0, 3) == pytest.approx(0.0)
+
+    def test_vectorized(self):
+        means = np.array([0.5, 1.0, 2.0])
+        out = poisson_tail(means, 2)
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) > 0)  # monotone in the mean
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_tail(-0.1, 2)
+
+    def test_monotone_in_threshold(self):
+        assert poisson_tail(2.0, 1) > poisson_tail(2.0, 2) > poisson_tail(2.0, 5)
+
+
+class TestSurvivalUpdate:
+    def test_rho_one_gives_full_tail(self):
+        # With rho=1 the mean is r*c and the update is Pr[Poisson(rc) >= k-1].
+        value = survival_update(1.0, c=0.7, k=2, r=4)
+        assert value == pytest.approx(stats.poisson.sf(0, 2.8), rel=1e-10)
+
+    def test_rho_zero_gives_zero_for_k_ge_2(self):
+        assert survival_update(0.0, c=0.7, k=2, r=4) == pytest.approx(0.0)
+
+    def test_monotone_in_rho(self):
+        rhos = np.linspace(0, 1, 11)
+        values = survival_update(rhos, c=0.7, k=2, r=4)
+        assert np.all(np.diff(values) >= 0)
+
+    def test_below_threshold_contracts_to_zero(self):
+        rho = 1.0
+        for _ in range(200):
+            rho = survival_update(rho, c=0.70, k=2, r=4)
+        assert rho < 1e-6
+
+    def test_above_threshold_has_positive_fixed_point(self):
+        rho = 1.0
+        for _ in range(500):
+            rho = survival_update(rho, c=0.85, k=2, r=4)
+        assert rho > 0.5
+
+
+class TestThresholdValues:
+    def test_paper_value_k2_r3(self):
+        assert peeling_threshold(2, 3) == pytest.approx(0.818, abs=5e-4)
+
+    def test_paper_value_k2_r4(self):
+        assert peeling_threshold(2, 4) == pytest.approx(0.772, abs=5e-4)
+
+    def test_paper_value_k3_r3(self):
+        assert peeling_threshold(3, 3) == pytest.approx(1.553, abs=5e-4)
+
+    def test_known_literature_value_k2_r5(self):
+        # c*_{2,5} ≈ 0.70178 (cuckoo hashing / XORSAT literature).
+        assert peeling_threshold(2, 5) == pytest.approx(0.7018, abs=1e-3)
+
+    def test_known_literature_value_k2_r6(self):
+        # c*_{2,6} ≈ 0.637 (XORSAT / peelability literature); the threshold
+        # keeps decreasing in r for k = 2.
+        assert peeling_threshold(2, 6) == pytest.approx(0.637, abs=2e-3)
+
+    def test_threshold_increases_with_k(self):
+        assert peeling_threshold(3, 3) > peeling_threshold(2, 3)
+        assert peeling_threshold(4, 3) > peeling_threshold(3, 3)
+
+    def test_threshold_decreases_with_r_for_k2(self):
+        assert peeling_threshold(2, 3) > peeling_threshold(2, 4) > peeling_threshold(2, 5)
+
+    def test_k2_r2_excluded(self):
+        with pytest.raises(ValueError):
+            peeling_threshold(2, 2)
+
+    def test_k1_rejected(self):
+        with pytest.raises(ValueError):
+            peeling_threshold(1, 3)
+
+    def test_minimizer_is_interior_minimum(self):
+        x_star, c_star = threshold_minimizer(2, 4)
+        for offset in (-0.05, 0.05):
+            assert threshold_objective(x_star + offset, k=2, r=4) >= c_star - 1e-12
+
+    def test_minimizer_x_star_at_least_k_minus_1(self):
+        # Appendix C shows x* >= k - 1.
+        for k, r in [(2, 3), (2, 4), (3, 3), (3, 4), (4, 3)]:
+            x_star, _ = threshold_minimizer(k, r)
+            assert x_star >= k - 1 - 1e-9
+
+    def test_objective_at_threshold_matches(self):
+        x_star, c_star = threshold_minimizer(2, 4)
+        assert threshold_objective(x_star, k=2, r=4) == pytest.approx(c_star, rel=1e-12)
+
+    def test_cache_returns_same_object(self):
+        assert threshold_minimizer(2, 4) == threshold_minimizer(2, 4)
+
+
+class TestThresholdSeparatesRegimes:
+    """The threshold must actually separate empty from non-empty cores."""
+
+    @pytest.mark.parametrize("k,r", [(2, 3), (2, 4)])
+    def test_simulation_agrees_with_threshold(self, k, r):
+        from repro.core import ParallelPeeler
+        from repro.hypergraph import random_hypergraph
+
+        c_star = peeling_threshold(k, r)
+        n = 20_000
+        below = random_hypergraph(n, c_star - 0.05, r, seed=1)
+        above = random_hypergraph(n, c_star + 0.05, r, seed=2)
+        assert ParallelPeeler(k).peel(below).success
+        assert not ParallelPeeler(k).peel(above).success

@@ -1,0 +1,111 @@
+"""Tests for repro.utils.timing and repro.utils.tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import Table, format_float, format_int
+from repro.utils.timing import Timer, WallClock
+
+
+class FakeClock:
+    """Deterministic clock advancing by a fixed step per call."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        current = self.t
+        self.t += self.step
+        return current
+
+
+class TestWallClock:
+    def test_default_monotonic(self):
+        clock = WallClock()
+        assert clock.now() <= clock.now()
+
+    def test_injectable(self):
+        clock = WallClock(FakeClock(2.0))
+        assert clock.now() == 0.0
+        assert clock.now() == 2.0
+
+
+class TestTimer:
+    def test_section_accumulates(self):
+        timer = Timer(clock=WallClock(FakeClock(1.0)))
+        with timer.section("a"):
+            pass
+        assert timer.total("a") == pytest.approx(1.0)
+        assert timer.counts["a"] == 1
+
+    def test_multiple_sections(self):
+        timer = Timer(clock=WallClock(FakeClock(1.0)))
+        with timer.section("a"):
+            pass
+        with timer.section("b"):
+            pass
+        assert set(timer.totals) == {"a", "b"}
+
+    def test_mean(self):
+        timer = Timer()
+        timer.add("x", 2.0)
+        timer.add("x", 4.0)
+        assert timer.mean("x") == pytest.approx(3.0)
+
+    def test_mean_of_unknown_section_is_zero(self):
+        assert Timer().mean("nope") == 0.0
+
+    def test_total_of_unknown_section_is_zero(self):
+        assert Timer().total("nope") == 0.0
+
+    def test_negative_elapsed_rejected(self):
+        with pytest.raises(ValueError):
+            Timer().add("x", -1.0)
+
+    def test_reset(self):
+        timer = Timer()
+        timer.add("x", 1.0)
+        timer.reset()
+        assert timer.totals == {} and timer.counts == {}
+
+
+class TestFormatting:
+    def test_format_float(self):
+        assert format_float(1.23456, 3) == "1.235"
+
+    def test_format_float_negative_zero(self):
+        assert format_float(-0.0, 2) == "0.00"
+
+    def test_format_int(self):
+        assert format_int(12345) == "12345"
+
+
+class TestTable:
+    def test_render_contains_headers_and_rows(self):
+        table = Table(["a", "b"], title="T")
+        table.add_row(1, 2)
+        out = table.render()
+        assert "T" in out and "a" in out and "b" in out and "1" in out
+
+    def test_alignment_widths(self):
+        table = Table(["col"])
+        table.add_row("looooong")
+        lines = table.render().splitlines()
+        assert len(lines[0]) == len(lines[1]) == len(lines[2])
+
+    def test_wrong_cell_count_rejected(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_extend(self):
+        table = Table(["a"])
+        table.extend([[1], [2], [3]])
+        assert len(table.rows) == 3
+
+    def test_str_matches_render(self):
+        table = Table(["a"])
+        table.add_row("x")
+        assert str(table) == table.render()

@@ -1,0 +1,150 @@
+"""Tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_array_1d,
+    check_in_range,
+    check_nonnegative_int,
+    check_positive_float,
+    check_positive_int,
+    check_probability,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes_on_true(self):
+        require(True, "never raised")
+
+    def test_raises_on_false(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestCheckPositiveInt:
+    def test_accepts_one(self):
+        assert check_positive_int(1, "x") == 1
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int32(7), "x") == 7
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-3, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(1.5, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ValueError, match="num_cells"):
+            check_positive_int(0, "num_cells")
+
+
+class TestCheckNonnegativeInt:
+    def test_accepts_zero(self):
+        assert check_nonnegative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative_int(-1, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_nonnegative_int(2.0, "x")
+
+
+class TestCheckPositiveFloat:
+    def test_accepts_float(self):
+        assert check_positive_float(0.5, "x") == 0.5
+
+    def test_accepts_int(self):
+        assert check_positive_float(3, "x") == 3.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_float(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_float(-0.1, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive_float(float("nan"), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_positive_float(float("inf"), "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_positive_float("1.0", "x")
+
+
+class TestCheckProbability:
+    def test_accepts_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_probability(1.01, "p")
+
+    def test_rejects_below_zero(self):
+        with pytest.raises(ValueError):
+            check_probability(-0.01, "p")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_probability(True, "p")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(1.0, "x", 1.0, 2.0) == 1.0
+        assert check_in_range(2.0, "x", 1.0, 2.0) == 2.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.0, "x", 1.0, 2.0, inclusive=False)
+
+    def test_below_low_rejected(self):
+        with pytest.raises(ValueError):
+            check_in_range(0.5, "x", 1.0, None)
+
+    def test_above_high_rejected(self):
+        with pytest.raises(ValueError):
+            check_in_range(3.0, "x", None, 2.0)
+
+    def test_no_bounds(self):
+        assert check_in_range(42.0, "x") == 42.0
+
+
+class TestCheckArray1d:
+    def test_list_coerced(self):
+        arr = check_array_1d([1, 2, 3], "x")
+        assert arr.shape == (3,)
+
+    def test_dtype_applied(self):
+        arr = check_array_1d([1, 2], "x", dtype=np.float64)
+        assert arr.dtype == np.float64
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            check_array_1d([[1, 2], [3, 4]], "x")
+
+    def test_empty_ok(self):
+        assert check_array_1d([], "x").size == 0

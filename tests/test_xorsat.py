@@ -1,0 +1,165 @@
+"""Tests for the k-XORSAT application."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import peeling_threshold
+from repro.apps.xorsat import XorSatInstance, XorSatSolver, random_xorsat
+from repro.apps.xorsat import _gf2_solve
+
+
+class TestInstanceGeneration:
+    def test_shapes_and_density(self):
+        instance = random_xorsat(1000, 0.6, 3, seed=1)
+        assert instance.num_variables == 1000
+        assert instance.num_clauses == 600
+        assert instance.clause_size == 3
+        assert instance.density == pytest.approx(0.6)
+
+    def test_planted_instance_is_satisfied_by_plant(self):
+        instance = random_xorsat(500, 0.7, 3, seed=2)
+        assert instance.planted is not None
+        assert instance.check(instance.planted)
+
+    def test_unplanted_instance_has_no_plant(self):
+        instance = random_xorsat(500, 0.7, 3, planted=False, seed=3)
+        assert instance.planted is None
+
+    def test_check_rejects_bad_shape(self):
+        instance = random_xorsat(10, 0.5, 3, seed=4)
+        with pytest.raises(ValueError):
+            instance.check(np.zeros(9, dtype=np.uint8))
+
+    def test_to_hypergraph(self):
+        instance = random_xorsat(100, 0.5, 3, seed=5)
+        graph = instance.to_hypergraph()
+        assert graph.num_vertices == 100
+        assert graph.num_edges == 50
+
+    def test_reproducible(self):
+        a = random_xorsat(200, 0.6, 3, seed=6)
+        b = random_xorsat(200, 0.6, 3, seed=6)
+        assert np.array_equal(a.clauses, b.clauses)
+        assert np.array_equal(a.parities, b.parities)
+
+    def test_empty_instance(self):
+        instance = random_xorsat(50, 0.5, 3, seed=7)
+        empty = XorSatInstance(50, np.empty((0, 3), dtype=np.int64), np.empty(0, dtype=np.uint8))
+        assert empty.check(np.zeros(50, dtype=np.uint8))
+        assert empty.density == 0.0
+        assert instance.num_clauses > 0
+
+
+class TestGF2Solver:
+    def test_simple_system(self):
+        # x0 ^ x1 = 1, x1 = 1 -> x0 = 0, x1 = 1.
+        rows = np.array([[1, 1, 1], [0, 1, 1]], dtype=np.uint8)
+        ok, rank, solution = _gf2_solve(rows)
+        assert ok and rank == 2
+        assert solution.tolist() == [0, 1]
+
+    def test_inconsistent_system(self):
+        # x0 = 0 and x0 = 1.
+        rows = np.array([[1, 0], [1, 1]], dtype=np.uint8)
+        ok, rank, _ = _gf2_solve(rows)
+        assert not ok
+
+    def test_underdetermined_system(self):
+        # x0 ^ x1 = 1 with a free variable: free vars set to 0.
+        rows = np.array([[1, 1, 1]], dtype=np.uint8)
+        ok, rank, solution = _gf2_solve(rows)
+        assert ok and rank == 1
+        assert (solution[0] ^ solution[1]) == 1
+
+    def test_redundant_rows(self):
+        rows = np.array([[1, 1, 0], [1, 1, 0]], dtype=np.uint8)
+        ok, rank, solution = _gf2_solve(rows)
+        assert ok and rank == 1
+
+
+class TestSolver:
+    @pytest.mark.parametrize("mode", ["parallel", "sequential"])
+    def test_below_threshold_solved_by_peeling_alone(self, mode):
+        instance = random_xorsat(5000, 0.7, 3, seed=8)  # c*_{2,3} ≈ 0.818
+        solution = XorSatSolver(mode=mode).solve(instance)
+        assert solution.satisfiable
+        assert instance.check(solution.assignment)
+        assert solution.core_clauses == 0
+        assert solution.peeled_clauses == instance.num_clauses
+
+    def test_above_threshold_needs_elimination(self):
+        instance = random_xorsat(3000, 0.88, 3, seed=9)
+        solution = XorSatSolver().solve(instance)
+        assert solution.core_clauses > 0
+        assert solution.elimination_rank > 0
+        # Planted instances are satisfiable even above the peeling threshold.
+        assert solution.satisfiable
+        assert instance.check(solution.assignment)
+
+    def test_unplanted_above_sat_threshold_unsatisfiable(self):
+        # For 3-XORSAT the satisfiability threshold is ≈ 0.918; at density
+        # 1.2 a random-parity instance is unsatisfiable w.h.p.
+        instance = random_xorsat(2000, 1.2, 3, planted=False, seed=10)
+        solution = XorSatSolver().solve(instance)
+        assert not solution.satisfiable
+
+    def test_parallel_round_count_small_below_threshold(self):
+        instance = random_xorsat(50_000, 0.7, 3, seed=11)
+        solution = XorSatSolver(mode="parallel").solve(instance)
+        assert solution.satisfiable
+        assert solution.peeling_rounds <= 25  # O(log log n)
+
+    def test_k4_clauses(self):
+        instance = random_xorsat(4000, 0.7, 4, seed=12)  # c*_{2,4} ≈ 0.772
+        solution = XorSatSolver().solve(instance)
+        assert solution.satisfiable
+        assert solution.core_clauses == 0
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            XorSatSolver(mode="quantum")  # type: ignore[arg-type]
+
+    def test_empty_instance(self):
+        instance = XorSatInstance(20, np.empty((0, 3), dtype=np.int64), np.empty(0, dtype=np.uint8))
+        solution = XorSatSolver().solve(instance)
+        assert solution.satisfiable
+        assert solution.peeled_clauses == 0 and solution.core_clauses == 0
+
+    def test_solver_threshold_matches_peeling_threshold(self):
+        """Below c*_{2,3} peeling empties the system; above it a core remains."""
+        c_star = peeling_threshold(2, 3)
+        below = random_xorsat(8000, c_star - 0.05, 3, seed=13)
+        above = random_xorsat(8000, c_star + 0.05, 3, seed=14)
+        assert XorSatSolver().solve(below).core_clauses == 0
+        assert XorSatSolver().solve(above).core_clauses > 0
+
+    @given(
+        n=st.integers(min_value=10, max_value=150),
+        density=st.floats(min_value=0.1, max_value=1.0),
+        k=st.integers(min_value=3, max_value=4),
+        seed=st.integers(min_value=0, max_value=5000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_planted_instances_always_solved(self, n, density, k, seed):
+        """Planted instances are satisfiable; the solver must always find a
+        satisfying assignment (peeling + elimination is complete)."""
+        instance = random_xorsat(n, density, k, seed=seed)
+        solution = XorSatSolver().solve(instance)
+        assert solution.satisfiable
+        assert instance.check(solution.assignment)
+
+    @given(
+        n=st.integers(min_value=10, max_value=120),
+        density=st.floats(min_value=0.1, max_value=1.3),
+        seed=st.integers(min_value=0, max_value=5000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_solver_never_claims_false_satisfaction(self, n, density, seed):
+        instance = random_xorsat(n, density, 3, planted=False, seed=seed)
+        solution = XorSatSolver().solve(instance)
+        if solution.satisfiable:
+            assert instance.check(solution.assignment)
