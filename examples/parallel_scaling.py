@@ -15,7 +15,7 @@ from __future__ import annotations
 import math
 import sys
 
-from repro import ParallelMachine, ParallelPeeler, SequentialPeeler, random_hypergraph
+from repro import ParallelMachine, peel_many, random_hypergraph
 from repro.analysis import peeling_threshold, rounds_below_threshold
 from repro.utils.tables import Table, format_float
 
@@ -38,14 +38,15 @@ def main() -> None:
             title=f"c = {c} ({regime} threshold)",
         )
         for n in sizes:
-            rounds = []
-            speedups = []
-            for trial in range(trials):
-                graph = random_hypergraph(n, c, r, seed=1000 * trial + n)
-                result = ParallelPeeler(k).peel(graph)
-                rounds.append(result.num_rounds)
-                timing = machine.time_recovery(result, num_cells=n, edge_size=r)
-                speedups.append(timing.speedup)
+            graphs = [random_hypergraph(n, c, r, seed=1000 * trial + n) for trial in range(trials)]
+            # Batched front door: one call peels every trial graph, dispatched
+            # over the thread-pool backend.
+            results = peel_many(graphs, "parallel", k=k, backend="threads", max_workers=trials)
+            rounds = [result.num_rounds for result in results]
+            speedups = [
+                machine.time_recovery(result, num_cells=n, edge_size=r).speedup
+                for result in results
+            ]
             leading = rounds_below_threshold(n, k, r) if c < c_star else float("nan")
             table.add_row(
                 n,

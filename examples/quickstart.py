@@ -18,8 +18,8 @@ from __future__ import annotations
 import math
 
 from repro import (
-    ParallelPeeler,
     iterate_recurrence,
+    peel,
     peeling_threshold,
     predict_rounds,
     predicted_survivors,
@@ -39,7 +39,7 @@ def main() -> None:
     for c, label in [(0.70, "below threshold"), (0.85, "above threshold")]:
         print(f"=== c = {c} ({label}) ===")
         graph = random_hypergraph(n, c, r, seed=42)
-        result = ParallelPeeler(k).peel(graph)
+        result = peel(graph, "parallel", k=k)
         prediction = predict_rounds(n, c, k, r)
         print(f"peeled to {'empty' if result.success else 'NON-empty'} {k}-core "
               f"in {result.num_rounds} rounds "

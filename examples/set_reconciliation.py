@@ -45,7 +45,7 @@ def main() -> None:
         ["decoder", "success", "|A\\B|", "|B\\A|", "rounds", "wall-clock (s)"],
         title="Reconciliation",
     )
-    for decoder in ("serial", "parallel"):
+    for decoder in ("serial", "subtable"):
         start = time.perf_counter()
         result = reconciler.reconcile(set_a, set_b, decoder=decoder)
         elapsed = time.perf_counter() - start

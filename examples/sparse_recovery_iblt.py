@@ -25,9 +25,8 @@ import time
 
 import numpy as np
 
-from repro import IBLT, ParallelMachine, SubtableParallelDecoder
+from repro import ParallelMachine
 from repro.apps import SparseRecovery, random_distinct_keys
-from repro.iblt import FlatParallelDecoder
 from repro.utils.tables import Table, format_float
 
 
@@ -58,8 +57,8 @@ def main() -> None:
     timings = {}
     for name, decoder in [
         ("serial worklist", "serial"),
-        ("parallel (subtables)", "parallel"),
-        ("parallel (flat + dedup)", "flat-parallel"),
+        ("parallel (subtables)", "subtable"),
+        ("parallel (flat + dedup)", "flat"),
     ]:
         start = time.perf_counter()
         outcome = pipeline.recover(table, surviving_keys, decoder=decoder)
@@ -76,7 +75,7 @@ def main() -> None:
 
     # Cost-model comparison (the Table 3 stand-in for the paper's GPU).
     machine = ParallelMachine(num_threads=4096)
-    parallel_result = SubtableParallelDecoder().decode(table)
+    parallel_result = table.decode(decoder="subtable")
     recovery = machine.time_recovery(
         parallel_result.round_stats,
         num_cells=num_cells,

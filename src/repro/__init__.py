@@ -5,11 +5,15 @@ A production-oriented reproduction of *Parallel Peeling Algorithms*
 
 * random r-uniform hypergraph models (:mod:`repro.hypergraph`),
 * sequential, round-synchronous parallel and subtable peeling engines
-  (:mod:`repro.core`),
+  (:mod:`repro.core`) behind one registry-backed front door
+  (:mod:`repro.engine`): :func:`peel`, :func:`peel_many` and
+  :class:`PeelingConfig` select engines by name and dispatch batches over
+  serial/thread/process execution backends,
 * the paper's analytical machinery — thresholds, survival recurrences,
   round-complexity predictions (:mod:`repro.analysis`),
-* Invertible Bloom Lookup Tables with serial and parallel recovery
-  (:mod:`repro.iblt`) and applications built on them (:mod:`repro.apps`),
+* Invertible Bloom Lookup Tables with name-selectable serial and parallel
+  recovery — ``IBLT.decode(decoder="serial"|"flat"|"subtable")``
+  (:mod:`repro.iblt`) — and applications built on them (:mod:`repro.apps`),
 * a simulated parallel machine standing in for the paper's GPU
   (:mod:`repro.parallel`),
 * an experiment harness reproducing every table and figure of the paper's
@@ -17,13 +21,21 @@ A production-oriented reproduction of *Parallel Peeling Algorithms*
 
 Quickstart
 ----------
->>> from repro import random_hypergraph, peel_to_kcore, peeling_threshold
+>>> from repro import random_hypergraph, peel, peeling_threshold
 >>> graph = random_hypergraph(10_000, 0.7, 4, seed=1)
->>> result = peel_to_kcore(graph, k=2)
+>>> result = peel(graph, "parallel", k=2)
 >>> result.success
 True
 >>> round(peeling_threshold(2, 4), 3)
 0.772
+
+Batches of independent graphs go through :func:`peel_many`, which scales
+with cores via the ``"threads"`` or ``"processes"`` backends:
+
+>>> from repro import peel_many
+>>> graphs = [random_hypergraph(10_000, 0.7, 4, seed=s) for s in range(4)]
+>>> [r.success for r in peel_many(graphs, "parallel", k=2, backend="serial")]
+[True, True, True, True]
 """
 
 from repro._version import __version__
@@ -39,13 +51,24 @@ from repro.hypergraph import (
     has_empty_kcore,
 )
 
-# Peeling engines
+# Peeling engines (concrete classes) and results
 from repro.core import (
     ParallelPeeler,
     SequentialPeeler,
     SubtablePeeler,
     peel_to_kcore,
     PeelingResult,
+)
+
+# Front-door API: engine registry, config, peel/peel_many
+from repro.engine import (
+    PeelingEngine,
+    PeelingConfig,
+    peel,
+    peel_many,
+    register_engine,
+    get_engine,
+    available_engines,
 )
 
 # Analysis
@@ -62,7 +85,14 @@ from repro.analysis import (
 )
 
 # IBLT + applications
-from repro.iblt import IBLT, SubtableParallelDecoder, FlatParallelDecoder
+from repro.iblt import (
+    IBLT,
+    SubtableParallelDecoder,
+    FlatParallelDecoder,
+    register_decoder,
+    get_decoder,
+    available_decoders,
+)
 from repro.apps import (
     SparseRecovery,
     SetReconciler,
@@ -72,7 +102,13 @@ from repro.apps import (
 )
 
 # Parallel substrate
-from repro.parallel import ParallelMachine, CostModel
+from repro.parallel import (
+    ParallelMachine,
+    CostModel,
+    ProcessPoolBackend,
+    get_backend,
+    available_backends,
+)
 
 __all__ = [
     "__version__",
@@ -88,6 +124,13 @@ __all__ = [
     "SubtablePeeler",
     "peel_to_kcore",
     "PeelingResult",
+    "PeelingEngine",
+    "PeelingConfig",
+    "peel",
+    "peel_many",
+    "register_engine",
+    "get_engine",
+    "available_engines",
     "peeling_threshold",
     "iterate_recurrence",
     "predicted_survivors",
@@ -100,6 +143,9 @@ __all__ = [
     "IBLT",
     "SubtableParallelDecoder",
     "FlatParallelDecoder",
+    "register_decoder",
+    "get_decoder",
+    "available_decoders",
     "SparseRecovery",
     "SetReconciler",
     "PeelingErasureCode",
@@ -107,4 +153,7 @@ __all__ = [
     "random_xorsat",
     "ParallelMachine",
     "CostModel",
+    "ProcessPoolBackend",
+    "get_backend",
+    "available_backends",
 ]

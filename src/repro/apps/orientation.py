@@ -24,12 +24,12 @@ loads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.peeling import ParallelPeeler, SequentialPeeler
 from repro.core.results import UNPEELED, PeelingResult
+from repro.engine import PeelingConfig, get_engine
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.iblt.hashing import KeyHasher
 from repro.utils.validation import check_nonnegative_int, check_positive_int
@@ -75,25 +75,23 @@ class PeelingOrienter:
     max_load:
         Bucket capacity ``ℓ``; the construction peels to the ``(ℓ+1)``-core.
     mode:
-        ``"parallel"`` (round-synchronous peeling, reports rounds) or
-        ``"sequential"`` (greedy worklist).
+        Registered peeling-engine name (see
+        :func:`repro.engine.available_engines`): ``"parallel"``
+        (round-synchronous peeling, reports rounds) or ``"sequential"``
+        (greedy worklist).
     """
 
-    def __init__(self, max_load: int = 1, *, mode: Literal["parallel", "sequential"] = "parallel") -> None:
+    def __init__(self, max_load: int = 1, *, mode: str = "parallel") -> None:
         self.max_load = check_positive_int(max_load, "max_load")
-        if mode not in ("parallel", "sequential"):
-            raise ValueError(f"mode must be 'parallel' or 'sequential', got {mode!r}")
+        get_engine(mode)  # fail fast, with the registry's name-listing error
         self.mode = mode
 
     def orient(self, graph: Hypergraph) -> OrientationResult:
         """Orient ``graph``; see :class:`OrientationResult`."""
         k = self.max_load + 1
-        if self.mode == "parallel":
-            peel = ParallelPeeler(k, track_stats=False).peel(graph)
-            rounds = peel.num_rounds
-        else:
-            peel = SequentialPeeler(k, track_stats=False).peel(graph)
-            rounds = 1
+        engine = PeelingConfig(engine=self.mode, k=k, track_stats=False).build()
+        peel = engine.peel(graph)
+        rounds = 1 if self.mode == "sequential" else peel.num_rounds
 
         m = graph.num_edges
         n = graph.num_vertices

@@ -12,12 +12,11 @@ rounds applies to reconciliation latency as well.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal, Sequence, Set, Tuple
+from typing import Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.iblt.iblt import IBLT
-from repro.iblt.parallel_decode import SubtableParallelDecoder
 from repro.utils.rng import SeedLike, resolve_rng
 from repro.utils.validation import check_nonnegative_int, check_positive_int
 
@@ -110,11 +109,14 @@ class SetReconciler:
         set_a: Sequence[int] | np.ndarray,
         set_b: Sequence[int] | np.ndarray,
         *,
-        decoder: Literal["serial", "parallel"] = "parallel",
+        decoder: str = "parallel",
     ) -> ReconciliationResult:
         """Full round trip: digest both sets, subtract, decode, verify.
 
-        The ground-truth difference is computed locally (we hold both sets in
+        ``decoder`` is any registered decoder name (see
+        :func:`repro.iblt.available_decoders`); the registry also resolves
+        the historical alias ``"parallel"`` (→ ``"subtable"``).  The
+        ground-truth difference is computed locally (we hold both sets in
         this simulation) purely to grade the result.
         """
         a = np.asarray(set_a, dtype=np.uint64)
@@ -123,18 +125,10 @@ class SetReconciler:
         digest_b = self.digest(b)
         difference = digest_a.subtract(digest_b)
 
-        if decoder == "serial":
-            outcome = difference.decode()
-            recovered_pos, recovered_neg = outcome.recovered, outcome.removed
-            rounds, subrounds = outcome.rounds, outcome.subrounds
-            decoded_ok = outcome.success
-        elif decoder == "parallel":
-            presult = SubtableParallelDecoder().decode(difference)
-            recovered_pos, recovered_neg = presult.recovered, presult.removed
-            rounds, subrounds = presult.rounds, presult.subrounds
-            decoded_ok = presult.success
-        else:
-            raise ValueError(f"unknown decoder {decoder!r}")
+        outcome = difference.decode(decoder=decoder)
+        recovered_pos, recovered_neg = outcome.recovered, outcome.removed
+        rounds, subrounds = outcome.rounds, outcome.subrounds
+        decoded_ok = outcome.success
 
         truth_a_minus_b: Set[int] = set(map(int, a)) - set(map(int, b))
         truth_b_minus_a: Set[int] = set(map(int, b)) - set(map(int, a))

@@ -17,7 +17,6 @@ from typing import Literal, Optional, Sequence
 import numpy as np
 
 from repro.iblt.iblt import IBLT
-from repro.iblt.parallel_decode import FlatParallelDecoder, SubtableParallelDecoder
 from repro.utils.rng import SeedLike, resolve_rng
 from repro.utils.validation import check_nonnegative_int, check_positive_int
 
@@ -109,7 +108,7 @@ class SparseRecovery:
         stream_length: int,
         survivors: int,
         *,
-        decoder: Literal["serial", "parallel", "flat-parallel"] = "parallel",
+        decoder: str = "parallel",
         seed: SeedLike = None,
     ) -> SparseRecoveryResult:
         """Simulate an insert-then-delete stream and recover the survivors.
@@ -122,8 +121,10 @@ class SparseRecovery:
             Number of items ``n`` never deleted (must satisfy
             ``survivors <= stream_length``).
         decoder:
-            ``"serial"`` (worklist recovery), ``"parallel"`` (subtable
-            round-synchronous recovery) or ``"flat-parallel"``.
+            Registered decoder name — ``"serial"`` (worklist recovery),
+            ``"subtable"`` (the paper's round-synchronous recovery) or
+            ``"flat"`` — plus the historical aliases ``"parallel"`` and
+            ``"flat-parallel"``.
         seed:
             Seed for the random key stream.
         """
@@ -144,24 +145,19 @@ class SparseRecovery:
         table: IBLT,
         expected: np.ndarray,
         *,
-        decoder: Literal["serial", "parallel", "flat-parallel"] = "parallel",
+        decoder: str = "parallel",
     ) -> SparseRecoveryResult:
-        """Recover the contents of ``table`` and compare with ``expected``."""
+        """Recover the contents of ``table`` and compare with ``expected``.
+
+        ``decoder`` is any registered decoder name (see
+        :func:`repro.iblt.available_decoders`); the registry also resolves
+        the historical aliases ``"parallel"`` (→ ``"subtable"``) and
+        ``"flat-parallel"`` (→ ``"flat"``).
+        """
         expected = np.asarray(expected, dtype=np.uint64)
-        if decoder == "serial":
-            result = table.decode()
-            recovered = result.recovered
-            rounds, subrounds = result.rounds, result.subrounds
-        elif decoder == "parallel":
-            presult = SubtableParallelDecoder().decode(table)
-            recovered = presult.recovered
-            rounds, subrounds = presult.rounds, presult.subrounds
-        elif decoder == "flat-parallel":
-            presult = FlatParallelDecoder().decode(table)
-            recovered = presult.recovered
-            rounds, subrounds = presult.rounds, presult.subrounds
-        else:
-            raise ValueError(f"unknown decoder {decoder!r}")
+        result = table.decode(decoder=decoder)
+        recovered = result.recovered
+        rounds, subrounds = result.rounds, result.subrounds
 
         expected_set = set(int(x) for x in expected)
         recovered_set = set(int(x) for x in recovered)

@@ -23,11 +23,11 @@ This module implements the full pipeline:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.core.peeling import ParallelPeeler, SequentialPeeler
+from repro.engine import PeelingConfig, get_engine
 from repro.core.results import UNPEELED
 from repro.hypergraph.generators import random_hypergraph
 from repro.hypergraph.hypergraph import Hypergraph
@@ -167,13 +167,14 @@ class XorSatSolver:
     Parameters
     ----------
     mode:
-        ``"parallel"`` uses the round-synchronous peeler (and reports its
-        round count); ``"sequential"`` uses the greedy worklist peeler.
+        Registered peeling-engine name (see
+        :func:`repro.engine.available_engines`): ``"parallel"`` uses the
+        round-synchronous peeler (and reports its round count);
+        ``"sequential"`` uses the greedy worklist peeler.
     """
 
-    def __init__(self, mode: Literal["parallel", "sequential"] = "parallel") -> None:
-        if mode not in ("parallel", "sequential"):
-            raise ValueError(f"mode must be 'parallel' or 'sequential', got {mode!r}")
+    def __init__(self, mode: str = "parallel") -> None:
+        get_engine(mode)  # fail fast, with the registry's name-listing error
         self.mode = mode
 
     # ------------------------------------------------------------------ #
@@ -184,12 +185,9 @@ class XorSatSolver:
         parities = instance.parities.astype(np.uint8).copy()
         graph = instance.to_hypergraph()
 
-        if self.mode == "parallel":
-            peel = ParallelPeeler(2, track_stats=False).peel(graph)
-            rounds = peel.num_rounds
-        else:
-            peel = SequentialPeeler(2, track_stats=False).peel(graph)
-            rounds = 1
+        engine = PeelingConfig(engine=self.mode, k=2, track_stats=False).build()
+        peel = engine.peel(graph)
+        rounds = 1 if self.mode == "sequential" else peel.num_rounds
 
         core_mask = peel.core_edge_mask
         peeled_mask = ~core_mask

@@ -12,10 +12,16 @@ Examples
     python -m repro table6
     python -m repro figure1
     python -m repro thresholds --k 2 --r 4
-    python -m repro peel --n 100000 --c 0.7 --r 4 --k 2
+    python -m repro peel --n 100000 --c 0.7 --r 4 --k 2 --engine subtable
+    python -m repro table1 --backend processes --workers 4
+    python -m repro table3 --decoder flat
 
 Every sub-command prints the same layout the paper's tables use; the
 defaults are the scaled-down settings documented in EXPERIMENTS.md.
+Engines, IBLT decoders and execution backends are all selected by their
+registry names (``--engine``, ``--decoder``, ``--backend``), so anything
+registered through :mod:`repro.engine`, :mod:`repro.iblt` or
+:mod:`repro.parallel` is reachable from the command line.
 """
 
 from __future__ import annotations
@@ -26,8 +32,27 @@ from typing import List, Optional, Sequence
 
 from repro.analysis import peeling_threshold
 from repro.analysis.rounds import predict_rounds
+from repro.engine import available_engines
+from repro.iblt import available_decoders
+from repro.parallel.backend import available_backends, get_backend
 
 __all__ = ["build_parser", "main"]
+
+
+def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach trial-dispatch flags shared by every trial-running sub-command."""
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="serial",
+        help="execution backend for independent trials (default: serial)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for pool backends (default: backend-specific)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
     t1.add_argument("--r", type=int, default=4)
     t1.add_argument("--k", type=int, default=2)
     t1.add_argument("--seed", type=int, default=1)
+    _add_backend_flags(t1)
 
     t2 = sub.add_parser("table2", help="recurrence prediction vs experiment")
     t2.add_argument("--n", type=int, default=100_000)
@@ -52,12 +78,20 @@ def build_parser() -> argparse.ArgumentParser:
     t2.add_argument("--rounds", type=int, default=16)
     t2.add_argument("--trials", type=int, default=5)
     t2.add_argument("--seed", type=int, default=1)
+    _add_backend_flags(t2)
 
+    parallel_decoders = tuple(n for n in available_decoders() if n != "serial")
     for name, default_r in (("table3", 3), ("table4", 4)):
         t = sub.add_parser(name, help=f"IBLT recovery/insertion with r={default_r}")
         t.add_argument("--num-cells", type=int, default=30_000)
         t.add_argument("--loads", type=float, nargs="+", default=[0.75, 0.83])
         t.add_argument("--threads", type=int, default=4096)
+        t.add_argument(
+            "--decoder",
+            choices=parallel_decoders,
+            default="subtable",
+            help="parallel decoder to benchmark against serial recovery (default: subtable)",
+        )
         t.add_argument("--seed", type=int, default=1)
         t.set_defaults(iblt_r=default_r)
 
@@ -66,6 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
     t5.add_argument("--densities", type=float, nargs="+", default=[0.7, 0.75])
     t5.add_argument("--trials", type=int, default=10)
     t5.add_argument("--seed", type=int, default=1)
+    _add_backend_flags(t5)
 
     t6 = sub.add_parser("table6", help="subtable recurrence vs experiment")
     t6.add_argument("--n", type=int, default=100_000)
@@ -73,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
     t6.add_argument("--rounds", type=int, default=7)
     t6.add_argument("--trials", type=int, default=5)
     t6.add_argument("--seed", type=int, default=1)
+    _add_backend_flags(t6)
 
     f1 = sub.add_parser("figure1", help="beta evolution near the threshold")
     f1.add_argument("--densities", type=float, nargs="+", default=[0.77, 0.772])
@@ -89,7 +125,18 @@ def build_parser() -> argparse.ArgumentParser:
     peel.add_argument("--c", type=float, default=0.7)
     peel.add_argument("--r", type=int, default=4)
     peel.add_argument("--k", type=int, default=2)
-    peel.add_argument("--mode", choices=["parallel", "sequential", "subtable"], default="parallel")
+    peel.add_argument(
+        "--engine",
+        choices=available_engines(),
+        default=None,
+        help="peeling engine (default: parallel)",
+    )
+    peel.add_argument(
+        "--mode",
+        choices=available_engines(),
+        default=None,
+        help="deprecated alias for --engine",
+    )
     peel.add_argument("--seed", type=int, default=1)
 
     return parser
@@ -98,17 +145,22 @@ def build_parser() -> argparse.ArgumentParser:
 def _run_table1(args) -> str:
     from repro.experiments import format_table1, run_table1
 
-    rows = run_table1(
-        sizes=args.sizes, densities=args.densities, r=args.r, k=args.k,
-        trials=args.trials, seed=args.seed,
-    )
+    with get_backend(args.backend, max_workers=args.workers) as backend:
+        rows = run_table1(
+            sizes=args.sizes, densities=args.densities, r=args.r, k=args.k,
+            trials=args.trials, seed=args.seed, backend=backend,
+        )
     return format_table1(rows)
 
 
 def _run_table2(args) -> str:
     from repro.experiments import format_table2, run_table2
 
-    rows = run_table2(n=args.n, c=args.c, rounds=args.rounds, trials=args.trials, seed=args.seed)
+    with get_backend(args.backend, max_workers=args.workers) as backend:
+        rows = run_table2(
+            n=args.n, c=args.c, rounds=args.rounds, trials=args.trials,
+            seed=args.seed, backend=backend,
+        )
     return format_table2(rows, c=args.c)
 
 
@@ -121,6 +173,7 @@ def _run_table34(args) -> str:
         loads=tuple(args.loads),
         num_cells=args.num_cells,
         machine=ParallelMachine(num_threads=args.threads),
+        decoder=args.decoder,
         seed=args.seed,
     )
     return format_table34(rows)
@@ -129,16 +182,22 @@ def _run_table34(args) -> str:
 def _run_table5(args) -> str:
     from repro.experiments import format_table5, run_table5
 
-    rows = run_table5(
-        sizes=args.sizes, densities=args.densities, trials=args.trials, seed=args.seed
-    )
+    with get_backend(args.backend, max_workers=args.workers) as backend:
+        rows = run_table5(
+            sizes=args.sizes, densities=args.densities, trials=args.trials,
+            seed=args.seed, backend=backend,
+        )
     return format_table5(rows)
 
 
 def _run_table6(args) -> str:
     from repro.experiments import format_table6, run_table6
 
-    rows = run_table6(n=args.n, c=args.c, rounds=args.rounds, trials=args.trials, seed=args.seed)
+    with get_backend(args.backend, max_workers=args.workers) as backend:
+        rows = run_table6(
+            n=args.n, c=args.c, rounds=args.rounds, trials=args.trials,
+            seed=args.seed, backend=backend,
+        )
     return format_table6(rows, c=args.c)
 
 
@@ -162,15 +221,16 @@ def _run_thresholds(args) -> str:
 
 
 def _run_peel(args) -> str:
-    from repro.core import peel_to_kcore
+    from repro.engine import peel
     from repro.hypergraph import partitioned_hypergraph, random_hypergraph
 
-    if args.mode == "subtable":
+    engine = args.engine or args.mode or "parallel"
+    if engine == "subtable":
         n = args.n + (-args.n) % args.r
         graph = partitioned_hypergraph(n, args.c, args.r, seed=args.seed)
     else:
         graph = random_hypergraph(args.n, args.c, args.r, seed=args.seed)
-    result = peel_to_kcore(graph, args.k, mode=args.mode)
+    result = peel(graph, engine, k=args.k)
     lines = [result.summary()]
     prediction = predict_rounds(graph.num_vertices, args.c, args.k, args.r)
     lines.append(

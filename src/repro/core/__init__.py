@@ -7,7 +7,11 @@
 * :class:`~repro.core.subtable.SubtablePeeler` — the Appendix B variant used
   by the GPU IBLT implementation: ``r`` serial subrounds per round, one per
   subtable.
-* :func:`~repro.core.peeling.peel_to_kcore` — convenience front door.
+* :func:`~repro.core.peeling.peel_to_kcore` — deprecated front door; use
+  :func:`repro.peel` (the registry-backed API in :mod:`repro.engine`).
+
+The engines are registered in the :mod:`repro.engine` registry under the
+names ``"sequential"``, ``"parallel"`` and ``"subtable"``.
 """
 
 from repro.core.peeling import ParallelPeeler, SequentialPeeler, peel_to_kcore

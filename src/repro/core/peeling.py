@@ -19,6 +19,7 @@ linear-time baseline the paper's serial implementation corresponds to.
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Literal, Optional
 
 import numpy as np
@@ -255,7 +256,13 @@ def peel_to_kcore(
     mode: Literal["parallel", "sequential", "subtable"] = "parallel",
     update: UpdateMode = "full",
 ) -> PeelingResult:
-    """Convenience front door: peel ``graph`` to its k-core.
+    """Deprecated front door: peel ``graph`` to its k-core.
+
+    .. deprecated::
+        Use :func:`repro.peel` instead — ``peel(graph, mode, k=k)`` — which
+        resolves engines through the registry and accepts engine-specific
+        options.  This shim delegates to it and will be removed in a future
+        release.
 
     Parameters
     ----------
@@ -264,18 +271,17 @@ def peel_to_kcore(
     k:
         Degree threshold.
     mode:
-        ``"parallel"`` (round-synchronous, the paper's main subject),
-        ``"sequential"`` (greedy baseline) or ``"subtable"`` (Appendix B;
-        requires a partitioned hypergraph).
+        Engine name: ``"parallel"`` (round-synchronous, the paper's main
+        subject), ``"sequential"`` (greedy baseline) or ``"subtable"``
+        (Appendix B; requires a partitioned hypergraph).
     update:
         Work-accounting mode for the parallel engine (ignored otherwise).
     """
-    if mode == "parallel":
-        return ParallelPeeler(k, update=update).peel(graph)
-    if mode == "sequential":
-        return SequentialPeeler(k).peel(graph)
-    if mode == "subtable":
-        from repro.core.subtable import SubtablePeeler  # local import avoids a cycle
+    warnings.warn(
+        "peel_to_kcore is deprecated; use repro.peel(graph, engine, k=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.engine import peel  # local import avoids a cycle
 
-        return SubtablePeeler(k).peel(graph)
-    raise ValueError(f"unknown mode {mode!r}")
+    return peel(graph, mode, k=k, update=update)

@@ -1,0 +1,109 @@
+"""Front-door API: ``peel`` one hypergraph, ``peel_many`` a batch.
+
+These are the functions applications should call.  Both resolve the engine
+through the registry, so every schedule — and any engine registered by
+third-party code — is reachable with a string:
+
+>>> from repro import peel, random_hypergraph
+>>> graph = random_hypergraph(10_000, 0.7, 4, seed=1)
+>>> peel(graph, "parallel", k=2).success
+True
+
+``peel_many`` dispatches independent graphs through an
+:class:`~repro.parallel.backend.ExecutionBackend` (``"serial"``,
+``"threads"`` or ``"processes"``), so multi-graph workloads scale with the
+cores of the host.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Iterable, List, Optional, Union
+
+from repro.core.results import PeelingResult
+from repro.engine.config import DEFAULT_ENGINE, PeelingConfig
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.parallel.backend import ExecutionBackend, get_backend
+
+__all__ = ["peel", "peel_many"]
+
+
+def _resolve_config(
+    engine: Optional[str], config: Optional[PeelingConfig], opts: dict
+) -> PeelingConfig:
+    if config is None:
+        return PeelingConfig.from_options(engine if engine is not None else DEFAULT_ENGINE, **opts)
+    if engine is not None or opts:
+        raise TypeError(
+            "pass either a prebuilt config= or engine/keyword options, not both"
+        )
+    return config
+
+
+def peel(
+    graph: Hypergraph,
+    engine: Optional[str] = None,
+    *,
+    config: Optional[PeelingConfig] = None,
+    **opts,
+) -> PeelingResult:
+    """Peel ``graph`` with the named engine and return the result.
+
+    Parameters
+    ----------
+    graph:
+        Hypergraph to peel (the subtable engine additionally requires it to
+        be partitioned).
+    engine:
+        Registered engine name (default ``"parallel"``); see
+        :func:`repro.engine.available_engines`.
+    config:
+        A prebuilt :class:`PeelingConfig`; mutually exclusive with ``engine``
+        and ``**opts``.
+    **opts:
+        ``k``, ``update``, ``max_rounds``, ``track_stats`` plus any
+        engine-specific options (see :meth:`PeelingConfig.from_options`).
+    """
+    return _resolve_config(engine, config, opts).build().peel(graph)
+
+
+def _peel_one(config: PeelingConfig, graph: Hypergraph) -> PeelingResult:
+    # Module-level so process-pool backends can pickle the work function.
+    return config.build().peel(graph)
+
+
+def peel_many(
+    graphs: Iterable[Hypergraph],
+    engine: Optional[str] = None,
+    *,
+    backend: Union[str, ExecutionBackend] = "serial",
+    max_workers: Optional[int] = None,
+    config: Optional[PeelingConfig] = None,
+    **opts,
+) -> List[PeelingResult]:
+    """Peel a batch of independent hypergraphs, in input order.
+
+    Parameters
+    ----------
+    graphs:
+        The hypergraphs to peel; results come back in the same order.
+    engine, config, **opts:
+        As in :func:`peel` — one configuration shared by every graph.
+    backend:
+        Backend name (``"serial"``, ``"threads"``, ``"processes"``) or an
+        :class:`~repro.parallel.backend.ExecutionBackend` instance.  Named
+        backends are created for the call and closed afterwards; instances
+        are left open for the caller to reuse.
+    max_workers:
+        Worker count for named pool backends (ignored for ``"serial"`` and
+        for backend instances).
+    """
+    resolved_config = _resolve_config(engine, config, opts)
+    items = list(graphs)
+    owned = isinstance(backend, str)
+    resolved_backend = get_backend(backend, max_workers=max_workers) if owned else backend
+    try:
+        return resolved_backend.map(functools.partial(_peel_one, resolved_config), items)
+    finally:
+        if owned:
+            resolved_backend.close()

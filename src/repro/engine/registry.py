@@ -1,0 +1,93 @@
+"""The engine registry — one front door for every peeling schedule.
+
+The paper's point is that sequential, round-synchronous parallel and
+subtable (sub-round) peeling are *interchangeable schedules of the same
+process*: they reach the same k-core and differ only in round structure and
+work.  The registry makes that interchangeability a first-class API
+property: every engine is a named entry behind the same
+:class:`PeelingEngine` protocol, so callers select a schedule with a string
+(``peel(graph, engine="subtable")``) and new engines plug in without
+touching any call site.
+
+The built-in engines are registered when :mod:`repro.engine` is imported:
+
+========== ==================================================
+name       engine class
+========== ==================================================
+sequential :class:`~repro.core.peeling.SequentialPeeler`
+parallel   :class:`~repro.core.peeling.ParallelPeeler`
+subtable   :class:`~repro.core.subtable.SubtablePeeler`
+========== ==================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, Tuple, runtime_checkable
+
+from repro.core.results import PeelingResult
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.utils.registry import Registry
+
+__all__ = [
+    "PeelingEngine",
+    "EngineFactory",
+    "register_engine",
+    "unregister_engine",
+    "get_engine",
+    "available_engines",
+]
+
+
+@runtime_checkable
+class PeelingEngine(Protocol):
+    """What every peeling engine must provide: ``peel(graph) -> PeelingResult``."""
+
+    k: int
+
+    def peel(self, graph: Hypergraph) -> PeelingResult:
+        """Run the engine's schedule on ``graph`` and return the outcome."""
+        ...
+
+
+EngineFactory = Callable[..., PeelingEngine]
+"""A callable (usually the engine class) building an engine: ``factory(k, **options)``."""
+
+_ENGINES: Registry[EngineFactory] = Registry("engine")
+
+
+def register_engine(name: str, factory: EngineFactory, *, overwrite: bool = False) -> None:
+    """Register ``factory`` under ``name``.
+
+    Parameters
+    ----------
+    name:
+        Registry key; the string callers pass as ``engine=``.
+    factory:
+        Engine class or callable with signature ``factory(k, **options)``
+        returning an object satisfying :class:`PeelingEngine`.
+    overwrite:
+        Allow replacing an existing entry (default False: re-registering a
+        taken name raises ``ValueError`` to surface accidental collisions).
+    """
+    _ENGINES.register(name, factory, overwrite=overwrite)
+
+
+def unregister_engine(name: str) -> None:
+    """Remove ``name`` from the registry (mainly for tests); unknown names raise."""
+    _ENGINES.unregister(name)
+
+
+def get_engine(name: str) -> EngineFactory:
+    """Look up an engine factory by name.
+
+    Raises
+    ------
+    ValueError
+        If ``name`` is not registered; the message lists the available names.
+    """
+    return _ENGINES.get(name)
+
+
+def available_engines() -> Tuple[str, ...]:
+    """Sorted names of every registered engine."""
+    return _ENGINES.names()

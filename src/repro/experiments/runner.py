@@ -9,17 +9,20 @@ trials on an execution backend, and returns the per-trial results in order.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, TypeVar, Union
 
 import numpy as np
 
-from repro.parallel.backend import ExecutionBackend, SerialBackend
+from repro.parallel.backend import ExecutionBackend, get_backend
 from repro.utils.rng import SeedLike, spawn_rngs
 from repro.utils.validation import check_positive_int
 
-__all__ = ["run_trials", "TrialSummary", "summarize"]
+__all__ = ["run_trials", "TrialSummary", "summarize", "BackendLike"]
 
 R = TypeVar("R")
+
+BackendLike = Union[str, ExecutionBackend]
+"""A backend name (resolved via :func:`repro.parallel.get_backend`) or instance."""
 
 
 def run_trials(
@@ -27,7 +30,8 @@ def run_trials(
     num_trials: int,
     *,
     seed: SeedLike = None,
-    backend: Optional[ExecutionBackend] = None,
+    backend: Optional[BackendLike] = None,
+    max_workers: Optional[int] = None,
 ) -> List[R]:
     """Run ``trial`` ``num_trials`` times with independent RNGs.
 
@@ -35,18 +39,29 @@ def run_trials(
     ----------
     trial:
         Callable taking a :class:`numpy.random.Generator` and returning the
-        per-trial result.
+        per-trial result.  For the process-pool backend it must be picklable
+        (a module-level function or ``functools.partial`` of one).
     num_trials:
         Number of independent repetitions.
     seed:
         Base seed; per-trial generators are spawned from it.
     backend:
-        Execution backend (defaults to the serial backend).
+        Execution backend — a registered name (``"serial"``, ``"threads"``,
+        ``"processes"``) or an :class:`ExecutionBackend` instance.  Named
+        backends are created for the call and closed afterwards; instances
+        are left open for reuse.  Defaults to serial.
+    max_workers:
+        Worker count for named pool backends (ignored otherwise).
     """
     num_trials = check_positive_int(num_trials, "num_trials")
     rngs = spawn_rngs(seed, num_trials)
-    backend = backend if backend is not None else SerialBackend()
-    return backend.map(trial, rngs)
+    owned = backend is None or isinstance(backend, str)
+    resolved = get_backend(backend or "serial", max_workers=max_workers) if owned else backend
+    try:
+        return resolved.map(trial, rngs)
+    finally:
+        if owned:
+            resolved.close()
 
 
 @dataclass(frozen=True)

@@ -13,15 +13,15 @@ at all); above it they grow linearly in ``log n``.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.peeling import ParallelPeeler
-from repro.experiments.runner import run_trials
+from repro.engine import PeelingConfig, PeelingEngine
+from repro.experiments.runner import BackendLike, run_trials
 from repro.hypergraph.generators import random_hypergraph
-from repro.parallel.backend import ExecutionBackend
 from repro.utils.rng import SeedLike, derive_seed
 from repro.utils.tables import Table, format_float, format_int
 from repro.utils.validation import check_positive_int
@@ -80,6 +80,15 @@ class Table1Row:
     std_rounds: float
 
 
+def _table1_trial(
+    peeler: PeelingEngine, n: int, c: float, r: int, rng: np.random.Generator
+) -> Tuple[int, bool]:
+    # Module-level so process-pool backends can pickle the trial.
+    graph = random_hypergraph(n, c, r, seed=rng)
+    result = peeler.peel(graph)
+    return (result.num_rounds, result.success)
+
+
 def run_table1_cell(
     n: int,
     c: float,
@@ -88,19 +97,16 @@ def run_table1_cell(
     k: int = 2,
     trials: int = 25,
     seed: SeedLike = None,
-    backend: Optional[ExecutionBackend] = None,
+    backend: Optional[BackendLike] = None,
 ) -> Table1Row:
     """Run the trials for a single (n, c) cell of Table 1."""
     n = check_positive_int(n, "n")
     trials = check_positive_int(trials, "trials")
-    peeler = ParallelPeeler(k, update="full", track_stats=False)
+    peeler = PeelingConfig(engine="parallel", k=k, update="full", track_stats=False).build()
 
-    def one_trial(rng: np.random.Generator):
-        graph = random_hypergraph(n, c, r, seed=rng)
-        result = peeler.peel(graph)
-        return (result.num_rounds, result.success)
-
-    results = run_trials(one_trial, trials, seed=seed, backend=backend)
+    results = run_trials(
+        functools.partial(_table1_trial, peeler, n, c, r), trials, seed=seed, backend=backend
+    )
     rounds = np.array([row[0] for row in results], dtype=float)
     failed = sum(1 for row in results if not row[1])
     return Table1Row(
@@ -123,7 +129,7 @@ def run_table1(
     k: int = 2,
     trials: int = 25,
     seed: SeedLike = 0,
-    backend: Optional[ExecutionBackend] = None,
+    backend: Optional[BackendLike] = None,
 ) -> List[Table1Row]:
     """Run the full Table 1 sweep.
 

@@ -12,16 +12,16 @@ paper's layout.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.recurrences import predicted_survivors
-from repro.core.peeling import ParallelPeeler
-from repro.experiments.runner import run_trials
+from repro.engine import PeelingConfig, PeelingEngine
+from repro.experiments.runner import BackendLike, run_trials
 from repro.hypergraph.generators import random_hypergraph
-from repro.parallel.backend import ExecutionBackend
 from repro.utils.rng import SeedLike
 from repro.utils.tables import Table, format_float, format_int
 from repro.utils.validation import check_positive_int
@@ -55,6 +55,17 @@ class Table2Row:
         return abs(self.prediction - self.experiment) / max(self.experiment, 1.0)
 
 
+def _table2_trial(
+    peeler: PeelingEngine, n: int, c: float, r: int, rounds: int, rng: np.random.Generator
+) -> np.ndarray:
+    # Module-level so process-pool backends can pickle the trial.
+    graph = random_hypergraph(n, c, r, seed=rng)
+    result = peeler.peel(graph)
+    return np.array(
+        [result.survivors_after_round(t) for t in range(1, rounds + 1)], dtype=float
+    )
+
+
 def run_table2(
     n: int = 100_000,
     c: float = 0.7,
@@ -64,7 +75,7 @@ def run_table2(
     rounds: int = 20,
     trials: int = 10,
     seed: SeedLike = 0,
-    backend: Optional[ExecutionBackend] = None,
+    backend: Optional[BackendLike] = None,
 ) -> List[Table2Row]:
     """Compare the recurrence prediction with simulation, round by round.
 
@@ -75,17 +86,17 @@ def run_table2(
     n = check_positive_int(n, "n")
     rounds = check_positive_int(rounds, "rounds")
     trials = check_positive_int(trials, "trials")
-    peeler = ParallelPeeler(k, update="full", track_stats=True)
+    peeler = PeelingConfig(engine="parallel", k=k, update="full", track_stats=True).build()
 
-    def one_trial(rng: np.random.Generator) -> np.ndarray:
-        graph = random_hypergraph(n, c, r, seed=rng)
-        result = peeler.peel(graph)
-        survivors = np.array(
-            [result.survivors_after_round(t) for t in range(1, rounds + 1)], dtype=float
-        )
-        return survivors
-
-    measured = np.mean(run_trials(one_trial, trials, seed=seed, backend=backend), axis=0)
+    measured = np.mean(
+        run_trials(
+            functools.partial(_table2_trial, peeler, n, c, r, rounds),
+            trials,
+            seed=seed,
+            backend=backend,
+        ),
+        axis=0,
+    )
     predicted = predicted_survivors(n, c, k, r, rounds)
     return [
         Table2Row(t=t, prediction=float(predicted[t - 1]), experiment=float(measured[t - 1]))

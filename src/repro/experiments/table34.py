@@ -25,7 +25,6 @@ import numpy as np
 
 from repro.apps.sparse_recovery import random_distinct_keys
 from repro.iblt.iblt import IBLT
-from repro.iblt.parallel_decode import SubtableParallelDecoder
 from repro.parallel.machine import ParallelMachine, SimulatedTiming
 from repro.utils.rng import SeedLike, derive_seed
 from repro.utils.tables import Table, format_float
@@ -35,6 +34,27 @@ __all__ = ["PAPER_LOADS", "IBLTBenchmarkRow", "run_iblt_experiment", "run_table3
 
 PAPER_LOADS: tuple = (0.75, 0.83)
 """Table loads used in the paper's Tables 3 and 4."""
+
+
+def _check_parallel_decoder(decoder: str) -> None:
+    """Fail fast on decoders this benchmark cannot price.
+
+    The cost model needs per-round stats and atomic-conflict depths, which
+    only the round-synchronous decoders report (their constructors take
+    ``track_conflicts``); the serial worklist decoder — or a custom decoder
+    without that knob — cannot be benchmarked here.
+    """
+    import inspect
+
+    from repro.iblt.registry import get_decoder
+
+    factory = get_decoder(decoder)  # raises with the name-listing message
+    if "track_conflicts" not in inspect.signature(factory).parameters:
+        raise ValueError(
+            f"decoder {decoder!r} does not report round statistics and atomic "
+            f"conflicts, which tables 3/4 need to price recovery; use a "
+            f"round-synchronous decoder such as 'subtable' or 'flat'"
+        )
 
 
 @dataclass(frozen=True)
@@ -98,6 +118,7 @@ def run_iblt_experiment(
     *,
     num_cells: int = 30_000,
     machine: Optional[ParallelMachine] = None,
+    decoder: str = "subtable",
     seed: SeedLike = 0,
 ) -> IBLTBenchmarkRow:
     """Run one (r, load) cell of Table 3/4.
@@ -114,12 +135,16 @@ def run_iblt_experiment(
         table is a few thousand cells).
     machine:
         Simulated parallel machine (defaults to 4096 threads).
+    decoder:
+        Registered parallel decoder name: ``"subtable"`` (the paper's
+        scheme, default) or ``"flat"`` (the ablation variant).
     seed:
         Seed for the random item keys.
     """
     r = check_positive_int(r, "r")
     load = check_positive_float(load, "load")
     num_cells = check_positive_int(num_cells, "num_cells")
+    _check_parallel_decoder(decoder)
     if num_cells % r != 0:
         num_cells += r - (num_cells % r)
     machine = machine if machine is not None else ParallelMachine()
@@ -134,10 +159,9 @@ def run_iblt_experiment(
     serial_result = table.decode()
     measured_serial = time.perf_counter() - serial_start
 
-    # Parallel (round-synchronous, subtable) recovery.
-    decoder = SubtableParallelDecoder(track_conflicts=True)
+    # Parallel (round-synchronous) recovery, resolved through the registry.
     parallel_start = time.perf_counter()
-    parallel_result = decoder.decode(table)
+    parallel_result = table.decode(decoder=decoder, track_conflicts=True)
     measured_parallel = time.perf_counter() - parallel_start
 
     recovered = parallel_result.recovered
@@ -173,12 +197,18 @@ def run_table34(
     loads: Sequence[float] = PAPER_LOADS,
     num_cells: int = 30_000,
     machine: Optional[ParallelMachine] = None,
+    decoder: str = "subtable",
     seed: SeedLike = 0,
 ) -> List[IBLTBenchmarkRow]:
     """Run all loads for one value of ``r`` (Table 3 uses r=3, Table 4 r=4)."""
     return [
         run_iblt_experiment(
-            r, load, num_cells=num_cells, machine=machine, seed=derive_seed(seed, "row", int(load * 100))
+            r,
+            load,
+            num_cells=num_cells,
+            machine=machine,
+            decoder=decoder,
+            seed=derive_seed(seed, "row", int(load * 100)),
         )
         for load in loads
     ]

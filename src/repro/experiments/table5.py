@@ -10,15 +10,15 @@ Fibonacci-exponential analysis of Theorem 7.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.subtable import SubtablePeeler
-from repro.experiments.runner import run_trials
+from repro.engine import PeelingConfig, PeelingEngine
+from repro.experiments.runner import BackendLike, run_trials
 from repro.hypergraph.generators import partitioned_hypergraph
-from repro.parallel.backend import ExecutionBackend
 from repro.utils.rng import SeedLike, derive_seed
 from repro.utils.tables import Table, format_float, format_int
 from repro.utils.validation import check_positive_int
@@ -57,6 +57,15 @@ class Table5Row:
     avg_rounds: float
 
 
+def _table5_trial(
+    peeler: PeelingEngine, n: int, c: float, r: int, rng: np.random.Generator
+) -> Tuple[int, int, bool]:
+    # Module-level so process-pool backends can pickle the trial.
+    graph = partitioned_hypergraph(n, c, r, seed=rng)
+    result = peeler.peel(graph)
+    return (result.num_subrounds, result.num_rounds, result.success)
+
+
 def run_table5_cell(
     n: int,
     c: float,
@@ -65,21 +74,18 @@ def run_table5_cell(
     k: int = 2,
     trials: int = 25,
     seed: SeedLike = None,
-    backend: Optional[ExecutionBackend] = None,
+    backend: Optional[BackendLike] = None,
 ) -> Table5Row:
     """Run the trials for one (n, c) cell of Table 5."""
     n = check_positive_int(n, "n")
     trials = check_positive_int(trials, "trials")
     if n % r != 0:
         n += r - (n % r)
-    peeler = SubtablePeeler(k, track_stats=False)
+    peeler = PeelingConfig(engine="subtable", k=k, track_stats=False).build()
 
-    def one_trial(rng: np.random.Generator):
-        graph = partitioned_hypergraph(n, c, r, seed=rng)
-        result = peeler.peel(graph)
-        return (result.num_subrounds, result.num_rounds, result.success)
-
-    results = run_trials(one_trial, trials, seed=seed, backend=backend)
+    results = run_trials(
+        functools.partial(_table5_trial, peeler, n, c, r), trials, seed=seed, backend=backend
+    )
     subrounds = np.array([row[0] for row in results], dtype=float)
     rounds = np.array([row[1] for row in results], dtype=float)
     failed = sum(1 for row in results if not row[2])
@@ -103,7 +109,7 @@ def run_table5(
     k: int = 2,
     trials: int = 25,
     seed: SeedLike = 0,
-    backend: Optional[ExecutionBackend] = None,
+    backend: Optional[BackendLike] = None,
 ) -> List[Table5Row]:
     """Run the Table 5 sweep (defaults scaled down; see Table 1 notes)."""
     rows: List[Table5Row] = []

@@ -8,16 +8,16 @@ c=0.7) to within a handful of vertices per million.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.recurrences import predicted_subtable_survivors
-from repro.core.subtable import SubtablePeeler
-from repro.experiments.runner import run_trials
+from repro.engine import PeelingConfig, PeelingEngine
+from repro.experiments.runner import BackendLike, run_trials
 from repro.hypergraph.generators import partitioned_hypergraph
-from repro.parallel.backend import ExecutionBackend
 from repro.utils.rng import SeedLike
 from repro.utils.tables import Table, format_float, format_int
 from repro.utils.validation import check_positive_int
@@ -52,6 +52,19 @@ class Table6Row:
         return abs(self.prediction - self.experiment) / max(self.experiment, 1.0)
 
 
+def _table6_trial(
+    peeler: PeelingEngine, n: int, c: float, r: int, total_subrounds: int, rng: np.random.Generator
+) -> np.ndarray:
+    # Module-level so process-pool backends can pickle the trial.
+    graph = partitioned_hypergraph(n, c, r, seed=rng)
+    result = peeler.peel(graph)
+    remaining = [s.vertices_remaining for s in result.round_stats]
+    if len(remaining) < total_subrounds:
+        tail = remaining[-1] if remaining else n
+        remaining = remaining + [tail] * (total_subrounds - len(remaining))
+    return np.asarray(remaining[:total_subrounds], dtype=float)
+
+
 def run_table6(
     n: int = 100_000,
     c: float = 0.7,
@@ -61,7 +74,7 @@ def run_table6(
     rounds: int = 7,
     trials: int = 10,
     seed: SeedLike = 0,
-    backend: Optional[ExecutionBackend] = None,
+    backend: Optional[BackendLike] = None,
 ) -> List[Table6Row]:
     """Compare the subtable recurrence with simulation, subround by subround.
 
@@ -73,19 +86,18 @@ def run_table6(
     trials = check_positive_int(trials, "trials")
     if n % r != 0:
         n += r - (n % r)
-    peeler = SubtablePeeler(k, track_stats=True)
+    peeler = PeelingConfig(engine="subtable", k=k, track_stats=True).build()
     total_subrounds = rounds * r
 
-    def one_trial(rng: np.random.Generator) -> np.ndarray:
-        graph = partitioned_hypergraph(n, c, r, seed=rng)
-        result = peeler.peel(graph)
-        remaining = [s.vertices_remaining for s in result.round_stats]
-        if len(remaining) < total_subrounds:
-            tail = remaining[-1] if remaining else n
-            remaining = remaining + [tail] * (total_subrounds - len(remaining))
-        return np.asarray(remaining[:total_subrounds], dtype=float)
-
-    measured = np.mean(run_trials(one_trial, trials, seed=seed, backend=backend), axis=0)
+    measured = np.mean(
+        run_trials(
+            functools.partial(_table6_trial, peeler, n, c, r, total_subrounds),
+            trials,
+            seed=seed,
+            backend=backend,
+        ),
+        axis=0,
+    )
     predicted = predicted_subtable_survivors(n, c, k, r, rounds)  # (rounds, r)
     rows: List[Table6Row] = []
     for i in range(1, rounds + 1):

@@ -9,6 +9,9 @@
   whole-table-per-round ablation variant.
 * :class:`~repro.iblt.hashing.KeyHasher` — the hash family mapping keys to
   cells and computing checksums.
+* :mod:`~repro.iblt.registry` — the decoder registry behind
+  ``IBLT.decode(decoder="serial"|"flat"|"subtable")``; new decoders plug in
+  via :func:`register_decoder`.
 """
 
 from repro.iblt.hashing import KeyHasher, checksum_keys, splitmix64
@@ -17,6 +20,13 @@ from repro.iblt.parallel_decode import (
     FlatParallelDecoder,
     ParallelDecodeResult,
     SubtableParallelDecoder,
+)
+from repro.iblt.registry import (
+    SerialDecoder,
+    available_decoders,
+    get_decoder,
+    register_decoder,
+    unregister_decoder,
 )
 
 __all__ = [
@@ -28,4 +38,9 @@ __all__ = [
     "FlatParallelDecoder",
     "ParallelDecodeResult",
     "SubtableParallelDecoder",
+    "SerialDecoder",
+    "register_decoder",
+    "unregister_decoder",
+    "get_decoder",
+    "available_decoders",
 ]

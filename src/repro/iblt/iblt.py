@@ -238,11 +238,23 @@ class IBLT:
     # ------------------------------------------------------------------ #
     # serial recovery (the baseline of Tables 3 and 4)
     # ------------------------------------------------------------------ #
-    def decode(self, *, signed: bool = True, in_place: bool = False) -> IBLTDecodeResult:
-        """Serial recovery: repeatedly extract pure cells until none remain.
+    def decode(
+        self,
+        *,
+        decoder: str = "serial",
+        signed: bool = True,
+        in_place: bool = False,
+        **options,
+    ):
+        """Recover the table's contents with a name-selected decoder.
 
         Parameters
         ----------
+        decoder:
+            Registered decoder name (``"serial"``, ``"flat"`` or
+            ``"subtable"``; see :func:`repro.iblt.available_decoders`).
+            ``"serial"`` is the classical worklist recovery; the other two
+            are the round-synchronous decoders of Section 6.
         signed:
             Also treat ``count == −1`` cells as pure (needed for difference
             digests).  Defaults to True; with only insertions the behaviour
@@ -250,11 +262,27 @@ class IBLT:
         in_place:
             Operate directly on this table (leaving it empty on success);
             by default a scratch copy is consumed instead.
+        **options:
+            Decoder-specific extras forwarded to the decoder constructor
+            (e.g. ``max_rounds`` or ``track_conflicts`` for the parallel
+            decoders).
 
         Returns
         -------
         IBLTDecodeResult
+            For ``decoder="serial"``.
+        ParallelDecodeResult
+            For the parallel decoders (it exposes the same
+            ``recovered``/``removed``/``success``/``rounds``/``subrounds``
+            surface plus per-round stats and conflict depths).
         """
+        from repro.iblt.registry import get_decoder  # local import avoids a cycle
+
+        factory = get_decoder(decoder)
+        return factory(signed=signed, **options).decode(self, in_place=in_place)
+
+    def _decode_serial(self, *, signed: bool = True, in_place: bool = False) -> IBLTDecodeResult:
+        """Worklist recovery: repeatedly extract pure cells until none remain."""
         table = self if in_place else self.copy()
         recovered: List[int] = []
         removed: List[int] = []

@@ -79,6 +79,11 @@ class ParallelDecodeResult:
         """Keys recovered with negative sign."""
         return self.decode.removed
 
+    @property
+    def num_recovered(self) -> int:
+        """Total keys recovered, regardless of sign."""
+        return self.decode.num_recovered
+
 
 def _pure_cells_in_range(table: IBLT, start: int, stop: int, signed: bool) -> np.ndarray:
     """Indices of pure cells within ``[start, stop)`` (absolute indices)."""

@@ -12,19 +12,25 @@ provides the closest synthetic equivalent exercising the same code paths:
   steps — exactly the caveat Section 6 discusses).
 * :class:`~repro.parallel.atomics.AtomicConflictTracker` — counts, per round,
   the worst-case number of conflicting atomic XORs on one cell.
-* :mod:`~repro.parallel.backend` — real execution backends (serial and
-  thread-pool) behind one interface, used to distribute independent trials;
-  CPython's GIL prevents intra-trial speedup, which EXPERIMENTS.md flags, so
-  the cost model is the primary instrument for Tables 3–4.
+* :mod:`~repro.parallel.backend` — real execution backends (serial,
+  thread-pool and process-pool) behind one name-selectable interface, used
+  to distribute independent trials; CPython's GIL prevents intra-trial
+  thread speedup, which EXPERIMENTS.md flags, so the cost model is the
+  primary instrument for Tables 3–4 while the process pool scales
+  multi-trial workloads with cores.
 """
 
 from repro.parallel.machine import CostModel, ParallelMachine, SimulatedTiming
 from repro.parallel.atomics import AtomicConflictTracker, atomic_xor_depth
 from repro.parallel.backend import (
     ExecutionBackend,
+    ProcessPoolBackend,
     SerialBackend,
     ThreadPoolBackend,
+    available_backends,
     get_backend,
+    register_backend,
+    unregister_backend,
 )
 
 __all__ = [
@@ -36,5 +42,9 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "register_backend",
+    "unregister_backend",
     "get_backend",
+    "available_backends",
 ]

@@ -1,24 +1,45 @@
 """Execution backends for running independent trials.
 
-The experiment harness runs many independent peeling trials; trials are
-embarrassingly parallel, so they can be distributed over a thread pool.  Note
-that CPython's GIL means thread-level parallelism only helps to the extent
-the NumPy kernels release the GIL; on the single-core container used for this
-reproduction the serial backend is the default and the thread-pool backend
-exists to exercise the code path and to benefit on real multi-core hosts.
+The experiment harness and :func:`repro.engine.peel_many` run many
+independent peeling trials; trials are embarrassingly parallel, so they can
+be distributed over a worker pool.  Three backends ship by default, all
+behind the same tiny interface (``map``) so callers never special-case:
 
-Both backends implement the same tiny interface (``map``) so callers never
-special-case.
+* ``"serial"`` — run in the calling thread (deterministic, zero overhead).
+* ``"threads"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`.
+  CPython's GIL means this only helps to the extent the NumPy kernels
+  release the GIL, but it exercises the code path and benefits on real
+  multi-core hosts.
+* ``"processes"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`,
+  which sidesteps the GIL entirely; the work function and items must be
+  picklable (module-level functions, ``functools.partial`` of them, plain
+  data objects).
+
+Additional backends plug in through :func:`register_backend` and become
+selectable by name everywhere a backend name is accepted (``peel_many``,
+``run_trials``, the CLI's ``--backend`` flag).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+import inspect
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar, Union
 
+from repro.utils.registry import Registry
 from repro.utils.validation import check_positive_int
 
-__all__ = ["ExecutionBackend", "SerialBackend", "ThreadPoolBackend", "get_backend"]
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "register_backend",
+    "unregister_backend",
+    "get_backend",
+    "available_backends",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -82,10 +103,106 @@ class ThreadPoolBackend(ExecutionBackend):
             self._executor = None
 
 
-def get_backend(name: str = "serial", *, max_workers: int = 4) -> ExecutionBackend:
-    """Factory: return a backend by name (``"serial"`` or ``"threads"``)."""
-    if name == "serial":
-        return SerialBackend()
-    if name == "threads":
-        return ThreadPoolBackend(max_workers=max_workers)
-    raise ValueError(f"unknown backend {name!r}; expected 'serial' or 'threads'")
+class ProcessPoolBackend(ExecutionBackend):
+    """Run items on a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    Unlike the thread pool this sidesteps the GIL, so CPU-bound trials scale
+    with physical cores.  The work function and every item must be picklable
+    — use module-level functions (or ``functools.partial`` of them) rather
+    than closures.
+
+    Parameters
+    ----------
+    max_workers:
+        Number of worker processes; defaults to the host's CPU count.
+    """
+
+    name = "processes"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        self.max_workers = check_positive_int(max_workers, "max_workers")
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._executor
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        executor = self._ensure_executor()
+        return list(executor.map(fn, items))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+BackendFactory = Callable[..., ExecutionBackend]
+
+_BACKENDS: Registry[BackendFactory] = Registry("backend")
+_BACKENDS.register("serial", SerialBackend)
+_BACKENDS.register("threads", ThreadPoolBackend)
+_BACKENDS.register("processes", ProcessPoolBackend)
+
+
+def register_backend(name: str, factory: BackendFactory, *, overwrite: bool = False) -> None:
+    """Register an execution-backend factory under ``name``.
+
+    ``factory`` must be callable with no arguments; if it also accepts a
+    ``max_workers`` keyword, :func:`get_backend` forwards the caller's
+    worker count to it (that is how the built-in pool backends get theirs).
+    """
+    _BACKENDS.register(name, factory, overwrite=overwrite)
+
+
+def unregister_backend(name: str) -> None:
+    """Remove ``name`` from the registry (mainly for tests); unknown names raise."""
+    _BACKENDS.unregister(name)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Sorted names of every registered backend."""
+    return _BACKENDS.names()
+
+
+def _accepts_max_workers(factory: BackendFactory) -> bool:
+    try:
+        params = inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # uninspectable factory: assume it does
+        return True
+    return "max_workers" in params or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
+
+
+def get_backend(
+    name: Union[str, ExecutionBackend] = "serial", *, max_workers: Optional[int] = None
+) -> ExecutionBackend:
+    """Resolve a backend by name (instances pass through unchanged).
+
+    Parameters
+    ----------
+    name:
+        Registered backend name, or an :class:`ExecutionBackend` instance
+        returned as-is (``max_workers`` is then ignored).
+    max_workers:
+        Worker count, forwarded to any backend factory that accepts a
+        ``max_workers`` keyword (the built-in pools and registered
+        third-party pools alike); ``None`` keeps each backend's default
+        (4 threads, all CPUs for processes).  Silently ignored by
+        single-worker backends such as ``"serial"``.
+
+    Raises
+    ------
+    ValueError
+        Unknown names; the message lists the registered backends.
+    """
+    if isinstance(name, ExecutionBackend):
+        return name
+    factory = _BACKENDS.get(name)
+    if max_workers is not None and _accepts_max_workers(factory):
+        return factory(max_workers=max_workers)
+    return factory()

@@ -1,0 +1,103 @@
+"""Generic name→factory registry shared by engines, decoders and backends.
+
+Three subsystems expose the same "select an implementation by string"
+pattern: peeling engines (:mod:`repro.engine.registry`), IBLT decoders
+(:mod:`repro.iblt.registry`) and execution backends
+(:mod:`repro.parallel.backend`).  Each keeps its own :class:`Registry`
+instance and wraps it in domain-named module functions; the behaviour —
+validation, overwrite protection, aliases, unknown-name errors that list
+the registered names — lives here once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Tuple, TypeVar
+
+__all__ = ["Registry"]
+
+F = TypeVar("F", bound=Callable)
+
+
+class Registry(Generic[F]):
+    """A name→factory map with aliases and name-listing lookup errors.
+
+    Parameters
+    ----------
+    kind:
+        Singular noun used in error messages (``"engine"``, ``"decoder"``,
+        ``"backend"``).
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, F] = {}
+        self._aliases: Dict[str, str] = {}
+
+    def register(self, name: str, factory: F, *, overwrite: bool = False) -> None:
+        """Register ``factory`` under ``name``.
+
+        Re-registering a taken name raises ``ValueError`` unless
+        ``overwrite=True``, surfacing accidental collisions.
+        """
+        if not isinstance(name, str) or not name:
+            raise TypeError(f"{self.kind} name must be a non-empty string, got {name!r}")
+        if not callable(factory):
+            raise TypeError(f"{self.kind} factory must be callable, got {factory!r}")
+        if (name in self._entries or name in self._aliases) and not overwrite:
+            raise ValueError(
+                f"{self.kind} {name!r} is already registered; pass overwrite=True to replace it"
+            )
+        self._aliases.pop(name, None)
+        self._entries[name] = factory
+
+    def register_alias(self, alias: str, target: str) -> None:
+        """Make ``alias`` resolve to ``target`` without listing it in :meth:`names`.
+
+        Used for historical spellings (e.g. the decoder alias
+        ``"parallel"`` → ``"subtable"``) that should keep working at every
+        call site without cluttering the advertised name set.
+        """
+        if target not in self._entries:
+            raise ValueError(self._unknown(target))
+        if alias in self._entries:
+            raise ValueError(f"{self.kind} {alias!r} is already registered as a primary name")
+        self._aliases[alias] = target
+
+    def unregister(self, name: str) -> None:
+        """Remove a name or alias; unknown names raise ``ValueError``.
+
+        Removing a primary name also removes any aliases pointing at it.
+        """
+        if name in self._entries:
+            del self._entries[name]
+            self._aliases = {a: t for a, t in self._aliases.items() if t != name}
+        elif name in self._aliases:
+            del self._aliases[name]
+        else:
+            raise ValueError(self._unknown(name))
+
+    def get(self, name: str) -> F:
+        """Look up a factory by name or alias.
+
+        Raises
+        ------
+        ValueError
+            If ``name`` is not registered; the message lists the available
+            names.
+        """
+        target = self._aliases.get(name, name)
+        try:
+            return self._entries[target]
+        except KeyError:
+            raise ValueError(self._unknown(name)) from None
+
+    def names(self) -> Tuple[str, ...]:
+        """Sorted primary names (aliases are resolvable but not listed)."""
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries or name in self._aliases
+
+    def _unknown(self, name: str) -> str:
+        known = ", ".join(repr(n) for n in self.names()) or "none registered"
+        return f"unknown {self.kind} {name!r}; available {self.kind}s: {known}"

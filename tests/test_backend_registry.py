@@ -1,0 +1,135 @@
+"""Tests for the execution-backend registry and the process-pool backend."""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.experiments.runner import run_trials
+from repro.parallel.backend import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+
+
+def _square(x: int) -> int:
+    # Module-level so the process pool can pickle it.
+    return x * x
+
+
+def _rng_draw(rng) -> float:
+    return float(rng.random())
+
+
+class TestRegistry:
+    def test_builtin_backends(self):
+        assert set(available_backends()) == {"serial", "threads", "processes"}
+
+    def test_get_backend_by_name(self):
+        assert isinstance(get_backend("serial"), SerialBackend)
+        assert isinstance(get_backend("threads"), ThreadPoolBackend)
+        assert isinstance(get_backend("processes"), ProcessPoolBackend)
+
+    def test_get_backend_passes_instances_through(self):
+        instance = SerialBackend()
+        assert get_backend(instance) is instance
+
+    def test_max_workers_forwarded_to_pools(self):
+        with get_backend("threads", max_workers=2) as backend:
+            assert backend.max_workers == 2
+        with get_backend("processes", max_workers=2) as backend:
+            assert backend.max_workers == 2
+
+    def test_unknown_backend_lists_available(self):
+        with pytest.raises(ValueError, match="unknown backend 'gpu'.*'processes'"):
+            get_backend("gpu")
+
+    def test_register_backend(self):
+        class LoudSerial(SerialBackend):
+            name = "loud"
+
+        register_backend("loud", LoudSerial)
+        try:
+            assert "loud" in available_backends()
+            assert isinstance(get_backend("loud"), LoudSerial)
+            with pytest.raises(ValueError, match="already registered"):
+                register_backend("loud", SerialBackend)
+        finally:
+            unregister_backend("loud")
+        assert "loud" not in available_backends()
+
+    def test_max_workers_forwarded_to_registered_pool_backends(self):
+        # Third-party backends whose factory takes max_workers get the
+        # caller's worker count, same as the built-in pools.
+        class CustomPool(ThreadPoolBackend):
+            name = "custom-pool"
+
+        register_backend("custom-pool", CustomPool)
+        try:
+            with get_backend("custom-pool", max_workers=3) as backend:
+                assert backend.max_workers == 3
+        finally:
+            unregister_backend("custom-pool")
+
+    def test_register_rejects_bad_arguments(self):
+        with pytest.raises(TypeError):
+            register_backend("", SerialBackend)
+        with pytest.raises(TypeError):
+            register_backend("thing", "not-callable")
+
+
+class TestBackendsAgree:
+    @pytest.mark.parametrize("name", sorted(available_backends()))
+    def test_map_preserves_order(self, name):
+        items = list(range(12))
+        with get_backend(name, max_workers=2) as backend:
+            assert backend.map(_square, items) == [x * x for x in items]
+
+    def test_close_is_idempotent(self):
+        for name in available_backends():
+            backend = get_backend(name, max_workers=2)
+            backend.map(_square, [1, 2])
+            backend.close()
+            backend.close()
+
+    def test_context_manager_closes(self):
+        with ProcessPoolBackend(max_workers=1) as backend:
+            assert backend.map(_square, [3]) == [9]
+        assert backend._executor is None
+
+
+class TestRunTrialsBackendNames:
+    @pytest.mark.parametrize("name", sorted(available_backends()))
+    def test_run_trials_accepts_names(self, name):
+        values = run_trials(_rng_draw, 6, seed=42, backend=name, max_workers=2)
+        assert values == run_trials(_rng_draw, 6, seed=42)
+
+    def test_run_trials_leaves_instances_open(self):
+        backend = ThreadPoolBackend(max_workers=2)
+        run_trials(_rng_draw, 3, seed=1, backend=backend)
+        assert backend._executor is not None  # not closed by run_trials
+        backend.close()
+
+
+class TestProcessPool:
+    def test_defaults_to_cpu_count(self):
+        assert ProcessPoolBackend().max_workers >= 1
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(max_workers=0)
+
+    def test_partial_work_functions(self):
+        with ProcessPoolBackend(max_workers=2) as backend:
+            add = functools.partial(int.__add__, 10)
+            assert backend.map(add, [1, 2, 3]) == [11, 12, 13]
+
+    def test_is_execution_backend(self):
+        assert issubclass(ProcessPoolBackend, ExecutionBackend)
