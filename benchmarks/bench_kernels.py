@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Kernel-backend benchmark harness (stand-alone wrapper).
+
+Times ``peel`` / ``peel_many`` / IBLT decode across every peeling engine and
+registered kernel backend and writes ``BENCH_kernels.json``, seeding the
+repo's perf trajectory.  The timing logic lives in :mod:`repro.bench`; this
+wrapper exists so the harness can be launched from a checkout next to the
+pytest-benchmark tables:
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py [--quick] [--sizes ...]
+
+The same harness is reachable as ``repro bench`` once the package is
+installed.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow running from a checkout without installation.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,7 @@ from repro.apps.sparse_recovery import random_distinct_keys
 from repro.core import ParallelPeeler, SequentialPeeler, SubtablePeeler
 from repro.hypergraph import partitioned_hypergraph, random_hypergraph
 from repro.iblt import IBLT, FlatParallelDecoder, SubtableParallelDecoder
-from repro.parallel import CostModel, ParallelMachine
+from repro.parallel import ParallelMachine
 
 
 def _graph_size(scale: str) -> int:

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 
 from repro import ParallelMachine
 from repro.apps import SparseRecovery, random_distinct_keys

@@ -9,6 +9,10 @@ A production-oriented reproduction of *Parallel Peeling Algorithms*
   (:mod:`repro.engine`): :func:`peel`, :func:`peel_many` and
   :class:`PeelingConfig` select engines by name and dispatch batches over
   serial/thread/process execution backends,
+* a shared kernel layer under every engine and decoder
+  (:mod:`repro.kernels`): columnar :class:`PeelState` plus swappable
+  vectorized round primitives (``kernel="numpy"`` always; ``"numba"`` when
+  importable), benchmarked by ``repro bench`` (:mod:`repro.bench`),
 * the paper's analytical machinery — thresholds, survival recurrences,
   round-complexity predictions (:mod:`repro.analysis`),
 * Invertible Bloom Lookup Tables with name-selectable serial and parallel
@@ -71,6 +75,15 @@ from repro.engine import (
     available_engines,
 )
 
+# Kernel layer: columnar peel state + swappable round-primitive backends
+from repro.kernels import (
+    PeelState,
+    PeelingKernel,
+    register_kernel,
+    get_kernel,
+    available_kernels,
+)
+
 # Analysis
 from repro.analysis import (
     peeling_threshold,
@@ -131,6 +144,11 @@ __all__ = [
     "register_engine",
     "get_engine",
     "available_engines",
+    "PeelState",
+    "PeelingKernel",
+    "register_kernel",
+    "get_kernel",
+    "available_kernels",
     "peeling_threshold",
     "iterate_recurrence",
     "predicted_survivors",

@@ -28,8 +28,8 @@ and the fraction of vertices left after subround ``(i, j)`` is
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 

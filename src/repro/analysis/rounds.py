@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import log
-from typing import Optional
 
 import numpy as np
 

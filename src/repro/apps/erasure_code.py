@@ -23,8 +23,8 @@ from typing import Literal, Optional, Tuple
 
 import numpy as np
 
-from repro.utils.rng import SeedLike, resolve_rng
-from repro.utils.validation import check_nonnegative_int, check_positive_int
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import check_positive_int
 
 __all__ = ["EncodedBlock", "DecodeOutcome", "PeelingErasureCode"]
 

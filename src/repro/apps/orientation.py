@@ -28,11 +28,11 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.results import UNPEELED, PeelingResult
+from repro.core.results import UNPEELED
 from repro.engine import PeelingConfig, get_engine
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.iblt.hashing import KeyHasher
-from repro.utils.validation import check_nonnegative_int, check_positive_int
+from repro.utils.validation import check_positive_int
 
 __all__ = ["OrientationResult", "PeelingOrienter", "MultiChoiceHashTable"]
 

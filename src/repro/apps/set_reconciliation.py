@@ -17,7 +17,7 @@ from typing import Sequence, Set, Tuple
 import numpy as np
 
 from repro.iblt.iblt import IBLT
-from repro.utils.rng import SeedLike, resolve_rng
+from repro.utils.rng import SeedLike
 from repro.utils.validation import check_nonnegative_int, check_positive_int
 
 __all__ = ["ReconciliationResult", "SetReconciler", "random_set_pair"]

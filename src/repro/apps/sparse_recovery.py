@@ -12,7 +12,7 @@ and the final listing succeeds with high probability whenever the table load
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal, Optional, Sequence
+from typing import Literal
 
 import numpy as np
 

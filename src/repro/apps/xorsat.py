@@ -28,11 +28,10 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.engine import PeelingConfig, get_engine
-from repro.core.results import UNPEELED
 from repro.hypergraph.generators import random_hypergraph
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.utils.rng import SeedLike, resolve_rng
-from repro.utils.validation import check_nonnegative_int, check_positive_int
+from repro.utils.validation import check_positive_int
 
 __all__ = ["XorSatInstance", "XorSatSolution", "random_xorsat", "XorSatSolver"]
 

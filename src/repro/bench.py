@@ -1,0 +1,350 @@
+"""Perf-trajectory benchmark harness: engines × kernel backends × workloads.
+
+This module seeds the repo's performance trajectory: every run times the
+three peeling engines and the parallel IBLT decoders on every registered
+kernel backend and writes the wall-clock numbers to a JSON file
+(``BENCH_kernels.json`` by default), so successive PRs can diff like for
+like.  It is reachable three ways:
+
+* ``repro bench`` (the CLI sub-command; ``--quick`` for a seconds-long smoke
+  run used by CI),
+* ``python benchmarks/bench_kernels.py`` from a checkout,
+* :func:`run_benchmarks` programmatically.
+
+Timing methodology: each workload is built once per size (generation is not
+timed), then run ``repeats`` times on each engine × kernel combination; the
+*best* wall-clock time is reported, which is the standard way to suppress
+scheduler noise for sub-second kernels.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro._version import __version__
+from repro.utils.tables import Table
+
+__all__ = [
+    "DEFAULT_SIZES",
+    "QUICK_SIZES",
+    "run_benchmarks",
+    "write_results",
+    "format_results",
+    "main",
+]
+
+DEFAULT_SIZES = (10_000, 100_000)
+"""Problem sizes of the standing perf trajectory (Tables 1/5 territory)."""
+
+QUICK_SIZES = (2_000,)
+"""Sizes for the CI smoke run (``--quick``)."""
+
+_PEEL_ENGINES = ("sequential", "parallel", "subtable")
+_PARALLEL_DECODERS = ("flat", "subtable")
+
+
+def _best_time(fn: Callable[[], Any], repeats: int) -> float:
+    """Best wall-clock seconds for ``fn()`` over ``repeats`` runs."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _subtable_cells(n: int, r: int) -> int:
+    """Largest cell count ``<= n`` divisible by ``r`` (the subtable layout needs it)."""
+    return max(n - n % r, r)
+
+
+def _bench_peel(
+    sizes: Sequence[int],
+    kernels: Sequence[str],
+    *,
+    c: float,
+    r: int,
+    k: int,
+    seed: int,
+    repeats: int,
+) -> List[Dict[str, Any]]:
+    from repro.engine import peel
+    from repro.hypergraph import partitioned_hypergraph, random_hypergraph
+
+    records: List[Dict[str, Any]] = []
+    for n in sizes:
+        n_part = _subtable_cells(n, r)
+        graphs = {
+            "sequential": random_hypergraph(n, c, r, seed=seed),
+            "parallel": random_hypergraph(n, c, r, seed=seed),
+            "subtable": partitioned_hypergraph(n_part, c, r, seed=seed),
+        }
+        for engine in _PEEL_ENGINES:
+            graph = graphs[engine]
+            for kernel in kernels:
+                result = peel(graph, engine, k=k, kernel=kernel)
+                seconds = _best_time(
+                    lambda: peel(graph, engine, k=k, kernel=kernel), repeats
+                )
+                records.append(
+                    {
+                        "section": "peel",
+                        "engine": engine,
+                        "kernel": kernel,
+                        "n": int(graph.num_vertices),
+                        "c": c,
+                        "r": r,
+                        "k": k,
+                        "seed": seed,
+                        "rounds": result.num_rounds,
+                        "success": bool(result.success),
+                        "seconds": seconds,
+                    }
+                )
+    return records
+
+
+def _bench_peel_many(
+    sizes: Sequence[int],
+    kernels: Sequence[str],
+    *,
+    c: float,
+    r: int,
+    k: int,
+    seed: int,
+    repeats: int,
+    batch: int,
+) -> List[Dict[str, Any]]:
+    from repro.engine import peel_many
+    from repro.hypergraph import random_hypergraph
+
+    n = min(sizes)  # the batch section measures dispatch, not graph scale
+    graphs = [random_hypergraph(n, c, r, seed=seed + i) for i in range(batch)]
+    records: List[Dict[str, Any]] = []
+    for kernel in kernels:
+        seconds = _best_time(
+            lambda: peel_many(graphs, "parallel", k=k, kernel=kernel, backend="serial"),
+            repeats,
+        )
+        records.append(
+            {
+                "section": "peel_many",
+                "engine": "parallel",
+                "kernel": kernel,
+                "n": n,
+                "c": c,
+                "r": r,
+                "k": k,
+                "seed": seed,
+                "batch": batch,
+                "seconds": seconds,
+            }
+        )
+    return records
+
+
+def _bench_iblt(
+    sizes: Sequence[int],
+    kernels: Sequence[str],
+    *,
+    r: int,
+    load: float,
+    seed: int,
+    repeats: int,
+) -> List[Dict[str, Any]]:
+    from repro.iblt import IBLT
+
+    records: List[Dict[str, Any]] = []
+    for n in sizes:
+        num_cells = _subtable_cells(n, r)
+        table = IBLT(num_cells, r, seed=seed)
+        num_keys = int(load * num_cells)
+        # Any fixed injective map into non-zero uint64 keys works here.
+        keys = (
+            np.arange(1, num_keys + 1, dtype=np.uint64)
+            * np.uint64(0x9E3779B97F4A7C15)
+        ) | np.uint64(1)
+        table.insert(keys)
+        baseline = table.decode(decoder="serial")
+        records.append(
+            {
+                "section": "iblt_decode",
+                "decoder": "serial",
+                "kernel": None,
+                "num_cells": num_cells,
+                "r": r,
+                "load": load,
+                "seed": seed,
+                "success": bool(baseline.success),
+                "seconds": _best_time(lambda: table.decode(decoder="serial"), repeats),
+            }
+        )
+        for decoder in _PARALLEL_DECODERS:
+            for kernel in kernels:
+                result = table.decode(decoder=decoder, kernel=kernel)
+                seconds = _best_time(
+                    lambda: table.decode(decoder=decoder, kernel=kernel), repeats
+                )
+                records.append(
+                    {
+                        "section": "iblt_decode",
+                        "decoder": decoder,
+                        "kernel": kernel,
+                        "num_cells": num_cells,
+                        "r": r,
+                        "load": load,
+                        "seed": seed,
+                        "rounds": result.rounds,
+                        "success": bool(result.success),
+                        "seconds": seconds,
+                    }
+                )
+    return records
+
+
+def run_benchmarks(
+    *,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    kernels: Optional[Sequence[str]] = None,
+    c: float = 0.7,
+    r: int = 4,
+    iblt_r: int = 3,
+    k: int = 2,
+    load: float = 0.7,
+    seed: int = 1,
+    repeats: int = 3,
+    batch: int = 4,
+) -> Dict[str, Any]:
+    """Run the full benchmark matrix and return the JSON-ready payload.
+
+    Parameters
+    ----------
+    sizes:
+        Vertex / cell counts to benchmark at (each engine × kernel runs at
+        every size).
+    kernels:
+        Kernel-backend names to sweep; ``None`` means every registered one.
+    c, r, k:
+        Hypergraph density, edge size and peeling threshold of the k-core
+        workloads.
+    iblt_r, load:
+        Hashes per key and table load of the IBLT decode workload.
+    seed:
+        Base RNG seed (workloads are identical across kernels by design).
+    repeats:
+        Timed runs per combination; the best is reported.
+    batch:
+        Batch size of the ``peel_many`` section.
+    """
+    from repro.kernels import available_kernels
+
+    kernel_names = tuple(kernels) if kernels is not None else available_kernels()
+    results: List[Dict[str, Any]] = []
+    results += _bench_peel(
+        sizes, kernel_names, c=c, r=r, k=k, seed=seed, repeats=repeats
+    )
+    results += _bench_peel_many(
+        sizes, kernel_names, c=c, r=r, k=k, seed=seed, repeats=repeats, batch=batch
+    )
+    results += _bench_iblt(
+        sizes, kernel_names, r=iblt_r, load=load, seed=seed, repeats=repeats
+    )
+    return {
+        "meta": {
+            "version": __version__,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "kernels": list(kernel_names),
+            "sizes": [int(n) for n in sizes],
+            "repeats": repeats,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        },
+        "results": results,
+    }
+
+
+def write_results(payload: Dict[str, Any], path: Path) -> None:
+    """Write the benchmark payload as indented JSON to ``path``."""
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+
+
+def format_results(payload: Dict[str, Any]) -> str:
+    """Render the benchmark payload as an aligned text table."""
+    table = Table(
+        columns=("section", "workload", "kernel", "size", "seconds"),
+        title=f"kernel benchmarks ({payload['meta']['timestamp']})",
+    )
+    for record in payload["results"]:
+        workload = record.get("engine") or record.get("decoder")
+        size = record.get("n", record.get("num_cells"))
+        table.add_row(
+            record["section"],
+            workload,
+            record["kernel"] or "-",
+            size,
+            f"{record['seconds']:.4f}",
+        )
+    return table.render()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Stand-alone entry point (``python benchmarks/bench_kernels.py``)."""
+    parser = argparse.ArgumentParser(
+        description="Benchmark peeling engines and IBLT decoders across kernel backends."
+    )
+    add_bench_arguments(parser)
+    args = parser.parse_args(argv)
+    print(run_bench_command(args))
+    return 0
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the benchmark flags (shared with the ``repro bench`` sub-command)."""
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_SIZES),
+        help="problem sizes to benchmark (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="seconds-long smoke run (small sizes, one repeat); used by CI",
+    )
+    parser.add_argument(
+        "--kernel",
+        dest="kernels",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="kernel backend to include (repeatable; default: all registered)",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_kernels.json"),
+        help="output JSON path (default: %(default)s)",
+    )
+
+
+def run_bench_command(args: argparse.Namespace) -> str:
+    """Execute a parsed benchmark invocation; returns the printable report."""
+    sizes: Sequence[int] = QUICK_SIZES if args.quick else args.sizes
+    repeats = 1 if args.quick else args.repeats
+    payload = run_benchmarks(
+        sizes=sizes, kernels=args.kernels, seed=args.seed, repeats=repeats
+    )
+    write_results(payload, args.out)
+    report = format_results(payload)
+    return f"{report}\n\nwrote {len(payload['results'])} timings to {args.out}"

@@ -13,27 +13,33 @@ Examples
     python -m repro figure1
     python -m repro thresholds --k 2 --r 4
     python -m repro peel --n 100000 --c 0.7 --r 4 --k 2 --engine subtable
+    python -m repro peel --n 100000 --kernel numpy
     python -m repro table1 --backend processes --workers 4
     python -m repro table3 --decoder flat
+    python -m repro bench --quick
 
 Every sub-command prints the same layout the paper's tables use; the
 defaults are the scaled-down settings documented in EXPERIMENTS.md.
-Engines, IBLT decoders and execution backends are all selected by their
-registry names (``--engine``, ``--decoder``, ``--backend``), so anything
-registered through :mod:`repro.engine`, :mod:`repro.iblt` or
-:mod:`repro.parallel` is reachable from the command line.
+Engines, IBLT decoders, kernel backends and execution backends are all
+selected by their registry names (``--engine``, ``--decoder``, ``--kernel``,
+``--backend``), so anything registered through :mod:`repro.engine`,
+:mod:`repro.iblt`, :mod:`repro.kernels` or :mod:`repro.parallel` is
+reachable from the command line.  ``repro bench`` runs the kernel benchmark
+harness (:mod:`repro.bench`) and writes ``BENCH_kernels.json``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis import peeling_threshold
 from repro.analysis.rounds import predict_rounds
+from repro.bench import add_bench_arguments, run_bench_command
 from repro.engine import available_engines
 from repro.iblt import available_decoders
+from repro.kernels import available_kernels
 from repro.parallel.backend import available_backends, get_backend
 
 __all__ = ["build_parser", "main"]
@@ -137,7 +143,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="deprecated alias for --engine",
     )
+    peel.add_argument(
+        "--kernel",
+        choices=available_kernels(),
+        default=None,
+        help="kernel backend for the round primitives (default: numpy)",
+    )
     peel.add_argument("--seed", type=int, default=1)
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark engines and decoders across kernel backends",
+        description=(
+            "Time peel/peel_many/IBLT decode for every engine × kernel "
+            "combination and write the results to a JSON file "
+            "(BENCH_kernels.json by default)."
+        ),
+    )
+    add_bench_arguments(bench)
 
     return parser
 
@@ -230,7 +253,7 @@ def _run_peel(args) -> str:
         graph = partitioned_hypergraph(n, args.c, args.r, seed=args.seed)
     else:
         graph = random_hypergraph(args.n, args.c, args.r, seed=args.seed)
-    result = peel(graph, engine, k=args.k)
+    result = peel(graph, engine, k=args.k, kernel=args.kernel)
     lines = [result.summary()]
     prediction = predict_rounds(graph.num_vertices, args.c, args.k, args.r)
     lines.append(
@@ -250,6 +273,7 @@ _DISPATCH = {
     "figure1": _run_figure1,
     "thresholds": _run_thresholds,
     "peel": _run_peel,
+    "bench": run_bench_command,
 }
 
 

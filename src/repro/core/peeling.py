@@ -9,28 +9,32 @@ and work, which is exactly what the experiments measure.
 
 Implementation notes
 --------------------
-Both engines work on NumPy arrays: the ``(m, r)`` edge array plus live masks
-and a degree vector.  The parallel engine's inner loop is fully vectorized
-(boolean masks and ``np.subtract.at`` scatter updates), which is the
-idiomatic pure-Python path to competitive throughput.  The sequential engine
-keeps an explicit worklist and removes one vertex at a time, giving the
-linear-time baseline the paper's serial implementation corresponds to.
+Both engines are thin *schedules* over the shared kernel layer
+(:mod:`repro.kernels`): they own the loop structure and statistics while
+every state mutation — removable selection, edge death, degree scatter —
+runs through a :class:`~repro.kernels.base.PeelingKernel` backend selected
+by the ``kernel=`` option (``"numpy"`` reference backend by default,
+``"numba"`` when importable).  All backends are bit-exact, so swapping one
+changes wall-clock time and nothing else.
 """
 
 from __future__ import annotations
 
 import warnings
-from typing import List, Literal, Optional
+from typing import List, Literal, Optional, Union
 
 import numpy as np
 
-from repro.core.results import UNPEELED, PeelingResult, RoundStats
+from repro.core.results import PeelingResult, RoundStats
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.kernels import PeelingKernel, PeelState, get_kernel, peel_subround
 from repro.utils.validation import check_positive_int
 
 __all__ = ["ParallelPeeler", "SequentialPeeler", "peel_to_kcore"]
 
 UpdateMode = Literal["full", "frontier"]
+
+KernelLike = Union[str, PeelingKernel, None]
 
 
 class ParallelPeeler:
@@ -53,6 +57,11 @@ class ParallelPeeler:
     track_stats:
         Record per-round :class:`~repro.core.results.RoundStats` (default
         True; disable for the tightest inner-loop benchmarks).
+    kernel:
+        Kernel backend supplying the round primitives: a registered name
+        (see :func:`repro.kernels.available_kernels`) or a ready
+        :class:`~repro.kernels.base.PeelingKernel` instance; ``None`` selects
+        the default (``"numpy"``).
     """
 
     def __init__(
@@ -62,6 +71,7 @@ class ParallelPeeler:
         update: UpdateMode = "full",
         max_rounds: Optional[int] = None,
         track_stats: bool = True,
+        kernel: KernelLike = None,
     ) -> None:
         self.k = check_positive_int(k, "k")
         if update not in ("full", "frontier"):
@@ -71,6 +81,7 @@ class ParallelPeeler:
             max_rounds = check_positive_int(max_rounds, "max_rounds")
         self.max_rounds = max_rounds
         self.track_stats = bool(track_stats)
+        self.kernel = get_kernel(kernel)
 
     def peel(self, graph: Hypergraph) -> PeelingResult:
         """Run the parallel peeling process on ``graph``.
@@ -82,73 +93,42 @@ class ParallelPeeler:
             matching the "Rounds" column of Table 1.
         """
         k = self.k
+        kernel = self.kernel
+        frontier_mode = self.update == "frontier"
         n = graph.num_vertices
-        m = graph.num_edges
-        edges = graph.edges
-        degrees = graph.degrees()
-        vertex_alive = np.ones(n, dtype=bool)
-        edge_alive = np.ones(m, dtype=bool)
-        vertex_peel_round = np.full(n, UNPEELED, dtype=np.int64)
-        edge_peel_round = np.full(m, UNPEELED, dtype=np.int64)
+        state = PeelState.from_graph(graph)
         stats: List[RoundStats] = []
 
         limit = self.max_rounds if self.max_rounds is not None else 4 * max(n, 1) + 16
-        # Frontier mode starts by examining everything once.
-        candidates = np.arange(n, dtype=np.int64)
+        # Frontier mode starts by examining everything once; full mode passes
+        # candidates=None so the kernel scans every live vertex each round.
+        if frontier_mode:
+            state.frontier = np.arange(n, dtype=np.int64)
         rounds = 0
-        vertices_remaining = n
-        edges_remaining = m
 
         for round_index in range(1, limit + 1):
-            if self.update == "full":
-                examined = int(vertex_alive.sum())
-                removable_mask = vertex_alive & (degrees < k)
-                removable = np.flatnonzero(removable_mask)
-            else:
-                if candidates.size:
-                    cand = candidates[vertex_alive[candidates]]
-                else:
-                    cand = candidates
-                examined = int(cand.size)
-                removable = cand[degrees[cand] < k]
-                removable_mask = np.zeros(n, dtype=bool)
-                removable_mask[removable] = True
-
-            if removable.size == 0:
+            outcome = peel_subround(
+                kernel,
+                state,
+                k,
+                round_index,
+                candidates=state.frontier if frontier_mode else None,
+                collect_touched=frontier_mode,
+            )
+            if outcome.num_removed == 0:
                 break
             rounds = round_index
-            vertex_alive[removable] = False
-            vertex_peel_round[removable] = round_index
-            vertices_remaining -= int(removable.size)
-
-            if m > 0:
-                dying_mask = edge_alive & removable_mask[edges].any(axis=1)
-                dying = np.flatnonzero(dying_mask)
-            else:
-                dying = np.empty(0, dtype=np.int64)
-            touched: np.ndarray
-            if dying.size:
-                edge_alive[dying] = False
-                edge_peel_round[dying] = round_index
-                edges_remaining -= int(dying.size)
-                endpoints = edges[dying].reshape(-1)
-                np.subtract.at(degrees, endpoints, 1)
-                touched = np.unique(endpoints)
-            else:
-                touched = np.empty(0, dtype=np.int64)
-
-            if self.update == "frontier":
-                candidates = touched[vertex_alive[touched]] if touched.size else touched
-
+            if frontier_mode:
+                kernel.refresh_frontier(state, outcome.touched)
             if self.track_stats:
                 stats.append(
                     RoundStats(
                         round_index=round_index,
-                        vertices_peeled=int(removable.size),
-                        edges_peeled=int(dying.size),
-                        vertices_remaining=vertices_remaining,
-                        edges_remaining=edges_remaining,
-                        work=examined,
+                        vertices_peeled=outcome.num_removed,
+                        edges_peeled=outcome.num_dying,
+                        vertices_remaining=state.vertices_remaining,
+                        edges_remaining=state.edges_remaining,
+                        work=outcome.examined,
                     )
                 )
         else:  # pragma: no cover - loop exhausted without fixed point
@@ -161,9 +141,9 @@ class ParallelPeeler:
             mode="parallel",
             num_rounds=rounds,
             num_subrounds=rounds,
-            success=edges_remaining == 0,
-            vertex_peel_round=vertex_peel_round,
-            edge_peel_round=edge_peel_round,
+            success=state.done,
+            vertex_peel_round=state.vertex_peel_round,
+            edge_peel_round=state.edge_peel_round,
             round_stats=stats,
         )
 
@@ -176,76 +156,48 @@ class SequentialPeeler:
     edges, and push any neighbour whose degree drops below ``k``.  It reaches
     the same k-core as :class:`ParallelPeeler` but its "rounds" have no
     meaning — instead it reports the order in which edges were peeled, which
-    the IBLT and erasure-code decoders rely on.
+    the IBLT and erasure-code decoders rely on.  The worklist loop itself is
+    a kernel primitive (:meth:`~repro.kernels.base.PeelingKernel.sequential_peel`),
+    so JIT backends compile it.
     """
 
-    def __init__(self, k: int, *, track_stats: bool = True) -> None:
+    def __init__(
+        self, k: int, *, track_stats: bool = True, kernel: KernelLike = None
+    ) -> None:
         self.k = check_positive_int(k, "k")
         self.track_stats = bool(track_stats)
+        self.kernel = get_kernel(kernel)
 
     def peel(self, graph: Hypergraph) -> PeelingResult:
         """Run sequential peeling on ``graph``."""
-        k = self.k
-        n = graph.num_vertices
-        m = graph.num_edges
-        edges = graph.edges
-        incidence_ptr = graph.incidence_ptr
-        incidence_edges = graph.incidence_edges
-        degrees = graph.degrees()
-        vertex_alive = np.ones(n, dtype=bool)
-        edge_alive = np.ones(m, dtype=bool)
-        vertex_peel_round = np.full(n, UNPEELED, dtype=np.int64)
-        edge_peel_round = np.full(m, UNPEELED, dtype=np.int64)
-        peel_order: List[int] = []
-        work = 0
+        state = PeelState.from_graph(graph)
+        peel_order, work, step = self.kernel.sequential_peel(
+            state, self.k, graph.incidence_ptr, graph.incidence_edges
+        )
 
-        # Initial worklist: every vertex currently below the threshold.
-        worklist = list(np.flatnonzero(degrees < k))
-        step = 0
-        while worklist:
-            v = int(worklist.pop())
-            work += 1
-            if not vertex_alive[v] or degrees[v] >= k:
-                continue
-            step += 1
-            vertex_alive[v] = False
-            vertex_peel_round[v] = step
-            for e in incidence_edges[incidence_ptr[v]: incidence_ptr[v + 1]]:
-                e = int(e)
-                if not edge_alive[e]:
-                    continue
-                edge_alive[e] = False
-                edge_peel_round[e] = step
-                peel_order.append(e)
-                for u in edges[e]:
-                    u = int(u)
-                    degrees[u] -= 1
-                    if vertex_alive[u] and degrees[u] < k:
-                        worklist.append(u)
-
-        edges_remaining = int(edge_alive.sum())
         stats: List[RoundStats] = []
         if self.track_stats:
             stats.append(
                 RoundStats(
                     round_index=1,
-                    vertices_peeled=int((~vertex_alive).sum()),
-                    edges_peeled=m - edges_remaining,
-                    vertices_remaining=int(vertex_alive.sum()),
-                    edges_remaining=edges_remaining,
+                    vertices_peeled=state.num_vertices - state.vertices_remaining,
+                    edges_peeled=state.num_edges - state.edges_remaining,
+                    vertices_remaining=state.vertices_remaining,
+                    edges_remaining=state.edges_remaining,
                     work=work,
                 )
             )
+        num_rounds = 1 if step else 0
         return PeelingResult(
-            k=k,
+            k=self.k,
             mode="sequential",
-            num_rounds=step and 1 or 0,
-            num_subrounds=step and 1 or 0,
-            success=edges_remaining == 0,
-            vertex_peel_round=vertex_peel_round,
-            edge_peel_round=edge_peel_round,
+            num_rounds=num_rounds,
+            num_subrounds=num_rounds,
+            success=state.done,
+            vertex_peel_round=state.vertex_peel_round,
+            edge_peel_round=state.edge_peel_round,
             round_stats=stats,
-            peel_order=np.asarray(peel_order, dtype=np.int64),
+            peel_order=peel_order,
         )
 
 

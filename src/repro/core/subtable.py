@@ -13,16 +13,21 @@ Peeling subtable ``j`` can create newly peelable vertices in subtable
 slowdown.  Table 5 reports the average number of *subrounds* and Table 6 the
 per-subround survivor counts; both are reproduced from the
 :class:`PeelingResult` this engine returns.
+
+Each subround is one :func:`repro.kernels.peel_subround` step restricted to
+the subtable's members — the same shared inner loop the parallel engine and
+the IBLT decoders run, on whichever kernel backend was selected.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
-from repro.core.results import UNPEELED, PeelingResult, RoundStats
+from repro.core.results import PeelingResult, RoundStats
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.kernels import PeelingKernel, PeelState, get_kernel, peel_subround
 from repro.utils.validation import check_positive_int
 
 __all__ = ["SubtablePeeler"]
@@ -39,6 +44,9 @@ class SubtablePeeler:
         Safety cap on full rounds (defaults to ``4 * n + 16`` at run time).
     track_stats:
         Record one :class:`~repro.core.results.RoundStats` per subround.
+    kernel:
+        Kernel backend name or instance (``None`` selects the default,
+        ``"numpy"``).
 
     Notes
     -----
@@ -54,12 +62,14 @@ class SubtablePeeler:
         *,
         max_rounds: Optional[int] = None,
         track_stats: bool = True,
+        kernel: Union[str, PeelingKernel, None] = None,
     ) -> None:
         self.k = check_positive_int(k, "k")
         if max_rounds is not None:
             max_rounds = check_positive_int(max_rounds, "max_rounds")
         self.max_rounds = max_rounds
         self.track_stats = bool(track_stats)
+        self.kernel = get_kernel(kernel)
 
     def peel(self, graph: Hypergraph) -> PeelingResult:
         """Run subtable peeling on a partitioned hypergraph.
@@ -83,70 +93,41 @@ class SubtablePeeler:
                 f"({graph.edge_size}) for subtable peeling"
             )
         k = self.k
+        kernel = self.kernel
         n = graph.num_vertices
-        m = graph.num_edges
-        edges = graph.edges
         partition = graph.vertex_partition
-        degrees = graph.degrees()
-        vertex_alive = np.ones(n, dtype=bool)
-        edge_alive = np.ones(m, dtype=bool)
-        vertex_peel_round = np.full(n, UNPEELED, dtype=np.int64)
-        edge_peel_round = np.full(m, UNPEELED, dtype=np.int64)
+        state = PeelState.from_graph(graph)
         stats: List[RoundStats] = []
 
         subtable_members = [np.flatnonzero(partition == j) for j in range(r)]
         limit = self.max_rounds if self.max_rounds is not None else 4 * max(n, 1) + 16
 
-        vertices_remaining = n
-        edges_remaining = m
         last_removing_subround = 0
         subround = 0
-        rounds_started = 0
 
         for round_index in range(1, limit + 1):
             removed_this_round = 0
-            rounds_started = round_index
             for j in range(r):
                 subround += 1
-                members = subtable_members[j]
-                live_members = members[vertex_alive[members]]
-                examined = int(live_members.size)
-                removable = live_members[degrees[live_members] < k]
-                if removable.size:
-                    removed_this_round += int(removable.size)
+                outcome = peel_subround(
+                    kernel, state, k, round_index, candidates=subtable_members[j]
+                )
+                if outcome.num_removed:
+                    removed_this_round += outcome.num_removed
                     last_removing_subround = subround
-                    vertex_alive[removable] = False
-                    vertex_peel_round[removable] = round_index
-                    vertices_remaining -= int(removable.size)
-                    removable_mask = np.zeros(n, dtype=bool)
-                    removable_mask[removable] = True
-                    if m > 0:
-                        dying_mask = edge_alive & removable_mask[edges].any(axis=1)
-                        dying = np.flatnonzero(dying_mask)
-                    else:
-                        dying = np.empty(0, dtype=np.int64)
-                    if dying.size:
-                        edge_alive[dying] = False
-                        edge_peel_round[dying] = round_index
-                        edges_remaining -= int(dying.size)
-                        np.subtract.at(degrees, edges[dying].reshape(-1), 1)
-                    edges_peeled = int(dying.size)
-                else:
-                    edges_peeled = 0
                 if self.track_stats:
                     stats.append(
                         RoundStats(
                             round_index=subround,
-                            vertices_peeled=int(removable.size),
-                            edges_peeled=edges_peeled,
-                            vertices_remaining=vertices_remaining,
-                            edges_remaining=edges_remaining,
-                            work=examined,
+                            vertices_peeled=outcome.num_removed,
+                            edges_peeled=outcome.num_dying,
+                            vertices_remaining=state.vertices_remaining,
+                            edges_remaining=state.edges_remaining,
+                            work=outcome.examined,
                             subtable=j,
                         )
                     )
             if removed_this_round == 0:
-                rounds_started = round_index - 1
                 break
         else:  # pragma: no cover - loop exhausted without fixed point
             raise RuntimeError(
@@ -167,8 +148,8 @@ class SubtablePeeler:
             mode="subtable",
             num_rounds=num_rounds,
             num_subrounds=last_removing_subround,
-            success=edges_remaining == 0,
-            vertex_peel_round=vertex_peel_round,
-            edge_peel_round=edge_peel_round,
+            success=state.done,
+            vertex_peel_round=state.vertex_peel_round,
+            edge_peel_round=state.edge_peel_round,
             round_stats=stats,
         )

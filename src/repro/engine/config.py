@@ -23,7 +23,7 @@ DEFAULT_ENGINE = "parallel"
 """Engine used when the caller does not name one (the paper's main subject)."""
 
 #: Config fields forwarded to every engine constructor that accepts them.
-_SHARED_FIELDS = ("update", "max_rounds", "track_stats")
+_SHARED_FIELDS = ("update", "max_rounds", "track_stats", "kernel")
 
 
 @dataclass(frozen=True)
@@ -45,6 +45,11 @@ class PeelingConfig:
         Safety cap on rounds for engines that take one.
     track_stats:
         Record per-round :class:`~repro.core.results.RoundStats`.
+    kernel:
+        Kernel-backend name (see :func:`repro.kernels.available_kernels`)
+        for engines built on the shared kernel layer; ``None`` selects the
+        default backend (``"numpy"``).  Kept as a name (not an instance) so
+        configs stay JSON-serializable.
     options:
         Engine-specific extras forwarded verbatim to the engine constructor.
         Unknown keys raise ``TypeError`` at :meth:`build` time.
@@ -55,6 +60,7 @@ class PeelingConfig:
     update: str = "full"
     max_rounds: Optional[int] = None
     track_stats: bool = True
+    kernel: Optional[str] = None
     options: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -63,6 +69,10 @@ class PeelingConfig:
             raise TypeError(f"engine must be a non-empty string, got {self.engine!r}")
         if self.max_rounds is not None:
             check_positive_int(self.max_rounds, "max_rounds")
+        if self.kernel is not None and (not isinstance(self.kernel, str) or not self.kernel):
+            raise TypeError(
+                f"kernel must be None or a non-empty string, got {self.kernel!r}"
+            )
         # Detach from the caller's mapping so the frozen config stays frozen.
         object.__setattr__(self, "options", dict(self.options))
 
@@ -74,8 +84,9 @@ class PeelingConfig:
         """Split keyword options into config fields and engine extras.
 
         This is what :func:`repro.engine.peel` does with its ``**opts``:
-        ``k``, ``update``, ``max_rounds`` and ``track_stats`` populate the
-        corresponding fields; everything else lands in :attr:`options`.
+        ``k``, ``update``, ``max_rounds``, ``track_stats`` and ``kernel``
+        populate the corresponding fields; everything else lands in
+        :attr:`options`.
         """
         known = {name: opts.pop(name) for name in ("k", *_SHARED_FIELDS) if name in opts}
         return cls(engine=engine, options=opts, **known)
@@ -95,6 +106,7 @@ class PeelingConfig:
             "update": self.update,
             "max_rounds": self.max_rounds,
             "track_stats": self.track_stats,
+            "kernel": self.kernel,
             "options": dict(self.options),
         }
 
@@ -102,7 +114,7 @@ class PeelingConfig:
     def from_dict(cls, data: Mapping[str, Any]) -> "PeelingConfig":
         """Rebuild a config saved with :meth:`to_dict`; unknown keys raise."""
         payload = dict(data)
-        fields = ("engine", "k", "update", "max_rounds", "track_stats", "options")
+        fields = ("engine", "k", "update", "max_rounds", "track_stats", "kernel", "options")
         unknown = [key for key in payload if key not in fields]
         if unknown:
             raise ValueError(
@@ -116,8 +128,9 @@ class PeelingConfig:
     def build(self) -> PeelingEngine:
         """Instantiate the configured engine via the registry.
 
-        Shared fields (``update``, ``max_rounds``, ``track_stats``) are
-        passed only to engines whose constructor accepts them; entries in
+        Shared fields (``update``, ``max_rounds``, ``track_stats``,
+        ``kernel``) are passed only to engines whose constructor accepts
+        them; entries in
         :attr:`options` the constructor does not accept raise ``TypeError``
         naming the offending keys.
         """

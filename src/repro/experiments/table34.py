@@ -156,7 +156,7 @@ def run_iblt_experiment(
 
     # Serial recovery (wall clock + work count).
     serial_start = time.perf_counter()
-    serial_result = table.decode()
+    table.decode()
     measured_serial = time.perf_counter() - serial_start
 
     # Parallel (round-synchronous) recovery, resolved through the registry.

@@ -14,7 +14,7 @@ trivially peeled in round 1 whenever ``k >= 1``).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -36,13 +36,14 @@ class Hypergraph:
         ``allow_duplicate_vertices=True`` (hashing applications can produce
         duplicate endpoints; the paper's remark after Theorem 1 discusses
         them).
-    edge_partition:
-        Optional array of shape ``(r,)`` giving, for the subtable model, the
-        partition (subtable) index of each edge *column*.  ``None`` for
-        unpartitioned hypergraphs.
     vertex_partition:
-        Optional array of shape ``(n,)`` mapping each vertex to its subtable,
-        present only for partitioned hypergraphs.
+        Optional array of shape ``(n,)`` mapping each vertex to its subtable
+        (partition) index, used by the subtable model; ``None`` for
+        unpartitioned hypergraphs.
+    num_partitions:
+        Number of subtables the vertices are partitioned into; must be
+        positive when ``vertex_partition`` is given (entries must lie in
+        ``[0, num_partitions)``) and is ignored otherwise.
     allow_duplicate_vertices:
         Permit repeated vertices within a single edge.
     validate:
@@ -74,14 +75,21 @@ class Hypergraph:
     ) -> None:
         self._n = check_nonnegative_int(num_vertices, "num_vertices")
         edge_array = np.asarray(edges, dtype=np.int64)
-        if edge_array.size == 0:
+        if edge_array.size == 0 and edge_array.ndim != 2:
+            # A bare empty sequence carries no arity information; a (0, r)
+            # array does, and keeps the declared uniformity of an empty
+            # r-uniform edge set.
             edge_array = edge_array.reshape(0, 0)
         if edge_array.ndim != 2:
             raise ValueError(
                 f"edges must be a 2-D array of shape (m, r), got shape {edge_array.shape}"
             )
+        if edge_array.shape[1] == 0:
+            # Rows with no endpoints carry no information; normalize to the
+            # canonical empty edge set (the historical behaviour).
+            edge_array = edge_array.reshape(0, 0)
         self._edges = np.ascontiguousarray(edge_array)
-        self._r = int(edge_array.shape[1]) if edge_array.shape[0] > 0 else int(edge_array.shape[1])
+        self._r = int(edge_array.shape[1])
 
         if vertex_partition is not None:
             vp = np.asarray(vertex_partition, dtype=np.int64)

@@ -18,11 +18,11 @@ Two table layouts are supported, mirroring Section 6:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal, Optional
+from typing import Literal
 
 import numpy as np
 
-from repro.utils.rng import SeedLike, derive_seed
+from repro.utils.rng import derive_seed
 from repro.utils.validation import check_positive_int
 
 __all__ = ["splitmix64", "KeyHasher", "checksum_keys"]

@@ -21,12 +21,11 @@ round-synchronous parallel recovery of Section 6 lives in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Literal, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.iblt.hashing import KeyHasher, Layout
-from repro.utils.rng import SeedLike
 from repro.utils.validation import check_positive_int
 
 __all__ = ["IBLT", "IBLTDecodeResult"]
@@ -264,8 +263,8 @@ class IBLT:
             by default a scratch copy is consumed instead.
         **options:
             Decoder-specific extras forwarded to the decoder constructor
-            (e.g. ``max_rounds`` or ``track_conflicts`` for the parallel
-            decoders).
+            (e.g. ``max_rounds``, ``track_conflicts`` or ``kernel`` — the
+            kernel-backend name — for the parallel decoders).
 
         Returns
         -------

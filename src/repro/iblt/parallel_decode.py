@@ -21,17 +21,24 @@ Both record per-(sub)round :class:`~repro.core.results.RoundStats` and
 atomic-conflict depths so the :class:`~repro.parallel.machine.ParallelMachine`
 cost model can price them, and both mutate a scratch copy unless asked to
 work in place.
+
+Recovery *is* peeling — cells are vertices, keys are edges — so both
+decoders run on the shared kernel layer (:mod:`repro.kernels`): pure-cell
+selection is the kernel's cell-space ``find_removable`` and key removal is
+:func:`~repro.kernels.rounds.remove_hyperedges`, the same scatter inner loop
+the k-core engines use, with the key/checksum XOR as the payload effect.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
 from repro.core.results import RoundStats
 from repro.iblt.iblt import IBLT, IBLTDecodeResult
+from repro.kernels import PeelingKernel, get_kernel, remove_hyperedges
 from repro.parallel.atomics import AtomicConflictTracker
 from repro.utils.validation import check_positive_int
 
@@ -85,20 +92,23 @@ class ParallelDecodeResult:
         return self.decode.num_recovered
 
 
-def _pure_cells_in_range(table: IBLT, start: int, stop: int, signed: bool) -> np.ndarray:
+def _pure_cells_in_range(
+    kernel: PeelingKernel, table: IBLT, start: int, stop: int, signed: bool
+) -> np.ndarray:
     """Indices of pure cells within ``[start, stop)`` (absolute indices)."""
-    counts = table.count[start:stop]
-    candidate = np.abs(counts) == 1 if signed else counts == 1
-    idx = np.flatnonzero(candidate)
-    if idx.size == 0:
-        return idx
-    keys = table.key_sum[start + idx]
-    expected = table.hasher.checksums(keys)
-    ok = (expected == table.check_sum[start + idx]) & (keys != 0)
-    return start + idx[ok]
+    return kernel.pure_cells(
+        table.count,
+        table.key_sum,
+        table.check_sum,
+        table.hasher.checksums,
+        signed=signed,
+        start=start,
+        stop=stop,
+    )
 
 
 def _remove_keys(
+    kernel: PeelingKernel,
     table: IBLT,
     keys: np.ndarray,
     signs: np.ndarray,
@@ -108,7 +118,8 @@ def _remove_keys(
 
     Returns the number of atomic XOR operations issued.  Removal is the
     vectorized analogue of what each GPU thread does after recovering its
-    cell's item.
+    cell's item: the recovered keys are the dying hyperedges, their cells the
+    endpoints, and the key/checksum XOR the payload edge effect.
     """
     if keys.size == 0:
         return 0
@@ -117,11 +128,13 @@ def _remove_keys(
     flat_cells = cells.reshape(-1)
     if tracker is not None:
         tracker.record_round(flat_cells)
-    for j in range(cells.shape[1]):
-        column = cells[:, j]
-        np.subtract.at(table.count, column, signs)
-        np.bitwise_xor.at(table.key_sum, column, keys)
-        np.bitwise_xor.at(table.check_sum, column, checks)
+    remove_hyperedges(
+        kernel,
+        cells,
+        table.count,
+        signs,
+        payloads=((table.key_sum, keys), (table.check_sum, checks)),
+    )
     return int(flat_cells.size)
 
 
@@ -136,6 +149,9 @@ class SubtableParallelDecoder:
         Safety cap on the number of full rounds.
     track_conflicts:
         Record atomic-conflict depths per subround (slightly more work).
+    kernel:
+        Kernel backend name or instance (``None`` selects the default,
+        ``"numpy"``).
     """
 
     def __init__(
@@ -144,12 +160,14 @@ class SubtableParallelDecoder:
         signed: bool = True,
         max_rounds: Optional[int] = None,
         track_conflicts: bool = True,
+        kernel: Union[str, PeelingKernel, None] = None,
     ) -> None:
         self.signed = bool(signed)
         if max_rounds is not None:
             max_rounds = check_positive_int(max_rounds, "max_rounds")
         self.max_rounds = max_rounds
         self.track_conflicts = bool(track_conflicts)
+        self.kernel = get_kernel(kernel)
 
     def decode(self, iblt: IBLT, *, in_place: bool = False) -> ParallelDecodeResult:
         """Run subtable-parallel recovery on ``iblt``."""
@@ -159,6 +177,7 @@ class SubtableParallelDecoder:
                 "'subtables' layout"
             )
         table = iblt if in_place else iblt.copy()
+        kernel = self.kernel
         r = table.r
         subtable_size = table.hasher.subtable_size
         tracker = AtomicConflictTracker(table.num_cells) if self.track_conflicts else None
@@ -180,7 +199,7 @@ class SubtableParallelDecoder:
                 start = j * subtable_size
                 stop = start + subtable_size
                 cells_scanned += subtable_size
-                pure = _pure_cells_in_range(table, start, stop, self.signed)
+                pure = _pure_cells_in_range(kernel, table, start, stop, self.signed)
                 if pure.size:
                     keys = table.key_sum[pure].copy()
                     signs = table.count[pure].copy()
@@ -190,7 +209,7 @@ class SubtableParallelDecoder:
                         recovered.append(positive)
                     if negative.size:
                         removed.append(negative)
-                    _remove_keys(table, keys, signs, tracker)
+                    _remove_keys(kernel, table, keys, signs, tracker)
                     recovered_this_round += int(pure.size)
                     last_active_subround = subround
                     items_outstanding = max(items_outstanding - int(pure.size), 0)
@@ -234,9 +253,14 @@ class FlatParallelDecoder:
 
     Every round scans all cells at once; an item pure in several cells at the
     same instant would be recovered (and deleted) several times, so recovered
-    keys are deduplicated with a global ``np.unique`` before removal.  The
+    keys are deduplicated with a global unique pass before removal.  The
     paper's subtable scheme avoids the need for this global step; the
     ablation benchmark compares the two.
+
+    Parameters
+    ----------
+    signed, max_rounds, track_conflicts, kernel:
+        As for :class:`SubtableParallelDecoder`.
     """
 
     def __init__(
@@ -245,16 +269,19 @@ class FlatParallelDecoder:
         signed: bool = True,
         max_rounds: Optional[int] = None,
         track_conflicts: bool = True,
+        kernel: Union[str, PeelingKernel, None] = None,
     ) -> None:
         self.signed = bool(signed)
         if max_rounds is not None:
             max_rounds = check_positive_int(max_rounds, "max_rounds")
         self.max_rounds = max_rounds
         self.track_conflicts = bool(track_conflicts)
+        self.kernel = get_kernel(kernel)
 
     def decode(self, iblt: IBLT, *, in_place: bool = False) -> ParallelDecodeResult:
         """Run flat round-synchronous recovery on ``iblt``."""
         table = iblt if in_place else iblt.copy()
+        kernel = self.kernel
         tracker = AtomicConflictTracker(table.num_cells) if self.track_conflicts else None
         recovered: List[np.ndarray] = []
         removed: List[np.ndarray] = []
@@ -266,7 +293,7 @@ class FlatParallelDecoder:
 
         for round_index in range(1, limit + 1):
             cells_scanned += table.num_cells
-            pure = _pure_cells_in_range(table, 0, table.num_cells, self.signed)
+            pure = _pure_cells_in_range(kernel, table, 0, table.num_cells, self.signed)
             if pure.size == 0:
                 stats.append(
                     RoundStats(
@@ -291,7 +318,7 @@ class FlatParallelDecoder:
                 recovered.append(positive)
             if negative.size:
                 removed.append(negative)
-            _remove_keys(table, keys, signs, tracker)
+            _remove_keys(kernel, table, keys, signs, tracker)
             rounds_executed = round_index
             items_outstanding = max(items_outstanding - int(keys.size), 0)
             stats.append(

@@ -1,0 +1,60 @@
+"""Unified peeling-kernel layer: columnar state + swappable round primitives.
+
+The paper's unifying observation is that k-core peeling, IBLT listing and
+erasure decoding are *one* round-synchronous process with different per-edge
+side effects.  This package is that observation as code:
+
+* :class:`~repro.kernels.state.PeelState` — the struct-of-arrays working set
+  (alive masks, degrees, peel-round arrays, frontier) every engine shares.
+* :class:`~repro.kernels.base.PeelingKernel` — the backend protocol of
+  vectorized round primitives (``find_removable``, ``kill_edges``,
+  ``scatter_degree_updates``, frontier maintenance, ``pure_cells``).
+* :func:`~repro.kernels.rounds.peel_subround` /
+  :func:`~repro.kernels.rounds.remove_hyperedges` — the shared inner loop,
+  parameterized by an :data:`~repro.kernels.base.EdgeEffect` hook so pure
+  k-core peeling and XOR-payload IBLT removal are the same code path.
+* the kernel registry — ``"numpy"`` always, ``"numba"`` auto-registered when
+  Numba is importable; select with ``kernel=`` on any engine/decoder,
+  :class:`repro.PeelingConfig`, or the CLI's ``--kernel``.
+"""
+
+from repro.kernels.base import EdgeEffect, PeelingKernel
+from repro.kernels.numpy_backend import NumpyKernel
+from repro.kernels.registry import (
+    DEFAULT_KERNEL,
+    KernelFactory,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+    unregister_kernel,
+)
+from repro.kernels.rounds import SubroundOutcome, peel_subround, remove_hyperedges
+from repro.kernels.state import PeelState
+
+if "numpy" not in available_kernels():  # tolerate re-imports (e.g. importlib.reload)
+    register_kernel("numpy", NumpyKernel)
+
+try:  # the Numba backend is optional; register it only when importable
+    from repro.kernels.numba_backend import NumbaKernel
+except ImportError:  # pragma: no cover - exercised only without numba
+    NumbaKernel = None  # type: ignore[assignment,misc]
+else:  # pragma: no cover - exercised only with numba installed
+    if "numba" not in available_kernels():
+        register_kernel("numba", NumbaKernel)
+
+__all__ = [
+    "PeelState",
+    "PeelingKernel",
+    "EdgeEffect",
+    "NumpyKernel",
+    "NumbaKernel",
+    "SubroundOutcome",
+    "peel_subround",
+    "remove_hyperedges",
+    "DEFAULT_KERNEL",
+    "KernelFactory",
+    "register_kernel",
+    "unregister_kernel",
+    "get_kernel",
+    "available_kernels",
+]

@@ -1,0 +1,163 @@
+"""Optional Numba kernel backend: JIT-compiled scatter and worklist loops.
+
+Importing this module requires Numba; :mod:`repro.kernels` performs the
+import inside a ``try`` and only registers the ``"numba"`` backend when it
+succeeds, so the dependency stays optional.  The backend inherits the NumPy
+reference implementation and overrides the primitives that dominate the
+profile — the ``np.ufunc.at`` scatters (notoriously slow, being a generic
+fancy-indexing path), dying-edge detection, and the sequential worklist loop
+(pure-Python bytecode in the reference backend).
+
+Every override must stay bit-exact with :class:`NumpyKernel`; the parity
+suite runs against all registered kernels, so a machine with Numba installed
+exercises this backend automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from numba import njit
+
+from repro.kernels.numpy_backend import NumpyKernel
+from repro.kernels.state import PeelState
+
+__all__ = ["NumbaKernel"]
+
+
+@njit(cache=True)
+def _scatter_sub_scalar(target, indices, amount):  # pragma: no cover - needs numba
+    for i in range(indices.shape[0]):
+        target[indices[i]] -= amount
+
+
+@njit(cache=True)
+def _scatter_sub_vector(target, indices, values):  # pragma: no cover - needs numba
+    for i in range(indices.shape[0]):
+        target[indices[i]] -= values[i]
+
+
+@njit(cache=True)
+def _scatter_xor_vector(target, indices, values):  # pragma: no cover - needs numba
+    for i in range(indices.shape[0]):
+        target[indices[i]] ^= values[i]
+
+
+@njit(cache=True)
+def _find_dying_edges(edges, edge_alive, removable_mask):  # pragma: no cover - needs numba
+    m, r = edges.shape
+    out = np.empty(m, dtype=np.int64)
+    count = 0
+    for e in range(m):
+        if not edge_alive[e]:
+            continue
+        for j in range(r):
+            if removable_mask[edges[e, j]]:
+                out[count] = e
+                count += 1
+                break
+    return out[:count]
+
+
+@njit(cache=True)
+def _sequential_peel(  # pragma: no cover - needs numba
+    edges,
+    incidence_ptr,
+    incidence_edges,
+    degrees,
+    k,
+    vertex_alive,
+    edge_alive,
+    vertex_peel_round,
+    edge_peel_round,
+):
+    n = degrees.shape[0]
+    m = edges.shape[0]
+    r = edges.shape[1] if m > 0 else 0
+    # The worklist holds at most the initial below-threshold vertices plus
+    # one push per endpoint of every edge, so n + m*r bounds it.
+    stack = np.empty(n + m * r + 1, dtype=np.int64)
+    top = 0
+    for v in range(n):
+        if degrees[v] < k:
+            stack[top] = v
+            top += 1
+    peel_order = np.empty(m, dtype=np.int64)
+    peeled = 0
+    work = 0
+    step = 0
+    while top > 0:
+        top -= 1
+        v = stack[top]
+        work += 1
+        if not vertex_alive[v] or degrees[v] >= k:
+            continue
+        step += 1
+        vertex_alive[v] = False
+        vertex_peel_round[v] = step
+        for idx in range(incidence_ptr[v], incidence_ptr[v + 1]):
+            e = incidence_edges[idx]
+            if not edge_alive[e]:
+                continue
+            edge_alive[e] = False
+            edge_peel_round[e] = step
+            peel_order[peeled] = e
+            peeled += 1
+            for j in range(r):
+                u = edges[e, j]
+                degrees[u] -= 1
+                if vertex_alive[u] and degrees[u] < k:
+                    stack[top] = u
+                    top += 1
+    return peel_order[:peeled], work, step
+
+
+class NumbaKernel(NumpyKernel):
+    """JIT-compiled kernel backend (bit-exact with :class:`NumpyKernel`)."""
+
+    name = "numba"
+
+    def find_dying_edges(
+        self, state: PeelState, removable_mask: np.ndarray
+    ) -> np.ndarray:  # pragma: no cover - needs numba
+        if state.num_edges == 0:
+            return np.empty(0, dtype=np.int64)
+        return _find_dying_edges(state.edges, state.edge_alive, removable_mask)
+
+    def scatter_degree_updates(
+        self, degrees: np.ndarray, endpoints: np.ndarray, amount: int = 1
+    ) -> None:  # pragma: no cover - needs numba
+        _scatter_sub_scalar(degrees, np.ascontiguousarray(endpoints), amount)
+
+    def scatter_sub(
+        self, target: np.ndarray, indices: np.ndarray, values: np.ndarray
+    ) -> None:  # pragma: no cover - needs numba
+        _scatter_sub_vector(target, np.ascontiguousarray(indices), np.ascontiguousarray(values))
+
+    def scatter_xor(
+        self, target: np.ndarray, indices: np.ndarray, values: np.ndarray
+    ) -> None:  # pragma: no cover - needs numba
+        _scatter_xor_vector(target, np.ascontiguousarray(indices), np.ascontiguousarray(values))
+
+    def sequential_peel(
+        self,
+        state: PeelState,
+        k: int,
+        incidence_ptr: np.ndarray,
+        incidence_edges: np.ndarray,
+    ) -> Tuple[np.ndarray, int, int]:  # pragma: no cover - needs numba
+        peel_order, work, step = _sequential_peel(
+            state.edges,
+            incidence_ptr,
+            incidence_edges,
+            state.degrees,
+            k,
+            state.vertex_alive,
+            state.edge_alive,
+            state.vertex_peel_round,
+            state.edge_peel_round,
+        )
+        state.vertices_remaining = int(state.vertex_alive.sum())
+        state.edges_remaining = int(state.edge_alive.sum())
+        return peel_order, work, step

@@ -1,0 +1,166 @@
+"""Reference kernel backend: vectorized NumPy round primitives.
+
+This backend is the ground truth the parity suite pins every other backend
+against.  The primitives are the exact operations the pre-kernel engines ran
+inline — boolean-mask selection, ``any(axis=1)`` edge death detection and
+``np.ufunc.at`` scatter updates — so refactoring the engines onto the kernel
+layer changed neither their results nor their accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.kernels.base import EdgeEffect
+from repro.kernels.state import PeelState
+
+__all__ = ["NumpyKernel"]
+
+
+class NumpyKernel:
+    """Pure-NumPy implementation of the :class:`~repro.kernels.base.PeelingKernel` protocol."""
+
+    name = "numpy"
+
+    # ------------------------------------------------------------------ #
+    # round primitives
+    # ------------------------------------------------------------------ #
+    def find_removable(
+        self, state: PeelState, k: int, *, candidates: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, Optional[np.ndarray], int]:
+        degrees = state.degrees
+        alive = state.vertex_alive
+        if candidates is None:
+            # The live count is maintained incrementally and always equals
+            # alive.sum() here, so the full scan's work term is free.
+            examined = state.vertices_remaining
+            mask = alive & (degrees < k)
+            return np.flatnonzero(mask), mask, examined
+        live = candidates[alive[candidates]] if candidates.size else candidates
+        removable = live[degrees[live] < k]
+        return removable, None, int(live.size)
+
+    def make_mask(self, size: int, indices: np.ndarray) -> np.ndarray:
+        mask = np.zeros(size, dtype=bool)
+        mask[indices] = True
+        return mask
+
+    def kill_vertices(self, state: PeelState, removable: np.ndarray, round_index: int) -> None:
+        state.vertex_alive[removable] = False
+        state.vertex_peel_round[removable] = round_index
+        state.vertices_remaining -= int(removable.size)
+
+    def find_dying_edges(self, state: PeelState, removable_mask: np.ndarray) -> np.ndarray:
+        if state.num_edges == 0:
+            return np.empty(0, dtype=np.int64)
+        dying_mask = state.edge_alive & removable_mask[state.edges].any(axis=1)
+        return np.flatnonzero(dying_mask)
+
+    def kill_edges(
+        self,
+        state: PeelState,
+        dying: np.ndarray,
+        round_index: int,
+        *,
+        collect_touched: bool = False,
+        edge_effect: Optional[EdgeEffect] = None,
+    ) -> Optional[np.ndarray]:
+        state.edge_alive[dying] = False
+        state.edge_peel_round[dying] = round_index
+        state.edges_remaining -= int(dying.size)
+        endpoints = state.edges[dying].reshape(-1)
+        self.scatter_degree_updates(state.degrees, endpoints)
+        if edge_effect is not None:
+            edge_effect(dying)
+        return self.unique(endpoints) if collect_touched else None
+
+    def refresh_frontier(self, state: PeelState, touched: Optional[np.ndarray]) -> None:
+        if touched is None:
+            touched = np.empty(0, dtype=np.int64)
+        state.frontier = touched[state.vertex_alive[touched]] if touched.size else touched
+
+    # ------------------------------------------------------------------ #
+    # scatter primitives
+    # ------------------------------------------------------------------ #
+    def scatter_degree_updates(
+        self, degrees: np.ndarray, endpoints: np.ndarray, amount: int = 1
+    ) -> None:
+        np.subtract.at(degrees, endpoints, amount)
+
+    def scatter_sub(self, target: np.ndarray, indices: np.ndarray, values: np.ndarray) -> None:
+        np.subtract.at(target, indices, values)
+
+    def scatter_xor(self, target: np.ndarray, indices: np.ndarray, values: np.ndarray) -> None:
+        np.bitwise_xor.at(target, indices, values)
+
+    def unique(self, values: np.ndarray) -> np.ndarray:
+        return np.unique(values)
+
+    # ------------------------------------------------------------------ #
+    # IBLT cell selection
+    # ------------------------------------------------------------------ #
+    def pure_cells(
+        self,
+        count: np.ndarray,
+        key_sum: np.ndarray,
+        check_sum: np.ndarray,
+        checksum_fn: Callable[[np.ndarray], np.ndarray],
+        *,
+        signed: bool,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> np.ndarray:
+        counts = count[start:stop]
+        candidate = np.abs(counts) == 1 if signed else counts == 1
+        idx = np.flatnonzero(candidate)
+        if idx.size == 0:
+            return idx
+        keys = key_sum[start + idx]
+        ok = (checksum_fn(keys) == check_sum[start + idx]) & (keys != 0)
+        return start + idx[ok]
+
+    # ------------------------------------------------------------------ #
+    # sequential schedule
+    # ------------------------------------------------------------------ #
+    def sequential_peel(
+        self,
+        state: PeelState,
+        k: int,
+        incidence_ptr: np.ndarray,
+        incidence_edges: np.ndarray,
+    ) -> Tuple[np.ndarray, int, int]:
+        edges = state.edges
+        degrees = state.degrees
+        vertex_alive = state.vertex_alive
+        edge_alive = state.edge_alive
+        vertex_peel_round = state.vertex_peel_round
+        edge_peel_round = state.edge_peel_round
+        peel_order = []
+        work = 0
+        worklist = list(np.flatnonzero(degrees < k))
+        step = 0
+        while worklist:
+            v = int(worklist.pop())
+            work += 1
+            if not vertex_alive[v] or degrees[v] >= k:
+                continue
+            step += 1
+            vertex_alive[v] = False
+            vertex_peel_round[v] = step
+            for e in incidence_edges[incidence_ptr[v]: incidence_ptr[v + 1]]:
+                e = int(e)
+                if not edge_alive[e]:
+                    continue
+                edge_alive[e] = False
+                edge_peel_round[e] = step
+                peel_order.append(e)
+                for u in edges[e]:
+                    u = int(u)
+                    degrees[u] -= 1
+                    if vertex_alive[u] and degrees[u] < k:
+                        worklist.append(u)
+        state.vertices_remaining = int(vertex_alive.sum())
+        state.edges_remaining = int(edge_alive.sum())
+        return np.asarray(peel_order, dtype=np.int64), work, step

@@ -1,0 +1,78 @@
+"""The kernel-backend registry: select round primitives by name.
+
+Mirrors the engine / decoder / backend registries built on
+:class:`repro.utils.registry.Registry`.  ``"numpy"`` (the reference backend)
+is always present; ``"numba"`` registers itself automatically when Numba is
+importable (see :mod:`repro.kernels`).  Engines and decoders accept either a
+registered name or a ready kernel instance via :func:`get_kernel`, so a
+custom backend can be injected without registering it globally.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple, Union
+
+from repro.kernels.base import PeelingKernel
+from repro.utils.registry import Registry
+
+__all__ = [
+    "DEFAULT_KERNEL",
+    "KernelFactory",
+    "register_kernel",
+    "unregister_kernel",
+    "get_kernel",
+    "available_kernels",
+]
+
+DEFAULT_KERNEL = "numpy"
+"""Kernel used when the caller does not name one (the reference backend)."""
+
+KernelFactory = Callable[[], PeelingKernel]
+"""A zero-argument callable (usually the backend class) building a kernel."""
+
+_KERNELS: Registry[KernelFactory] = Registry("kernel")
+
+
+def register_kernel(name: str, factory: KernelFactory, *, overwrite: bool = False) -> None:
+    """Register a kernel backend factory under ``name``.
+
+    Parameters
+    ----------
+    name:
+        Registry key; the string callers pass as ``kernel=`` (and the CLI's
+        ``--kernel``).
+    factory:
+        Backend class or zero-argument callable returning an object
+        satisfying :class:`~repro.kernels.base.PeelingKernel`.
+    overwrite:
+        Allow replacing an existing entry (default False).
+    """
+    _KERNELS.register(name, factory, overwrite=overwrite)
+
+
+def unregister_kernel(name: str) -> None:
+    """Remove ``name`` from the registry (mainly for tests); unknown names raise."""
+    _KERNELS.unregister(name)
+
+
+def get_kernel(kernel: Union[str, PeelingKernel, None] = None) -> PeelingKernel:
+    """Resolve ``kernel`` to a backend instance.
+
+    Accepts a registered name, an already-built kernel instance (returned
+    as-is), or ``None`` for the default backend.  Unknown names raise
+    ``ValueError`` listing the registered names.
+    """
+    if kernel is None:
+        kernel = DEFAULT_KERNEL
+    if isinstance(kernel, str):
+        return _KERNELS.get(kernel)()
+    if isinstance(kernel, PeelingKernel):
+        return kernel
+    raise TypeError(
+        f"kernel must be a registered name or a PeelingKernel instance, got {kernel!r}"
+    )
+
+
+def available_kernels() -> Tuple[str, ...]:
+    """Sorted names of every registered kernel backend."""
+    return _KERNELS.names()

@@ -1,0 +1,134 @@
+"""The shared inner loop: one synchronous removal step, any schedule.
+
+:func:`peel_subround` is the select → kill-vertices → kill-edges → scatter
+sequence every round-synchronous engine repeats.  The parallel engine calls
+it once per round (full scan or frontier candidates), the subtable engine
+once per subtable per round, and payload-carrying processes pass an
+``edge_effect`` hook that fires on the killed edges.
+:func:`remove_hyperedges` is the same scatter core on raw cell arrays, used
+by the IBLT decoders whose "edges" (keys) are discovered mid-flight rather
+than known up front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.kernels.base import EdgeEffect, PeelingKernel
+from repro.kernels.state import PeelState
+
+__all__ = ["SubroundOutcome", "peel_subround", "remove_hyperedges"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class SubroundOutcome:
+    """What one synchronous removal step did.
+
+    Attributes
+    ----------
+    removable:
+        Vertices peeled this step.
+    num_dying:
+        Edges killed this step.
+    touched:
+        Unique endpoints of the killed edges (only populated when the caller
+        asked for frontier collection; empty otherwise).
+    examined:
+        Vertex inspections performed (the work term).
+    """
+
+    removable: np.ndarray
+    num_dying: int
+    touched: np.ndarray
+    examined: int
+
+    @property
+    def num_removed(self) -> int:
+        """Vertices peeled this step."""
+        return int(self.removable.size)
+
+
+def peel_subround(
+    kernel: PeelingKernel,
+    state: PeelState,
+    k: int,
+    round_index: int,
+    *,
+    candidates: Optional[np.ndarray] = None,
+    collect_touched: bool = False,
+    edge_effect: Optional[EdgeEffect] = None,
+) -> SubroundOutcome:
+    """Run one synchronous removal step on ``state`` and return its outcome.
+
+    Parameters
+    ----------
+    kernel:
+        Backend supplying the vectorized primitives.
+    state:
+        Working state; mutated in place.
+    k:
+        Degree threshold — vertices of degree ``< k`` are removed.
+    round_index:
+        Value stamped into the peel-round arrays for everything removed now.
+    candidates:
+        Restrict examination to these vertices (frontier schedules, subtable
+        members); ``None`` examines every live vertex.
+    collect_touched:
+        Deduplicate the endpoints of killed edges into ``touched`` (needed to
+        seed the next frontier; skipped otherwise since ``unique`` costs a
+        sort).
+    edge_effect:
+        Optional hook fired with the killed edge indices after degrees are
+        scattered — the seam where IBLT-style payload removal plugs into the
+        same inner loop.
+    """
+    removable, removable_mask, examined = kernel.find_removable(
+        state, k, candidates=candidates
+    )
+    if removable.size == 0:
+        return SubroundOutcome(removable, 0, _EMPTY, examined)
+    kernel.kill_vertices(state, removable, round_index)
+    if removable_mask is None:
+        removable_mask = kernel.make_mask(state.num_vertices, removable)
+    dying = kernel.find_dying_edges(state, removable_mask)
+    touched: Optional[np.ndarray] = _EMPTY
+    if dying.size:
+        touched = kernel.kill_edges(
+            state,
+            dying,
+            round_index,
+            collect_touched=collect_touched,
+            edge_effect=edge_effect,
+        )
+    return SubroundOutcome(
+        removable, int(dying.size), touched if touched is not None else _EMPTY, examined
+    )
+
+
+def remove_hyperedges(
+    kernel: PeelingKernel,
+    cells: np.ndarray,
+    counts: np.ndarray,
+    deltas: np.ndarray,
+    payloads: Sequence[Tuple[np.ndarray, np.ndarray]] = (),
+) -> None:
+    """Scatter-remove a batch of hyperedges given their endpoint matrix.
+
+    ``cells`` has shape ``(b, r)`` — row ``i`` lists the endpoints (cells) of
+    edge (key) ``i``.  For every endpoint column the per-edge ``deltas`` are
+    subtracted from ``counts`` and every ``(target, values)`` payload pair is
+    XORed into ``target`` — for an IBLT, ``(key_sum, keys)`` and
+    ``(check_sum, checks)``.  With empty ``payloads`` and unit deltas this is
+    exactly the degree update of k-core peeling; the XOR payloads are the
+    only difference between the two processes, which is the paper's point.
+    """
+    for j in range(cells.shape[1]):
+        column = cells[:, j]
+        kernel.scatter_sub(counts, column, deltas)
+        for target, values in payloads:
+            kernel.scatter_xor(target, column, values)

@@ -1,0 +1,90 @@
+"""Columnar peeling state shared by every round-synchronous engine.
+
+A :class:`PeelState` is the struct-of-arrays working set of one peeling run:
+alive masks for vertices and edges, the mutable degree vector, the per-round
+peel arrays that end up in :class:`~repro.core.results.PeelingResult`, and
+(for frontier schedules) the candidate set to examine next round.  Engines
+own the loop structure — what counts as a round, which statistics to record —
+while every state mutation goes through a
+:class:`~repro.kernels.base.PeelingKernel` backend, so the same engine code
+runs on plain NumPy or on a JIT-compiled backend without change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.results import UNPEELED
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["PeelState"]
+
+
+@dataclass
+class PeelState:
+    """Struct-of-arrays state of an in-progress peeling process.
+
+    Attributes
+    ----------
+    edges:
+        The ``(m, r)`` edge array of the hypergraph being peeled (borrowed,
+        never mutated).
+    degrees:
+        Mutable degree vector of shape ``(n,)``; kernels scatter-decrement it
+        as edges die.
+    vertex_alive / edge_alive:
+        Boolean alive masks of shapes ``(n,)`` and ``(m,)``.
+    vertex_peel_round / edge_peel_round:
+        Per-vertex / per-edge (1-based) round of removal, ``UNPEELED`` while
+        alive; these arrays are handed to the result object unchanged.
+    vertices_remaining / edges_remaining:
+        Live counts, maintained incrementally so engines never re-scan the
+        masks for bookkeeping.
+    frontier:
+        Candidate vertices to examine next round (frontier schedules only);
+        ``None`` means "examine everything".
+    """
+
+    edges: np.ndarray
+    degrees: np.ndarray
+    vertex_alive: np.ndarray
+    edge_alive: np.ndarray
+    vertex_peel_round: np.ndarray
+    edge_peel_round: np.ndarray
+    vertices_remaining: int
+    edges_remaining: int
+    frontier: Optional[np.ndarray] = field(default=None)
+
+    @classmethod
+    def from_graph(cls, graph: Hypergraph) -> "PeelState":
+        """Initial state for peeling ``graph``: everything alive, true degrees."""
+        n = graph.num_vertices
+        m = graph.num_edges
+        return cls(
+            edges=graph.edges,
+            degrees=graph.degrees(),
+            vertex_alive=np.ones(n, dtype=bool),
+            edge_alive=np.ones(m, dtype=bool),
+            vertex_peel_round=np.full(n, UNPEELED, dtype=np.int64),
+            edge_peel_round=np.full(m, UNPEELED, dtype=np.int64),
+            vertices_remaining=n,
+            edges_remaining=m,
+        )
+
+    @property
+    def num_vertices(self) -> int:
+        """Total vertex count ``n`` (alive or not)."""
+        return int(self.degrees.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        """Total edge count ``m`` (alive or not)."""
+        return int(self.edge_alive.shape[0])
+
+    @property
+    def done(self) -> bool:
+        """True once no edges remain (the k-core is empty)."""
+        return self.edges_remaining == 0

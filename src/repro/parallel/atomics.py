@@ -15,7 +15,7 @@ computes that maximum from the list of target cells, and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

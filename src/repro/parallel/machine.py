@@ -20,14 +20,14 @@ all the reproduction claims.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from math import ceil
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.core.results import PeelingResult, RoundStats
-from repro.utils.validation import check_positive_float, check_positive_int
+from repro.utils.validation import check_positive_int
 
 __all__ = ["CostModel", "SimulatedTiming", "ParallelMachine"]
 

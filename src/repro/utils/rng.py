@@ -14,7 +14,7 @@ not depend on scheduling order.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Union
 
 import numpy as np
 

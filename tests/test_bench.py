@@ -1,0 +1,94 @@
+"""Tests for the kernel benchmark harness (repro.bench / `repro bench`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import format_results, run_benchmarks, write_results
+from repro.kernels import available_kernels
+
+
+@pytest.fixture(scope="module")
+def payload():
+    """One tiny benchmark run shared by the assertions below."""
+    return run_benchmarks(sizes=(300,), repeats=1, batch=2)
+
+
+class TestRunBenchmarks:
+    def test_meta_records_provenance(self, payload):
+        meta = payload["meta"]
+        assert meta["sizes"] == [300]
+        assert meta["repeats"] == 1
+        assert meta["kernels"] == list(available_kernels())
+        assert meta["timestamp"]
+
+    def test_all_sections_present(self, payload):
+        sections = {record["section"] for record in payload["results"]}
+        assert sections == {"peel", "peel_many", "iblt_decode"}
+
+    def test_peel_covers_engines_times_kernels(self, payload):
+        combos = {
+            (r["engine"], r["kernel"])
+            for r in payload["results"]
+            if r["section"] == "peel"
+        }
+        expected = {
+            (engine, kernel)
+            for engine in ("sequential", "parallel", "subtable")
+            for kernel in available_kernels()
+        }
+        assert combos == expected
+
+    def test_iblt_covers_decoders_times_kernels(self, payload):
+        combos = {
+            (r["decoder"], r["kernel"])
+            for r in payload["results"]
+            if r["section"] == "iblt_decode"
+        }
+        assert ("serial", None) in combos
+        for decoder in ("flat", "subtable"):
+            for kernel in available_kernels():
+                assert (decoder, kernel) in combos
+
+    def test_timings_are_positive(self, payload):
+        for record in payload["results"]:
+            assert record["seconds"] > 0
+
+    def test_kernel_subset_selectable(self):
+        run = run_benchmarks(sizes=(300,), kernels=("numpy",), repeats=1, batch=2)
+        assert run["meta"]["kernels"] == ["numpy"]
+        assert {r["kernel"] for r in run["results"]} == {"numpy", None}
+
+    def test_json_round_trip(self, payload, tmp_path):
+        out = tmp_path / "BENCH_kernels.json"
+        write_results(payload, out)
+        assert json.loads(out.read_text()) == json.loads(json.dumps(payload))
+
+    def test_format_results_mentions_every_section(self, payload):
+        report = format_results(payload)
+        for section in ("peel", "peel_many", "iblt_decode"):
+            assert section in report
+
+
+class TestBenchCLI:
+    def test_bench_subcommand_writes_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_kernels.json"
+        code = main(
+            ["bench", "--quick", "--sizes", "300", "--out", str(out)]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "wrote" in captured
+        data = json.loads(out.read_text())
+        # --quick overrides --sizes with the smoke sizes.
+        assert data["meta"]["repeats"] == 1
+        assert data["results"]
+
+    def test_bench_default_sizes_hit_the_trajectory_points(self):
+        from repro.bench import DEFAULT_SIZES
+
+        assert set(DEFAULT_SIZES) >= {10_000, 100_000}

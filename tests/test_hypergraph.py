@@ -22,6 +22,43 @@ class TestConstruction:
         assert graph.num_edges == 0
         assert graph.edge_density == 0.0
 
+    def test_empty_edges_preserve_declared_arity(self):
+        # A (0, r) edge array keeps the uniformity of an empty r-uniform
+        # graph instead of collapsing to r=0.
+        graph = Hypergraph(5, np.empty((0, 3), dtype=np.int64))
+        assert graph.edge_size == 3
+        assert graph.edges.shape == (0, 3)
+
+    def test_empty_sequence_has_unknown_arity(self):
+        graph = Hypergraph(5, [])
+        assert graph.edge_size == 0
+        assert graph.edges.shape == (0, 0)
+
+    def test_zero_width_rows_normalized_to_empty(self):
+        graph = Hypergraph(5, np.empty((2, 0), dtype=np.int64))
+        assert graph.num_edges == 0
+        assert graph.edge_size == 0
+
+    def test_empty_arity_survives_edge_subgraph(self):
+        graph = Hypergraph(5, [[0, 1, 2]])
+        empty = graph.subgraph_of_edges(np.array([False]))
+        assert empty.num_edges == 0
+        assert empty.edge_size == 3
+
+    def test_empty_partitioned_graph_keeps_uniformity_for_subtable_peeling(self):
+        from repro.engine import peel
+
+        partition = np.array([0, 0, 1, 1, 2, 2], dtype=np.int64)
+        graph = Hypergraph(
+            6,
+            np.empty((0, 3), dtype=np.int64),
+            vertex_partition=partition,
+            num_partitions=3,
+        )
+        assert graph.edge_size == 3
+        result = peel(graph, "subtable", k=1)
+        assert result.success
+
     def test_zero_vertices(self):
         graph = Hypergraph(0, np.empty((0, 2), dtype=np.int64))
         assert graph.num_vertices == 0
@@ -135,7 +172,6 @@ class TestPartition:
         assert graph.is_partitioned
         assert graph.num_partitions == 4
         partition = graph.vertex_partition
-        block = graph.num_vertices // 4
         assert partition[0] == 0 and partition[-1] == 3
         # Edge column j always lies inside subtable j.
         edges = graph.edges

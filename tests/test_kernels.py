@@ -1,0 +1,241 @@
+"""Tests for the shared kernel layer: state, primitives, registry, hooks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.results import UNPEELED
+from repro.hypergraph import Hypergraph, random_hypergraph
+from repro.kernels import (
+    DEFAULT_KERNEL,
+    NumpyKernel,
+    PeelState,
+    PeelingKernel,
+    available_kernels,
+    get_kernel,
+    peel_subround,
+    register_kernel,
+    remove_hyperedges,
+    unregister_kernel,
+)
+
+
+class TestRegistry:
+    def test_numpy_always_registered(self):
+        assert "numpy" in available_kernels()
+        assert DEFAULT_KERNEL == "numpy"
+
+    def test_get_default(self):
+        kernel = get_kernel()
+        assert isinstance(kernel, NumpyKernel)
+        assert kernel.name == "numpy"
+
+    def test_get_by_name(self):
+        assert isinstance(get_kernel("numpy"), NumpyKernel)
+
+    def test_instance_passthrough(self):
+        kernel = NumpyKernel()
+        assert get_kernel(kernel) is kernel
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ValueError, match="unknown kernel 'gpu'.*'numpy'"):
+            get_kernel("gpu")
+
+    def test_invalid_type(self):
+        with pytest.raises(TypeError):
+            get_kernel(42)  # type: ignore[arg-type]
+
+    def test_register_and_unregister(self):
+        class LoudKernel(NumpyKernel):
+            name = "loud"
+
+        register_kernel("loud", LoudKernel)
+        try:
+            assert "loud" in available_kernels()
+            assert isinstance(get_kernel("loud"), LoudKernel)
+            with pytest.raises(ValueError, match="already registered"):
+                register_kernel("loud", NumpyKernel)
+        finally:
+            unregister_kernel("loud")
+        assert "loud" not in available_kernels()
+
+    def test_satisfies_protocol(self):
+        assert isinstance(NumpyKernel(), PeelingKernel)
+
+    def test_every_registered_kernel_resolves(self):
+        for name in available_kernels():
+            assert get_kernel(name).name == name
+
+
+class TestPeelState:
+    def test_from_graph(self, tiny_graph):
+        state = PeelState.from_graph(tiny_graph)
+        assert state.num_vertices == tiny_graph.num_vertices
+        assert state.num_edges == tiny_graph.num_edges
+        assert state.vertex_alive.all()
+        assert state.edge_alive.all()
+        assert (state.vertex_peel_round == UNPEELED).all()
+        assert (state.edge_peel_round == UNPEELED).all()
+        assert state.vertices_remaining == tiny_graph.num_vertices
+        assert state.edges_remaining == tiny_graph.num_edges
+        assert not state.done
+        assert np.array_equal(state.degrees, tiny_graph.degrees())
+
+    def test_degrees_are_a_copy(self, tiny_graph):
+        state = PeelState.from_graph(tiny_graph)
+        state.degrees[:] = 0
+        assert tiny_graph.degrees().sum() > 0
+
+
+class TestPeelSubround:
+    def test_single_step_matches_manual(self, tiny_graph):
+        kernel = get_kernel()
+        state = PeelState.from_graph(tiny_graph)
+        outcome = peel_subround(kernel, state, 2, 1)
+        # Vertices 0 (degree 1) and 5 (degree 0) go in round 1, killing edge 0.
+        assert sorted(outcome.removable.tolist()) == [0, 5]
+        assert outcome.num_dying == 1
+        assert outcome.examined == tiny_graph.num_vertices
+        assert state.vertex_peel_round[0] == 1
+        assert state.edge_peel_round[0] == 1
+        assert state.vertices_remaining == 4
+        assert state.edges_remaining == 3
+
+    def test_fixed_point_returns_empty(self, tiny_graph):
+        kernel = get_kernel()
+        state = PeelState.from_graph(tiny_graph)
+        peel_subround(kernel, state, 2, 1)
+        outcome = peel_subround(kernel, state, 2, 2)
+        assert outcome.num_removed == 0
+        assert outcome.num_dying == 0
+
+    def test_candidates_restrict_examination(self, tiny_graph):
+        kernel = get_kernel()
+        state = PeelState.from_graph(tiny_graph)
+        candidates = np.array([1, 2, 5], dtype=np.int64)
+        outcome = peel_subround(kernel, state, 2, 1, candidates=candidates)
+        assert outcome.examined == 3
+        assert outcome.removable.tolist() == [5]
+
+    def test_collect_touched_seeds_frontier(self, path_like_graph):
+        kernel = get_kernel()
+        state = PeelState.from_graph(path_like_graph)
+        outcome = peel_subround(kernel, state, 2, 1, collect_touched=True)
+        assert outcome.touched.size > 0
+        kernel.refresh_frontier(state, outcome.touched)
+        assert state.frontier is not None
+        # Only live vertices survive into the frontier.
+        assert state.vertex_alive[state.frontier].all()
+
+    def test_edge_effect_hook_sees_dying_edges(self, tiny_graph):
+        kernel = get_kernel()
+        state = PeelState.from_graph(tiny_graph)
+        seen = []
+        peel_subround(kernel, state, 2, 1, edge_effect=lambda dying: seen.append(dying.copy()))
+        assert len(seen) == 1
+        assert seen[0].tolist() == [0]
+
+    def test_edge_effect_not_called_without_deaths(self):
+        # k=1 on an edgeless graph: vertices die but no edges do.
+        graph = Hypergraph(3, np.empty((0, 2), dtype=np.int64))
+        kernel = get_kernel()
+        state = PeelState.from_graph(graph)
+        calls = []
+        outcome = peel_subround(kernel, state, 1, 1, edge_effect=calls.append)
+        assert outcome.num_removed == 3
+        assert calls == []
+
+
+class TestScatterPrimitives:
+    def test_remove_hyperedges_matches_ufunc_at(self):
+        rng = np.random.default_rng(7)
+        kernel = get_kernel()
+        cells = rng.integers(0, 50, size=(20, 3), dtype=np.int64)
+        deltas = rng.choice(np.array([-1, 1], dtype=np.int64), size=20)
+        keys = rng.integers(1, 2**63, size=20, dtype=np.uint64)
+        counts = np.zeros(50, dtype=np.int64)
+        payload = np.zeros(50, dtype=np.uint64)
+
+        expected_counts = counts.copy()
+        expected_payload = payload.copy()
+        for j in range(3):
+            np.subtract.at(expected_counts, cells[:, j], deltas)
+            np.bitwise_xor.at(expected_payload, cells[:, j], keys)
+
+        remove_hyperedges(kernel, cells, counts, deltas, payloads=((payload, keys),))
+        assert np.array_equal(counts, expected_counts)
+        assert np.array_equal(payload, expected_payload)
+
+    def test_scatter_degree_updates_multiset(self):
+        kernel = get_kernel()
+        degrees = np.array([3, 3, 3], dtype=np.int64)
+        # Vertex 1 appears twice (duplicate endpoints within one edge).
+        kernel.scatter_degree_updates(degrees, np.array([1, 1, 2], dtype=np.int64))
+        assert degrees.tolist() == [3, 1, 2]
+
+    def test_pure_cells_range_and_checksum(self):
+        kernel = get_kernel()
+        count = np.array([1, 2, -1, 1, 0], dtype=np.int64)
+        key_sum = np.array([5, 9, 7, 0, 0], dtype=np.uint64)
+        checksum_fn = lambda keys: keys + np.uint64(1)  # noqa: E731
+        check_sum = checksum_fn(key_sum)
+        check_sum[3] = 0  # cell 3 has a zero key: never pure
+
+        pure = kernel.pure_cells(count, key_sum, check_sum, checksum_fn, signed=True)
+        assert pure.tolist() == [0, 2]
+        unsigned = kernel.pure_cells(count, key_sum, check_sum, checksum_fn, signed=False)
+        assert unsigned.tolist() == [0]
+        # Range selection returns absolute indices.
+        tail = kernel.pure_cells(count, key_sum, check_sum, checksum_fn, signed=True, start=2, stop=5)
+        assert tail.tolist() == [2]
+
+
+class TestEngineKernelOption:
+    def test_engines_accept_kernel_instances(self):
+        from repro.core import ParallelPeeler, SequentialPeeler
+
+        graph = random_hypergraph(500, 0.6, 3, seed=4)
+        kernel = NumpyKernel()
+        by_name = ParallelPeeler(2, kernel="numpy").peel(graph)
+        by_instance = ParallelPeeler(2, kernel=kernel).peel(graph)
+        assert np.array_equal(by_name.vertex_peel_round, by_instance.vertex_peel_round)
+        seq = SequentialPeeler(2, kernel=kernel).peel(graph)
+        assert seq.success == by_name.success
+
+    def test_unknown_kernel_raises_at_construction(self):
+        from repro.core import ParallelPeeler
+
+        with pytest.raises(ValueError, match="unknown kernel"):
+            ParallelPeeler(2, kernel="gpu")
+
+    def test_peel_front_door_accepts_kernel(self):
+        from repro.engine import peel
+
+        graph = random_hypergraph(500, 0.6, 3, seed=4)
+        result = peel(graph, "parallel", k=2, kernel="numpy")
+        assert result.success
+
+    def test_config_round_trips_kernel(self):
+        from repro.engine import PeelingConfig
+
+        config = PeelingConfig(engine="parallel", k=2, kernel="numpy")
+        assert PeelingConfig.from_dict(config.to_dict()) == config
+        engine = config.build()
+        assert engine.kernel.name == "numpy"
+
+    def test_config_rejects_bad_kernel_type(self):
+        from repro.engine import PeelingConfig
+
+        with pytest.raises(TypeError):
+            PeelingConfig(engine="parallel", k=2, kernel=3)  # type: ignore[arg-type]
+
+    def test_decoders_accept_kernel(self):
+        from repro.iblt import IBLT
+
+        table = IBLT(300, 3, seed=9)
+        table.insert(np.arange(1, 150, dtype=np.uint64))
+        for decoder in ("flat", "subtable"):
+            result = table.decode(decoder=decoder, kernel="numpy")
+            baseline = table.decode(decoder=decoder)
+            assert np.array_equal(np.sort(result.recovered), np.sort(baseline.recovered))

@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis import peeling_threshold
-from repro.apps.orientation import MultiChoiceHashTable, OrientationResult, PeelingOrienter
+from repro.apps.orientation import MultiChoiceHashTable, PeelingOrienter
 from repro.apps.sparse_recovery import random_distinct_keys
 from repro.hypergraph import Hypergraph, random_hypergraph
 

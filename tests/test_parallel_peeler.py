@@ -134,6 +134,66 @@ class TestFrontierEquivalence:
         assert frontier.total_work < full.total_work
 
 
+class TestDuplicateVertexEdges:
+    """Full-vs-frontier parity when edges repeat a vertex (multiset degrees).
+
+    Hashing applications can map one key to the same cell several times (the
+    paper's remark after Theorem 1); a vertex appearing twice in one edge has
+    its degree counted twice, loses *two* degrees when that edge dies, and
+    must appear only once in the next frontier.  This is the easiest place
+    for a frontier implementation to drift from the full re-scan.
+    """
+
+    @staticmethod
+    def _graph_with_duplicates(n, m, r, seed):
+        rng = np.random.default_rng(seed)
+        edges = rng.integers(0, n, size=(m, r), dtype=np.int64)
+        # Force a healthy fraction of duplicate-endpoint edges.
+        dup_rows = rng.random(m) < 0.3
+        edges[dup_rows, 1] = edges[dup_rows, 0]
+        graph = Hypergraph(n, edges, allow_duplicate_vertices=True)
+        assert (np.sort(edges, axis=1)[:, 1:] == np.sort(edges, axis=1)[:, :-1]).any()
+        return graph
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_full_and_frontier_agree_with_duplicates(self, seed, k):
+        graph = self._graph_with_duplicates(1500, 1100, 4, seed)
+        full = ParallelPeeler(k, update="full").peel(graph)
+        frontier = ParallelPeeler(k, update="frontier").peel(graph)
+        assert full.num_rounds == frontier.num_rounds
+        assert full.success == frontier.success
+        assert np.array_equal(full.vertex_peel_round, frontier.vertex_peel_round)
+        assert np.array_equal(full.edge_peel_round, frontier.edge_peel_round)
+        # Same removals per round, only the examined work may differ.
+        for f_stats, fr_stats in zip(full.round_stats, frontier.round_stats):
+            assert f_stats.vertices_peeled == fr_stats.vertices_peeled
+            assert f_stats.edges_peeled == fr_stats.edges_peeled
+
+    def test_multiset_degree_counted_per_occurrence(self):
+        # Vertex 1 appears twice in the single edge: degree 2, so it survives
+        # k=2 peeling while the degree-1 endpoints trigger the edge's death.
+        graph = Hypergraph(3, [[1, 1, 2]], allow_duplicate_vertices=True)
+        assert graph.degree(1) == 2
+        result = ParallelPeeler(2).peel(graph)
+        assert result.success
+        # Once the edge dies, vertex 1 loses both degrees at once.
+        assert result.num_rounds == 2
+
+    def test_duplicate_parity_across_kernels(self):
+        from repro.kernels import available_kernels
+
+        graph = self._graph_with_duplicates(1500, 1100, 4, seed=7)
+        reference = ParallelPeeler(2, update="full", kernel="numpy").peel(graph)
+        for kernel in available_kernels():
+            for update in ("full", "frontier"):
+                result = ParallelPeeler(2, update=update, kernel=kernel).peel(graph)
+                assert np.array_equal(
+                    result.vertex_peel_round, reference.vertex_peel_round
+                ), f"kernel={kernel} update={update}"
+                assert np.array_equal(result.edge_peel_round, reference.edge_peel_round)
+
+
 class TestConvenienceAPI:
     def test_peel_to_kcore_parallel(self, tiny_graph):
         result = peel_to_kcore(tiny_graph, 2, mode="parallel")

@@ -12,7 +12,6 @@ from repro.analysis.recurrences import (
     predicted_subtable_survivors,
     predicted_survivors,
 )
-from repro.analysis.thresholds import peeling_threshold
 
 # Paper Table 2, c = 0.7 (r=4, k=2, n = 1e6): predicted survivors per round.
 PAPER_TABLE2_C07 = {
