@@ -20,8 +20,11 @@ A production-oriented reproduction of *Parallel Peeling Algorithms*
   (:mod:`repro.iblt`) — and applications built on them (:mod:`repro.apps`),
 * a simulated parallel machine standing in for the paper's GPU
   (:mod:`repro.parallel`),
+* a declarative sweep layer (:mod:`repro.sweeps`): grid specs with
+  cell-keyed seeds, grid-level scheduling over execution backends, and
+  resumable JSON artifacts,
 * an experiment harness reproducing every table and figure of the paper's
-  evaluation (:mod:`repro.experiments`).
+  evaluation (:mod:`repro.experiments`), declared as sweeps.
 
 Quickstart
 ----------
@@ -123,6 +126,15 @@ from repro.parallel import (
     available_backends,
 )
 
+# Declarative sweep layer (spec → scheduler → artifact)
+from repro.sweeps import (
+    SweepSpec,
+    CellSpec,
+    SweepArtifact,
+    SweepSpecMismatch,
+    run_sweep,
+)
+
 __all__ = [
     "__version__",
     "Hypergraph",
@@ -174,4 +186,9 @@ __all__ = [
     "ProcessPoolBackend",
     "get_backend",
     "available_backends",
+    "SweepSpec",
+    "CellSpec",
+    "SweepArtifact",
+    "SweepSpecMismatch",
+    "run_sweep",
 ]

@@ -23,8 +23,27 @@ from repro.utils.validation import check_nonnegative_int, check_positive_int
 __all__ = ["SparseRecoveryResult", "SparseRecovery", "random_distinct_keys"]
 
 
+def _first_occurrences(keys: np.ndarray) -> np.ndarray:
+    """Deduplicate ``keys`` keeping the first occurrence of each, in draw order.
+
+    ``np.unique`` alone would *sort* the survivors, which silently reshuffles
+    which keys land where in positional splits like
+    :meth:`SparseRecovery.run`'s ``keys[:survivors]``.
+    """
+    _, first_index = np.unique(keys, return_index=True)
+    return keys[np.sort(first_index)]
+
+
 def random_distinct_keys(count: int, seed: SeedLike = None) -> np.ndarray:
-    """Draw ``count`` distinct non-zero uint64 keys uniformly at random."""
+    """Draw ``count`` distinct non-zero uint64 keys uniformly at random.
+
+    Draws cover ``[1, 2^63 - 1)`` — 63-bit values, not the full uint64 range
+    — so keys stay representable as non-negative int64 everywhere (hash
+    mixing, JSON round trips).  Draw order is preserved: deduplication keeps
+    the first occurrence of a repeated key and replacement draws append at
+    the end, so a positional split of the result is a split of the original
+    stream.
+    """
     count = check_nonnegative_int(count, "count")
     rng = resolve_rng(seed)
     if count == 0:
@@ -32,7 +51,7 @@ def random_distinct_keys(count: int, seed: SeedLike = None) -> np.ndarray:
     keys = rng.integers(1, 2**63 - 1, size=count, dtype=np.int64).astype(np.uint64)
     # Collisions among 63-bit draws are vanishingly rare; resolve them anyway.
     while np.unique(keys).size < count:
-        keys = np.unique(keys)
+        keys = _first_occurrences(keys)
         extra = rng.integers(1, 2**63 - 1, size=count - keys.size, dtype=np.int64).astype(np.uint64)
         keys = np.concatenate([keys, extra])
     return keys

@@ -11,10 +11,18 @@ like.  It is reachable three ways:
 * ``python benchmarks/bench_kernels.py`` from a checkout,
 * :func:`run_benchmarks` programmatically.
 
-Timing methodology: each workload is built once per size (generation is not
-timed), then run ``repeats`` times on each engine × kernel combination; the
-*best* wall-clock time is reported, which is the standard way to suppress
-scheduler noise for sub-second kernels.
+The benchmark matrix is declared as a :class:`repro.sweeps.SweepSpec`
+(:func:`bench_spec`) — one single-trial cell per (section, workload, kernel,
+size) — and executed on the :func:`repro.sweeps.run_sweep` scheduler, always
+serially (timing cells in parallel would corrupt each other's wall clocks);
+what the sweep layer buys here is the shared progress/artifact machinery.
+
+Timing methodology: each cell builds its workload from its cell seed
+(generation is not timed), then runs it ``repeats`` times; the *best*
+wall-clock time is reported, which is the standard way to suppress scheduler
+noise for sub-second kernels.  ``compare_payloads`` diffs two result files
+per (section, workload, kernel, size) and flags regressions past a
+tolerance — ``repro bench --compare BASELINE.json`` exits non-zero on any.
 """
 
 from __future__ import annotations
@@ -24,19 +32,24 @@ import json
 import platform
 import time
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro._version import __version__
+from repro.sweeps import CellSpec, SweepProgress, SweepSpec, print_progress, run_sweep
+from repro.utils.rng import derive_seed
 from repro.utils.tables import Table
 
 __all__ = [
     "DEFAULT_SIZES",
     "QUICK_SIZES",
+    "DEFAULT_TOLERANCE",
+    "bench_spec",
     "run_benchmarks",
     "write_results",
     "format_results",
+    "compare_payloads",
     "main",
 ]
 
@@ -45,6 +58,9 @@ DEFAULT_SIZES = (10_000, 100_000)
 
 QUICK_SIZES = (2_000,)
 """Sizes for the CI smoke run (``--quick``)."""
+
+DEFAULT_TOLERANCE = 0.25
+"""Default slowdown fraction past which ``--compare`` reports a regression."""
 
 _PEEL_ENGINES = ("sequential", "parallel", "subtable")
 _PARALLEL_DECODERS = ("flat", "subtable")
@@ -65,148 +81,184 @@ def _subtable_cells(n: int, r: int) -> int:
     return max(n - n % r, r)
 
 
-def _bench_peel(
-    sizes: Sequence[int],
-    kernels: Sequence[str],
-    *,
-    c: float,
-    r: int,
-    k: int,
-    seed: int,
-    repeats: int,
-) -> List[Dict[str, Any]]:
+def _bench_peel_trial(params: Dict[str, Any], rng: np.random.Generator) -> Dict[str, Any]:
+    # Module-level so process-pool backends could pickle it; the sweep rng is
+    # unused — workloads are rebuilt deterministically from the cell seed so
+    # every kernel times the identical graph.
     from repro.engine import peel
     from repro.hypergraph import partitioned_hypergraph, random_hypergraph
 
-    records: List[Dict[str, Any]] = []
-    for n in sizes:
-        n_part = _subtable_cells(n, r)
-        graphs = {
-            "sequential": random_hypergraph(n, c, r, seed=seed),
-            "parallel": random_hypergraph(n, c, r, seed=seed),
-            "subtable": partitioned_hypergraph(n_part, c, r, seed=seed),
-        }
-        for engine in _PEEL_ENGINES:
-            graph = graphs[engine]
-            for kernel in kernels:
-                result = peel(graph, engine, k=k, kernel=kernel)
-                seconds = _best_time(
-                    lambda: peel(graph, engine, k=k, kernel=kernel), repeats
-                )
-                records.append(
-                    {
-                        "section": "peel",
-                        "engine": engine,
-                        "kernel": kernel,
-                        "n": int(graph.num_vertices),
-                        "c": c,
-                        "r": r,
-                        "k": k,
-                        "seed": seed,
-                        "rounds": result.num_rounds,
-                        "success": bool(result.success),
-                        "seconds": seconds,
-                    }
-                )
-    return records
+    engine, kernel = params["engine"], params["kernel"]
+    n, c, r, k, seed = params["n"], params["c"], params["r"], params["k"], params["seed"]
+    if engine == "subtable":
+        graph = partitioned_hypergraph(_subtable_cells(n, r), c, r, seed=seed)
+    else:
+        graph = random_hypergraph(n, c, r, seed=seed)
+    result = peel(graph, engine, k=k, kernel=kernel)
+    seconds = _best_time(lambda: peel(graph, engine, k=k, kernel=kernel), params["repeats"])
+    return {
+        "section": "peel",
+        "engine": engine,
+        "kernel": kernel,
+        "n": int(graph.num_vertices),
+        "c": c,
+        "r": r,
+        "k": k,
+        "seed": seed,
+        "rounds": result.num_rounds,
+        "success": bool(result.success),
+        "seconds": seconds,
+    }
 
 
-def _bench_peel_many(
-    sizes: Sequence[int],
-    kernels: Sequence[str],
-    *,
-    c: float,
-    r: int,
-    k: int,
-    seed: int,
-    repeats: int,
-    batch: int,
-) -> List[Dict[str, Any]]:
+def _bench_peel_many_trial(params: Dict[str, Any], rng: np.random.Generator) -> Dict[str, Any]:
     from repro.engine import peel_many
     from repro.hypergraph import random_hypergraph
 
-    n = min(sizes)  # the batch section measures dispatch, not graph scale
+    n, c, r, k, seed = params["n"], params["c"], params["r"], params["k"], params["seed"]
+    kernel, batch = params["kernel"], params["batch"]
     graphs = [random_hypergraph(n, c, r, seed=seed + i) for i in range(batch)]
-    records: List[Dict[str, Any]] = []
-    for kernel in kernels:
-        seconds = _best_time(
-            lambda: peel_many(graphs, "parallel", k=k, kernel=kernel, backend="serial"),
-            repeats,
-        )
-        records.append(
-            {
-                "section": "peel_many",
-                "engine": "parallel",
-                "kernel": kernel,
-                "n": n,
-                "c": c,
-                "r": r,
-                "k": k,
-                "seed": seed,
-                "batch": batch,
-                "seconds": seconds,
-            }
-        )
-    return records
+    seconds = _best_time(
+        lambda: peel_many(graphs, "parallel", k=k, kernel=kernel, backend="serial"),
+        params["repeats"],
+    )
+    return {
+        "section": "peel_many",
+        "engine": "parallel",
+        "kernel": kernel,
+        "n": n,
+        "c": c,
+        "r": r,
+        "k": k,
+        "seed": seed,
+        "batch": batch,
+        "seconds": seconds,
+    }
 
 
-def _bench_iblt(
-    sizes: Sequence[int],
-    kernels: Sequence[str],
-    *,
-    r: int,
-    load: float,
-    seed: int,
-    repeats: int,
-) -> List[Dict[str, Any]]:
+def _bench_iblt_trial(params: Dict[str, Any], rng: np.random.Generator) -> Dict[str, Any]:
     from repro.iblt import IBLT
 
-    records: List[Dict[str, Any]] = []
+    num_cells, r, load, seed = params["num_cells"], params["r"], params["load"], params["seed"]
+    decoder, kernel = params["decoder"], params["kernel"]
+    table = IBLT(num_cells, r, seed=seed)
+    num_keys = int(load * num_cells)
+    # Any fixed injective map into non-zero uint64 keys works here.
+    keys = (
+        np.arange(1, num_keys + 1, dtype=np.uint64) * np.uint64(0x9E3779B97F4A7C15)
+    ) | np.uint64(1)
+    table.insert(keys)
+    decode_kwargs = {"decoder": decoder}
+    if kernel is not None:
+        decode_kwargs["kernel"] = kernel
+    result = table.decode(**decode_kwargs)
+    seconds = _best_time(lambda: table.decode(**decode_kwargs), params["repeats"])
+    record: Dict[str, Any] = {
+        "section": "iblt_decode",
+        "decoder": decoder,
+        "kernel": kernel,
+        "num_cells": num_cells,
+        "r": r,
+        "load": load,
+        "seed": seed,
+    }
+    if decoder != "serial":
+        record["rounds"] = result.rounds
+    record["success"] = bool(result.success)
+    record["seconds"] = seconds
+    return record
+
+
+_TRIALS = {
+    "peel": _bench_peel_trial,
+    "peel_many": _bench_peel_many_trial,
+    "iblt_decode": _bench_iblt_trial,
+}
+
+
+def _bench_dispatch_trial(params: Dict[str, Any], rng: np.random.Generator) -> Dict[str, Any]:
+    # Module-level dispatcher: one trial function for the whole matrix.
+    return _TRIALS[params["section"]](params, rng)
+
+
+def _bench_aggregate(params: Dict[str, Any], results: List[Dict[str, Any]]) -> Dict[str, Any]:
+    return results[0]
+
+
+def bench_spec(
+    *,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    kernels: Optional[Sequence[str]] = None,
+    c: float = 0.7,
+    r: int = 4,
+    iblt_r: int = 3,
+    k: int = 2,
+    load: float = 0.7,
+    seed: int = 1,
+    repeats: int = 3,
+    batch: int = 4,
+) -> SweepSpec:
+    """Declare the benchmark matrix as a sweep (one single-trial cell each).
+
+    Cell order matches the historical record order: the ``peel`` section
+    (size × engine × kernel), then ``peel_many`` (kernel), then
+    ``iblt_decode`` (size × decoder × kernel, serial baseline first).
+    """
+    from repro.kernels import available_kernels
+
+    kernel_names = tuple(kernels) if kernels is not None else available_kernels()
+    cells: List[CellSpec] = []
+    common = {"c": c, "r": r, "k": k, "seed": seed, "repeats": repeats}
     for n in sizes:
-        num_cells = _subtable_cells(n, r)
-        table = IBLT(num_cells, r, seed=seed)
-        num_keys = int(load * num_cells)
-        # Any fixed injective map into non-zero uint64 keys works here.
-        keys = (
-            np.arange(1, num_keys + 1, dtype=np.uint64)
-            * np.uint64(0x9E3779B97F4A7C15)
-        ) | np.uint64(1)
-        table.insert(keys)
-        baseline = table.decode(decoder="serial")
-        records.append(
-            {
-                "section": "iblt_decode",
-                "decoder": "serial",
-                "kernel": None,
-                "num_cells": num_cells,
-                "r": r,
-                "load": load,
-                "seed": seed,
-                "success": bool(baseline.success),
-                "seconds": _best_time(lambda: table.decode(decoder="serial"), repeats),
-            }
+        for engine in _PEEL_ENGINES:
+            for kernel in kernel_names:
+                cells.append(
+                    CellSpec(
+                        key=f"peel/n={n}/{engine}/{kernel}",
+                        params={"section": "peel", "engine": engine, "kernel": kernel,
+                                "n": int(n), **common},
+                        seed=derive_seed(seed, "bench", "peel", engine, kernel, n),
+                    )
+                )
+    n_many = min(sizes)  # the batch section measures dispatch, not graph scale
+    for kernel in kernel_names:
+        cells.append(
+            CellSpec(
+                key=f"peel_many/{kernel}",
+                params={"section": "peel_many", "kernel": kernel, "n": int(n_many),
+                        "batch": int(batch), **common},
+                seed=derive_seed(seed, "bench", "peel_many", kernel),
+            )
+        )
+    for n in sizes:
+        num_cells = _subtable_cells(n, iblt_r)
+        iblt_common = {
+            "section": "iblt_decode", "num_cells": int(num_cells), "r": iblt_r,
+            "load": load, "seed": seed, "repeats": repeats,
+        }
+        # Keys use the *requested* size n: distinct sizes that round to the
+        # same cell count must not collide into duplicate cell keys.
+        cells.append(
+            CellSpec(
+                key=f"iblt/n={n}/serial",
+                params={**iblt_common, "decoder": "serial", "kernel": None},
+                seed=derive_seed(seed, "bench", "iblt", "serial", n),
+            )
         )
         for decoder in _PARALLEL_DECODERS:
-            for kernel in kernels:
-                result = table.decode(decoder=decoder, kernel=kernel)
-                seconds = _best_time(
-                    lambda: table.decode(decoder=decoder, kernel=kernel), repeats
+            for kernel in kernel_names:
+                cells.append(
+                    CellSpec(
+                        key=f"iblt/n={n}/{decoder}/{kernel}",
+                        params={**iblt_common, "decoder": decoder, "kernel": kernel},
+                        seed=derive_seed(seed, "bench", "iblt", decoder, kernel, n),
+                    )
                 )
-                records.append(
-                    {
-                        "section": "iblt_decode",
-                        "decoder": decoder,
-                        "kernel": kernel,
-                        "num_cells": num_cells,
-                        "r": r,
-                        "load": load,
-                        "seed": seed,
-                        "rounds": result.rounds,
-                        "success": bool(result.success),
-                        "seconds": seconds,
-                    }
-                )
-    return records
+    return SweepSpec(
+        name="bench",
+        cells=tuple(cells),
+        meta={"kernels": list(kernel_names), "sizes": [int(n) for n in sizes]},
+    )
 
 
 def run_benchmarks(
@@ -221,6 +273,9 @@ def run_benchmarks(
     seed: int = 1,
     repeats: int = 3,
     batch: int = 4,
+    artifact: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    progress: Optional[Callable[[SweepProgress], None]] = None,
 ) -> Dict[str, Any]:
     """Run the full benchmark matrix and return the JSON-ready payload.
 
@@ -242,19 +297,21 @@ def run_benchmarks(
         Timed runs per combination; the best is reported.
     batch:
         Batch size of the ``peel_many`` section.
+    artifact, resume:
+        Optional sweep-artifact path for per-cell checkpointing; with
+        ``resume=True`` a compatible artifact's timings are reused and only
+        missing cells are re-timed.
+    progress:
+        Per-cell progress callback (see :class:`repro.sweeps.SweepProgress`).
     """
-    from repro.kernels import available_kernels
-
-    kernel_names = tuple(kernels) if kernels is not None else available_kernels()
-    results: List[Dict[str, Any]] = []
-    results += _bench_peel(
-        sizes, kernel_names, c=c, r=r, k=k, seed=seed, repeats=repeats
+    spec = bench_spec(
+        sizes=sizes, kernels=kernels, c=c, r=r, iblt_r=iblt_r, k=k, load=load,
+        seed=seed, repeats=repeats, batch=batch,
     )
-    results += _bench_peel_many(
-        sizes, kernel_names, c=c, r=r, k=k, seed=seed, repeats=repeats, batch=batch
-    )
-    results += _bench_iblt(
-        sizes, kernel_names, r=iblt_r, load=load, seed=seed, repeats=repeats
+    # Always serial: parallel timing cells would contend for the same cores.
+    results = run_sweep(
+        spec, _bench_dispatch_trial, _bench_aggregate,
+        out=artifact, resume=resume, progress=progress,
     )
     return {
         "meta": {
@@ -262,8 +319,8 @@ def run_benchmarks(
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
-            "kernels": list(kernel_names),
-            "sizes": [int(n) for n in sizes],
+            "kernels": list(spec.meta["kernels"]),
+            "sizes": list(spec.meta["sizes"]),
             "repeats": repeats,
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         },
@@ -295,6 +352,112 @@ def format_results(payload: Dict[str, Any]) -> str:
     return table.render()
 
 
+def _record_key(record: Dict[str, Any]) -> Tuple[str, str, str, int, Any, Any]:
+    """Identity of one benchmark record across runs.
+
+    Includes the seed and batch so runs of *different* workloads (other
+    random graphs, other batch sizes) never silently compare as if they
+    were the same measurement.
+    """
+    return (
+        record["section"],
+        str(record.get("engine") or record.get("decoder")),
+        str(record.get("kernel")),
+        int(record.get("n", record.get("num_cells", 0))),
+        record.get("seed"),
+        record.get("batch"),
+    )
+
+
+def _key_str(key: Tuple) -> Tuple[str, ...]:
+    return tuple(map(str, key))
+
+
+def _index_records(payload: Dict[str, Any]) -> Tuple[Dict[Tuple, Dict[str, Any]], List[Tuple]]:
+    """Index records by identity; also report keys that collide."""
+    by_key: Dict[Tuple, Dict[str, Any]] = {}
+    collisions: List[Tuple] = []
+    for record in payload["results"]:
+        key = _record_key(record)
+        if key in by_key:
+            collisions.append(key)
+        by_key[key] = record
+    return by_key, collisions
+
+
+def compare_payloads(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Tuple[str, int]:
+    """Diff two benchmark payloads per (section, workload, kernel, size).
+
+    Returns ``(report, num_regressions)`` where a regression is any
+    comparable entry whose current time exceeds the baseline by more than
+    ``tolerance`` (a fraction: 0.25 means 25% slower).  Entries present in
+    only one payload are listed but never counted as regressions.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    base_by_key, base_collisions = _index_records(baseline)
+    cur_by_key, cur_collisions = _index_records(current)
+    table = Table(
+        columns=("section", "workload", "kernel", "size", "baseline", "current", "delta", ""),
+        title=(
+            f"benchmark comparison vs baseline "
+            f"({baseline['meta'].get('timestamp', 'unknown')})"
+        ),
+    )
+    regressions = 0
+    compared = 0
+    for key, record in cur_by_key.items():
+        base = base_by_key.get(key)
+        if base is None:
+            continue
+        compared += 1
+        delta = record["seconds"] / base["seconds"] - 1.0 if base["seconds"] else float("inf")
+        flag = ""
+        if delta > tolerance:
+            flag = "REGRESSION"
+            regressions += 1
+        elif delta < -tolerance:
+            flag = "improved"
+        section, workload, kernel, size = key[:4]
+        table.add_row(
+            section, workload, kernel if kernel != "None" else "-", size,
+            f"{base['seconds']:.4f}", f"{record['seconds']:.4f}", f"{delta:+.1%}", flag,
+        )
+    lines = [table.render()]
+    for label, collisions in (("current", cur_collisions), ("baseline", base_collisions)):
+        if collisions:
+            lines.append(
+                f"warning: {len(collisions)} duplicate record identit"
+                f"{'ies' if len(collisions) != 1 else 'y'} in the {label} payload "
+                f"(only the last of each was compared): "
+                + ", ".join("/".join(map(str, key[:4])) for key in collisions)
+            )
+    # Keys mix ints and Nones (seed/batch), so sort by string form.
+    only_current = sorted(set(cur_by_key) - set(base_by_key), key=_key_str)
+    only_baseline = sorted(set(base_by_key) - set(cur_by_key), key=_key_str)
+    if only_current:
+        lines.append(f"not in baseline ({len(only_current)}): "
+                     + ", ".join("/".join(map(str, key)) for key in only_current))
+    if only_baseline:
+        lines.append(f"only in baseline ({len(only_baseline)}): "
+                     + ", ".join("/".join(map(str, key)) for key in only_baseline))
+    if compared == 0:
+        lines.append(
+            "no comparable entries between the two payloads "
+            "(different sizes/kernels?); nothing gated"
+        )
+    lines.append(
+        f"{compared} compared, {regressions} regression(s) past "
+        f"{tolerance:.0%} tolerance"
+    )
+    return "\n".join(lines), regressions
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Stand-alone entry point (``python benchmarks/bench_kernels.py``)."""
     parser = argparse.ArgumentParser(
@@ -302,8 +465,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     add_bench_arguments(parser)
     args = parser.parse_args(argv)
-    print(run_bench_command(args))
-    return 0
+    report, code = run_bench_command(args)
+    print(report)
+    return code
 
 
 def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
@@ -336,15 +500,56 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         default=Path("BENCH_kernels.json"),
         help="output JSON path (default: %(default)s)",
     )
+    parser.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        metavar="BASELINE.json",
+        help=(
+            "prior benchmark JSON to diff against; exits non-zero when any "
+            "comparable entry regressed past --tolerance"
+        ),
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=(
+            "slowdown fraction tolerated by --compare before failing "
+            "(default: %(default)s, i.e. 25%% slower)"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-cell progress to stderr while benchmarking",
+    )
 
 
-def run_bench_command(args: argparse.Namespace) -> str:
-    """Execute a parsed benchmark invocation; returns the printable report."""
+def run_bench_command(args: argparse.Namespace) -> Tuple[str, int]:
+    """Execute a parsed benchmark invocation.
+
+    Returns ``(printable report, exit code)``; the exit code is non-zero
+    only when ``--compare`` found regressions past the tolerance.
+    """
     sizes: Sequence[int] = QUICK_SIZES if args.quick else args.sizes
     repeats = 1 if args.quick else args.repeats
     payload = run_benchmarks(
-        sizes=sizes, kernels=args.kernels, seed=args.seed, repeats=repeats
+        sizes=sizes,
+        kernels=args.kernels,
+        seed=args.seed,
+        repeats=repeats,
+        progress=print_progress if getattr(args, "progress", False) else None,
     )
     write_results(payload, args.out)
     report = format_results(payload)
-    return f"{report}\n\nwrote {len(payload['results'])} timings to {args.out}"
+    report += f"\n\nwrote {len(payload['results'])} timings to {args.out}"
+    code = 0
+    if getattr(args, "compare", None) is not None:
+        baseline = json.loads(Path(args.compare).read_text())
+        comparison, regressions = compare_payloads(
+            payload, baseline, tolerance=args.tolerance
+        )
+        report += "\n\n" + comparison
+        code = 1 if regressions else 0
+    return report, code

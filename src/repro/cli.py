@@ -15,8 +15,11 @@ Examples
     python -m repro peel --n 100000 --c 0.7 --r 4 --k 2 --engine subtable
     python -m repro peel --n 100000 --kernel numpy
     python -m repro table1 --backend processes --workers 4
+    python -m repro table1 --out table1.json --progress
+    python -m repro table1 --out table1.json --resume   # skip finished cells
     python -m repro table3 --decoder flat
     python -m repro bench --quick
+    python -m repro bench --compare BENCH_kernels.json --tolerance 0.5
 
 Every sub-command prints the same layout the paper's tables use; the
 defaults are the scaled-down settings documented in EXPERIMENTS.md.
@@ -24,15 +27,22 @@ Engines, IBLT decoders, kernel backends and execution backends are all
 selected by their registry names (``--engine``, ``--decoder``, ``--kernel``,
 ``--backend``), so anything registered through :mod:`repro.engine`,
 :mod:`repro.iblt`, :mod:`repro.kernels` or :mod:`repro.parallel` is
-reachable from the command line.  ``repro bench`` runs the kernel benchmark
-harness (:mod:`repro.bench`) and writes ``BENCH_kernels.json``.
+reachable from the command line.
+
+Every experiment sub-command is one declarative sweep (:mod:`repro.sweeps`)
+run by a single generic driver, so they all share ``--out`` (JSON sweep
+artifact, checkpointed per cell), ``--resume`` (reuse completed cells from a
+compatible artifact) and ``--progress`` (per-cell reporting on stderr).
+``repro bench`` runs the kernel benchmark harness (:mod:`repro.bench`),
+writes ``BENCH_kernels.json``, and can gate regressions against a prior run
+via ``--compare``/``--tolerance``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.analysis import peeling_threshold
 from repro.analysis.rounds import predict_rounds
@@ -41,8 +51,15 @@ from repro.engine import available_engines
 from repro.iblt import available_decoders
 from repro.kernels import available_kernels
 from repro.parallel.backend import available_backends, get_backend
+from repro.sweeps import AggregateFn, SweepSpec, TrialFn, print_progress, run_sweep
 
 __all__ = ["build_parser", "main"]
+
+# One sweep sub-command = spec + trial + aggregate + renderer; the generic
+# driver (_run_sweep_command) supplies scheduling, artifacts and progress.
+SweepCommandParts = Tuple[
+    SweepSpec, TrialFn, AggregateFn, Callable[[List[Any], argparse.Namespace], str]
+]
 
 
 def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
@@ -61,6 +78,33 @@ def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the flags every sweep-driven sub-command shares."""
+    _add_backend_flags(parser)
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="ARTIFACT.json",
+        help=(
+            "write a JSON sweep artifact here, checkpointed after every "
+            "completed cell"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "reuse completed cells from the artifact at --out when its spec "
+            "fingerprint matches; only missing cells are run"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-cell progress to stderr",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -76,7 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
     t1.add_argument("--r", type=int, default=4)
     t1.add_argument("--k", type=int, default=2)
     t1.add_argument("--seed", type=int, default=1)
-    _add_backend_flags(t1)
+    _add_sweep_flags(t1)
 
     t2 = sub.add_parser("table2", help="recurrence prediction vs experiment")
     t2.add_argument("--n", type=int, default=100_000)
@@ -84,7 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
     t2.add_argument("--rounds", type=int, default=16)
     t2.add_argument("--trials", type=int, default=5)
     t2.add_argument("--seed", type=int, default=1)
-    _add_backend_flags(t2)
+    _add_sweep_flags(t2)
 
     parallel_decoders = tuple(n for n in available_decoders() if n != "serial")
     for name, default_r in (("table3", 3), ("table4", 4)):
@@ -100,13 +144,14 @@ def build_parser() -> argparse.ArgumentParser:
         )
         t.add_argument("--seed", type=int, default=1)
         t.set_defaults(iblt_r=default_r)
+        _add_sweep_flags(t)
 
     t5 = sub.add_parser("table5", help="subtable peeling subrounds vs n")
     t5.add_argument("--sizes", type=int, nargs="+", default=[10_000, 20_000, 40_000])
     t5.add_argument("--densities", type=float, nargs="+", default=[0.7, 0.75])
     t5.add_argument("--trials", type=int, default=10)
     t5.add_argument("--seed", type=int, default=1)
-    _add_backend_flags(t5)
+    _add_sweep_flags(t5)
 
     t6 = sub.add_parser("table6", help="subtable recurrence vs experiment")
     t6.add_argument("--n", type=int, default=100_000)
@@ -114,12 +159,13 @@ def build_parser() -> argparse.ArgumentParser:
     t6.add_argument("--rounds", type=int, default=7)
     t6.add_argument("--trials", type=int, default=5)
     t6.add_argument("--seed", type=int, default=1)
-    _add_backend_flags(t6)
+    _add_sweep_flags(t6)
 
     f1 = sub.add_parser("figure1", help="beta evolution near the threshold")
     f1.add_argument("--densities", type=float, nargs="+", default=[0.77, 0.772])
     f1.add_argument("--k", type=int, default=2)
     f1.add_argument("--r", type=int, default=4)
+    _add_sweep_flags(f1)
 
     th = sub.add_parser("thresholds", help="print c*_{k,r} and round predictions")
     th.add_argument("--k", type=int, default=2)
@@ -157,7 +203,8 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Time peel/peel_many/IBLT decode for every engine × kernel "
             "combination and write the results to a JSON file "
-            "(BENCH_kernels.json by default)."
+            "(BENCH_kernels.json by default).  --compare diffs against a "
+            "prior run and fails on regressions past --tolerance."
         ),
     )
     add_bench_arguments(bench)
@@ -165,33 +212,39 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_table1(args) -> str:
-    from repro.experiments import format_table1, run_table1
+# --------------------------------------------------------------------- #
+# The generic sweep driver and its per-command spec builders
+# --------------------------------------------------------------------- #
 
-    with get_backend(args.backend, max_workers=args.workers) as backend:
-        rows = run_table1(
-            sizes=args.sizes, densities=args.densities, r=args.r, k=args.k,
-            trials=args.trials, seed=args.seed, backend=backend,
-        )
-    return format_table1(rows)
+def _build_table1(args: argparse.Namespace) -> SweepCommandParts:
+    from repro.experiments import table1 as mod
 
-
-def _run_table2(args) -> str:
-    from repro.experiments import format_table2, run_table2
-
-    with get_backend(args.backend, max_workers=args.workers) as backend:
-        rows = run_table2(
-            n=args.n, c=args.c, rounds=args.rounds, trials=args.trials,
-            seed=args.seed, backend=backend,
-        )
-    return format_table2(rows, c=args.c)
+    spec = mod.table1_spec(
+        sizes=args.sizes, densities=args.densities, r=args.r, k=args.k,
+        trials=args.trials, seed=args.seed,
+    )
+    return spec, mod._table1_trial, mod._table1_aggregate, lambda rows, a: mod.format_table1(rows)
 
 
-def _run_table34(args) -> str:
-    from repro.experiments import format_table34, run_table34
+def _build_table2(args: argparse.Namespace) -> SweepCommandParts:
+    from repro.experiments import table2 as mod
+
+    spec = mod.table2_spec(
+        n=args.n, c=args.c, rounds=args.rounds, trials=args.trials, seed=args.seed
+    )
+    return (
+        spec,
+        mod._table2_trial,
+        mod._table2_aggregate,
+        lambda rows, a: mod.format_table2(rows[0], c=a.c),
+    )
+
+
+def _build_table34(args: argparse.Namespace) -> SweepCommandParts:
+    from repro.experiments import table34 as mod
     from repro.parallel import ParallelMachine
 
-    rows = run_table34(
+    spec = mod.table34_spec(
         args.iblt_r,
         loads=tuple(args.loads),
         num_cells=args.num_cells,
@@ -199,39 +252,74 @@ def _run_table34(args) -> str:
         decoder=args.decoder,
         seed=args.seed,
     )
-    return format_table34(rows)
+    return spec, mod._table34_trial, mod._table34_aggregate, lambda rows, a: mod.format_table34(rows)
 
 
-def _run_table5(args) -> str:
-    from repro.experiments import format_table5, run_table5
+def _build_table5(args: argparse.Namespace) -> SweepCommandParts:
+    from repro.experiments import table5 as mod
 
+    spec = mod.table5_spec(
+        sizes=args.sizes, densities=args.densities, trials=args.trials, seed=args.seed
+    )
+    return spec, mod._table5_trial, mod._table5_aggregate, lambda rows, a: mod.format_table5(rows)
+
+
+def _build_table6(args: argparse.Namespace) -> SweepCommandParts:
+    from repro.experiments import table6 as mod
+
+    spec = mod.table6_spec(
+        n=args.n, c=args.c, rounds=args.rounds, trials=args.trials, seed=args.seed
+    )
+    return (
+        spec,
+        mod._table6_trial,
+        mod._table6_aggregate,
+        lambda rows, a: mod.format_table6(rows[0], c=a.c),
+    )
+
+
+def _build_figure1(args: argparse.Namespace) -> SweepCommandParts:
+    from repro.experiments import figure1 as mod
+
+    spec = mod.figure1_spec(tuple(args.densities), k=args.k, r=args.r)
+    return (
+        spec,
+        mod._figure1_trial,
+        mod._figure1_aggregate,
+        lambda rows, a: mod.format_figure1({s.c: s for s in rows}, k=a.k, r=a.r),
+    )
+
+
+_SWEEP_BUILDERS = {
+    "table1": _build_table1,
+    "table2": _build_table2,
+    "table3": _build_table34,
+    "table4": _build_table34,
+    "table5": _build_table5,
+    "table6": _build_table6,
+    "figure1": _build_figure1,
+}
+
+
+def _run_sweep_command(args: argparse.Namespace) -> str:
+    """Generic driver behind every experiment sub-command."""
+    if args.resume and args.out is None:
+        raise SystemExit("--resume requires --out (the artifact to resume from)")
+    spec, trial, aggregate, render = _SWEEP_BUILDERS[args.command](args)
     with get_backend(args.backend, max_workers=args.workers) as backend:
-        rows = run_table5(
-            sizes=args.sizes, densities=args.densities, trials=args.trials,
-            seed=args.seed, backend=backend,
+        rows = run_sweep(
+            spec,
+            trial,
+            aggregate,
+            backend=backend,
+            out=args.out,
+            resume=args.resume,
+            progress=print_progress if args.progress else None,
         )
-    return format_table5(rows)
+    return render(rows, args)
 
 
-def _run_table6(args) -> str:
-    from repro.experiments import format_table6, run_table6
-
-    with get_backend(args.backend, max_workers=args.workers) as backend:
-        rows = run_table6(
-            n=args.n, c=args.c, rounds=args.rounds, trials=args.trials,
-            seed=args.seed, backend=backend,
-        )
-    return format_table6(rows, c=args.c)
-
-
-def _run_figure1(args) -> str:
-    from repro.experiments import format_figure1, run_figure1
-
-    series = run_figure1(tuple(args.densities), k=args.k, r=args.r)
-    return format_figure1(series, k=args.k, r=args.r)
-
-
-def _run_thresholds(args) -> str:
+def _run_thresholds(args: argparse.Namespace) -> str:
     c_star = peeling_threshold(args.k, args.r)
     lines = [f"c*_{{{args.k},{args.r}}} = {c_star:.6f}"]
     for c in (0.9 * c_star, 0.99 * c_star, 1.01 * c_star, 1.1 * c_star):
@@ -243,7 +331,7 @@ def _run_thresholds(args) -> str:
     return "\n".join(lines)
 
 
-def _run_peel(args) -> str:
+def _run_peel(args: argparse.Namespace) -> str:
     from repro.engine import peel
     from repro.hypergraph import partitioned_hypergraph, random_hypergraph
 
@@ -264,13 +352,7 @@ def _run_peel(args) -> str:
 
 
 _DISPATCH = {
-    "table1": _run_table1,
-    "table2": _run_table2,
-    "table3": _run_table34,
-    "table4": _run_table34,
-    "table5": _run_table5,
-    "table6": _run_table6,
-    "figure1": _run_figure1,
+    **{name: _run_sweep_command for name in _SWEEP_BUILDERS},
     "thresholds": _run_thresholds,
     "peel": _run_peel,
     "bench": run_bench_command,
@@ -281,9 +363,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    output = _DISPATCH[args.command](args)
+    result = _DISPATCH[args.command](args)
+    output, code = result if isinstance(result, tuple) else (result, 0)
     print(output)
-    return 0
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,9 +1,12 @@
 """Experiment harness: one module per table/figure of the paper's evaluation.
 
-Each module exposes a ``run_*`` function producing structured rows and a
-``format_*`` function printing the same layout the paper reports; the
-``benchmarks/`` directory wires them into pytest-benchmark targets and
-EXPERIMENTS.md records the paper-vs-measured comparison.
+Each module declares its parameter grid as a :class:`repro.sweeps.SweepSpec`
+(``*_spec`` builders) and runs it on the :func:`repro.sweeps.run_sweep`
+scheduler, which streams every (cell, trial) task through one execution
+backend and can checkpoint/resume JSON artifacts.  The ``run_*`` functions
+are thin wrappers producing structured rows and the ``format_*`` functions
+print the same layout the paper reports; EXPERIMENTS.md records the
+paper-scale vs. default-scale settings per table.
 """
 
 from repro.experiments.runner import run_trials, summarize, TrialSummary
@@ -14,14 +17,16 @@ from repro.experiments.table1 import (
     format_table1,
     run_table1,
     run_table1_cell,
+    table1_spec,
 )
-from repro.experiments.table2 import Table2Row, format_table2, run_table2
+from repro.experiments.table2 import Table2Row, format_table2, run_table2, table2_spec
 from repro.experiments.table34 import (
     PAPER_LOADS,
     IBLTBenchmarkRow,
     format_table34,
     run_iblt_experiment,
     run_table34,
+    table34_spec,
 )
 from repro.experiments.table5 import (
     PAPER_DENSITIES_T5,
@@ -29,11 +34,13 @@ from repro.experiments.table5 import (
     format_table5,
     run_table5,
     run_table5_cell,
+    table5_spec,
 )
-from repro.experiments.table6 import Table6Row, format_table6, run_table6
+from repro.experiments.table6 import Table6Row, format_table6, run_table6, table6_spec
 from repro.experiments.figure1 import (
     PAPER_FIGURE1_DENSITIES,
     Figure1Series,
+    figure1_spec,
     format_figure1,
     run_figure1,
 )
@@ -48,24 +55,30 @@ __all__ = [
     "format_table1",
     "run_table1",
     "run_table1_cell",
+    "table1_spec",
     "Table2Row",
     "format_table2",
     "run_table2",
+    "table2_spec",
     "PAPER_LOADS",
     "IBLTBenchmarkRow",
     "format_table34",
     "run_iblt_experiment",
     "run_table34",
+    "table34_spec",
     "PAPER_DENSITIES_T5",
     "Table5Row",
     "format_table5",
     "run_table5",
     "run_table5_cell",
+    "table5_spec",
     "Table6Row",
     "format_table6",
     "run_table6",
+    "table6_spec",
     "PAPER_FIGURE1_DENSITIES",
     "Figure1Series",
+    "figure1_spec",
     "format_figure1",
     "run_figure1",
 ]

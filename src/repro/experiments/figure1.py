@@ -6,26 +6,37 @@ edge densities ``c = 0.77`` and ``c = 0.772``, just below the threshold
 lingers near the critical value ``x*`` for ``Θ(sqrt(1/ν))`` rounds before the
 doubly-exponential collapse takes over — the content of Theorem 5.
 
-:func:`run_figure1` produces the per-round β series for any set of densities
-plus the plateau-length analysis; :func:`format_figure1` renders an ASCII
-summary (round counts and plateau sizes), which is the text-mode stand-in for
-the plot.
+The curves are a deterministic one-trial-per-density sweep
+(:func:`figure1_spec`) on the :mod:`repro.sweeps` scheduler, so they share
+the artifact/resume machinery of the stochastic tables.  :func:`run_figure1`
+produces the per-round β series for any set of densities plus the
+plateau-length analysis; :func:`format_figure1` renders an ASCII summary
+(round counts and plateau sizes), which is the text-mode stand-in for the
+plot.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Any, Dict, List, Sequence
 
 import numpy as np
 
 from repro.analysis.recurrences import iterate_recurrence
 from repro.analysis.threshold_gap import GapAnalysis, plateau_length
 from repro.analysis.thresholds import peeling_threshold, threshold_minimizer
+from repro.sweeps import CellSpec, SweepSpec, run_sweep
+from repro.utils.rng import derive_seed
 from repro.utils.tables import Table, format_float
 from repro.utils.validation import check_positive_int
 
-__all__ = ["Figure1Series", "run_figure1", "format_figure1", "PAPER_FIGURE1_DENSITIES"]
+__all__ = [
+    "Figure1Series",
+    "figure1_spec",
+    "run_figure1",
+    "format_figure1",
+    "PAPER_FIGURE1_DENSITIES",
+]
 
 PAPER_FIGURE1_DENSITIES: tuple = (0.77, 0.772)
 """Edge densities plotted in the paper's Figure 1 (k=2, r=4)."""
@@ -58,6 +69,63 @@ class Figure1Series:
     gap: GapAnalysis
 
 
+def _figure1_trial(params: Dict[str, Any], rng: np.random.Generator) -> Figure1Series:
+    # Deterministic: the sweep rng is unused; the cell is fully defined by
+    # its (c, k, r, max_rounds) parameters.
+    c, k, r, max_rounds = params["c"], params["k"], params["r"], params["max_rounds"]
+    c_star = peeling_threshold(k, r)
+    trace = iterate_recurrence(c, k, r, max_rounds)
+    beta = trace.beta
+    below = np.flatnonzero(beta < 1e-12)
+    rounds_to_extinction = int(below[0]) if below.size else max_rounds
+    gap = plateau_length(c, k, r, max_rounds=max_rounds)
+    return Figure1Series(
+        c=float(c),
+        nu=float(c_star - c),
+        beta=beta,
+        rounds_to_extinction=rounds_to_extinction,
+        gap=gap,
+    )
+
+
+def _figure1_aggregate(params: Dict[str, Any], results: List[Figure1Series]) -> Figure1Series:
+    return results[0]
+
+
+def figure1_spec(
+    densities: Sequence[float] = PAPER_FIGURE1_DENSITIES,
+    *,
+    k: int = 2,
+    r: int = 4,
+    max_rounds: int = 2_000,
+) -> SweepSpec:
+    """Declare the Figure 1 curves: one deterministic cell per density."""
+    max_rounds = check_positive_int(max_rounds, "max_rounds")
+    c_star = peeling_threshold(k, r)
+    cells = []
+    for c in densities:
+        if c >= c_star:
+            raise ValueError(
+                f"Figure 1 densities must be below the threshold {c_star:.6f}, got {c}"
+            )
+        cells.append(
+            CellSpec(
+                key=f"c={c:g}",
+                params={
+                    "c": float(c),
+                    "k": int(k),
+                    "r": int(r),
+                    "max_rounds": int(max_rounds),
+                },
+                # The trial is deterministic; a fixed derived seed keeps the
+                # spec fingerprintable and hence resumable.
+                seed=derive_seed(0, "figure1", int(round(c * 100_000))),
+                trials=1,
+            )
+        )
+    return SweepSpec(name="figure1", cells=tuple(cells))
+
+
 def run_figure1(
     densities: Sequence[float] = PAPER_FIGURE1_DENSITIES,
     *,
@@ -66,27 +134,9 @@ def run_figure1(
     max_rounds: int = 2_000,
 ) -> Dict[float, Figure1Series]:
     """Iterate the idealized β-recurrence for each density in ``densities``."""
-    max_rounds = check_positive_int(max_rounds, "max_rounds")
-    c_star = peeling_threshold(k, r)
-    series: Dict[float, Figure1Series] = {}
-    for c in densities:
-        if c >= c_star:
-            raise ValueError(
-                f"Figure 1 densities must be below the threshold {c_star:.6f}, got {c}"
-            )
-        trace = iterate_recurrence(c, k, r, max_rounds)
-        beta = trace.beta
-        below = np.flatnonzero(beta < 1e-12)
-        rounds_to_extinction = int(below[0]) if below.size else max_rounds
-        gap = plateau_length(c, k, r, max_rounds=max_rounds)
-        series[float(c)] = Figure1Series(
-            c=float(c),
-            nu=float(c_star - c),
-            beta=beta,
-            rounds_to_extinction=rounds_to_extinction,
-            gap=gap,
-        )
-    return series
+    spec = figure1_spec(densities, k=k, r=r, max_rounds=max_rounds)
+    rows = run_sweep(spec, _figure1_trial, _figure1_aggregate)
+    return {series.c: series for series in rows}
 
 
 def format_figure1(series: Dict[float, Figure1Series], *, k: int = 2, r: int = 4) -> str:

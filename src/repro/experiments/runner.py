@@ -1,20 +1,23 @@
-"""Shared trial-running machinery for the experiment harness.
+"""Shared trial-running machinery for one-off experiment cells.
 
-Every experiment in the paper averages a statistic over independent trials.
-:func:`run_trials` owns the plumbing: it derives one independent RNG per
-trial (so results are reproducible and order-independent), dispatches the
-trials on an execution backend, and returns the per-trial results in order.
+Grid-shaped experiments declare a :class:`repro.sweeps.SweepSpec` and run on
+the :func:`repro.sweeps.run_sweep` scheduler; :func:`run_trials` is the
+single-cell convenience for ad-hoc repetitions ("run this trial N times with
+independent RNGs") and is itself a one-cell sweep, so both paths share the
+same seed-spawning and backend-dispatch code.
 """
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, TypeVar, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar, Union
 
 import numpy as np
 
-from repro.parallel.backend import ExecutionBackend, get_backend
-from repro.utils.rng import SeedLike, spawn_rngs
+from repro.parallel.backend import ExecutionBackend
+from repro.sweeps import CellSpec, SweepSpec, run_sweep
+from repro.utils.rng import SeedLike
 from repro.utils.validation import check_positive_int
 
 __all__ = ["run_trials", "TrialSummary", "summarize", "BackendLike"]
@@ -23,6 +26,13 @@ R = TypeVar("R")
 
 BackendLike = Union[str, ExecutionBackend]
 """A backend name (resolved via :func:`repro.parallel.get_backend`) or instance."""
+
+
+def _trial_adapter(
+    trial: Callable[[np.random.Generator], R], params: Dict[str, Any], rng: np.random.Generator
+) -> R:
+    # Module-level so process-pool backends can pickle the task stream.
+    return trial(rng)
 
 
 def run_trials(
@@ -54,14 +64,17 @@ def run_trials(
         Worker count for named pool backends (ignored otherwise).
     """
     num_trials = check_positive_int(num_trials, "num_trials")
-    rngs = spawn_rngs(seed, num_trials)
-    owned = backend is None or isinstance(backend, str)
-    resolved = get_backend(backend or "serial", max_workers=max_workers) if owned else backend
-    try:
-        return resolved.map(trial, rngs)
-    finally:
-        if owned:
-            resolved.close()
+    spec = SweepSpec(
+        name="trials",
+        cells=(CellSpec(key="trials", params={}, seed=seed, trials=num_trials),),
+    )
+    return run_sweep(
+        spec,
+        functools.partial(_trial_adapter, trial),
+        lambda params, results: results,
+        backend=backend,
+        max_workers=max_workers,
+    )[0]
 
 
 @dataclass(frozen=True)

@@ -7,21 +7,23 @@ failed trials (non-empty 2-core) and the average number of rounds.  Below the
 threshold (``c*_{2,4} ≈ 0.772``) the rounds grow like ``log log n`` (barely
 at all); above it they grow linearly in ``log n``.
 
-:func:`run_table1` reproduces the sweep at configurable scale;
-:func:`format_table1` prints the same layout as the paper.
+The sweep is declared by :func:`table1_spec` and executed on the
+:mod:`repro.sweeps` scheduler; :func:`run_table1` reproduces it at
+configurable scale and :func:`format_table1` prints the same layout as the
+paper.
 """
 
 from __future__ import annotations
 
-import functools
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.engine import PeelingConfig, PeelingEngine
-from repro.experiments.runner import BackendLike, run_trials
+from repro.engine import PeelingConfig
+from repro.experiments.runner import BackendLike
 from repro.hypergraph.generators import random_hypergraph
+from repro.sweeps import CellSpec, SweepSpec, run_sweep
 from repro.utils.rng import SeedLike, derive_seed
 from repro.utils.tables import Table, format_float, format_int
 from repro.utils.validation import check_positive_int
@@ -30,6 +32,7 @@ __all__ = [
     "PAPER_DENSITIES",
     "PAPER_SIZES",
     "Table1Row",
+    "table1_spec",
     "run_table1_cell",
     "run_table1",
     "format_table1",
@@ -80,13 +83,63 @@ class Table1Row:
     std_rounds: float
 
 
-def _table1_trial(
-    peeler: PeelingEngine, n: int, c: float, r: int, rng: np.random.Generator
-) -> Tuple[int, bool]:
-    # Module-level so process-pool backends can pickle the trial.
-    graph = random_hypergraph(n, c, r, seed=rng)
+def _table1_trial(params: Dict[str, Any], rng: np.random.Generator) -> Tuple[int, bool]:
+    # Module-level so process-pool backends can pickle the task stream.
+    peeler = PeelingConfig(
+        engine="parallel", k=params["k"], update="full", track_stats=False
+    ).build()
+    graph = random_hypergraph(params["n"], params["c"], params["r"], seed=rng)
     result = peeler.peel(graph)
     return (result.num_rounds, result.success)
+
+
+def _table1_aggregate(params: Dict[str, Any], results: List[Tuple[int, bool]]) -> Table1Row:
+    rounds = np.array([row[0] for row in results], dtype=float)
+    failed = sum(1 for row in results if not row[1])
+    return Table1Row(
+        n=params["n"],
+        c=params["c"],
+        r=params["r"],
+        k=params["k"],
+        trials=len(results),
+        failed=failed,
+        avg_rounds=float(rounds.mean()),
+        std_rounds=float(rounds.std(ddof=0)),
+    )
+
+
+def _table1_cell_spec(
+    n: int, c: float, *, r: int, k: int, trials: int, seed: SeedLike
+) -> CellSpec:
+    n = check_positive_int(n, "n")
+    trials = check_positive_int(trials, "trials")
+    return CellSpec(
+        key=f"c={c:g}/n={n}",
+        params={"n": int(n), "c": float(c), "r": int(r), "k": int(k)},
+        seed=seed,
+        trials=trials,
+    )
+
+
+def table1_spec(
+    sizes: Sequence[int] = (10_000, 20_000, 40_000, 80_000),
+    densities: Sequence[float] = PAPER_DENSITIES,
+    *,
+    r: int = 4,
+    k: int = 2,
+    trials: int = 25,
+    seed: SeedLike = 0,
+) -> SweepSpec:
+    """Declare the Table 1 grid: one cell per (c, n), seeded per cell."""
+    cells = [
+        _table1_cell_spec(
+            n, c, r=r, k=k, trials=trials,
+            seed=derive_seed(seed, "table1", int(round(c * 1000)), n),
+        )
+        for c in densities
+        for n in sizes
+    ]
+    return SweepSpec(name="table1", cells=tuple(cells))
 
 
 def run_table1_cell(
@@ -100,25 +153,9 @@ def run_table1_cell(
     backend: Optional[BackendLike] = None,
 ) -> Table1Row:
     """Run the trials for a single (n, c) cell of Table 1."""
-    n = check_positive_int(n, "n")
-    trials = check_positive_int(trials, "trials")
-    peeler = PeelingConfig(engine="parallel", k=k, update="full", track_stats=False).build()
-
-    results = run_trials(
-        functools.partial(_table1_trial, peeler, n, c, r), trials, seed=seed, backend=backend
-    )
-    rounds = np.array([row[0] for row in results], dtype=float)
-    failed = sum(1 for row in results if not row[1])
-    return Table1Row(
-        n=n,
-        c=float(c),
-        r=r,
-        k=k,
-        trials=trials,
-        failed=failed,
-        avg_rounds=float(rounds.mean()),
-        std_rounds=float(rounds.std(ddof=0)),
-    )
+    cell = _table1_cell_spec(n, c, r=r, k=k, trials=trials, seed=seed)
+    spec = SweepSpec(name="table1-cell", cells=(cell,))
+    return run_sweep(spec, _table1_trial, _table1_aggregate, backend=backend)[0]
 
 
 def run_table1(
@@ -135,18 +172,10 @@ def run_table1(
 
     Defaults are scaled down from the paper (25 trials, n up to 80k) so the
     sweep completes in seconds; pass ``sizes=PAPER_SIZES, trials=1000`` to run
-    at paper scale.
+    at paper scale (see EXPERIMENTS.md).
     """
-    rows: List[Table1Row] = []
-    for c in densities:
-        for n in sizes:
-            cell_seed = derive_seed(seed, "table1", int(round(c * 1000)), n)
-            rows.append(
-                run_table1_cell(
-                    n, c, r=r, k=k, trials=trials, seed=cell_seed, backend=backend
-                )
-            )
-    return rows
+    spec = table1_spec(sizes, densities, r=r, k=k, trials=trials, seed=seed)
+    return run_sweep(spec, _table1_trial, _table1_aggregate, backend=backend)
 
 
 def format_table1(rows: Sequence[Table1Row]) -> str:

@@ -6,27 +6,28 @@ The paper iterates the recurrence of Equation (3.1) and compares
 ``c ∈ {0.7, 0.85}`` (below and above the threshold).  The match is striking:
 relative error around ``10^{-3}`` every round.
 
-:func:`run_table2` reproduces both columns; :func:`format_table2` prints the
-paper's layout.
+The comparison is a one-cell sweep (:func:`table2_spec`) on the
+:mod:`repro.sweeps` scheduler; :func:`run_table2` reproduces both columns
+and :func:`format_table2` prints the paper's layout.
 """
 
 from __future__ import annotations
 
-import functools
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.recurrences import predicted_survivors
-from repro.engine import PeelingConfig, PeelingEngine
-from repro.experiments.runner import BackendLike, run_trials
+from repro.engine import PeelingConfig
+from repro.experiments.runner import BackendLike
 from repro.hypergraph.generators import random_hypergraph
+from repro.sweeps import CellSpec, SweepSpec, run_sweep
 from repro.utils.rng import SeedLike
 from repro.utils.tables import Table, format_float, format_int
 from repro.utils.validation import check_positive_int
 
-__all__ = ["Table2Row", "run_table2", "format_table2"]
+__all__ = ["Table2Row", "table2_spec", "run_table2", "format_table2"]
 
 
 @dataclass(frozen=True)
@@ -55,15 +56,57 @@ class Table2Row:
         return abs(self.prediction - self.experiment) / max(self.experiment, 1.0)
 
 
-def _table2_trial(
-    peeler: PeelingEngine, n: int, c: float, r: int, rounds: int, rng: np.random.Generator
-) -> np.ndarray:
-    # Module-level so process-pool backends can pickle the trial.
-    graph = random_hypergraph(n, c, r, seed=rng)
+def _table2_trial(params: Dict[str, Any], rng: np.random.Generator) -> np.ndarray:
+    # Module-level so process-pool backends can pickle the task stream.
+    peeler = PeelingConfig(
+        engine="parallel", k=params["k"], update="full", track_stats=True
+    ).build()
+    graph = random_hypergraph(params["n"], params["c"], params["r"], seed=rng)
     result = peeler.peel(graph)
     return np.array(
-        [result.survivors_after_round(t) for t in range(1, rounds + 1)], dtype=float
+        [result.survivors_after_round(t) for t in range(1, params["rounds"] + 1)],
+        dtype=float,
     )
+
+
+def _table2_aggregate(params: Dict[str, Any], results: List[np.ndarray]) -> List[Table2Row]:
+    measured = np.mean(results, axis=0)
+    predicted = predicted_survivors(
+        params["n"], params["c"], params["k"], params["r"], params["rounds"]
+    )
+    return [
+        Table2Row(t=t, prediction=float(predicted[t - 1]), experiment=float(measured[t - 1]))
+        for t in range(1, params["rounds"] + 1)
+    ]
+
+
+def table2_spec(
+    n: int = 100_000,
+    c: float = 0.7,
+    *,
+    r: int = 4,
+    k: int = 2,
+    rounds: int = 20,
+    trials: int = 10,
+    seed: SeedLike = 0,
+) -> SweepSpec:
+    """Declare the Table 2 comparison as a one-cell sweep."""
+    n = check_positive_int(n, "n")
+    rounds = check_positive_int(rounds, "rounds")
+    trials = check_positive_int(trials, "trials")
+    cell = CellSpec(
+        key=f"c={c:g}/n={n}",
+        params={
+            "n": int(n),
+            "c": float(c),
+            "r": int(r),
+            "k": int(k),
+            "rounds": int(rounds),
+        },
+        seed=seed,
+        trials=trials,
+    )
+    return SweepSpec(name="table2", cells=(cell,))
 
 
 def run_table2(
@@ -83,25 +126,8 @@ def run_table2(
     1000 trials); the comparison concentrates so sharply that the smaller
     scale reproduces the same relative accuracy.
     """
-    n = check_positive_int(n, "n")
-    rounds = check_positive_int(rounds, "rounds")
-    trials = check_positive_int(trials, "trials")
-    peeler = PeelingConfig(engine="parallel", k=k, update="full", track_stats=True).build()
-
-    measured = np.mean(
-        run_trials(
-            functools.partial(_table2_trial, peeler, n, c, r, rounds),
-            trials,
-            seed=seed,
-            backend=backend,
-        ),
-        axis=0,
-    )
-    predicted = predicted_survivors(n, c, k, r, rounds)
-    return [
-        Table2Row(t=t, prediction=float(predicted[t - 1]), experiment=float(measured[t - 1]))
-        for t in range(1, rounds + 1)
-    ]
+    spec = table2_spec(n, c, r=r, k=k, rounds=rounds, trials=trials, seed=seed)
+    return run_sweep(spec, _table2_trial, _table2_aggregate, backend=backend)[0]
 
 
 def format_table2(rows: Sequence[Table2Row], *, c: Optional[float] = None) -> str:

@@ -17,20 +17,29 @@ insertion speedups are load-independent — is reproduced.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.apps.sparse_recovery import random_distinct_keys
 from repro.iblt.iblt import IBLT
-from repro.parallel.machine import ParallelMachine, SimulatedTiming
+from repro.parallel.machine import CostModel, ParallelMachine, SimulatedTiming
+from repro.sweeps import CellSpec, SweepSpec, run_sweep
 from repro.utils.rng import SeedLike, derive_seed
 from repro.utils.tables import Table, format_float
 from repro.utils.validation import check_positive_float, check_positive_int
 
-__all__ = ["PAPER_LOADS", "IBLTBenchmarkRow", "run_iblt_experiment", "run_table34", "format_table34"]
+__all__ = [
+    "PAPER_LOADS",
+    "IBLTBenchmarkRow",
+    "run_iblt_experiment",
+    "table34_spec",
+    "run_table34",
+    "format_table34",
+]
 
 PAPER_LOADS: tuple = (0.75, 0.83)
 """Table loads used in the paper's Tables 3 and 4."""
@@ -191,6 +200,68 @@ def run_iblt_experiment(
     )
 
 
+def _table34_trial(params: Dict[str, Any], rng: np.random.Generator) -> IBLTBenchmarkRow:
+    # Module-level so process-pool backends can pickle the task stream.  Each
+    # cell is one deterministic run keyed by its derived seed; the sweep rng
+    # is unused.  The simulated machine is rebuilt from the cell parameters.
+    machine = ParallelMachine(
+        num_threads=params["num_threads"], cost_model=CostModel(**params["cost_model"])
+    )
+    return run_iblt_experiment(
+        params["r"],
+        params["load"],
+        num_cells=params["num_cells"],
+        machine=machine,
+        decoder=params["decoder"],
+        seed=params["seed"],
+    )
+
+
+def _table34_aggregate(
+    params: Dict[str, Any], results: List[IBLTBenchmarkRow]
+) -> IBLTBenchmarkRow:
+    return results[0]
+
+
+def table34_spec(
+    r: int,
+    *,
+    loads: Sequence[float] = PAPER_LOADS,
+    num_cells: int = 30_000,
+    machine: Optional[ParallelMachine] = None,
+    decoder: str = "subtable",
+    seed: SeedLike = 0,
+) -> SweepSpec:
+    """Declare the Table 3/4 load sweep: one single-trial cell per load.
+
+    The cell parameters embed everything the trial needs to rebuild the
+    simulated machine, so the spec is self-contained and fingerprintable.
+    """
+    r = check_positive_int(r, "r")
+    _check_parallel_decoder(decoder)
+    machine = machine if machine is not None else ParallelMachine()
+    cells = []
+    for load in loads:
+        row_seed = derive_seed(seed, "row", int(load * 100))
+        cells.append(
+            CellSpec(
+                key=f"load={load:g}",
+                params={
+                    "r": int(r),
+                    "load": float(load),
+                    "num_cells": int(num_cells),
+                    "decoder": str(decoder),
+                    "seed": row_seed,
+                    "num_threads": int(machine.num_threads),
+                    "cost_model": dataclasses.asdict(machine.cost_model),
+                },
+                seed=row_seed,
+                trials=1,
+            )
+        )
+    return SweepSpec(name=f"table{'3' if r == 3 else '4'}", cells=tuple(cells))
+
+
 def run_table34(
     r: int,
     *,
@@ -201,17 +272,10 @@ def run_table34(
     seed: SeedLike = 0,
 ) -> List[IBLTBenchmarkRow]:
     """Run all loads for one value of ``r`` (Table 3 uses r=3, Table 4 r=4)."""
-    return [
-        run_iblt_experiment(
-            r,
-            load,
-            num_cells=num_cells,
-            machine=machine,
-            decoder=decoder,
-            seed=derive_seed(seed, "row", int(load * 100)),
-        )
-        for load in loads
-    ]
+    spec = table34_spec(
+        r, loads=loads, num_cells=num_cells, machine=machine, decoder=decoder, seed=seed
+    )
+    return run_sweep(spec, _table34_trial, _table34_aggregate)
 
 
 def format_table34(rows: Sequence[IBLTBenchmarkRow]) -> str:

@@ -6,24 +6,34 @@ The paper repeats the Table 1 sweep for the subtable peeling variant
 observation: the subround count is only about 2× the plain-peeling round
 count of Table 1, far less than the naive factor ``r = 4``, matching the
 Fibonacci-exponential analysis of Theorem 7.
+
+The grid is declared by :func:`table5_spec` and executed on the
+:mod:`repro.sweeps` scheduler.
 """
 
 from __future__ import annotations
 
-import functools
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.engine import PeelingConfig, PeelingEngine
-from repro.experiments.runner import BackendLike, run_trials
+from repro.engine import PeelingConfig
+from repro.experiments.runner import BackendLike
 from repro.hypergraph.generators import partitioned_hypergraph
+from repro.sweeps import CellSpec, SweepSpec, run_sweep
 from repro.utils.rng import SeedLike, derive_seed
 from repro.utils.tables import Table, format_float, format_int
 from repro.utils.validation import check_positive_int
 
-__all__ = ["PAPER_DENSITIES_T5", "Table5Row", "run_table5_cell", "run_table5", "format_table5"]
+__all__ = [
+    "PAPER_DENSITIES_T5",
+    "Table5Row",
+    "table5_spec",
+    "run_table5_cell",
+    "run_table5",
+    "format_table5",
+]
 
 PAPER_DENSITIES_T5: tuple = (0.7, 0.75)
 """Edge densities used in the paper's Table 5 (both below the threshold)."""
@@ -57,13 +67,69 @@ class Table5Row:
     avg_rounds: float
 
 
-def _table5_trial(
-    peeler: PeelingEngine, n: int, c: float, r: int, rng: np.random.Generator
-) -> Tuple[int, int, bool]:
-    # Module-level so process-pool backends can pickle the trial.
-    graph = partitioned_hypergraph(n, c, r, seed=rng)
+def _table5_trial(params: Dict[str, Any], rng: np.random.Generator) -> Tuple[int, int, bool]:
+    # Module-level so process-pool backends can pickle the task stream.
+    peeler = PeelingConfig(engine="subtable", k=params["k"], track_stats=False).build()
+    graph = partitioned_hypergraph(params["n"], params["c"], params["r"], seed=rng)
     result = peeler.peel(graph)
     return (result.num_subrounds, result.num_rounds, result.success)
+
+
+def _table5_aggregate(
+    params: Dict[str, Any], results: List[Tuple[int, int, bool]]
+) -> Table5Row:
+    subrounds = np.array([row[0] for row in results], dtype=float)
+    rounds = np.array([row[1] for row in results], dtype=float)
+    failed = sum(1 for row in results if not row[2])
+    return Table5Row(
+        n=params["n"],
+        c=params["c"],
+        r=params["r"],
+        k=params["k"],
+        trials=len(results),
+        failed=failed,
+        avg_subrounds=float(subrounds.mean()),
+        avg_rounds=float(rounds.mean()),
+    )
+
+
+def _table5_cell_spec(
+    n: int, c: float, *, r: int, k: int, trials: int, seed: SeedLike
+) -> CellSpec:
+    n = check_positive_int(n, "n")
+    trials = check_positive_int(trials, "trials")
+    # Key on the *requested* n: distinct sizes that round to the same
+    # multiple of r must stay distinct cells (they get distinct seeds).
+    key = f"c={c:g}/n={n}"
+    if n % r != 0:
+        n += r - (n % r)  # the subtable layout needs r equal partitions
+    return CellSpec(
+        key=key,
+        params={"n": int(n), "c": float(c), "r": int(r), "k": int(k)},
+        seed=seed,
+        trials=trials,
+    )
+
+
+def table5_spec(
+    sizes: Sequence[int] = (10_000, 20_000, 40_000, 80_000),
+    densities: Sequence[float] = PAPER_DENSITIES_T5,
+    *,
+    r: int = 4,
+    k: int = 2,
+    trials: int = 25,
+    seed: SeedLike = 0,
+) -> SweepSpec:
+    """Declare the Table 5 grid: one cell per (c, n), seeded per cell."""
+    cells = [
+        _table5_cell_spec(
+            n, c, r=r, k=k, trials=trials,
+            seed=derive_seed(seed, "table5", int(round(c * 1000)), n),
+        )
+        for c in densities
+        for n in sizes
+    ]
+    return SweepSpec(name="table5", cells=tuple(cells))
 
 
 def run_table5_cell(
@@ -77,28 +143,9 @@ def run_table5_cell(
     backend: Optional[BackendLike] = None,
 ) -> Table5Row:
     """Run the trials for one (n, c) cell of Table 5."""
-    n = check_positive_int(n, "n")
-    trials = check_positive_int(trials, "trials")
-    if n % r != 0:
-        n += r - (n % r)
-    peeler = PeelingConfig(engine="subtable", k=k, track_stats=False).build()
-
-    results = run_trials(
-        functools.partial(_table5_trial, peeler, n, c, r), trials, seed=seed, backend=backend
-    )
-    subrounds = np.array([row[0] for row in results], dtype=float)
-    rounds = np.array([row[1] for row in results], dtype=float)
-    failed = sum(1 for row in results if not row[2])
-    return Table5Row(
-        n=n,
-        c=float(c),
-        r=r,
-        k=k,
-        trials=trials,
-        failed=failed,
-        avg_subrounds=float(subrounds.mean()),
-        avg_rounds=float(rounds.mean()),
-    )
+    cell = _table5_cell_spec(n, c, r=r, k=k, trials=trials, seed=seed)
+    spec = SweepSpec(name="table5-cell", cells=(cell,))
+    return run_sweep(spec, _table5_trial, _table5_aggregate, backend=backend)[0]
 
 
 def run_table5(
@@ -112,14 +159,8 @@ def run_table5(
     backend: Optional[BackendLike] = None,
 ) -> List[Table5Row]:
     """Run the Table 5 sweep (defaults scaled down; see Table 1 notes)."""
-    rows: List[Table5Row] = []
-    for c in densities:
-        for n in sizes:
-            cell_seed = derive_seed(seed, "table5", int(round(c * 1000)), n)
-            rows.append(
-                run_table5_cell(n, c, r=r, k=k, trials=trials, seed=cell_seed, backend=backend)
-            )
-    return rows
+    spec = table5_spec(sizes, densities, r=r, k=k, trials=trials, seed=seed)
+    return run_sweep(spec, _table5_trial, _table5_aggregate, backend=backend)
 
 
 def format_table5(rows: Sequence[Table5Row]) -> str:

@@ -4,25 +4,28 @@ The analogue of Table 2 for subtable peeling: the recurrence of Equation
 (B.1) predicts the number of vertices left after peeling the j-th subtable in
 the i-th round, and the paper shows it matches simulation (r=4, k=2, n=10^6,
 c=0.7) to within a handful of vertices per million.
+
+The comparison is a one-cell sweep (:func:`table6_spec`) on the
+:mod:`repro.sweeps` scheduler.
 """
 
 from __future__ import annotations
 
-import functools
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.recurrences import predicted_subtable_survivors
-from repro.engine import PeelingConfig, PeelingEngine
-from repro.experiments.runner import BackendLike, run_trials
+from repro.engine import PeelingConfig
+from repro.experiments.runner import BackendLike
 from repro.hypergraph.generators import partitioned_hypergraph
+from repro.sweeps import CellSpec, SweepSpec, run_sweep
 from repro.utils.rng import SeedLike
 from repro.utils.tables import Table, format_float, format_int
 from repro.utils.validation import check_positive_int
 
-__all__ = ["Table6Row", "run_table6", "format_table6"]
+__all__ = ["Table6Row", "table6_spec", "run_table6", "format_table6"]
 
 
 @dataclass(frozen=True)
@@ -52,17 +55,69 @@ class Table6Row:
         return abs(self.prediction - self.experiment) / max(self.experiment, 1.0)
 
 
-def _table6_trial(
-    peeler: PeelingEngine, n: int, c: float, r: int, total_subrounds: int, rng: np.random.Generator
-) -> np.ndarray:
-    # Module-level so process-pool backends can pickle the trial.
-    graph = partitioned_hypergraph(n, c, r, seed=rng)
+def _table6_trial(params: Dict[str, Any], rng: np.random.Generator) -> np.ndarray:
+    # Module-level so process-pool backends can pickle the task stream.
+    peeler = PeelingConfig(engine="subtable", k=params["k"], track_stats=True).build()
+    graph = partitioned_hypergraph(params["n"], params["c"], params["r"], seed=rng)
     result = peeler.peel(graph)
+    total_subrounds = params["rounds"] * params["r"]
     remaining = [s.vertices_remaining for s in result.round_stats]
     if len(remaining) < total_subrounds:
-        tail = remaining[-1] if remaining else n
+        tail = remaining[-1] if remaining else params["n"]
         remaining = remaining + [tail] * (total_subrounds - len(remaining))
     return np.asarray(remaining[:total_subrounds], dtype=float)
+
+
+def _table6_aggregate(params: Dict[str, Any], results: List[np.ndarray]) -> List[Table6Row]:
+    n, c, k, r, rounds = (
+        params["n"], params["c"], params["k"], params["r"], params["rounds"],
+    )
+    measured = np.mean(results, axis=0)
+    predicted = predicted_subtable_survivors(n, c, k, r, rounds)  # (rounds, r)
+    rows: List[Table6Row] = []
+    for i in range(1, rounds + 1):
+        for j in range(1, r + 1):
+            subround_index = (i - 1) * r + (j - 1)
+            rows.append(
+                Table6Row(
+                    round_index=i,
+                    subtable=j,
+                    prediction=float(predicted[i - 1, j - 1]),
+                    experiment=float(measured[subround_index]),
+                )
+            )
+    return rows
+
+
+def table6_spec(
+    n: int = 100_000,
+    c: float = 0.7,
+    *,
+    r: int = 4,
+    k: int = 2,
+    rounds: int = 7,
+    trials: int = 10,
+    seed: SeedLike = 0,
+) -> SweepSpec:
+    """Declare the Table 6 comparison as a one-cell sweep."""
+    n = check_positive_int(n, "n")
+    rounds = check_positive_int(rounds, "rounds")
+    trials = check_positive_int(trials, "trials")
+    if n % r != 0:
+        n += r - (n % r)  # the subtable layout needs r equal partitions
+    cell = CellSpec(
+        key=f"c={c:g}/n={n}",
+        params={
+            "n": int(n),
+            "c": float(c),
+            "r": int(r),
+            "k": int(k),
+            "rounds": int(rounds),
+        },
+        seed=seed,
+        trials=trials,
+    )
+    return SweepSpec(name="table6", cells=(cell,))
 
 
 def run_table6(
@@ -81,37 +136,8 @@ def run_table6(
     Defaults use ``n = 10^5`` and 10 trials (the paper uses ``n = 10^6`` and
     1000 trials).
     """
-    n = check_positive_int(n, "n")
-    rounds = check_positive_int(rounds, "rounds")
-    trials = check_positive_int(trials, "trials")
-    if n % r != 0:
-        n += r - (n % r)
-    peeler = PeelingConfig(engine="subtable", k=k, track_stats=True).build()
-    total_subrounds = rounds * r
-
-    measured = np.mean(
-        run_trials(
-            functools.partial(_table6_trial, peeler, n, c, r, total_subrounds),
-            trials,
-            seed=seed,
-            backend=backend,
-        ),
-        axis=0,
-    )
-    predicted = predicted_subtable_survivors(n, c, k, r, rounds)  # (rounds, r)
-    rows: List[Table6Row] = []
-    for i in range(1, rounds + 1):
-        for j in range(1, r + 1):
-            subround_index = (i - 1) * r + (j - 1)
-            rows.append(
-                Table6Row(
-                    round_index=i,
-                    subtable=j,
-                    prediction=float(predicted[i - 1, j - 1]),
-                    experiment=float(measured[subround_index]),
-                )
-            )
-    return rows
+    spec = table6_spec(n, c, r=r, k=k, rounds=rounds, trials=trials, seed=seed)
+    return run_sweep(spec, _table6_trial, _table6_aggregate, backend=backend)[0]
 
 
 def format_table6(rows: Sequence[Table6Row], *, c: Optional[float] = None) -> str:

@@ -24,8 +24,8 @@ from __future__ import annotations
 
 import inspect
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar, Union
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, TypeVar, Union
 
 from repro.utils.registry import Registry
 from repro.utils.validation import check_positive_int
@@ -54,6 +54,18 @@ class ExecutionBackend:
         """Apply ``fn`` to every item and return results in input order."""
         raise NotImplementedError
 
+    def imap_unordered(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[Tuple[int, R]]:
+        """Yield ``(input_index, result)`` pairs as results become available.
+
+        Completion order is backend-dependent; the index identifies the input
+        item.  The sweep scheduler consumes this to aggregate and checkpoint
+        cells as soon as their trials finish.  The default delegates to
+        :meth:`map` (correct for any backend, but yields only after every
+        item is done); the built-in backends override it to stream.
+        """
+        for index, result in enumerate(self.map(fn, items)):
+            yield index, result
+
     def close(self) -> None:
         """Release any resources held by the backend (no-op by default)."""
 
@@ -71,6 +83,28 @@ class SerialBackend(ExecutionBackend):
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         return [fn(item) for item in items]
+
+    def imap_unordered(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[Tuple[int, R]]:
+        for index, item in enumerate(items):
+            yield index, fn(item)
+
+
+def _stream_completions(
+    executor: Executor, fn: Callable[[T], R], items: Sequence[T]
+) -> Iterator[Tuple[int, R]]:
+    """Submit every item at once and yield ``(index, result)`` as completed.
+
+    Submitting the whole stream up front is what lets a sweep keep every
+    worker busy across cell boundaries.  On a failure the pending futures are
+    cancelled before the exception propagates.
+    """
+    futures = {executor.submit(fn, item): index for index, item in enumerate(items)}
+    try:
+        for future in as_completed(futures):
+            yield futures[future], future.result()
+    finally:
+        for future in futures:
+            future.cancel()
 
 
 class ThreadPoolBackend(ExecutionBackend):
@@ -96,6 +130,9 @@ class ThreadPoolBackend(ExecutionBackend):
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         executor = self._ensure_executor()
         return list(executor.map(fn, items))
+
+    def imap_unordered(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[Tuple[int, R]]:
+        yield from _stream_completions(self._ensure_executor(), fn, items)
 
     def close(self) -> None:
         if self._executor is not None:
@@ -133,6 +170,9 @@ class ProcessPoolBackend(ExecutionBackend):
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         executor = self._ensure_executor()
         return list(executor.map(fn, items))
+
+    def imap_unordered(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[Tuple[int, R]]:
+        yield from _stream_completions(self._ensure_executor(), fn, items)
 
     def close(self) -> None:
         if self._executor is not None:

@@ -1,0 +1,42 @@
+"""Declarative sweep layer: spec → scheduler → artifact.
+
+Every piece of evidence in the paper is sweep-shaped — a parameter grid, a
+number of independent trials per cell, and one aggregated row per cell.
+This package owns that shape once, for all experiments and benchmarks:
+
+* :class:`SweepSpec` / :class:`CellSpec` — the declarative grid, with
+  cell-keyed deterministic seeds and a SHA-256 fingerprint,
+* :func:`run_sweep` — grid-level scheduling: the whole grid becomes one
+  task stream over an execution backend, with streaming per-cell
+  aggregation,
+* :class:`SweepArtifact` — durable JSON results with per-cell checkpointing
+  and fingerprint-checked resume.
+
+See the experiment modules (:mod:`repro.experiments`) and the benchmark
+harness (:mod:`repro.bench`) for the spec builders riding on this layer.
+"""
+
+from repro.sweeps.artifact import ARTIFACT_FORMAT, SweepArtifact, SweepSpecMismatch
+from repro.sweeps.scheduler import (
+    AggregateFn,
+    ProgressFn,
+    SweepProgress,
+    TrialFn,
+    print_progress,
+    run_sweep,
+)
+from repro.sweeps.spec import CellSpec, SweepSpec
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "SweepArtifact",
+    "SweepSpecMismatch",
+    "SweepSpec",
+    "CellSpec",
+    "run_sweep",
+    "SweepProgress",
+    "print_progress",
+    "TrialFn",
+    "AggregateFn",
+    "ProgressFn",
+]

@@ -1,0 +1,129 @@
+"""JSON sweep artifacts: durable, resumable sweep results.
+
+A :class:`SweepArtifact` binds three things together in one JSON file:
+
+* the **spec** it was produced by (canonical dict + SHA-256 fingerprint),
+* the **rows** aggregated so far, keyed by cell key,
+* **env** metadata (package/python/numpy versions, machine, timestamp).
+
+The scheduler checkpoints the artifact after every completed cell (atomic
+write via a temp file + ``os.replace``), so a sweep killed at cell 30 of 36
+keeps its first 29 rows.  ``load`` + :meth:`matches`/:meth:`require_spec`
+implement resume: rows are only ever reused under an identical fingerprint
+— any change to the grid, trial counts or seeds produces a different
+fingerprint and a :class:`SweepSpecMismatch`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro._version import __version__
+from repro.sweeps.codec import decode, encode
+from repro.sweeps.spec import SweepSpec
+
+__all__ = ["SweepArtifact", "SweepSpecMismatch", "ARTIFACT_FORMAT"]
+
+ARTIFACT_FORMAT = "repro-sweep-artifact-v1"
+"""Format tag written into every artifact file."""
+
+
+class SweepSpecMismatch(ValueError):
+    """An artifact's spec fingerprint does not match the requested sweep."""
+
+
+def _env_metadata() -> Dict[str, Any]:
+    return {
+        "version": __version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+
+
+@dataclass
+class SweepArtifact:
+    """In-memory form of one artifact file (see module docstring).
+
+    Attributes
+    ----------
+    spec_dict:
+        Canonical dict form of the producing :class:`SweepSpec`.
+    fingerprint:
+        The spec's SHA-256 fingerprint.
+    rows:
+        Aggregated rows keyed by cell key (decoded Python objects).
+    env:
+        Environment metadata captured when the artifact was first created.
+    """
+
+    spec_dict: Dict[str, Any]
+    fingerprint: str
+    rows: Dict[str, Any] = field(default_factory=dict)
+    env: Dict[str, Any] = field(default_factory=_env_metadata)
+
+    @classmethod
+    def for_spec(cls, spec: SweepSpec) -> "SweepArtifact":
+        """A fresh, empty artifact for ``spec``."""
+        return cls(spec_dict=spec.to_dict(), fingerprint=spec.fingerprint())
+
+    @property
+    def name(self) -> str:
+        """Sweep family name recorded in the spec."""
+        return str(self.spec_dict.get("name", ""))
+
+    def matches(self, spec: SweepSpec) -> bool:
+        """True when this artifact was produced by exactly ``spec``."""
+        return self.fingerprint == spec.fingerprint()
+
+    def require_spec(self, spec: SweepSpec) -> None:
+        """Raise :class:`SweepSpecMismatch` unless :meth:`matches` holds."""
+        if not self.matches(spec):
+            raise SweepSpecMismatch(
+                f"artifact for sweep {self.name!r} has fingerprint "
+                f"{self.fingerprint[:12]}..., but the requested spec "
+                f"{spec.name!r} fingerprints to {spec.fingerprint()[:12]}...; "
+                f"refusing to mix rows from different sweeps (delete the "
+                f"artifact or change --out to start fresh)"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form of the whole artifact."""
+        return {
+            "format": ARTIFACT_FORMAT,
+            "fingerprint": self.fingerprint,
+            "spec": self.spec_dict,
+            "env": self.env,
+            "rows": {key: encode(row) for key, row in self.rows.items()},
+        }
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write atomically (temp file + rename), so readers never see a torn file."""
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SweepArtifact":
+        """Read an artifact file; rejects files that are not sweep artifacts."""
+        data = json.loads(Path(path).read_text())
+        if not isinstance(data, dict) or data.get("format") != ARTIFACT_FORMAT:
+            raise ValueError(
+                f"{path} is not a sweep artifact (expected format={ARTIFACT_FORMAT!r})"
+            )
+        return cls(
+            spec_dict=data["spec"],
+            fingerprint=data["fingerprint"],
+            rows={key: decode(row) for key, row in data.get("rows", {}).items()},
+            env=data.get("env", {}),
+        )

@@ -1,0 +1,84 @@
+"""JSON codec for sweep rows.
+
+Experiment rows are frozen dataclasses whose fields are JSON scalars,
+sequences, nested dataclasses (e.g. the :class:`GapAnalysis` inside a
+:class:`Figure1Series`) or numpy arrays.  ``encode`` turns any such value
+into plain JSON; ``decode`` reconstructs the original objects, importing
+dataclass types by their recorded ``module:qualname``.  Plain dicts and
+lists pass through untouched, so benchmark records (raw dicts) need no
+special casing.
+
+The encoding round-trips floats exactly (JSON serializes Python floats via
+``repr``), which is what lets a resumed sweep reproduce an uninterrupted
+run bit for bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+from typing import Any
+
+import numpy as np
+
+__all__ = ["encode", "decode"]
+
+_DATACLASS_TAG = "__dataclass__"
+_NDARRAY_TAG = "__ndarray__"
+
+
+def encode(obj: Any) -> Any:
+    """Encode ``obj`` into JSON-serializable data (see module docstring)."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        fields = {
+            f.name: encode(getattr(obj, f.name)) for f in dataclasses.fields(obj)
+        }
+        return {_DATACLASS_TAG: f"{cls.__module__}:{cls.__qualname__}", "fields": fields}
+    if isinstance(obj, np.ndarray):
+        return {_NDARRAY_TAG: obj.tolist(), "dtype": str(obj.dtype)}
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, dict):
+        bad = [k for k in obj if not isinstance(k, str)]
+        if bad:
+            raise TypeError(f"dict keys must be strings to encode, got {bad!r}")
+        if _DATACLASS_TAG in obj or _NDARRAY_TAG in obj:
+            raise TypeError(f"dict uses a reserved codec key: {obj.keys()!r}")
+        return {k: encode(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [encode(v) for v in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot encode {type(obj).__name__} into a sweep artifact")
+
+
+def _resolve_dataclass(path: str) -> type:
+    module_name, _, qualname = path.partition(":")
+    # Artifacts are data, not code: only row types from this package may be
+    # imported, so a tampered artifact cannot trigger arbitrary imports.
+    if module_name != "repro" and not module_name.startswith("repro."):
+        raise ValueError(
+            f"refusing to decode dataclass {path!r}: sweep artifacts may only "
+            f"reference repro.* row types"
+        )
+    target: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        target = getattr(target, part)
+    if not dataclasses.is_dataclass(target):
+        raise TypeError(f"{path} is not a dataclass")
+    return target
+
+
+def decode(obj: Any) -> Any:
+    """Invert :func:`encode`."""
+    if isinstance(obj, dict):
+        if _DATACLASS_TAG in obj:
+            cls = _resolve_dataclass(obj[_DATACLASS_TAG])
+            return cls(**{k: decode(v) for k, v in obj["fields"].items()})
+        if _NDARRAY_TAG in obj:
+            return np.asarray(obj[_NDARRAY_TAG], dtype=np.dtype(obj["dtype"]))
+        return {k: decode(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [decode(v) for v in obj]
+    return obj

@@ -1,0 +1,228 @@
+"""Grid-level sweep scheduling over execution backends.
+
+:func:`run_sweep` executes a :class:`~repro.sweeps.spec.SweepSpec` by
+flattening the *entire* grid into one task stream — every (cell, trial)
+pair — and dispatching it through a single
+:class:`~repro.parallel.backend.ExecutionBackend`.  Because all tasks are
+submitted up front, a pool backend keeps its workers saturated across cell
+boundaries: the last slow trial of one cell overlaps the first trials of
+the next, instead of the per-cell barrier the experiments used to pay.
+
+Per-cell seed derivation matches the old per-experiment plumbing exactly:
+each cell's trial generators are spawned from ``cell.seed`` with
+:func:`repro.utils.rng.spawn_rngs`, so rows are reproducible independent of
+backend, worker count and completion order.
+
+As trials stream back (:meth:`ExecutionBackend.imap_unordered`), results
+are slotted into their cell in trial order; the moment a cell's last trial
+lands, the cell is aggregated into a row and — when ``out`` is given — the
+:class:`~repro.sweeps.artifact.SweepArtifact` is checkpointed, so a killed
+sweep loses at most the cells in flight.  ``resume=True`` reloads a
+compatible artifact (identical spec fingerprint) and schedules only the
+missing cells.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.parallel.backend import ExecutionBackend, get_backend
+from repro.sweeps.artifact import SweepArtifact
+from repro.sweeps.spec import SweepSpec
+from repro.utils.rng import spawn_rngs
+
+__all__ = [
+    "run_sweep",
+    "SweepProgress",
+    "print_progress",
+    "TrialFn",
+    "AggregateFn",
+    "ProgressFn",
+]
+
+TrialFn = Callable[[Dict[str, Any], np.random.Generator], Any]
+"""One trial: ``(cell_params, rng) -> trial result``.  Must be a picklable
+module-level function for the ``"processes"`` backend."""
+
+AggregateFn = Callable[[Dict[str, Any], List[Any]], Any]
+"""Cell aggregation: ``(cell_params, trial results in trial order) -> row``."""
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One progress event: a cell just completed (or was reused from cache).
+
+    Attributes
+    ----------
+    sweep:
+        Sweep family name.
+    completed, total:
+        Cells done so far (cached included) out of the whole grid.
+    key:
+        Key of the cell this event reports.
+    trials:
+        The cell's trial count.
+    cached:
+        True when the row came from a resumed artifact rather than a run.
+    """
+
+    sweep: str
+    completed: int
+    total: int
+    key: str
+    trials: int
+    cached: bool
+
+
+ProgressFn = Callable[[SweepProgress], None]
+
+
+def print_progress(event: SweepProgress) -> None:
+    """Default progress reporter: one per-cell line on stderr (CLI ``--progress``)."""
+    origin = "cached" if event.cached else "done"
+    print(
+        f"[{event.sweep}] cell {event.completed}/{event.total} {origin}: "
+        f"{event.key} ({event.trials} trial{'s' if event.trials != 1 else ''})",
+        file=sys.stderr,
+    )
+
+
+def _run_trial_task(task: Tuple[TrialFn, Dict[str, Any], np.random.Generator]) -> Any:
+    # Module-level so process-pool backends can pickle the task stream.
+    trial, params, rng = task
+    return trial(params, rng)
+
+
+def _load_cached_rows(
+    spec: SweepSpec, out: Optional[Path], resume: bool
+) -> Tuple[SweepArtifact, Dict[str, Any]]:
+    """The artifact to checkpoint into, plus rows reusable from a prior run."""
+    if resume:
+        if out is None:
+            raise ValueError("resume=True requires an artifact path (out=...)")
+        if not spec.is_deterministic:
+            raise ValueError(
+                f"sweep {spec.name!r} has non-integer cell seeds and cannot be "
+                f"resumed reproducibly; pass an int seed to enable resume"
+            )
+        if out.exists():
+            artifact = SweepArtifact.load(out)
+            artifact.require_spec(spec)
+            known = {cell.key for cell in spec.cells}
+            return artifact, {k: v for k, v in artifact.rows.items() if k in known}
+    return SweepArtifact.for_spec(spec), {}
+
+
+def run_sweep(
+    spec: SweepSpec,
+    trial: TrialFn,
+    aggregate: AggregateFn,
+    *,
+    backend: Optional[Union[str, ExecutionBackend]] = None,
+    max_workers: Optional[int] = None,
+    out: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    progress: Optional[ProgressFn] = None,
+) -> List[Any]:
+    """Run every cell of ``spec`` and return its rows in cell order.
+
+    Parameters
+    ----------
+    spec:
+        The declarative grid to run.
+    trial:
+        Per-trial function ``(params, rng) -> result`` (module-level for the
+        process backend).
+    aggregate:
+        Per-cell reduction ``(params, results) -> row``; results arrive in
+        trial order regardless of completion order.
+    backend:
+        Execution backend name or instance (default serial); named backends
+        are created for the call and closed afterwards, instances are left
+        open — the same contract as
+        :func:`repro.experiments.runner.run_trials`.
+    max_workers:
+        Worker count for named pool backends.
+    out:
+        Artifact path; when given, the sweep checkpoints after every
+        completed cell and leaves the full artifact behind.  An existing
+        file is only overwritten once the first newly-run cell completes
+        (so a prior checkpoint survives a re-run aborted early, even
+        without ``resume``).
+    resume:
+        Reuse rows from an existing artifact at ``out`` whose spec
+        fingerprint matches; only missing cells are scheduled.  A mismatched
+        artifact raises :class:`~repro.sweeps.artifact.SweepSpecMismatch`.
+    progress:
+        Callback invoked once per cell (cached cells first).
+    """
+    out_path = Path(out) if out is not None else None
+    artifact, cached = _load_cached_rows(spec, out_path, resume)
+
+    total = len(spec.cells)
+    rows_by_key: Dict[str, Any] = {}
+    completed = 0
+    for cell in spec.cells:
+        if cell.key in cached:
+            rows_by_key[cell.key] = cached[cell.key]
+            completed += 1
+            if progress is not None:
+                progress(
+                    SweepProgress(spec.name, completed, total, cell.key, cell.trials, True)
+                )
+
+    pending = [i for i, cell in enumerate(spec.cells) if cell.key not in rows_by_key]
+
+    # Flatten every pending (cell, trial) pair into one task stream; the
+    # per-trial generators are spawned per cell exactly as run_trials does,
+    # so results are independent of scheduling.
+    tasks: List[Tuple[TrialFn, Dict[str, Any], np.random.Generator]] = []
+    owners: List[Tuple[int, int]] = []
+    for cell_index in pending:
+        cell = spec.cells[cell_index]
+        for trial_index, rng in enumerate(spawn_rngs(cell.seed, cell.trials)):
+            tasks.append((trial, dict(cell.params), rng))
+            owners.append((cell_index, trial_index))
+
+    # The artifact is (re)written only as cells complete: a re-run that
+    # forgot --resume gets an abort window before the first new cell lands,
+    # instead of an existing checkpoint being truncated at startup.
+    artifact.rows = dict(rows_by_key)
+
+    if tasks:
+        buffers = {i: [None] * spec.cells[i].trials for i in pending}
+        remaining = {i: spec.cells[i].trials for i in pending}
+        owned = backend is None or isinstance(backend, str)
+        resolved = (
+            get_backend(backend or "serial", max_workers=max_workers) if owned else backend
+        )
+        try:
+            for task_index, result in resolved.imap_unordered(_run_trial_task, tasks):
+                cell_index, trial_index = owners[task_index]
+                buffers[cell_index][trial_index] = result
+                remaining[cell_index] -= 1
+                if remaining[cell_index]:
+                    continue
+                cell = spec.cells[cell_index]
+                row = aggregate(dict(cell.params), buffers.pop(cell_index))
+                rows_by_key[cell.key] = row
+                completed += 1
+                if out_path is not None:
+                    artifact.rows[cell.key] = row
+                    artifact.save(out_path)
+                if progress is not None:
+                    progress(
+                        SweepProgress(
+                            spec.name, completed, total, cell.key, cell.trials, False
+                        )
+                    )
+        finally:
+            if owned:
+                resolved.close()
+
+    return [rows_by_key[cell.key] for cell in spec.cells]

@@ -1,0 +1,126 @@
+"""Declarative sweep specifications.
+
+A sweep is a grid of *cells* — one per parameter combination — each run for
+a number of independent trials.  :class:`SweepSpec` captures the whole grid
+declaratively: every cell carries its parameter dict, its trial count and
+its own deterministic seed (derived by the experiment at spec-build time,
+e.g. ``derive_seed(base, "table1", c_token, n)``), so the execution layer
+never re-invents seed plumbing and any cell can be re-run in isolation.
+
+``fingerprint()`` hashes the canonical JSON form of the spec.  Two specs
+with the same fingerprint run exactly the same trials with exactly the same
+seeds, which is the compatibility contract behind artifact resume: rows
+stored under a matching fingerprint can be reused verbatim; anything else
+is rejected.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_positive_int
+
+__all__ = ["CellSpec", "SweepSpec"]
+
+
+def _seed_token(seed: SeedLike) -> Optional[int]:
+    """JSON form of a cell seed; non-reproducible seeds collapse to ``None``.
+
+    Generators and SeedSequences draw fresh state per use, so a spec built
+    from one is not resumable (:attr:`SweepSpec.is_deterministic` is False);
+    ints and ``None`` round-trip as themselves.
+    """
+    if isinstance(seed, (np.random.Generator, np.random.SeedSequence)):
+        return None
+    return int(seed) if seed is not None else None
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One cell of a sweep grid.
+
+    Attributes
+    ----------
+    key:
+        Human-readable identifier, unique within the sweep (artifact rows
+        are stored under it).
+    params:
+        JSON-serializable parameters handed to the trial and aggregate
+        functions.
+    seed:
+        Seed for this cell's trial RNGs; per-trial generators are spawned
+        from it exactly as :func:`repro.experiments.runner.run_trials` does.
+    trials:
+        Number of independent trials for this cell.
+    """
+
+    key: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: SeedLike = None
+    trials: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.trials, "trials")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON form (used for artifacts and fingerprinting)."""
+        return {
+            "key": self.key,
+            "params": dict(self.params),
+            "seed": _seed_token(self.seed),
+            "trials": int(self.trials),
+        }
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named parameter grid: the declarative description of one sweep.
+
+    Attributes
+    ----------
+    name:
+        Sweep family name (``"table1"``, ``"bench"``, ...).
+    cells:
+        The grid, flattened in output-row order.
+    meta:
+        Extra JSON-serializable identity (experiment-level settings that
+        affect results but live outside any one cell); part of the
+        fingerprint.
+    """
+
+    name: str
+    cells: Tuple[CellSpec, ...]
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        keys = [cell.key for cell in self.cells]
+        if len(set(keys)) != len(keys):
+            dupes = sorted({k for k in keys if keys.count(k) > 1})
+            raise ValueError(f"duplicate cell keys in sweep {self.name!r}: {dupes}")
+
+    @property
+    def is_deterministic(self) -> bool:
+        """True when every cell seed is an int (the spec is resumable)."""
+        return all(
+            cell.seed is not None and _seed_token(cell.seed) is not None
+            for cell in self.cells
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON form."""
+        return {
+            "name": self.name,
+            "meta": dict(self.meta),
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical JSON form; the resume compatibility key."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -29,6 +29,31 @@ class TestRandomKeys:
     def test_reproducible(self):
         assert np.array_equal(random_distinct_keys(100, seed=3), random_distinct_keys(100, seed=3))
 
+    def test_keys_are_63_bit(self):
+        # Draws cover [1, 2^63 - 1), not the full uint64 range.
+        keys = random_distinct_keys(5000, seed=2)
+        assert (keys >= 1).all()
+        assert (keys < np.uint64(2**63 - 1)).all()
+
+    def test_collision_resolution_preserves_draw_order(self, monkeypatch):
+        # Script the generator so the first batch contains a duplicate in
+        # *descending* order: sorting-based dedup (the old np.unique bug)
+        # would reorder the survivors and change positional splits.
+        draws = [
+            np.array([9, 5, 9, 7], dtype=np.int64),
+            np.array([3], dtype=np.int64),
+        ]
+
+        class ScriptedRNG:
+            def integers(self, low, high, size, dtype):
+                return draws.pop(0)[:size]
+
+        import repro.apps.sparse_recovery as mod
+
+        monkeypatch.setattr(mod, "resolve_rng", lambda seed: seed)
+        keys = mod.random_distinct_keys(4, ScriptedRNG())
+        assert keys.tolist() == [9, 5, 7, 3]
+
 
 class TestSparseRecovery:
     def test_run_below_threshold_succeeds(self):

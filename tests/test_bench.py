@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
+import copy
 import json
 
 import pytest
 
-from repro.bench import format_results, run_benchmarks, write_results
+from repro.bench import compare_payloads, format_results, run_benchmarks, write_results
 from repro.kernels import available_kernels
 
 
@@ -72,7 +73,95 @@ class TestRunBenchmarks:
             assert section in report
 
 
+class TestComparePayloads:
+    def test_self_comparison_has_no_regressions(self, payload):
+        report, regressions = compare_payloads(payload, payload, tolerance=0.25)
+        assert regressions == 0
+        assert "0 regression(s)" in report
+
+    def test_flags_regressions_past_tolerance(self, payload):
+        fast_baseline = copy.deepcopy(payload)
+        for record in fast_baseline["results"]:
+            record["seconds"] /= 10.0  # current run is 10x slower than baseline
+        report, regressions = compare_payloads(payload, fast_baseline, tolerance=0.25)
+        assert regressions == len(payload["results"])
+        assert "REGRESSION" in report
+
+    def test_slowdowns_within_tolerance_pass(self, payload):
+        fast_baseline = copy.deepcopy(payload)
+        for record in fast_baseline["results"]:
+            record["seconds"] /= 10.0
+        _, regressions = compare_payloads(payload, fast_baseline, tolerance=20.0)
+        assert regressions == 0
+
+    def test_disjoint_payloads_compare_nothing(self, payload):
+        other = copy.deepcopy(payload)
+        for record in other["results"]:
+            record["section"] = "something_else"
+        report, regressions = compare_payloads(payload, other, tolerance=0.25)
+        assert regressions == 0
+        assert "no comparable entries" in report
+        assert "not in baseline" in report and "only in baseline" in report
+
+    def test_negative_tolerance_rejected(self, payload):
+        with pytest.raises(ValueError):
+            compare_payloads(payload, payload, tolerance=-0.1)
+
+    def test_different_seeds_never_compare(self, payload):
+        reseeded = copy.deepcopy(payload)
+        for record in reseeded["results"]:
+            record["seed"] = 999
+        report, regressions = compare_payloads(payload, reseeded, tolerance=0.25)
+        assert regressions == 0
+        assert "no comparable entries" in report
+
+    def test_duplicate_record_identities_are_reported(self, payload):
+        doubled = copy.deepcopy(payload)
+        doubled["results"] = doubled["results"] + copy.deepcopy(doubled["results"][:1])
+        report, _ = compare_payloads(doubled, payload, tolerance=20.0)
+        assert "duplicate record identity" in report
+
+    def test_resumable_artifact(self, tmp_path):
+        artifact = tmp_path / "bench_sweep.json"
+        first = run_benchmarks(sizes=(300,), repeats=1, batch=2, artifact=artifact)
+
+        calls = []
+        second = run_benchmarks(
+            sizes=(300,), repeats=1, batch=2, artifact=artifact, resume=True,
+            progress=calls.append,
+        )
+        assert all(event.cached for event in calls)
+        assert second["results"] == first["results"]
+
+
 class TestBenchCLI:
+    def test_bench_compare_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_now.json"
+        assert main(["bench", "--quick", "--sizes", "300", "--out", str(out)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+
+        slow_baseline = copy.deepcopy(payload)
+        for record in slow_baseline["results"]:
+            record["seconds"] *= 1000.0
+        baseline_path = tmp_path / "baseline_slow.json"
+        baseline_path.write_text(json.dumps(slow_baseline))
+        assert main(
+            ["bench", "--quick", "--out", str(out), "--compare", str(baseline_path)]
+        ) == 0
+        assert "regression" in capsys.readouterr().out
+
+        fast_baseline = copy.deepcopy(payload)
+        for record in fast_baseline["results"]:
+            record["seconds"] /= 1000.0
+        baseline_path.write_text(json.dumps(fast_baseline))
+        assert main(
+            ["bench", "--quick", "--out", str(out), "--compare", str(baseline_path)]
+        ) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
     def test_bench_subcommand_writes_json(self, tmp_path, capsys):
         from repro.cli import main
 

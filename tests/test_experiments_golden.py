@@ -1,0 +1,246 @@
+"""Seed-for-seed golden pins for the experiment harness.
+
+These rows were captured from the pre-sweep-refactor implementations of
+``run_table1``/``run_table2``/``run_table34``/``run_table5``/``run_table6``
+and ``run_figure1`` (commit a4b1f37) and pin the refactored sweep-based
+implementations to the exact same outputs: same per-cell seed derivation,
+same trial RNG spawning, same aggregation.  Any change to seed plumbing or
+trial scheduling that alters results — however plausible — must show up
+here as an explicit golden update.
+
+Wall-clock fields (``measured_*_seconds`` of Tables 3/4) are not pinned.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import (
+    run_figure1,
+    run_table1,
+    run_table1_cell,
+    run_table2,
+    run_table34,
+    run_table5,
+    run_table6,
+)
+
+GOLDEN = {'table1': [{'n': 2000,
+             'c': 0.7,
+             'r': 4,
+             'k': 2,
+             'trials': 3,
+             'failed': 0,
+             'avg_rounds': 11.333333333333334,
+             'std_rounds': 0.4714045207910317},
+            {'n': 4000,
+             'c': 0.7,
+             'r': 4,
+             'k': 2,
+             'trials': 3,
+             'failed': 0,
+             'avg_rounds': 12.333333333333334,
+             'std_rounds': 0.4714045207910317},
+            {'n': 2000,
+             'c': 0.85,
+             'r': 4,
+             'k': 2,
+             'trials': 3,
+             'failed': 3,
+             'avg_rounds': 9.0,
+             'std_rounds': 0.0},
+            {'n': 4000,
+             'c': 0.85,
+             'r': 4,
+             'k': 2,
+             'trials': 3,
+             'failed': 3,
+             'avg_rounds': 9.666666666666666,
+             'std_rounds': 0.4714045207910317}],
+ 'table1_cell': [{'n': 3000,
+                  'c': 0.7,
+                  'r': 4,
+                  'k': 2,
+                  'trials': 4,
+                  'failed': 0,
+                  'avg_rounds': 12.5,
+                  'std_rounds': 0.5}],
+ 'table2': [{'t': 1, 'prediction': 7689.217620241718, 'experiment': 7680.0},
+            {'t': 2, 'prediction': 6736.468501282305, 'experiment': 6719.333333333333},
+            {'t': 3, 'prediction': 6080.756783539938, 'experiment': 6051.666666666667},
+            {'t': 4, 'prediction': 5530.637311435456, 'experiment': 5508.333333333333},
+            {'t': 5, 'prediction': 5004.663196903981, 'experiment': 4977.666666666667},
+            {'t': 6, 'prediction': 4448.279087004264, 'experiment': 4425.333333333333},
+            {'t': 7, 'prediction': 3808.725856482162, 'experiment': 3798.0},
+            {'t': 8, 'prediction': 3025.3119971619512, 'experiment': 3017.0}],
+ 'table34': [{'r': 3,
+              'load': 0.5,
+              'num_cells': 6000,
+              'fraction_recovered': 1.0,
+              'parallel_recovery_time': 1257.0,
+              'serial_recovery_time': 18000.0,
+              'parallel_insert_time': 254.0,
+              'serial_insert_time': 12000.0,
+              'rounds': 3},
+             {'r': 3,
+              'load': 0.75,
+              'num_cells': 6000,
+              'fraction_recovered': 1.0,
+              'parallel_recovery_time': 2816.0,
+              'serial_recovery_time': 24000.0,
+              'parallel_insert_time': 333.0,
+              'serial_insert_time': 18000.0,
+              'rounds': 8}],
+ 'table5': [{'n': 2000,
+             'c': 0.7,
+             'r': 4,
+             'k': 2,
+             'trials': 3,
+             'failed': 0,
+             'avg_subrounds': 26.666666666666668,
+             'avg_rounds': 7.0},
+            {'n': 4000,
+             'c': 0.7,
+             'r': 4,
+             'k': 2,
+             'trials': 3,
+             'failed': 0,
+             'avg_subrounds': 26.0,
+             'avg_rounds': 7.0}],
+ 'table6': [{'round_index': 1,
+             'subtable': 1,
+             'prediction': 7537.843524048343,
+             'experiment': 7526.666666666667},
+            {'round_index': 1,
+             'subtable': 2,
+             'prediction': 7014.452205697312,
+             'experiment': 7020.0},
+            {'round_index': 1,
+             'subtable': 3,
+             'prediction': 6414.842524584691,
+             'experiment': 6414.0},
+            {'round_index': 1,
+             'subtable': 4,
+             'prediction': 5718.998673809819,
+             'experiment': 5716.0},
+            {'round_index': 2,
+             'subtable': 1,
+             'prediction': 5430.136402719592,
+             'experiment': 5433.666666666667},
+            {'round_index': 2,
+             'subtable': 2,
+             'prediction': 5144.56140280231,
+             'experiment': 5123.0},
+            {'round_index': 2,
+             'subtable': 3,
+             'prediction': 4877.487728253801,
+             'experiment': 4856.0},
+            {'round_index': 2,
+             'subtable': 4,
+             'prediction': 4655.296955417863,
+             'experiment': 4626.666666666667},
+            {'round_index': 3,
+             'subtable': 1,
+             'prediction': 4435.215945429829,
+             'experiment': 4407.0},
+            {'round_index': 3,
+             'subtable': 2,
+             'prediction': 4218.680900141508,
+             'experiment': 4198.0},
+            {'round_index': 3,
+             'subtable': 3,
+             'prediction': 4003.7498738703744,
+             'experiment': 3981.6666666666665},
+            {'round_index': 3,
+             'subtable': 4,
+             'prediction': 3779.756086926225,
+             'experiment': 3755.0},
+            {'round_index': 4,
+             'subtable': 1,
+             'prediction': 3542.99075850342,
+             'experiment': 3515.3333333333335},
+            {'round_index': 4,
+             'subtable': 2,
+             'prediction': 3287.6612657294595,
+             'experiment': 3250.0},
+            {'round_index': 4,
+             'subtable': 3,
+             'prediction': 3006.1637261769,
+             'experiment': 2966.3333333333335},
+            {'round_index': 4,
+             'subtable': 4,
+             'prediction': 2691.6620582593214,
+             'experiment': 2647.0}],
+ 'figure1': {'0.75': {'nu': 0.022279839802508472,
+                      'beta_first8': [3.0,
+                                      3.0,
+                                      2.5738549248669615,
+                                      2.364815141944881,
+                                      2.231278488709511,
+                                      2.133560560307764,
+                                      2.0554832920904307,
+                                      1.9889527856944191],
+                      'beta_len': 401,
+                      'rounds_to_extinction': 25,
+                      'plateau_rounds': 13},
+             '0.77': {'nu': 0.0022798398025084543,
+                      'beta_first8': [3.08,
+                                      3.08,
+                                      2.674554689815754,
+                                      2.485920259038985,
+                                      2.373039806634538,
+                                      2.296622256616198,
+                                      2.240846816529222,
+                                      2.197992880657965],
+                      'beta_len': 401,
+                      'rounds_to_extinction': 75,
+                      'plateau_rounds': 62}}}
+
+
+def _assert_rows_match(rows, expected):
+    got = [dataclasses.asdict(row) for row in rows]
+    assert len(got) == len(expected)
+    for actual, want in zip(got, expected):
+        for key, value in want.items():
+            if isinstance(value, float):
+                assert actual[key] == pytest.approx(value, rel=1e-12, abs=1e-12), key
+            else:
+                assert actual[key] == value, key
+
+
+class TestGoldenRows:
+    def test_table1(self):
+        rows = run_table1(sizes=(2000, 4000), densities=(0.7, 0.85), trials=3, seed=3)
+        _assert_rows_match(rows, GOLDEN["table1"])
+
+    def test_table1_cell(self):
+        row = run_table1_cell(3000, 0.7, trials=4, seed=11)
+        _assert_rows_match([row], GOLDEN["table1_cell"])
+
+    def test_table2(self):
+        rows = run_table2(n=10_000, c=0.7, rounds=8, trials=3, seed=7)
+        _assert_rows_match(rows, GOLDEN["table2"])
+
+    def test_table34(self):
+        rows = run_table34(3, loads=(0.5, 0.75), num_cells=6000, seed=4)
+        _assert_rows_match(rows, GOLDEN["table34"])
+
+    def test_table5(self):
+        rows = run_table5(sizes=(2000, 4000), densities=(0.7,), trials=3, seed=2)
+        _assert_rows_match(rows, GOLDEN["table5"])
+
+    def test_table6(self):
+        rows = run_table6(n=8_000, c=0.7, rounds=4, trials=3, seed=5)
+        _assert_rows_match(rows, GOLDEN["table6"])
+
+    def test_figure1(self):
+        series = run_figure1((0.75, 0.77), k=2, r=4, max_rounds=400)
+        for c_str, want in GOLDEN["figure1"].items():
+            s = series[float(c_str)]
+            assert s.nu == pytest.approx(want["nu"], rel=1e-12)
+            assert s.beta[:8].tolist() == pytest.approx(want["beta_first8"], rel=1e-12)
+            assert int(s.beta.size) == want["beta_len"]
+            assert s.rounds_to_extinction == want["rounds_to_extinction"]
+            assert s.gap.plateau_rounds == want["plateau_rounds"]

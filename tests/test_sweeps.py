@@ -1,0 +1,290 @@
+"""Tests for the declarative sweep layer (spec, artifact, scheduler, CLI)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_table1, table1_spec
+from repro.experiments.table1 import Table1Row, _table1_aggregate, _table1_trial
+from repro.parallel.backend import get_backend
+from repro.sweeps import (
+    CellSpec,
+    SweepArtifact,
+    SweepSpec,
+    SweepSpecMismatch,
+    run_sweep,
+)
+from repro.sweeps.codec import decode, encode
+
+
+def _sum_trial(params, rng):
+    return int(rng.integers(0, 10**6)) + params["offset"]
+
+
+def _sum_aggregate(params, results):
+    return {"offset": params["offset"], "values": list(results)}
+
+
+def _demo_spec(offsets=(0, 100, 200), trials=3, seed=7, name="demo"):
+    cells = tuple(
+        CellSpec(
+            key=f"offset={o}",
+            params={"offset": o},
+            seed=seed + o,
+            trials=trials,
+        )
+        for o in offsets
+    )
+    return SweepSpec(name=name, cells=cells)
+
+
+class TestSpec:
+    def test_fingerprint_stable_and_sensitive(self):
+        spec = _demo_spec()
+        assert spec.fingerprint() == _demo_spec().fingerprint()
+        assert spec.fingerprint() != _demo_spec(seed=8).fingerprint()
+        assert spec.fingerprint() != _demo_spec(trials=4).fingerprint()
+        assert spec.fingerprint() != _demo_spec(offsets=(0, 100)).fingerprint()
+
+    def test_duplicate_cell_keys_rejected(self):
+        cell = CellSpec(key="same", params={}, seed=1)
+        with pytest.raises(ValueError, match="duplicate cell keys"):
+            SweepSpec(name="bad", cells=(cell, cell))
+
+    def test_non_positive_trials_rejected(self):
+        with pytest.raises(ValueError):
+            CellSpec(key="x", params={}, seed=1, trials=0)
+
+    def test_deterministic_requires_int_seeds(self):
+        assert _demo_spec().is_deterministic
+        cells = (CellSpec(key="x", params={}, seed=np.random.default_rng(1)),)
+        assert not SweepSpec(name="volatile", cells=cells).is_deterministic
+        assert not SweepSpec(
+            name="entropy", cells=(CellSpec(key="x", params={}, seed=None),)
+        ).is_deterministic
+
+
+class TestCodec:
+    def test_round_trips_dataclass_rows_with_arrays(self):
+        row = Table1Row(n=10, c=0.7, r=4, k=2, trials=3, failed=1,
+                        avg_rounds=10.5, std_rounds=0.25)
+        payload = {"row": row, "arr": np.arange(4, dtype=np.uint64), "note": "x"}
+        restored = decode(json.loads(json.dumps(encode(payload))))
+        assert restored["row"] == row
+        assert restored["arr"].dtype == np.uint64
+        np.testing.assert_array_equal(restored["arr"], np.arange(4, dtype=np.uint64))
+        assert restored["note"] == "x"
+
+    def test_rejects_unencodable_objects(self):
+        with pytest.raises(TypeError):
+            encode(object())
+
+    def test_rejects_non_string_dict_keys(self):
+        with pytest.raises(TypeError):
+            encode({1: "x"})
+
+    def test_decode_refuses_non_repro_dataclasses(self):
+        # Artifacts are data: a tampered file must not trigger arbitrary imports.
+        payload = {"__dataclass__": "os.path:join", "fields": {}}
+        with pytest.raises(ValueError, match="repro"):
+            decode(payload)
+
+
+class TestSizeRoundingKeys:
+    def test_table5_sizes_collapsing_after_rounding_stay_distinct_cells(self):
+        from repro.experiments import table5_spec
+
+        spec = table5_spec(sizes=(9999, 10000), densities=(0.7,), trials=2, seed=1)
+        assert len(spec.cells) == 2
+        assert spec.cells[0].params["n"] == spec.cells[1].params["n"] == 10000
+        assert spec.cells[0].seed != spec.cells[1].seed  # derived from requested n
+
+    def test_bench_sizes_collapsing_after_rounding_stay_distinct_cells(self):
+        from repro.bench import bench_spec
+
+        spec = bench_spec(sizes=(9999, 10000), kernels=("numpy",))
+        iblt_keys = [c.key for c in spec.cells if c.key.startswith("iblt/")]
+        assert len(iblt_keys) == len(set(iblt_keys)) == 6
+
+
+class TestScheduler:
+    def test_rows_in_cell_order_and_backend_independent(self):
+        spec = _demo_spec()
+        serial = run_sweep(spec, _sum_trial, _sum_aggregate)
+        assert [row["offset"] for row in serial] == [0, 100, 200]
+        threads = run_sweep(
+            spec, _sum_trial, _sum_aggregate, backend="threads", max_workers=3
+        )
+        processes = run_sweep(
+            spec, _sum_trial, _sum_aggregate, backend="processes", max_workers=2
+        )
+        assert serial == threads == processes
+
+    def test_matches_run_trials_seed_for_seed(self):
+        from repro.experiments.runner import run_trials
+
+        spec = SweepSpec(
+            name="eq", cells=(CellSpec(key="only", params={"offset": 0}, seed=42, trials=5),)
+        )
+        got = run_sweep(spec, _sum_trial, lambda p, res: res)[0]
+        assert got == run_trials(lambda rng: int(rng.integers(0, 10**6)), 5, seed=42)
+
+    def test_trials_from_different_cells_overlap_on_pool_backend(self):
+        # Two single-trial cells and a two-party barrier: the sweep only
+        # finishes (within the timeout) if trials from *different* cells are
+        # in flight simultaneously — i.e. the task stream crosses cell
+        # boundaries instead of dispatching cell by cell.
+        barrier = threading.Barrier(2)
+
+        def trial(params, rng):
+            barrier.wait(timeout=30)
+            return params["offset"]
+
+        spec = _demo_spec(offsets=(1, 2), trials=1)
+        rows = run_sweep(
+            spec, trial, lambda p, res: res[0], backend="threads", max_workers=2
+        )
+        assert rows == [1, 2]
+
+    def test_progress_reports_every_cell(self):
+        events = []
+        run_sweep(_demo_spec(), _sum_trial, _sum_aggregate, progress=events.append)
+        assert [e.key for e in events] == ["offset=0", "offset=100", "offset=200"]
+        assert [e.completed for e in events] == [1, 2, 3]
+        assert all(e.total == 3 and not e.cached for e in events)
+
+    def test_backend_instance_left_open(self):
+        backend = get_backend("threads", max_workers=2)
+        try:
+            run_sweep(_demo_spec(), _sum_trial, _sum_aggregate, backend=backend)
+            # Still usable afterwards (run_sweep must not close instances).
+            assert backend.map(lambda x: x + 1, [1, 2]) == [2, 3]
+        finally:
+            backend.close()
+
+
+class TestArtifactResume:
+    def test_artifact_round_trip(self, tmp_path):
+        out = tmp_path / "demo.json"
+        spec = _demo_spec()
+        rows = run_sweep(spec, _sum_trial, _sum_aggregate, out=out)
+        artifact = SweepArtifact.load(out)
+        assert artifact.matches(spec)
+        assert set(artifact.rows) == {cell.key for cell in spec.cells}
+        assert [artifact.rows[cell.key] for cell in spec.cells] == rows
+        assert artifact.env["python"]
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        out = tmp_path / "demo.json"
+        spec = _demo_spec()
+        rows = run_sweep(spec, _sum_trial, _sum_aggregate, out=out)
+
+        def poison(params, rng):
+            raise AssertionError("completed cells must not be re-run")
+
+        resumed = run_sweep(spec, poison, _sum_aggregate, out=out, resume=True)
+        assert resumed == rows
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        out = tmp_path / "demo.json"
+        run_sweep(_demo_spec(), _sum_trial, _sum_aggregate, out=out)
+        with pytest.raises(SweepSpecMismatch):
+            run_sweep(_demo_spec(seed=8), _sum_trial, _sum_aggregate, out=out, resume=True)
+
+    def test_resume_requires_out(self):
+        with pytest.raises(ValueError, match="resume"):
+            run_sweep(_demo_spec(), _sum_trial, _sum_aggregate, resume=True)
+
+    def test_resume_requires_deterministic_seeds(self, tmp_path):
+        cells = (CellSpec(key="x", params={"offset": 0}, seed=None),)
+        spec = SweepSpec(name="entropy", cells=cells)
+        with pytest.raises(ValueError, match="cannot be resumed"):
+            run_sweep(
+                spec, _sum_trial, _sum_aggregate, out=tmp_path / "a.json", resume=True
+            )
+
+    def test_killed_mid_sweep_resume_matches_uninterrupted(self, tmp_path):
+        spec = _demo_spec()
+        uninterrupted = run_sweep(spec, _sum_trial, _sum_aggregate)
+
+        def dies_on_second_cell(params, rng):
+            if params["offset"] == 100:
+                raise RuntimeError("simulated crash")
+            return _sum_trial(params, rng)
+
+        out = tmp_path / "killed.json"
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            run_sweep(spec, dies_on_second_cell, _sum_aggregate, out=out)
+        partial = SweepArtifact.load(out)
+        assert "offset=0" in partial.rows  # checkpointed before the crash
+        assert "offset=100" not in partial.rows
+
+        def only_missing_cells(params, rng):
+            if params["offset"] == 0:
+                raise AssertionError("cell offset=0 was already done")
+            return _sum_trial(params, rng)
+
+        resumed = run_sweep(spec, only_missing_cells, _sum_aggregate, out=out, resume=True)
+        assert resumed == uninterrupted
+        assert SweepArtifact.load(out).rows.keys() == {c.key for c in spec.cells}
+
+    def test_existing_artifact_survives_rerun_aborted_before_first_cell(self, tmp_path):
+        # Forgetting --resume must not truncate a prior checkpoint at startup:
+        # the file is only overwritten once the first new cell completes.
+        out = tmp_path / "demo.json"
+        spec = _demo_spec()
+        run_sweep(spec, _sum_trial, _sum_aggregate, out=out)
+
+        def dies_immediately(params, rng):
+            raise RuntimeError("aborted run")
+
+        with pytest.raises(RuntimeError, match="aborted run"):
+            run_sweep(spec, dies_immediately, _sum_aggregate, out=out, resume=False)
+        assert set(SweepArtifact.load(out).rows) == {c.key for c in spec.cells}
+
+    def test_non_artifact_file_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"results": []}))
+        with pytest.raises(ValueError, match="not a sweep artifact"):
+            SweepArtifact.load(bogus)
+
+
+class TestExperimentSweepIntegration:
+    def test_table1_resume_round_trip(self, tmp_path):
+        out = tmp_path / "table1.json"
+        spec = table1_spec(sizes=(1000, 2000), densities=(0.7,), trials=2, seed=5)
+        fresh = run_table1(sizes=(1000, 2000), densities=(0.7,), trials=2, seed=5)
+        rows = run_sweep(spec, _table1_trial, _table1_aggregate, out=out)
+        assert rows == fresh
+        # Reload through the artifact: dataclass rows survive the JSON trip.
+        restored = [SweepArtifact.load(out).rows[c.key] for c in spec.cells]
+        assert restored == fresh
+        assert all(isinstance(row, Table1Row) for row in restored)
+
+
+class TestSweepCLI:
+    def test_out_resume_progress_flow(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "t1.json"
+        argv = [
+            "table1", "--sizes", "1000", "2000", "--densities", "0.7",
+            "--trials", "2", "--seed", "3", "--out", str(out), "--progress",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "done: c=0.7/n=1000" in first.err
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr()
+        assert "cached: c=0.7/n=1000" in second.err
+        assert first.out == second.out
+
+    def test_resume_without_out_errors(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="--resume requires --out"):
+            main(["table1", "--sizes", "1000", "--trials", "1", "--resume"])
