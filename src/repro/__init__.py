@@ -122,6 +122,8 @@ from repro.parallel import (
     ParallelMachine,
     CostModel,
     ProcessPoolBackend,
+    ShmParallelPeeler,
+    ShmFlatDecoder,
     get_backend,
     available_backends,
 )
@@ -184,6 +186,8 @@ __all__ = [
     "ParallelMachine",
     "CostModel",
     "ProcessPoolBackend",
+    "ShmParallelPeeler",
+    "ShmFlatDecoder",
     "get_backend",
     "available_backends",
     "SweepSpec",

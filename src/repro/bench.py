@@ -44,6 +44,8 @@ from repro.utils.tables import Table
 __all__ = [
     "DEFAULT_SIZES",
     "QUICK_SIZES",
+    "INTRA_TRIAL_SIZES",
+    "INTRA_TRIAL_WORKERS",
     "DEFAULT_TOLERANCE",
     "bench_spec",
     "run_benchmarks",
@@ -58,6 +60,13 @@ DEFAULT_SIZES = (10_000, 100_000)
 
 QUICK_SIZES = (2_000,)
 """Sizes for the CI smoke run (``--quick``)."""
+
+INTRA_TRIAL_SIZES = (1_000_000,)
+"""Sizes of the intra-trial section: one peel large enough that partitioned
+round work dominates the per-round barrier cost on multi-core hosts."""
+
+INTRA_TRIAL_WORKERS = (2,)
+"""Worker counts benchmarked for the shm-parallel engine."""
 
 DEFAULT_TOLERANCE = 0.25
 """Default slowdown fraction past which ``--compare`` reports a regression."""
@@ -169,10 +178,45 @@ def _bench_iblt_trial(params: Dict[str, Any], rng: np.random.Generator) -> Dict[
     return record
 
 
+def _bench_intra_trial(params: Dict[str, Any], rng: np.random.Generator) -> Dict[str, Any]:
+    # One big peel, serial baseline vs the shm-parallel engine: the paper's
+    # intra-trial parallelism claim measured on real hardware.  The serial
+    # baseline is the numpy-kernel parallel engine timed on the identical
+    # graph, so the delta is purely the worker pool.
+    from repro.engine import peel
+    from repro.hypergraph import random_hypergraph
+
+    engine = params["engine"]
+    n, c, r, k, seed = params["n"], params["c"], params["r"], params["k"], params["seed"]
+    graph = random_hypergraph(n, c, r, seed=seed)
+    opts: Dict[str, Any] = {}
+    if engine == "shm-parallel":
+        opts["num_workers"] = params["workers"]
+    else:
+        opts["kernel"] = params["kernel"]
+    result = peel(graph, engine, k=k, **opts)
+    seconds = _best_time(lambda: peel(graph, engine, k=k, **opts), params["repeats"])
+    return {
+        "section": "intra_trial",
+        "engine": engine,
+        "kernel": params["kernel"],
+        "workers": params.get("workers"),
+        "n": int(graph.num_vertices),
+        "c": c,
+        "r": r,
+        "k": k,
+        "seed": seed,
+        "rounds": result.num_rounds,
+        "success": bool(result.success),
+        "seconds": seconds,
+    }
+
+
 _TRIALS = {
     "peel": _bench_peel_trial,
     "peel_many": _bench_peel_many_trial,
     "iblt_decode": _bench_iblt_trial,
+    "intra_trial": _bench_intra_trial,
 }
 
 
@@ -197,12 +241,16 @@ def bench_spec(
     seed: int = 1,
     repeats: int = 3,
     batch: int = 4,
+    intra_sizes: Sequence[int] = INTRA_TRIAL_SIZES,
+    intra_workers: Sequence[int] = INTRA_TRIAL_WORKERS,
 ) -> SweepSpec:
     """Declare the benchmark matrix as a sweep (one single-trial cell each).
 
     Cell order matches the historical record order: the ``peel`` section
     (size × engine × kernel), then ``peel_many`` (kernel), then
-    ``iblt_decode`` (size × decoder × kernel, serial baseline first).
+    ``iblt_decode`` (size × decoder × kernel, serial baseline first), then
+    ``intra_trial`` (size × {serial numpy baseline, shm-parallel × worker
+    count} on one identical large graph).
     """
     from repro.kernels import available_kernels
 
@@ -254,10 +302,34 @@ def bench_spec(
                         seed=derive_seed(seed, "bench", "iblt", decoder, kernel, n),
                     )
                 )
+    for n in intra_sizes:
+        intra_common = {"section": "intra_trial", "n": int(n), **common}
+        cells.append(
+            CellSpec(
+                key=f"intra/n={n}/parallel/numpy",
+                params={**intra_common, "engine": "parallel", "kernel": "numpy",
+                        "workers": None},
+                seed=derive_seed(seed, "bench", "intra", "parallel", n),
+            )
+        )
+        for workers in intra_workers:
+            cells.append(
+                CellSpec(
+                    key=f"intra/n={n}/shm-parallel/w{workers}",
+                    params={**intra_common, "engine": "shm-parallel", "kernel": None,
+                            "workers": int(workers)},
+                    seed=derive_seed(seed, "bench", "intra", "shm-parallel", workers, n),
+                )
+            )
     return SweepSpec(
         name="bench",
         cells=tuple(cells),
-        meta={"kernels": list(kernel_names), "sizes": [int(n) for n in sizes]},
+        meta={
+            "kernels": list(kernel_names),
+            "sizes": [int(n) for n in sizes],
+            "intra_sizes": [int(n) for n in intra_sizes],
+            "intra_workers": [int(w) for w in intra_workers],
+        },
     )
 
 
@@ -273,6 +345,8 @@ def run_benchmarks(
     seed: int = 1,
     repeats: int = 3,
     batch: int = 4,
+    intra_sizes: Sequence[int] = INTRA_TRIAL_SIZES,
+    intra_workers: Sequence[int] = INTRA_TRIAL_WORKERS,
     artifact: Optional[Union[str, Path]] = None,
     resume: bool = False,
     progress: Optional[Callable[[SweepProgress], None]] = None,
@@ -297,6 +371,9 @@ def run_benchmarks(
         Timed runs per combination; the best is reported.
     batch:
         Batch size of the ``peel_many`` section.
+    intra_sizes, intra_workers:
+        Graph sizes and shm-parallel worker counts of the ``intra_trial``
+        section (one large peel, serial numpy baseline vs the shm engine).
     artifact, resume:
         Optional sweep-artifact path for per-cell checkpointing; with
         ``resume=True`` a compatible artifact's timings are reused and only
@@ -307,6 +384,7 @@ def run_benchmarks(
     spec = bench_spec(
         sizes=sizes, kernels=kernels, c=c, r=r, iblt_r=iblt_r, k=k, load=load,
         seed=seed, repeats=repeats, batch=batch,
+        intra_sizes=intra_sizes, intra_workers=intra_workers,
     )
     # Always serial: parallel timing cells would contend for the same cores.
     results = run_sweep(
@@ -321,6 +399,8 @@ def run_benchmarks(
             "machine": platform.machine(),
             "kernels": list(spec.meta["kernels"]),
             "sizes": list(spec.meta["sizes"]),
+            "intra_sizes": list(spec.meta["intra_sizes"]),
+            "intra_workers": list(spec.meta["intra_workers"]),
             "repeats": repeats,
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         },
@@ -341,6 +421,8 @@ def format_results(payload: Dict[str, Any]) -> str:
     )
     for record in payload["results"]:
         workload = record.get("engine") or record.get("decoder")
+        if record.get("workers") is not None:
+            workload = f"{workload}[w={record['workers']}]"
         size = record.get("n", record.get("num_cells"))
         table.add_row(
             record["section"],
@@ -352,12 +434,12 @@ def format_results(payload: Dict[str, Any]) -> str:
     return table.render()
 
 
-def _record_key(record: Dict[str, Any]) -> Tuple[str, str, str, int, Any, Any]:
+def _record_key(record: Dict[str, Any]) -> Tuple[str, str, str, int, Any, Any, Any]:
     """Identity of one benchmark record across runs.
 
-    Includes the seed and batch so runs of *different* workloads (other
-    random graphs, other batch sizes) never silently compare as if they
-    were the same measurement.
+    Includes the seed, batch and worker count so runs of *different*
+    workloads (other random graphs, other batch sizes, other shm pools)
+    never silently compare as if they were the same measurement.
     """
     return (
         record["section"],
@@ -366,6 +448,7 @@ def _record_key(record: Dict[str, Any]) -> Tuple[str, str, str, int, Any, Any]:
         int(record.get("n", record.get("num_cells", 0))),
         record.get("seed"),
         record.get("batch"),
+        record.get("workers"),
     )
 
 
@@ -424,6 +507,8 @@ def compare_payloads(
         elif delta < -tolerance:
             flag = "improved"
         section, workload, kernel, size = key[:4]
+        if key[6] is not None:
+            workload = f"{workload}[w={key[6]}]"
         table.add_row(
             section, workload, kernel if kernel != "None" else "-", size,
             f"{base['seconds']:.4f}", f"{record['seconds']:.4f}", f"{delta:+.1%}", flag,
@@ -492,6 +577,23 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="NAME",
         help="kernel backend to include (repeatable; default: all registered)",
     )
+    parser.add_argument(
+        "--intra-sizes",
+        type=int,
+        nargs="+",
+        default=list(INTRA_TRIAL_SIZES),
+        help=(
+            "graph sizes of the intra-trial section (serial numpy baseline vs "
+            "the shm-parallel engine on one identical peel; default: %(default)s)"
+        ),
+    )
+    parser.add_argument(
+        "--intra-workers",
+        type=int,
+        nargs="+",
+        default=list(INTRA_TRIAL_WORKERS),
+        help="shm-parallel worker counts to benchmark (default: %(default)s)",
+    )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
@@ -533,12 +635,15 @@ def run_bench_command(args: argparse.Namespace) -> Tuple[str, int]:
     only when ``--compare`` found regressions past the tolerance.
     """
     sizes: Sequence[int] = QUICK_SIZES if args.quick else args.sizes
+    intra_sizes: Sequence[int] = QUICK_SIZES if args.quick else args.intra_sizes
     repeats = 1 if args.quick else args.repeats
     payload = run_benchmarks(
         sizes=sizes,
         kernels=args.kernels,
         seed=args.seed,
         repeats=repeats,
+        intra_sizes=intra_sizes,
+        intra_workers=args.intra_workers,
         progress=print_progress if getattr(args, "progress", False) else None,
     )
     write_results(payload, args.out)

@@ -14,6 +14,7 @@ Examples
     python -m repro thresholds --k 2 --r 4
     python -m repro peel --n 100000 --c 0.7 --r 4 --k 2 --engine subtable
     python -m repro peel --n 100000 --kernel numpy
+    python -m repro peel --n 1000000 --engine shm-parallel --workers 4
     python -m repro table1 --backend processes --workers 4
     python -m repro table1 --out table1.json --progress
     python -m repro table1 --out table1.json --resume   # skip finished cells
@@ -195,6 +196,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="kernel backend for the round primitives (default: numpy)",
     )
+    peel.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for intra-trial engines such as shm-parallel "
+            "(default: all cores); rejected by engines that do not take one"
+        ),
+    )
     peel.add_argument("--seed", type=int, default=1)
 
     bench = sub.add_parser(
@@ -341,7 +351,8 @@ def _run_peel(args: argparse.Namespace) -> str:
         graph = partitioned_hypergraph(n, args.c, args.r, seed=args.seed)
     else:
         graph = random_hypergraph(args.n, args.c, args.r, seed=args.seed)
-    result = peel(graph, engine, k=args.k, kernel=args.kernel)
+    opts = {} if args.workers is None else {"num_workers": args.workers}
+    result = peel(graph, engine, k=args.k, kernel=args.kernel, **opts)
     lines = [result.summary()]
     prediction = predict_rounds(graph.num_vertices, args.c, args.k, args.r)
     lines.append(

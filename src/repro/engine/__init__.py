@@ -11,8 +11,9 @@ This package is the stable public surface over the peeling engines:
   string-selectable single-graph and batched peeling, the latter dispatched
   through the execution backends of :mod:`repro.parallel.backend`.
 
-Importing this package registers the three built-in engines under the names
-``"sequential"``, ``"parallel"`` and ``"subtable"``.
+Importing this package registers the four built-in engines under the names
+``"sequential"``, ``"parallel"``, ``"subtable"`` and ``"shm-parallel"`` (the
+shared-memory intra-trial parallel engine of :mod:`repro.parallel.shm`).
 """
 
 from repro.engine.registry import (
@@ -28,11 +29,13 @@ from repro.engine.api import peel, peel_many
 
 from repro.core.peeling import ParallelPeeler, SequentialPeeler
 from repro.core.subtable import SubtablePeeler
+from repro.parallel.shm.peeler import ShmParallelPeeler
 
 for _name, _factory in (
     ("sequential", SequentialPeeler),
     ("parallel", ParallelPeeler),
     ("subtable", SubtablePeeler),
+    ("shm-parallel", ShmParallelPeeler),
 ):
     if _name not in available_engines():  # tolerate re-imports (e.g. importlib.reload)
         register_engine(_name, _factory)

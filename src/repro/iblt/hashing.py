@@ -31,6 +31,8 @@ _GOLDEN = np.uint64(0x9E3779B97F4A7C15)
 _MIX1 = np.uint64(0xBF58476D1CE4E5B9)
 _MIX2 = np.uint64(0x94D049BB133111EB)
 
+_MASK64 = (1 << 64) - 1
+
 
 def splitmix64(values: np.ndarray | int, seed: int = 0) -> np.ndarray | int:
     """SplitMix64 finalizer applied to ``values`` (vectorized).
@@ -41,7 +43,11 @@ def splitmix64(values: np.ndarray | int, seed: int = 0) -> np.ndarray | int:
         Scalar or array of unsigned 64-bit integers.
     seed:
         Seed mixed into the input before finalization; different seeds give
-        (empirically) independent hash functions.
+        (empirically) independent hash functions.  Any Python int is
+        accepted and wraps modulo 2**64 (``seed=-1`` hashes like
+        ``seed=2**64 - 1``): ``np.uint64(seed)`` would raise
+        ``OverflowError`` on negative or ``>= 2**64`` inputs, exactly the
+        values derived-seed arithmetic can hand in.
 
     Returns
     -------
@@ -50,7 +56,7 @@ def splitmix64(values: np.ndarray | int, seed: int = 0) -> np.ndarray | int:
     scalar = np.isscalar(values) or np.ndim(values) == 0
     x = np.asarray(values, dtype=np.uint64)
     with np.errstate(over="ignore"):
-        z = x + np.uint64(seed) * _GOLDEN + _GOLDEN
+        z = x + np.uint64(int(seed) & _MASK64) * _GOLDEN + _GOLDEN
         z = (z ^ (z >> np.uint64(30))) * _MIX1
         z = (z ^ (z >> np.uint64(27))) * _MIX2
         z = z ^ (z >> np.uint64(31))

@@ -12,6 +12,8 @@ name      decoder
 serial    :class:`SerialDecoder` (the classical worklist recovery)
 flat      :class:`~repro.iblt.parallel_decode.FlatParallelDecoder`
 subtable  :class:`~repro.iblt.parallel_decode.SubtableParallelDecoder`
+shm-flat  :class:`~repro.parallel.shm.decode.ShmFlatDecoder` (flat
+          schedule across shared-memory worker processes)
 ========= =====================================================
 
 The historical spellings ``"parallel"`` (→ ``"subtable"``) and
@@ -28,6 +30,7 @@ from typing import Callable, Tuple
 
 from repro.iblt.iblt import IBLT, IBLTDecodeResult
 from repro.iblt.parallel_decode import FlatParallelDecoder, SubtableParallelDecoder
+from repro.parallel.shm.decode import ShmFlatDecoder
 from repro.utils.registry import Registry
 
 __all__ = [
@@ -62,6 +65,7 @@ _DECODERS: Registry[DecoderFactory] = Registry("decoder")
 _DECODERS.register("serial", SerialDecoder)
 _DECODERS.register("flat", FlatParallelDecoder)
 _DECODERS.register("subtable", SubtableParallelDecoder)
+_DECODERS.register("shm-flat", ShmFlatDecoder)
 _DECODERS.register_alias("parallel", "subtable")
 _DECODERS.register_alias("flat-parallel", "flat")
 

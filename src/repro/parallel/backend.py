@@ -89,16 +89,36 @@ class SerialBackend(ExecutionBackend):
             yield index, fn(item)
 
 
+def _consume_future_exception(future) -> None:
+    """Done-callback retrieving (and discarding) a future's exception.
+
+    Attached to every future :func:`_stream_completions` submits, so that
+    futures abandoned with an exception set — a sibling failed first, or the
+    consumer closed the iterator early — count as *retrieved* and are never
+    reported as leaked ("Future exception was never retrieved") at garbage
+    collection.  The exception itself still propagates through the future
+    that the consumer actually pulled.
+    """
+    if not future.cancelled():
+        future.exception()
+
+
 def _stream_completions(
     executor: Executor, fn: Callable[[T], R], items: Sequence[T]
 ) -> Iterator[Tuple[int, R]]:
     """Submit every item at once and yield ``(index, result)`` as completed.
 
     Submitting the whole stream up front is what lets a sweep keep every
-    worker busy across cell boundaries.  On a failure the pending futures are
-    cancelled before the exception propagates.
+    worker busy across cell boundaries.  On a failure (or when the consumer
+    abandons the iterator early) the pending futures are cancelled, and every
+    future's exception is consumed by a done-callback so none is left
+    unretrieved.
     """
-    futures = {executor.submit(fn, item): index for index, item in enumerate(items)}
+    futures = {}
+    for index, item in enumerate(items):
+        future = executor.submit(fn, item)
+        future.add_done_callback(_consume_future_exception)
+        futures[future] = index
     try:
         for future in as_completed(futures):
             yield futures[future], future.result()
@@ -113,12 +133,16 @@ class ThreadPoolBackend(ExecutionBackend):
     Parameters
     ----------
     max_workers:
-        Number of worker threads (``>= 1``).
+        Number of worker threads (``>= 1``); defaults to the host's CPU
+        count, matching :class:`ProcessPoolBackend`, so thread-level
+        parallelism tracks the hardware wherever the kernels release the GIL.
     """
 
     name = "threads"
 
-    def __init__(self, max_workers: int = 4) -> None:
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
         self.max_workers = check_positive_int(max_workers, "max_workers")
         self._executor: Optional[ThreadPoolExecutor] = None
 
@@ -232,8 +256,8 @@ def get_backend(
         Worker count, forwarded to any backend factory that accepts a
         ``max_workers`` keyword (the built-in pools and registered
         third-party pools alike); ``None`` keeps each backend's default
-        (4 threads, all CPUs for processes).  Silently ignored by
-        single-worker backends such as ``"serial"``.
+        (the host's CPU count for both built-in pools).  Silently ignored
+        by single-worker backends such as ``"serial"``.
 
     Raises
     ------

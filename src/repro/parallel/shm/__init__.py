@@ -1,0 +1,39 @@
+"""Shared-memory intra-trial parallelism: one peel, many processes.
+
+Everything else under :mod:`repro.parallel` distributes *independent trials*;
+this subpackage parallelizes a *single* peeling process — the regime the
+paper's headline ~(1/2)·log log n round bound is actually about.  It has
+three layers:
+
+* :mod:`~repro.parallel.shm.block` — one shared-memory segment described by
+  an :class:`ShmLayout` of named arrays; the parent creates it, workers
+  attach zero-copy NumPy views.
+* :mod:`~repro.parallel.shm.pool` — :class:`ShmWorkerPool`, a persistent
+  pool of SPMD worker processes driven by one reusable round barrier, with
+  timeouts on every wait so deadlocks fail fast instead of hanging.
+* the engines — :class:`ShmParallelPeeler` (registered as
+  ``"shm-parallel"``; bit-for-bit identical to the in-process parallel
+  engine) and :class:`ShmFlatDecoder` (registered as ``"shm-flat"``;
+  bit-for-bit identical to the flat IBLT decoder), both built on the
+  partitioned variant of the round schedule: each worker owns a contiguous
+  vertex/cell slice, and cross-partition updates travel through per-worker
+  delta buffers exchanged at the round barrier.
+"""
+
+from repro.parallel.shm.block import ArraySpec, ShmBlock, ShmLayout, attach_shm
+from repro.parallel.shm.decode import ShmFlatDecoder
+from repro.parallel.shm.peeler import ShmParallelPeeler, partition_bounds
+from repro.parallel.shm.pool import DEFAULT_BARRIER_TIMEOUT, ShmPoolError, ShmWorkerPool
+
+__all__ = [
+    "ArraySpec",
+    "ShmLayout",
+    "ShmBlock",
+    "attach_shm",
+    "ShmWorkerPool",
+    "ShmPoolError",
+    "DEFAULT_BARRIER_TIMEOUT",
+    "ShmParallelPeeler",
+    "ShmFlatDecoder",
+    "partition_bounds",
+]

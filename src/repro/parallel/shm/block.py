@@ -1,0 +1,154 @@
+"""One shared-memory segment holding many named NumPy arrays.
+
+The shm engines keep their entire working set — edge matrix, degree vector,
+alive masks, peel-round arrays, per-worker delta buffers, counters and the
+control word — in a *single* :class:`multiprocessing.shared_memory.SharedMemory`
+segment.  A :class:`ShmLayout` describes that segment as an ordered list of
+``(name, shape, dtype)`` specs with 64-byte-aligned offsets; the parent
+creates the segment once and every worker attaches to it by name, so all
+processes operate on zero-copy views of the same physical pages.  The only
+data that crosses the pickle boundary at worker start-up is the segment name
+and the layout itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ArraySpec", "ShmLayout", "ShmBlock", "attach_shm"]
+
+_ALIGN = 64  # cache-line alignment between arrays avoids false sharing at seams
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Description of one named array inside a shared segment."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class ShmLayout:
+    """Ordered array specs plus their computed byte offsets.
+
+    The layout is a plain frozen dataclass of strings and ints, so it
+    pickles cheaply to worker processes under any multiprocessing start
+    method (``fork`` and ``spawn`` alike).
+    """
+
+    specs: Tuple[ArraySpec, ...]
+
+    @classmethod
+    def build(cls, specs: Sequence[Tuple[str, Tuple[int, ...], str]]) -> "ShmLayout":
+        """Build a layout from ``(name, shape, dtype)`` triples."""
+        seen = set()
+        normalized = []
+        for name, shape, dtype in specs:
+            if name in seen:
+                raise ValueError(f"duplicate array name {name!r} in shared layout")
+            seen.add(name)
+            normalized.append(ArraySpec(name, tuple(int(d) for d in shape), str(dtype)))
+        return cls(specs=tuple(normalized))
+
+    def offsets(self) -> Dict[str, int]:
+        """Byte offset of every array, each aligned to a cache line."""
+        out: Dict[str, int] = {}
+        offset = 0
+        for spec in self.specs:
+            out[spec.name] = offset
+            offset += spec.nbytes
+            offset += (-offset) % _ALIGN
+        return out
+
+    @property
+    def total_bytes(self) -> int:
+        """Total segment size (shared memory cannot be zero-sized)."""
+        offsets = self.offsets()
+        last = self.specs[-1]
+        return max(offsets[last.name] + last.nbytes, 1)
+
+    def views(self, buffer) -> Dict[str, np.ndarray]:
+        """NumPy views of every array over ``buffer`` (no copies)."""
+        offsets = self.offsets()
+        return {
+            spec.name: np.ndarray(
+                spec.shape, dtype=spec.dtype, buffer=buffer, offset=offsets[spec.name]
+            )
+            for spec in self.specs
+        }
+
+
+def attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach a worker process to the parent's existing segment.
+
+    The parent owns the segment's lifetime (it creates, and later unlinks,
+    exactly once).  On Python 3.13+ the attach opts out of resource tracking
+    with ``track=False``.  Older versions register attachments with the
+    resource tracker too — harmless here, because multiprocessing children
+    share the parent's tracker (its fd is inherited under ``fork`` and passed
+    through spawn preparation data), so the duplicate registration is a
+    set-add no-op and the parent's unlink retires the name exactly once.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:  # Python < 3.13: no track parameter
+        return shared_memory.SharedMemory(name=name)
+
+
+class ShmBlock:
+    """A created-and-owned shared segment with named array views.
+
+    The parent process creates the block (``ShmBlock(layout)``), fills the
+    arrays, hands ``(segment name, layout)`` to the workers, and finally
+    calls :meth:`destroy` to release the physical pages.  Workers never
+    create blocks; they build views with :func:`attach_shm` +
+    :meth:`ShmLayout.views`.
+    """
+
+    def __init__(self, layout: ShmLayout) -> None:
+        self.layout = layout
+        self._shm = shared_memory.SharedMemory(create=True, size=layout.total_bytes)
+        self.arrays = layout.views(self._shm.buf)
+
+    @property
+    def name(self) -> str:
+        """Segment name workers attach to."""
+        return self._shm.name
+
+    def destroy(self) -> None:
+        """Drop the views, close the mapping and unlink the segment.
+
+        Callers must drop any views they pulled out of :attr:`arrays` first;
+        if some survive (e.g. on an error path, pinned by a traceback) the
+        close is skipped — the pages are reclaimed at process exit — but the
+        segment is still unlinked so nothing persists in ``/dev/shm``.
+        """
+        self.arrays = {}
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - views pinned by a traceback
+            pass
+        finally:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+
+    def __enter__(self) -> "ShmBlock":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.destroy()

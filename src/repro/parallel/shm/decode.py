@@ -1,0 +1,353 @@
+"""Shared-memory round-synchronous IBLT recovery: the ``"shm-flat"`` decoder.
+
+Recovery *is* peeling — cells are vertices, keys are edges — so the same
+shared-memory schedule that drives
+:class:`~repro.parallel.shm.peeler.ShmParallelPeeler` drives table recovery.
+The decoder reproduces the flat (whole-table) round schedule of
+:class:`~repro.iblt.parallel_decode.FlatParallelDecoder` bit-for-bit — same
+rounds, same recovered keys, same work and conflict accounting — while
+executing each round across ``num_workers`` processes over one shared
+segment holding the three cell arrays:
+
+1. **scan** — worker ``p`` finds the pure cells in its cell slice and
+   publishes their indices;
+2. *(parent, serial)* — global key deduplication, exactly the flat
+   schedule's compare-and-mark step, plus recovered/removed bookkeeping;
+3. **remove** — worker ``p`` takes a slice of the deduplicated keys,
+   recomputes their cells and checksums, and writes the count/key/checksum
+   updates into its private delta rows;
+4. **apply** — worker ``p`` folds every worker's delta columns into its own
+   cell slice (count by subtraction, key/checksum by XOR — both commutative,
+   so the fold order cannot change the result).
+
+Cross-partition writes only ever travel through the per-worker delta rows,
+mirroring the peeler's degree exchange.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.results import RoundStats
+from repro.kernels.numpy_backend import NumpyKernel
+from repro.parallel.atomics import AtomicConflictTracker
+from repro.parallel.shm.block import ShmBlock, ShmLayout, attach_shm
+from repro.parallel.shm.peeler import partition_bounds, resolve_num_workers
+from repro.parallel.shm.pool import (
+    CMD_RUN,
+    CMD_STOP,
+    DEFAULT_BARRIER_TIMEOUT,
+    ShmWorkerPool,
+)
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ShmFlatDecoder"]
+
+CTRL_CMD = 0
+CTRL_ROUND = 1
+CTRL_NUM_KEYS = 2
+
+
+def _decode_layout(num_cells: int, num_workers: int) -> ShmLayout:
+    return ShmLayout.build(
+        [
+            ("count", (num_cells,), "int64"),
+            ("key_sum", (num_cells,), "uint64"),
+            ("check_sum", (num_cells,), "uint64"),
+            ("pure_idx", (num_cells,), "int64"),
+            ("keys", (num_cells,), "uint64"),
+            ("signs", (num_cells,), "int64"),
+            ("count_delta", (num_workers, num_cells), "int64"),
+            ("key_delta", (num_workers, num_cells), "uint64"),
+            ("check_delta", (num_workers, num_cells), "uint64"),
+            ("counters", (num_workers,), "int64"),
+            ("control", (3,), "int64"),
+        ]
+    )
+
+
+def _decode_worker(
+    worker_id: int, num_workers: int, barrier, timeout: float, payload: Dict[str, Any]
+) -> None:
+    """Worker entry point: attach, run the decode round loop, detach."""
+    segment = attach_shm(payload["segment"])
+    try:
+        _decode_worker_loop(segment, worker_id, num_workers, barrier, timeout, payload)
+    finally:
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - views pinned by a traceback
+            pass
+
+
+def _decode_worker_loop(
+    segment, worker_id: int, num_workers: int, barrier, timeout: float, payload: Dict[str, Any]
+) -> None:
+    views = payload["layout"].views(segment.buf)
+    hasher = payload["hasher"]
+    signed = payload["signed"]
+    kernel = NumpyKernel()
+    clo, chi = payload["cell_bounds"][worker_id], payload["cell_bounds"][worker_id + 1]
+
+    count = views["count"]
+    key_sum = views["key_sum"]
+    check_sum = views["check_sum"]
+    pure_idx = views["pure_idx"]
+    keys = views["keys"]
+    signs = views["signs"]
+    count_delta = views["count_delta"]
+    key_delta = views["key_delta"]
+    check_delta = views["check_delta"]
+    counters = views["counters"]
+    control = views["control"]
+
+    r = hasher.r
+
+    while True:
+        barrier.wait(timeout)  # round start
+        if control[CTRL_CMD] == CMD_STOP:
+            break
+
+        # Phase 1: scan our cell slice for pure cells (absolute indices).
+        pure = kernel.pure_cells(
+            count, key_sum, check_sum, hasher.checksums, signed=signed, start=clo, stop=chi
+        )
+        pure_idx[clo: clo + pure.size] = pure
+        counters[worker_id] = pure.size
+        barrier.wait(timeout)  # parent deduplicates between these barriers
+        barrier.wait(timeout)  # deduplicated keys are now published
+
+        # Phase 2: remove our slice of the deduplicated keys via delta rows.
+        total = int(control[CTRL_NUM_KEYS])
+        chunk_bounds = partition_bounds(total, num_workers)
+        klo, khi = chunk_bounds[worker_id], chunk_bounds[worker_id + 1]
+        my_count = count_delta[worker_id]
+        my_key = key_delta[worker_id]
+        my_check = check_delta[worker_id]
+        my_count[:] = 0
+        my_key[:] = 0
+        my_check[:] = 0
+        if khi > klo:
+            chunk = keys[klo:khi]
+            chunk_signs = signs[klo:khi]
+            cells = hasher.cell_indices(chunk)
+            checks = hasher.checksums(chunk)
+            # The row accumulates the *amounts to subtract*; the apply phase
+            # does ``count -= row``, so signs are added here.
+            np.add.at(my_count, cells.reshape(-1), np.repeat(chunk_signs, r))
+            for j in range(r):
+                np.bitwise_xor.at(my_key, cells[:, j], chunk)
+                np.bitwise_xor.at(my_check, cells[:, j], checks)
+        barrier.wait(timeout)
+
+        # Phase 3: fold every worker's deltas into our cell slice.
+        count[clo:chi] -= count_delta[:, clo:chi].sum(axis=0)
+        key_sum[clo:chi] ^= np.bitwise_xor.reduce(key_delta[:, clo:chi], axis=0)
+        check_sum[clo:chi] ^= np.bitwise_xor.reduce(check_delta[:, clo:chi], axis=0)
+        barrier.wait(timeout)  # round end: the parent may now read the state
+
+
+class ShmFlatDecoder:
+    """Flat round-synchronous IBLT recovery over a shared-memory worker pool.
+
+    Produces results and accounting bit-for-bit identical to
+    :class:`~repro.iblt.parallel_decode.FlatParallelDecoder`, but executes
+    the per-round scan and removal across ``num_workers`` OS processes.
+    Registered as ``"shm-flat"``: ``table.decode(decoder="shm-flat",
+    num_workers=4)``.
+
+    Parameters
+    ----------
+    signed:
+        Treat ``count == −1`` cells as pure as well (difference digests).
+    max_rounds:
+        Safety cap on the number of full rounds.
+    track_conflicts:
+        Record atomic-conflict depths per round (parent-side, identical to
+        the flat decoder's accounting).
+    num_workers:
+        Worker processes sharing the decode (default: the host's CPU count,
+        capped at :data:`~repro.parallel.shm.peeler.DEFAULT_MAX_WORKERS` —
+        the three per-worker delta matrices grow as O(num_workers ·
+        num_cells); an explicit count is not capped).
+    barrier_timeout:
+        Deadlock guard on every barrier wait, in seconds.
+    mp_context:
+        Optional multiprocessing context.
+    """
+
+    def __init__(
+        self,
+        *,
+        signed: bool = True,
+        max_rounds: Optional[int] = None,
+        track_conflicts: bool = True,
+        num_workers: Optional[int] = None,
+        barrier_timeout: float = DEFAULT_BARRIER_TIMEOUT,
+        mp_context: Optional[Any] = None,
+    ) -> None:
+        self.signed = bool(signed)
+        if max_rounds is not None:
+            max_rounds = check_positive_int(max_rounds, "max_rounds")
+        self.max_rounds = max_rounds
+        self.track_conflicts = bool(track_conflicts)
+        self.num_workers = resolve_num_workers(num_workers)
+        self.barrier_timeout = float(barrier_timeout)
+        self.mp_context = mp_context
+
+    def decode(self, iblt, *, in_place: bool = False):
+        """Run shared-memory flat recovery on ``iblt``.
+
+        Returns a :class:`~repro.iblt.parallel_decode.ParallelDecodeResult`.
+        With ``in_place=True`` the table's cell arrays are left in the
+        decoder's final state (empty on success), matching the other
+        decoders' contract.
+        """
+        # Imported here: repro.iblt imports this module at registry set-up.
+        from repro.iblt.iblt import IBLTDecodeResult
+        from repro.iblt.parallel_decode import ParallelDecodeResult
+
+        num_cells = iblt.num_cells
+        num_workers = max(1, min(self.num_workers, num_cells))
+        hasher = iblt.hasher
+        layout = _decode_layout(num_cells, num_workers)
+        cell_bounds = partition_bounds(num_cells, num_workers)
+        limit = self.max_rounds if self.max_rounds is not None else 4 * num_cells + 16
+        tracker = AtomicConflictTracker(num_cells) if self.track_conflicts else None
+
+        recovered: List[np.ndarray] = []
+        removed: List[np.ndarray] = []
+        stats: List[RoundStats] = []
+        cells_scanned = 0
+        rounds_executed = 0
+        items_outstanding = abs(iblt.net_items)
+
+        with ShmBlock(layout) as block:
+            arrays = block.arrays
+            arrays["count"][...] = iblt.count
+            arrays["key_sum"][...] = iblt.key_sum
+            arrays["check_sum"][...] = iblt.check_sum
+            for name in ("pure_idx", "keys", "signs", "count_delta", "key_delta",
+                         "check_delta", "counters", "control"):
+                arrays[name][...] = 0
+            control = arrays["control"]
+            counters = arrays["counters"]
+            count = arrays["count"]
+            key_sum = arrays["key_sum"]
+            check_sum = arrays["check_sum"]
+            pure_idx = arrays["pure_idx"]
+            key_buf = arrays["keys"]
+            sign_buf = arrays["signs"]
+
+            payload = {
+                "segment": block.name,
+                "layout": layout,
+                "hasher": hasher,
+                "signed": self.signed,
+                "cell_bounds": cell_bounds,
+            }
+            with ShmWorkerPool(
+                num_workers,
+                _decode_worker,
+                payload,
+                timeout=self.barrier_timeout,
+                mp_context=self.mp_context,
+            ) as pool:
+                for round_index in range(1, limit + 1):
+                    control[CTRL_CMD] = CMD_RUN
+                    control[CTRL_ROUND] = round_index
+                    cells_scanned += num_cells
+                    pool.sync()  # release the round
+                    pool.sync()  # scan done; workers now idle at the next barrier
+
+                    # Serial step: gather pure cells (ascending, as one full
+                    # scan would produce) and deduplicate the keys — an item
+                    # pure in several cells at once must be removed once.
+                    pure = np.concatenate(
+                        [
+                            pure_idx[cell_bounds[p]: cell_bounds[p] + int(counters[p])]
+                            for p in range(num_workers)
+                        ]
+                    ) if counters.any() else np.empty(0, dtype=np.int64)
+                    if pure.size == 0:
+                        stats.append(
+                            RoundStats(
+                                round_index=round_index,
+                                vertices_peeled=0,
+                                edges_peeled=0,
+                                vertices_remaining=int(np.count_nonzero(count)),
+                                edges_remaining=items_outstanding,
+                                work=num_cells,
+                            )
+                        )
+                        control[CTRL_NUM_KEYS] = 0
+                        pool.sync()  # release the (empty) removal phase
+                        pool.sync()  # removal no-op done
+                        pool.sync()  # apply no-op done
+                        break
+                    keys, first = np.unique(key_sum[pure], return_index=True)
+                    signs = count[pure][first]
+                    positive = keys[signs > 0]
+                    negative = keys[signs < 0]
+                    if positive.size:
+                        recovered.append(positive)
+                    if negative.size:
+                        removed.append(negative)
+                    if tracker is not None:
+                        tracker.record_round(hasher.cell_indices(keys).reshape(-1))
+                    key_buf[: keys.size] = keys
+                    sign_buf[: keys.size] = signs
+                    control[CTRL_NUM_KEYS] = keys.size
+                    pool.sync()  # publish the deduplicated keys
+                    pool.sync()  # removal deltas written
+                    pool.sync()  # deltas applied; cell arrays consistent
+                    rounds_executed = round_index
+                    items_outstanding = max(items_outstanding - int(keys.size), 0)
+                    stats.append(
+                        RoundStats(
+                            round_index=round_index,
+                            vertices_peeled=int(keys.size),
+                            edges_peeled=int(keys.size),
+                            vertices_remaining=int(np.count_nonzero(count)),
+                            edges_remaining=items_outstanding,
+                            work=num_cells,
+                        )
+                    )
+                else:  # pragma: no cover - defensive
+                    raise RuntimeError(
+                        f"shm-flat recovery did not terminate within {limit} rounds"
+                    )
+                control[CTRL_CMD] = CMD_STOP
+                pool.sync()  # workers observe the stop command and exit
+                pool.join()
+
+            final_count = count.copy()
+            final_key_sum = key_sum.copy()
+            final_check_sum = check_sum.copy()
+            # Drop parent-side views before the block closes its mapping.
+            del control, counters, count, key_sum, check_sum, pure_idx, key_buf, sign_buf
+            arrays = None
+
+        if in_place:
+            iblt.count[...] = final_count
+            iblt.key_sum[...] = final_key_sum
+            iblt.check_sum[...] = final_check_sum
+
+        success = bool(
+            not final_count.any() and not final_key_sum.any() and not final_check_sum.any()
+        )
+        decode = IBLTDecodeResult(
+            recovered=np.concatenate(recovered) if recovered else np.empty(0, dtype=np.uint64),
+            removed=np.concatenate(removed) if removed else np.empty(0, dtype=np.uint64),
+            success=success,
+            rounds=rounds_executed,
+            subrounds=rounds_executed,
+            cells_scanned=cells_scanned,
+        )
+        return ParallelDecodeResult(
+            decode=decode,
+            round_stats=stats,
+            conflict_depths=tracker.round_depths if tracker is not None else [],
+        )

@@ -1,0 +1,326 @@
+"""Shared-memory intra-trial parallel peeling: the ``"shm-parallel"`` engine.
+
+Everything the repo had before this module parallelizes *across* trials;
+this engine parallelizes *one* peel, which is where the paper's result
+actually lives: round-synchronous peeling converges in ~(1/2)·log log n
+rounds when every vertex gets a processor.  The schedule is the PRAM/GPU
+one, mapped onto ``P`` worker processes over a shared-memory
+:class:`~repro.kernels.state.PeelState` laid out columnarly in one segment
+(:mod:`repro.parallel.shm.block`):
+
+* vertices and edges are partitioned into ``P`` contiguous slices;
+* each round runs three barrier-separated phases — the partitioned variant
+  of :func:`repro.kernels.rounds.peel_subround`:
+
+  1. **find/kill vertices** — worker ``p`` scans its vertex slice for
+     ``alive & degree < k``, marks them dead, stamps their peel round and
+     publishes a shared removable mask;
+  2. **kill edges + scatter** — worker ``p`` scans its *edge* slice for live
+     edges with a removable endpoint, kills them, and writes the degree
+     decrements for *all* their endpoints into its private per-round delta
+     row (cross-partition updates are exchanged through these buffers —
+     no worker ever writes another worker's slice directly);
+  3. **apply deltas** — worker ``p`` folds every worker's delta column
+     restricted to its own vertex slice into the shared degree vector and
+     clears its removable-mask slice for the next round.
+
+The parent process never touches the big arrays during a round; it drives
+the barrier, aggregates the per-worker counters into the same
+:class:`~repro.core.results.RoundStats` accounting the in-process
+:class:`~repro.core.peeling.ParallelPeeler` produces, and decides
+termination.  The result is bit-for-bit identical to
+``ParallelPeeler(update="full")`` — same rounds, same removals, same work
+terms, same peel-round arrays — which the golden-fingerprint parity suite
+pins.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.results import UNPEELED, PeelingResult, RoundStats
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.parallel.shm.block import ShmBlock, ShmLayout, attach_shm
+from repro.parallel.shm.pool import (
+    CMD_RUN,
+    CMD_STOP,
+    DEFAULT_BARRIER_TIMEOUT,
+    ShmWorkerPool,
+)
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ShmParallelPeeler", "partition_bounds", "resolve_num_workers"]
+
+#: Control-word slots (the parent writes, workers read after the round barrier).
+CTRL_CMD = 0
+CTRL_ROUND = 1
+
+#: Per-worker counter columns.
+COUNTER_REMOVED = 0
+COUNTER_DYING = 1
+
+
+def partition_bounds(total: int, parts: int) -> List[int]:
+    """Even contiguous split: ``parts + 1`` bounds with ``bounds[p] <= bounds[p+1]``."""
+    return [(p * total) // parts for p in range(parts + 1)]
+
+
+DEFAULT_MAX_WORKERS = 8
+"""Cap on the *default* worker count.  Per-worker delta buffers make the
+shared segment and the per-round fold cost O(num_workers · n), so an
+uncapped ``os.cpu_count()`` default would allocate hundreds of megabytes
+and invert the speedup on many-core hosts (and overflow small ``/dev/shm``
+mounts in containers).  An explicit ``num_workers`` is never capped."""
+
+
+def resolve_num_workers(num_workers: Optional[int]) -> int:
+    """Default the worker count to the host's cores, capped at
+    :data:`DEFAULT_MAX_WORKERS` (always at least 1)."""
+    if num_workers is None:
+        return max(1, min(os.cpu_count() or 1, DEFAULT_MAX_WORKERS))
+    return check_positive_int(num_workers, "num_workers")
+
+
+def _peel_layout(n: int, m: int, r: int, num_workers: int) -> ShmLayout:
+    return ShmLayout.build(
+        [
+            ("edges", (m, r), "int64"),
+            ("degrees", (n,), "int64"),
+            ("vertex_alive", (n,), "bool"),
+            ("edge_alive", (m,), "bool"),
+            ("vertex_peel_round", (n,), "int64"),
+            ("edge_peel_round", (m,), "int64"),
+            ("removable_mask", (n,), "bool"),
+            ("deltas", (num_workers, n), "int64"),
+            ("counters", (num_workers, 2), "int64"),
+            ("control", (2,), "int64"),
+        ]
+    )
+
+
+def _peel_worker(
+    worker_id: int, num_workers: int, barrier, timeout: float, payload: Dict[str, Any]
+) -> None:
+    """Worker entry point: attach to the segment, run the round loop, detach."""
+    segment = attach_shm(payload["segment"])
+    try:
+        # The loop body lives in its own frame so that its array views are
+        # gone by the time the mapping is closed (else close() raises
+        # BufferError for the exported buffers).
+        _peel_worker_loop(segment, worker_id, barrier, timeout, payload)
+    finally:
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - views pinned by a traceback
+            pass
+
+
+def _peel_worker_loop(
+    segment, worker_id: int, barrier, timeout: float, payload: Dict[str, Any]
+) -> None:
+    """Round loop of one shm peeling worker (see the module docstring)."""
+    views = payload["layout"].views(segment.buf)
+    k = payload["k"]
+    n = views["degrees"].shape[0]
+    vlo, vhi = payload["vertex_bounds"][worker_id], payload["vertex_bounds"][worker_id + 1]
+    elo, ehi = payload["edge_bounds"][worker_id], payload["edge_bounds"][worker_id + 1]
+
+    edges = views["edges"]
+    degrees = views["degrees"]
+    vertex_alive = views["vertex_alive"]
+    edge_alive = views["edge_alive"]
+    vertex_peel_round = views["vertex_peel_round"]
+    edge_peel_round = views["edge_peel_round"]
+    removable_mask = views["removable_mask"]
+    deltas = views["deltas"]
+    counters = views["counters"]
+    control = views["control"]
+
+    edge_slice = edges[elo:ehi]
+    empty_endpoints = np.empty(0, dtype=np.int64)
+
+    while True:
+        barrier.wait(timeout)  # round start: the control word is now set
+        if control[CTRL_CMD] == CMD_STOP:
+            break
+        round_index = int(control[CTRL_ROUND])
+
+        # Phase 1: find and kill removable vertices in our vertex slice.
+        local_removable = vertex_alive[vlo:vhi] & (degrees[vlo:vhi] < k)
+        removable_mask[vlo:vhi] = local_removable
+        removed = np.flatnonzero(local_removable) + vlo
+        vertex_alive[removed] = False
+        vertex_peel_round[removed] = round_index
+        counters[worker_id, COUNTER_REMOVED] = removed.size
+        barrier.wait(timeout)
+
+        # Phase 2: kill dying edges in our edge slice, publish degree deltas.
+        if ehi > elo:
+            dying_local = edge_alive[elo:ehi] & removable_mask[edge_slice].any(axis=1)
+            dying = np.flatnonzero(dying_local) + elo
+            endpoints = edges[dying].reshape(-1) if dying.size else empty_endpoints
+        else:
+            dying = empty_endpoints
+            endpoints = empty_endpoints
+        edge_alive[dying] = False
+        edge_peel_round[dying] = round_index
+        deltas[worker_id, :] = np.bincount(endpoints, minlength=n)
+        counters[worker_id, COUNTER_DYING] = dying.size
+        barrier.wait(timeout)
+
+        # Phase 3: fold every worker's deltas into our degree slice and
+        # reset our removable-mask slice for the next round.
+        degrees[vlo:vhi] -= deltas[:, vlo:vhi].sum(axis=0)
+        removable_mask[vlo:vhi] = False
+        barrier.wait(timeout)  # round end: the parent may now read counters
+
+
+class ShmParallelPeeler:
+    """Round-synchronous peeling with intra-trial shared-memory parallelism.
+
+    Runs the same process as :class:`~repro.core.peeling.ParallelPeeler` with
+    ``update="full"`` and produces bit-for-bit identical results and
+    accounting, but executes every round across ``num_workers`` OS processes
+    sharing one zero-copy state segment.  Pick it for single large peels on
+    multi-core hosts; for many independent trials, trial-level parallelism
+    (``peel_many(..., backend="processes")``) remains the better fit — see
+    EXPERIMENTS.md ("Intra-trial parallelism").
+
+    Parameters
+    ----------
+    k:
+        Degree threshold; vertices of degree ``< k`` are removed each round.
+    num_workers:
+        Worker processes sharing the peel (default: the host's CPU count,
+        capped at :data:`DEFAULT_MAX_WORKERS` — segment size and per-round
+        fold cost grow as O(num_workers · n); an explicit count is not
+        capped).
+    max_rounds:
+        Safety cap on rounds (defaults to ``4 * n + 16`` at run time).
+    track_stats:
+        Record per-round :class:`~repro.core.results.RoundStats`.
+    barrier_timeout:
+        Seconds any single round barrier may take before the run is aborted
+        with :class:`~repro.parallel.shm.pool.ShmPoolError` (deadlock guard).
+    mp_context:
+        Optional multiprocessing context (``fork`` on Linux by default).
+    """
+
+    def __init__(
+        self,
+        k: int,
+        *,
+        num_workers: Optional[int] = None,
+        max_rounds: Optional[int] = None,
+        track_stats: bool = True,
+        barrier_timeout: float = DEFAULT_BARRIER_TIMEOUT,
+        mp_context: Optional[Any] = None,
+    ) -> None:
+        self.k = check_positive_int(k, "k")
+        self.num_workers = resolve_num_workers(num_workers)
+        if max_rounds is not None:
+            max_rounds = check_positive_int(max_rounds, "max_rounds")
+        self.max_rounds = max_rounds
+        self.track_stats = bool(track_stats)
+        self.barrier_timeout = float(barrier_timeout)
+        self.mp_context = mp_context
+
+    def peel(self, graph: Hypergraph) -> PeelingResult:
+        """Run the shared-memory parallel peeling process on ``graph``."""
+        k = self.k
+        n = graph.num_vertices
+        m = graph.num_edges
+        r = graph.edge_size
+        # More workers than vertices would only add idle barrier parties.
+        num_workers = max(1, min(self.num_workers, n)) if n else 1
+
+        layout = _peel_layout(n, m, r, num_workers)
+        limit = self.max_rounds if self.max_rounds is not None else 4 * max(n, 1) + 16
+        stats: List[RoundStats] = []
+        rounds = 0
+        vertices_remaining = n
+        edges_remaining = m
+
+        with ShmBlock(layout) as block:
+            arrays = block.arrays
+            arrays["edges"][...] = graph.edges
+            arrays["degrees"][...] = graph.degrees()
+            arrays["vertex_alive"][...] = True
+            arrays["edge_alive"][...] = True
+            arrays["vertex_peel_round"][...] = UNPEELED
+            arrays["edge_peel_round"][...] = UNPEELED
+            arrays["removable_mask"][...] = False
+            arrays["deltas"][...] = 0
+            arrays["counters"][...] = 0
+            control = arrays["control"]
+            control[...] = 0
+
+            payload = {
+                "segment": block.name,
+                "layout": layout,
+                "k": k,
+                "vertex_bounds": partition_bounds(n, num_workers),
+                "edge_bounds": partition_bounds(m, num_workers),
+            }
+            with ShmWorkerPool(
+                num_workers,
+                _peel_worker,
+                payload,
+                timeout=self.barrier_timeout,
+                mp_context=self.mp_context,
+            ) as pool:
+                counters = arrays["counters"]
+                for round_index in range(1, limit + 1):
+                    control[CTRL_CMD] = CMD_RUN
+                    control[CTRL_ROUND] = round_index
+                    examined = vertices_remaining  # full-scan work term
+                    pool.sync()  # release the round
+                    pool.sync()  # phase 1 done: vertices killed
+                    pool.sync()  # phase 2 done: edges killed, deltas published
+                    pool.sync()  # phase 3 done: degrees consistent
+                    removed = int(counters[:, COUNTER_REMOVED].sum())
+                    dying = int(counters[:, COUNTER_DYING].sum())
+                    if removed == 0:
+                        break
+                    rounds = round_index
+                    vertices_remaining -= removed
+                    edges_remaining -= dying
+                    if self.track_stats:
+                        stats.append(
+                            RoundStats(
+                                round_index=round_index,
+                                vertices_peeled=removed,
+                                edges_peeled=dying,
+                                vertices_remaining=vertices_remaining,
+                                edges_remaining=edges_remaining,
+                                work=examined,
+                            )
+                        )
+                else:  # pragma: no cover - loop exhausted without fixed point
+                    raise RuntimeError(
+                        f"shm-parallel peeling did not reach a fixed point within {limit} rounds"
+                    )
+                control[CTRL_CMD] = CMD_STOP
+                pool.sync()  # workers observe the stop command and exit
+                pool.join()
+
+            vertex_peel_round = arrays["vertex_peel_round"].copy()
+            edge_peel_round = arrays["edge_peel_round"].copy()
+            # Drop every parent-side view before the block closes its mapping
+            # (a mapping with exported buffers cannot be closed).
+            del control, counters
+            arrays = None
+
+        return PeelingResult(
+            k=k,
+            mode="shm-parallel",
+            num_rounds=rounds,
+            num_subrounds=rounds,
+            success=edges_remaining == 0,
+            vertex_peel_round=vertex_peel_round,
+            edge_peel_round=edge_peel_round,
+            round_stats=stats,
+        )

@@ -1,0 +1,144 @@
+"""Persistent, barrier-synchronized worker pool for the shm engines.
+
+The paper's schedule is SPMD: every (virtual) processor runs the same round
+program on its own slice of the state, separated by global barriers.  A
+:class:`ShmWorkerPool` reproduces that shape with real processes: ``P``
+workers are spawned once, attach to the parent's shared-memory block, and
+then loop over rounds driven entirely by one reusable
+:class:`multiprocessing.Barrier` — no per-round pickling, no per-round
+process start-up, no queues on the hot path.
+
+Deadlock safety: every barrier wait (parent and workers alike) carries a
+timeout, and a worker that raises aborts the barrier before dying, so a bug
+in a phase function surfaces as :class:`ShmPoolError` within seconds instead
+of hanging the calling test or job forever.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import traceback
+from threading import BrokenBarrierError
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["ShmPoolError", "ShmWorkerPool", "DEFAULT_BARRIER_TIMEOUT"]
+
+DEFAULT_BARRIER_TIMEOUT = 60.0
+"""Seconds any single barrier wait may take before the run is declared dead."""
+
+#: Control-word commands (index 0 of the engines' ``control`` array).
+CMD_RUN = 0
+CMD_STOP = 1
+
+
+class ShmPoolError(RuntimeError):
+    """A worker died, or a barrier wait timed out (likely deadlock)."""
+
+
+WorkerFn = Callable[[int, int, Any, float, Dict[str, Any]], None]
+"""Worker entry point: ``fn(worker_id, num_workers, barrier, timeout, payload)``.
+
+Must be a module-level function (pickled under the ``spawn`` start method);
+``payload`` is a dict of picklable run parameters, typically the shared
+segment name, its :class:`~repro.parallel.shm.block.ShmLayout` and the
+worker's slice bounds.
+"""
+
+
+def _worker_main(
+    fn: WorkerFn,
+    worker_id: int,
+    num_workers: int,
+    barrier,
+    timeout: float,
+    payload: Dict[str, Any],
+) -> None:
+    try:
+        fn(worker_id, num_workers, barrier, timeout, payload)
+    except BrokenBarrierError:  # parent (or a sibling) already gave up
+        pass
+    except BaseException:
+        traceback.print_exc()
+        barrier.abort()  # wake everyone else so the failure is visible at once
+        raise
+
+
+class ShmWorkerPool:
+    """``P`` persistent worker processes plus the parent behind one barrier.
+
+    Parameters
+    ----------
+    num_workers:
+        Number of worker processes (the barrier has ``num_workers + 1``
+        parties — the parent participates in every round).
+    worker_fn:
+        Module-level :data:`WorkerFn` each worker runs for the whole session.
+    payload:
+        Picklable parameters passed to every worker.
+    timeout:
+        Per-barrier-wait timeout in seconds.
+    mp_context:
+        Optional :func:`multiprocessing.get_context` instance (``fork`` on
+        Linux by default; the pool is spawn-safe).
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        worker_fn: WorkerFn,
+        payload: Dict[str, Any],
+        *,
+        timeout: float = DEFAULT_BARRIER_TIMEOUT,
+        mp_context: Optional[Any] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        ctx = mp_context if mp_context is not None else mp.get_context()
+        self.num_workers = num_workers
+        self.timeout = float(timeout)
+        self._barrier = ctx.Barrier(num_workers + 1)
+        self._procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(worker_fn, w, num_workers, self._barrier, self.timeout, payload),
+                daemon=True,
+            )
+            for w in range(num_workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+
+    def sync(self) -> None:
+        """Join the next barrier round (parent side)."""
+        try:
+            self._barrier.wait(self.timeout)
+        except BrokenBarrierError:
+            self.terminate()
+            raise ShmPoolError(
+                "shm worker pool barrier broken: a worker process failed or a "
+                f"barrier wait exceeded {self.timeout:.0f}s (deadlock guard); "
+                "see worker traceback on stderr"
+            ) from None
+
+    def join(self, grace: float = 10.0) -> None:
+        """Wait for workers to exit after the stop command was synced."""
+        for proc in self._procs:
+            proc.join(timeout=grace)
+        self.terminate()
+
+    def terminate(self) -> None:
+        """Force-kill any worker still alive (idempotent)."""
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            if proc.is_alive():  # pragma: no cover - terminate is near-instant
+                proc.join(timeout=1.0)
+
+    def __enter__(self) -> "ShmWorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._barrier.abort()
+        self.terminate()

@@ -3,6 +3,11 @@
 from __future__ import annotations
 
 import functools
+import gc
+import os
+import time
+import warnings
+from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
@@ -12,6 +17,8 @@ from repro.parallel.backend import (
     ProcessPoolBackend,
     SerialBackend,
     ThreadPoolBackend,
+    _consume_future_exception,
+    _stream_completions,
     available_backends,
     get_backend,
     register_backend,
@@ -21,6 +28,17 @@ from repro.parallel.backend import (
 
 def _square(x: int) -> int:
     # Module-level so the process pool can pickle it.
+    return x * x
+
+
+def _square_or_boom(x: int) -> int:
+    if x % 3 == 2:
+        raise ValueError(f"boom on {x}")
+    return x * x
+
+
+def _slow_square(x: int) -> int:
+    time.sleep(0.05)
     return x * x
 
 
@@ -116,6 +134,98 @@ class TestRunTrialsBackendNames:
         run_trials(_rng_draw, 3, seed=1, backend=backend)
         assert backend._executor is not None  # not closed by run_trials
         backend.close()
+
+
+class TestThreadPoolDefaults:
+    def test_default_tracks_host_cores(self):
+        # Regression: the thread pool used to hardcode max_workers=4 while
+        # the process pool followed the host; both now track os.cpu_count().
+        assert ThreadPoolBackend().max_workers == (os.cpu_count() or 1)
+        assert ThreadPoolBackend().max_workers == ProcessPoolBackend().max_workers
+
+    def test_explicit_worker_count_still_honoured(self):
+        assert ThreadPoolBackend(max_workers=3).max_workers == 3
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            ThreadPoolBackend(max_workers=0)
+
+
+class _RecordingExecutor:
+    """Pass-through executor that remembers every future it handed out."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.futures = []
+
+    def submit(self, work, *args):
+        future = self.inner.submit(work, *args)
+        self.futures.append(future)
+        return future
+
+
+class TestStreamCompletionExceptionHygiene:
+    """Regression: abandoned futures must never hold unretrieved exceptions."""
+
+    def test_exception_consumer_runs_on_every_future(self, monkeypatch):
+        # The consumer fires exactly once per submitted future — including
+        # the ones cancelled after the first failure aborts the iteration.
+        import repro.parallel.backend as backend_mod
+
+        seen = []
+        real = backend_mod._consume_future_exception
+        monkeypatch.setattr(
+            backend_mod, "_consume_future_exception",
+            lambda future: (seen.append(future), real(future))[-1],
+        )
+        with ThreadPoolExecutor(max_workers=1) as inner:
+            recorder = _RecordingExecutor(inner)
+            with pytest.raises(ValueError, match="boom"):
+                list(_stream_completions(recorder, _square_or_boom, list(range(9))))
+        # Executor shutdown has drained the queue: every future — completed,
+        # failed or cancelled — has notified its callbacks by now.
+        assert len(recorder.futures) == 9
+        assert set(seen) == set(recorder.futures)
+
+    def test_worker_failure_leaves_no_unretrieved_exceptions(self):
+        # Futures that completed with an exception no consumer pulled (the
+        # iteration stopped at the first failure) have it retrieved by the
+        # done-callback; a full GC pass must not surface anything.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with ThreadPoolBackend(max_workers=2) as backend:
+                with pytest.raises(ValueError, match="boom"):
+                    for _ in backend.imap_unordered(_square_or_boom, list(range(12))):
+                        pass
+            gc.collect()
+
+    def test_early_close_cancels_pending_futures(self):
+        with ThreadPoolExecutor(max_workers=1) as inner:
+            recorder = _RecordingExecutor(inner)
+            stream = _stream_completions(recorder, _slow_square, list(range(20)))
+            index, value = next(stream)
+            assert value == index**2
+            stream.close()  # consumer abandons the iterator mid-stream
+            # With one worker, items queued behind the in-flight one are
+            # cancelled the moment the generator is closed.
+            assert any(future.cancelled() for future in recorder.futures)
+
+    def test_early_close_emits_no_warnings(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with ThreadPoolBackend(max_workers=2) as backend:
+                iterator = backend.imap_unordered(_square_or_boom, [0, 1, 3, 4, 6, 7])
+                next(iterator)
+                iterator.close()
+            gc.collect()
+
+    def test_consumer_skips_cancelled_futures(self):
+        with ThreadPoolExecutor(max_workers=1) as executor:
+            blocker = executor.submit(time.sleep, 0.2)
+            cancelled = executor.submit(_square, 3)
+            assert cancelled.cancel()
+            _consume_future_exception(cancelled)  # must not raise CancelledError
+            blocker.result()
 
 
 class TestProcessPool:

@@ -14,7 +14,9 @@ from repro.kernels import available_kernels
 @pytest.fixture(scope="module")
 def payload():
     """One tiny benchmark run shared by the assertions below."""
-    return run_benchmarks(sizes=(300,), repeats=1, batch=2)
+    return run_benchmarks(
+        sizes=(300,), repeats=1, batch=2, intra_sizes=(300,), intra_workers=(2,)
+    )
 
 
 class TestRunBenchmarks:
@@ -27,7 +29,14 @@ class TestRunBenchmarks:
 
     def test_all_sections_present(self, payload):
         sections = {record["section"] for record in payload["results"]}
-        assert sections == {"peel", "peel_many", "iblt_decode"}
+        assert sections == {"peel", "peel_many", "iblt_decode", "intra_trial"}
+
+    def test_intra_trial_compares_serial_baseline_to_shm(self, payload):
+        records = [r for r in payload["results"] if r["section"] == "intra_trial"]
+        combos = {(r["engine"], r["workers"]) for r in records}
+        assert combos == {("parallel", None), ("shm-parallel", 2)}
+        rounds = {r["rounds"] for r in records}
+        assert len(rounds) == 1  # identical graph, identical process
 
     def test_peel_covers_engines_times_kernels(self, payload):
         combos = {
@@ -58,7 +67,9 @@ class TestRunBenchmarks:
             assert record["seconds"] > 0
 
     def test_kernel_subset_selectable(self):
-        run = run_benchmarks(sizes=(300,), kernels=("numpy",), repeats=1, batch=2)
+        run = run_benchmarks(
+            sizes=(300,), kernels=("numpy",), repeats=1, batch=2, intra_sizes=(300,)
+        )
         assert run["meta"]["kernels"] == ["numpy"]
         assert {r["kernel"] for r in run["results"]} == {"numpy", None}
 
@@ -69,8 +80,9 @@ class TestRunBenchmarks:
 
     def test_format_results_mentions_every_section(self, payload):
         report = format_results(payload)
-        for section in ("peel", "peel_many", "iblt_decode"):
+        for section in ("peel", "peel_many", "iblt_decode", "intra_trial"):
             assert section in report
+        assert "shm-parallel[w=2]" in report
 
 
 class TestComparePayloads:
@@ -123,12 +135,14 @@ class TestComparePayloads:
 
     def test_resumable_artifact(self, tmp_path):
         artifact = tmp_path / "bench_sweep.json"
-        first = run_benchmarks(sizes=(300,), repeats=1, batch=2, artifact=artifact)
+        first = run_benchmarks(
+            sizes=(300,), repeats=1, batch=2, intra_sizes=(300,), artifact=artifact
+        )
 
         calls = []
         second = run_benchmarks(
-            sizes=(300,), repeats=1, batch=2, artifact=artifact, resume=True,
-            progress=calls.append,
+            sizes=(300,), repeats=1, batch=2, intra_sizes=(300,), artifact=artifact,
+            resume=True, progress=calls.append,
         )
         assert all(event.cached for event in calls)
         assert second["results"] == first["results"]

@@ -34,6 +34,55 @@ class TestSplitmix:
         assert out.dtype == np.uint64
 
 
+class TestSeedOverflow:
+    """Regression: seeds outside [0, 2**64) must wrap, not raise.
+
+    ``np.uint64(seed)`` raises ``OverflowError`` on negative or ``>= 2**64``
+    inputs — values seed-derivation arithmetic (XOR offsets, subtraction)
+    can easily produce.
+    """
+
+    def test_negative_seed_accepted_and_wraps(self):
+        keys = np.arange(1, 50, dtype=np.uint64)
+        assert np.array_equal(splitmix64(keys, seed=-1), splitmix64(keys, seed=2**64 - 1))
+
+    def test_huge_seed_accepted_and_wraps(self):
+        keys = np.arange(1, 50, dtype=np.uint64)
+        assert np.array_equal(splitmix64(keys, seed=2**64 + 5), splitmix64(keys, seed=5))
+
+    def test_scalar_path_negative_seed(self):
+        out = splitmix64(12345, seed=-3)
+        assert isinstance(out, np.uint64)
+        assert out == splitmix64(12345, seed=2**64 - 3)
+
+    def test_checksum_negative_seed(self):
+        # checksum_keys XORs the seed before hashing; XOR of a negative int
+        # is congruent mod 2**64 with XOR of its wrapped counterpart.
+        assert checksum_keys(42, seed=-1) == checksum_keys(42, seed=2**64 - 1)
+
+    def test_keyhasher_negative_seed(self):
+        keys = np.arange(1, 101, dtype=np.uint64)
+        hasher = KeyHasher(300, 3, seed=-7)
+        cells = hasher.cell_indices(keys)
+        assert cells.min() >= 0 and cells.max() < 300
+        assert np.array_equal(cells, KeyHasher(300, 3, seed=-7).cell_indices(keys))
+
+    def test_keyhasher_huge_seed_wraps_like_derive_seed(self):
+        keys = np.arange(1, 101, dtype=np.uint64)
+        a = KeyHasher(300, 3, seed=2**64 + 9).cell_indices(keys)
+        b = KeyHasher(300, 3, seed=9).cell_indices(keys)
+        assert np.array_equal(a, b)
+
+    def test_iblt_round_trips_with_negative_seed(self):
+        from repro.iblt import IBLT
+
+        table = IBLT(300, 3, seed=-11)
+        table.insert([5, 6, 7])
+        result = table.decode(decoder="serial")
+        assert result.success
+        assert sorted(int(k) for k in result.recovered) == [5, 6, 7]
+
+
 class TestChecksum:
     def test_checksum_differs_from_hash(self):
         keys = np.arange(1, 1000, dtype=np.uint64)

@@ -1,0 +1,185 @@
+"""Tests for the shared-memory IBLT decoder (``"shm-flat"``).
+
+The contract: identical results *and accounting* to the in-process flat
+round-synchronous decoder at every worker count, plus the flat-layout
+self-collision coverage — a key whose hashes land in the same cell must
+decode the same way under every decoder that supports its layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.iblt import IBLT, available_decoders
+from repro.iblt.parallel_decode import FlatParallelDecoder
+from repro.parallel.shm import ShmFlatDecoder
+
+TIMEOUT = 30.0
+
+
+def _loaded_table(num_cells: int, r: int, load: float, seed: int, layout: str = "subtables") -> IBLT:
+    table = IBLT(num_cells, r, seed=seed, layout=layout)
+    num_keys = int(load * num_cells)
+    keys = (np.arange(1, num_keys + 1, dtype=np.uint64) * np.uint64(2654435761)) | np.uint64(1)
+    table.insert(keys)
+    return table
+
+
+def _assert_same_decode(got, ref):
+    assert got.rounds == ref.rounds
+    assert got.subrounds == ref.subrounds
+    assert got.success == ref.success
+    assert np.array_equal(got.recovered, ref.recovered)
+    assert np.array_equal(got.removed, ref.removed)
+    assert got.decode.cells_scanned == ref.decode.cells_scanned
+    assert got.round_stats == ref.round_stats
+    assert got.conflict_depths == ref.conflict_depths
+
+
+class TestParity:
+    @pytest.mark.parametrize("num_workers", [1, 2, 3])
+    def test_matches_flat_decoder(self, num_workers):
+        table = _loaded_table(3000, 3, 0.75, 31)
+        ref = FlatParallelDecoder().decode(table)
+        got = ShmFlatDecoder(num_workers=num_workers, barrier_timeout=TIMEOUT).decode(table)
+        _assert_same_decode(got, ref)
+
+    def test_flat_layout_table(self):
+        table = _loaded_table(999, 3, 0.6, 7, layout="flat")
+        ref = FlatParallelDecoder().decode(table)
+        got = ShmFlatDecoder(num_workers=2, barrier_timeout=TIMEOUT).decode(table)
+        _assert_same_decode(got, ref)
+
+    def test_signed_difference_digest(self):
+        a = _loaded_table(600, 3, 0.5, 3)
+        b = IBLT(600, 3, seed=3)
+        b.insert([11, 22, 33])
+        diff = a.subtract(b)
+        ref = FlatParallelDecoder().decode(diff)
+        got = ShmFlatDecoder(num_workers=2, barrier_timeout=TIMEOUT).decode(diff)
+        _assert_same_decode(got, ref)
+        assert got.removed.size  # net-deleted keys decode with negative sign
+
+    def test_overloaded_table_fails_identically(self):
+        table = _loaded_table(300, 3, 1.5, 13)  # far above the threshold
+        ref = FlatParallelDecoder().decode(table)
+        got = ShmFlatDecoder(num_workers=2, barrier_timeout=TIMEOUT).decode(table)
+        assert not got.success
+        _assert_same_decode(got, ref)
+
+    def test_empty_table(self):
+        table = IBLT(90, 3, seed=1)
+        got = ShmFlatDecoder(num_workers=2, barrier_timeout=TIMEOUT).decode(table)
+        assert got.success and got.rounds == 0 and got.num_recovered == 0
+
+    def test_in_place_consumes_table(self):
+        table = IBLT(600, 3, seed=5)
+        table.insert([3, 9, 27])
+        got = ShmFlatDecoder(num_workers=2, barrier_timeout=TIMEOUT).decode(table, in_place=True)
+        assert got.success
+        assert table.is_empty()
+
+    def test_track_conflicts_off(self):
+        table = _loaded_table(300, 3, 0.5, 2)
+        got = ShmFlatDecoder(
+            num_workers=2, track_conflicts=False, barrier_timeout=TIMEOUT
+        ).decode(table)
+        assert got.conflict_depths == []
+        assert got.success
+
+
+class TestWiring:
+    def test_registered(self):
+        assert "shm-flat" in available_decoders()
+
+    def test_decode_front_door(self):
+        table = _loaded_table(600, 3, 0.5, 4)
+        got = table.decode(decoder="shm-flat", num_workers=2, barrier_timeout=TIMEOUT)
+        ref = table.decode(decoder="flat")
+        _assert_same_decode(got, ref)
+
+    def test_serial_agreement(self):
+        table = _loaded_table(600, 3, 0.6, 8)
+        serial = table.decode(decoder="serial")
+        got = table.decode(decoder="shm-flat", num_workers=2, barrier_timeout=TIMEOUT)
+        assert got.success == serial.success
+        assert np.array_equal(np.sort(got.recovered), np.sort(serial.recovered))
+
+
+def _find_self_colliding_key(hasher, num_cells: int) -> int:
+    """A key with a duplicate endpoint (two of its r hashes share one cell)."""
+    for key in range(1, 200_000):
+        cells = hasher.cell_indices(np.asarray([key], dtype=np.uint64))[0]
+        if np.unique(cells).size == cells.size - 1:
+            return key
+    raise AssertionError("no self-colliding key found (hash family changed?)")
+
+
+class TestFlatSelfCollision:
+    """Satellite coverage: a duplicate-endpoint key must decode everywhere.
+
+    In the flat layout a key's ``r`` hashes may land in the same cell —
+    the hypergraph edge has a duplicate endpoint (the remark after the
+    paper's Theorem 1).  Such a key contributes count 2 to the shared cell,
+    so only its third cell is ever pure; peeling it must still zero the
+    duplicate cell (two XORs of the same key cancel).  The same key stored
+    in the subtable layout cannot self-collide, and the subtable decoder
+    must recover it identically.
+    """
+
+    NUM_CELLS = 60
+    R = 3
+    SEED = 2024
+
+    def _flat_table(self):
+        table = IBLT(self.NUM_CELLS, self.R, layout="flat", seed=self.SEED)
+        key = _find_self_colliding_key(table.hasher, self.NUM_CELLS)
+        table.insert([key])
+        return table, key
+
+    def test_key_actually_self_collides(self):
+        table, key = self._flat_table()
+        cells = table.hasher.cell_indices(np.asarray([key], dtype=np.uint64))[0]
+        assert np.unique(cells).size == 2  # exactly one duplicated endpoint
+        shared = int(np.argmax(np.bincount(cells.astype(np.int64))))  # the duplicated cell id
+        assert table.count[shared] == 2
+        assert table.key_sum[shared] == 0  # the key XORed itself out
+
+    @pytest.mark.parametrize("decoder_kwargs", [
+        {"decoder": "serial"},
+        {"decoder": "flat"},
+        {"decoder": "shm-flat", "num_workers": 2, "barrier_timeout": TIMEOUT},
+    ])
+    def test_flat_layout_decoders_recover_the_key(self, decoder_kwargs):
+        table, key = self._flat_table()
+        result = table.decode(**decoder_kwargs)
+        assert result.success
+        assert sorted(int(k) for k in result.recovered) == [key]
+
+    def test_subtable_layout_decodes_same_key(self):
+        flat_table, key = self._flat_table()
+        num_cells = self.NUM_CELLS - self.NUM_CELLS % self.R
+        sub_table = IBLT(num_cells, self.R, layout="subtables", seed=self.SEED)
+        sub_table.insert([key])
+        result = sub_table.decode(decoder="subtable")
+        flat_result = flat_table.decode(decoder="flat")
+        assert result.success and flat_result.success
+        assert np.array_equal(np.sort(result.recovered), np.sort(flat_result.recovered))
+
+    def test_self_collision_among_many_keys(self):
+        table, key = self._flat_table()
+        extra = [int(k) for k in range(1000, 1020) if k != key]
+        table.insert(extra)
+        expected = sorted([key, *extra])
+        for kwargs in (
+            {"decoder": "flat"},
+            {"decoder": "shm-flat", "num_workers": 2, "barrier_timeout": TIMEOUT},
+        ):
+            result = table.decode(**kwargs)
+            if result.success:  # tiny tables can legitimately fail to decode
+                assert sorted(int(k) for k in result.recovered) == expected
+        serial = table.decode(decoder="serial")
+        flat = table.decode(decoder="flat")
+        assert flat.success == serial.success
+        assert np.array_equal(np.sort(flat.recovered), np.sort(serial.recovered))
