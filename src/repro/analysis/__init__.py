@@ -39,6 +39,7 @@ from repro.analysis.fibonacci import (
 from repro.analysis.rounds import (
     rounds_below_threshold,
     rounds_above_threshold,
+    rounds_near_threshold,
     rounds_with_subtables,
     leading_constant_below,
     leading_constant_subtables,
@@ -76,6 +77,7 @@ __all__ = [
     "subtable_round_ratio",
     "rounds_below_threshold",
     "rounds_above_threshold",
+    "rounds_near_threshold",
     "rounds_with_subtables",
     "leading_constant_below",
     "leading_constant_subtables",

@@ -19,7 +19,7 @@ the paper's simulations do implicitly).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from math import log
+from math import log, sqrt
 
 import numpy as np
 
@@ -34,6 +34,7 @@ __all__ = [
     "gao_leading_constant",
     "rounds_below_threshold",
     "rounds_above_threshold",
+    "rounds_near_threshold",
     "rounds_with_subtables",
     "predict_rounds",
     "RoundPrediction",
@@ -98,6 +99,31 @@ def rounds_below_threshold(n: int, k: int, r: int, *, constant: float = 0.0) -> 
     return leading_constant_below(k, r) * log(log(n)) + constant
 
 
+def rounds_near_threshold(n: int, c: float, k: int, r: int, *, constant: float = 0.0) -> float:
+    """Theorem 5 leading term inside the critical window.
+
+    Within distance ``ν = |c*_{k,r} − c|`` of the threshold the process
+    spends ``Θ(sqrt(1/ν))`` extra rounds crawling across the critical
+    plateau *in addition to* the ``log log n / log((k−1)(r−1))`` collapse
+    term of Theorem 1, so the leading-order prediction is the sum of the
+    two.  At ``c = c*`` exactly (``ν = 0``) the plateau term diverges and
+    the prediction is ``inf`` — the ``Θ(log n)`` regime of Theorem 3 takes
+    over.
+
+    The caller supplies the additive ``O(1)`` constant (default 0), as for
+    the other leading-term helpers.
+    """
+    n = check_positive_int(n, "n")
+    if n < 3:
+        raise ValueError("n must be >= 3 so that log log n is defined")
+    c = check_positive_float(c, "c")
+    nu = abs(peeling_threshold(k, r) - c)
+    below = rounds_below_threshold(n, k, r)
+    if nu == 0.0:
+        return float("inf")
+    return below + sqrt(1.0 / nu) + constant
+
+
 def rounds_with_subtables(n: int, k: int, r: int, *, constant: float = 0.0) -> float:
     """Leading-order subround prediction for subtable peeling (Theorem 7)."""
     n = check_positive_int(n, "n")
@@ -142,7 +168,11 @@ class RoundPrediction:
     threshold:
         ``c*_{k,r}``.
     leading_term:
-        The Theorem 1 / Theorem 3 leading-order expression for reference.
+        The leading-order expression of the regime's theorem, for
+        reference: Theorem 1 (``log log n`` collapse) below the threshold,
+        Theorem 3 (``log n``) above it, and Theorem 5 — the Theorem 1 term
+        *plus* the additive ``Θ(sqrt(1/ν))`` plateau — inside the critical
+        window (``inf`` exactly at the threshold, where ``ν = 0``).
     """
 
     regime: str
@@ -194,7 +224,14 @@ def predict_rounds(
             rounds = float(below_one[0]) + 1.0
         else:
             rounds = float(max_rounds)
-        leading = rounds_below_threshold(n, k, r) if n >= 3 else float("nan")
+        if n < 3:
+            leading = float("nan")
+        elif regime == "critical":
+            # Theorem 5: the critical window carries an additive
+            # Θ(sqrt(1/ν)) plateau on top of the Theorem 1 term.
+            leading = rounds_near_threshold(n, c, k, r)
+        else:
+            leading = rounds_below_threshold(n, k, r)
     else:
         lam_limit = lam[-1]
         close = np.flatnonzero(np.abs(lam - lam_limit) * n < 1.0)

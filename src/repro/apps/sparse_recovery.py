@@ -12,7 +12,7 @@ and the final listing succeeds with high probability whenever the table load
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal
+from typing import List, Literal, Sequence
 
 import numpy as np
 
@@ -175,9 +175,42 @@ class SparseRecovery:
         """
         expected = np.asarray(expected, dtype=np.uint64)
         result = table.decode(decoder=decoder)
-        recovered = result.recovered
-        rounds, subrounds = result.rounds, result.subrounds
+        return self._grade(result, expected)
 
+    def recover_many(
+        self,
+        tables: Sequence[IBLT],
+        expected: Sequence[np.ndarray],
+        *,
+        decoder: str = "batched",
+    ) -> List[SparseRecoveryResult]:
+        """Recover a whole fleet of tables and grade each against its truth.
+
+        With the default ``decoder="batched"`` all tables are decoded in one
+        lockstep pass (:func:`repro.iblt.decode_many`) — the serving shape
+        where many independent sketches built with one shared hash family
+        arrive together.  Results come back in input order.
+
+        Note the default *schedule* differs from :meth:`recover`: the
+        batched decoder runs the flat schedule, so its ``rounds`` compare
+        with ``decoder="flat"``, not with the single-table default
+        (``"parallel"`` → subtable).  Recovered sets and ``success`` are
+        identical across decoders; pass an explicit ``decoder=`` to match
+        round statistics between the two entry points.
+        """
+        if len(tables) != len(expected):
+            raise ValueError(
+                f"got {len(tables)} tables but {len(expected)} expected key sets"
+            )
+        results = IBLT.decode_many(tables, decoder=decoder)
+        return [
+            self._grade(result, np.asarray(keys, dtype=np.uint64))
+            for result, keys in zip(results, expected)
+        ]
+
+    @staticmethod
+    def _grade(result, expected: np.ndarray) -> SparseRecoveryResult:
+        recovered = result.recovered
         expected_set = set(int(x) for x in expected)
         recovered_set = set(int(x) for x in recovered)
         hits = len(expected_set & recovered_set)
@@ -188,6 +221,6 @@ class SparseRecovery:
             expected=expected,
             success=success,
             fraction_recovered=fraction,
-            rounds=rounds,
-            subrounds=subrounds,
+            rounds=result.rounds,
+            subrounds=result.subrounds,
         )

@@ -22,7 +22,14 @@ Timing methodology: each cell builds its workload from its cell seed
 wall-clock time is reported, which is the standard way to suppress scheduler
 noise for sub-second kernels.  ``compare_payloads`` diffs two result files
 per (section, workload, kernel, size) and flags regressions past a
-tolerance — ``repro bench --compare BASELINE.json`` exits non-zero on any.
+tolerance — ``repro bench --compare BASELINE.json`` exits non-zero on any,
+except in sections marked informational via ``--informational-section``
+(used by CI for hardware-bound baselines such as ``intra_trial``).
+
+The ``batched`` section times the same batch of small graphs through the
+per-graph loop and through the fused lockstep path
+(``peel_many(..., backend="batched")``) at several batch sizes; both
+produce bit-identical results, so the ratio isolates dispatch structure.
 """
 
 from __future__ import annotations
@@ -46,6 +53,10 @@ __all__ = [
     "QUICK_SIZES",
     "INTRA_TRIAL_SIZES",
     "INTRA_TRIAL_WORKERS",
+    "BATCHED_BATCH_SIZES",
+    "QUICK_BATCHED_BATCH_SIZES",
+    "BATCHED_GRAPH_SIZE",
+    "BATCHED_DENSITY",
     "DEFAULT_TOLERANCE",
     "bench_spec",
     "run_benchmarks",
@@ -67,6 +78,22 @@ round work dominates the per-round barrier cost on multi-core hosts."""
 
 INTRA_TRIAL_WORKERS = (2,)
 """Worker counts benchmarked for the shm-parallel engine."""
+
+BATCHED_BATCH_SIZES = (16, 256, 1024)
+"""Batch sizes of the ``batched`` section (per-graph loop vs fused lockstep)."""
+
+QUICK_BATCHED_BATCH_SIZES = (16,)
+"""Batch sizes for the CI smoke run (``--quick``)."""
+
+BATCHED_GRAPH_SIZE = 1_000
+"""Graph size of the ``batched`` section: small graphs, where per-graph
+dispatch overhead dominates — the shape batching exists to fix."""
+
+BATCHED_DENSITY = 0.75
+"""Edge density of the ``batched`` section (a Table 1 density close to
+``c*_{2,4} ≈ 0.772``): near the threshold the round count stretches, so the
+per-graph loop pays many almost-empty Python rounds per graph while the
+lockstep pass absorbs them — the regime the fused path targets."""
 
 DEFAULT_TOLERANCE = 0.25
 """Default slowdown fraction past which ``--compare`` reports a regression."""
@@ -212,11 +239,46 @@ def _bench_intra_trial(params: Dict[str, Any], rng: np.random.Generator) -> Dict
     }
 
 
+def _bench_batched_trial(params: Dict[str, Any], rng: np.random.Generator) -> Dict[str, Any]:
+    # Per-graph loop vs fused lockstep on the identical batch of small
+    # graphs: "loop" is peel_many over the serial backend (one engine run
+    # per graph), "batched" the block-diagonal lockstep pass.  Both produce
+    # bit-identical results, so the delta is pure dispatch structure.
+    from repro.engine import peel_many
+    from repro.hypergraph import random_hypergraph
+
+    n, c, r, k, seed = params["n"], params["c"], params["r"], params["k"], params["seed"]
+    kernel, batch, mode = params["kernel"], params["batch"], params["mode"]
+    backend = "batched" if mode == "batched" else "serial"
+    graphs = [random_hypergraph(n, c, r, seed=seed + i) for i in range(batch)]
+    # track_stats=False is the serving/throughput configuration (the same
+    # one table1's trials use); both modes run it, so the delta is pure
+    # dispatch structure.
+    run = lambda: peel_many(  # noqa: E731
+        graphs, "parallel", k=k, kernel=kernel, track_stats=False, backend=backend
+    )
+    run()  # untimed warm-up: builds the graphs' incidence caches
+    seconds = _best_time(run, params["repeats"])
+    return {
+        "section": "batched",
+        "engine": mode,
+        "kernel": kernel,
+        "n": n,
+        "c": c,
+        "r": r,
+        "k": k,
+        "seed": seed,
+        "batch": batch,
+        "seconds": seconds,
+    }
+
+
 _TRIALS = {
     "peel": _bench_peel_trial,
     "peel_many": _bench_peel_many_trial,
     "iblt_decode": _bench_iblt_trial,
     "intra_trial": _bench_intra_trial,
+    "batched": _bench_batched_trial,
 }
 
 
@@ -243,6 +305,7 @@ def bench_spec(
     batch: int = 4,
     intra_sizes: Sequence[int] = INTRA_TRIAL_SIZES,
     intra_workers: Sequence[int] = INTRA_TRIAL_WORKERS,
+    batched_batches: Sequence[int] = BATCHED_BATCH_SIZES,
 ) -> SweepSpec:
     """Declare the benchmark matrix as a sweep (one single-trial cell each).
 
@@ -250,7 +313,9 @@ def bench_spec(
     (size × engine × kernel), then ``peel_many`` (kernel), then
     ``iblt_decode`` (size × decoder × kernel, serial baseline first), then
     ``intra_trial`` (size × {serial numpy baseline, shm-parallel × worker
-    count} on one identical large graph).
+    count} on one identical large graph), then ``batched`` (batch size ×
+    {per-graph loop, fused lockstep} × kernel on identical batches of
+    ``n=1000`` graphs at ``c=0.75``).
     """
     from repro.kernels import available_kernels
 
@@ -321,6 +386,21 @@ def bench_spec(
                     seed=derive_seed(seed, "bench", "intra", "shm-parallel", workers, n),
                 )
             )
+    batched_common = {
+        "section": "batched", "n": int(BATCHED_GRAPH_SIZE), "c": BATCHED_DENSITY,
+        "r": r, "k": k, "seed": seed, "repeats": repeats,
+    }
+    for b in batched_batches:
+        for mode in ("loop", "batched"):
+            for kernel in kernel_names:
+                cells.append(
+                    CellSpec(
+                        key=f"batched/B={b}/{mode}/{kernel}",
+                        params={**batched_common, "mode": mode, "kernel": kernel,
+                                "batch": int(b)},
+                        seed=derive_seed(seed, "bench", "batched", mode, kernel, b),
+                    )
+                )
     return SweepSpec(
         name="bench",
         cells=tuple(cells),
@@ -329,6 +409,7 @@ def bench_spec(
             "sizes": [int(n) for n in sizes],
             "intra_sizes": [int(n) for n in intra_sizes],
             "intra_workers": [int(w) for w in intra_workers],
+            "batched_batches": [int(b) for b in batched_batches],
         },
     )
 
@@ -347,6 +428,7 @@ def run_benchmarks(
     batch: int = 4,
     intra_sizes: Sequence[int] = INTRA_TRIAL_SIZES,
     intra_workers: Sequence[int] = INTRA_TRIAL_WORKERS,
+    batched_batches: Sequence[int] = BATCHED_BATCH_SIZES,
     artifact: Optional[Union[str, Path]] = None,
     resume: bool = False,
     progress: Optional[Callable[[SweepProgress], None]] = None,
@@ -374,6 +456,9 @@ def run_benchmarks(
     intra_sizes, intra_workers:
         Graph sizes and shm-parallel worker counts of the ``intra_trial``
         section (one large peel, serial numpy baseline vs the shm engine).
+    batched_batches:
+        Batch sizes of the ``batched`` section (per-graph loop vs fused
+        lockstep ``peel_many`` on identical batches of small graphs).
     artifact, resume:
         Optional sweep-artifact path for per-cell checkpointing; with
         ``resume=True`` a compatible artifact's timings are reused and only
@@ -385,6 +470,7 @@ def run_benchmarks(
         sizes=sizes, kernels=kernels, c=c, r=r, iblt_r=iblt_r, k=k, load=load,
         seed=seed, repeats=repeats, batch=batch,
         intra_sizes=intra_sizes, intra_workers=intra_workers,
+        batched_batches=batched_batches,
     )
     # Always serial: parallel timing cells would contend for the same cores.
     results = run_sweep(
@@ -401,6 +487,7 @@ def run_benchmarks(
             "sizes": list(spec.meta["sizes"]),
             "intra_sizes": list(spec.meta["intra_sizes"]),
             "intra_workers": list(spec.meta["intra_workers"]),
+            "batched_batches": list(spec.meta["batched_batches"]),
             "repeats": repeats,
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         },
@@ -423,6 +510,8 @@ def format_results(payload: Dict[str, Any]) -> str:
         workload = record.get("engine") or record.get("decoder")
         if record.get("workers") is not None:
             workload = f"{workload}[w={record['workers']}]"
+        if record["section"] == "batched":
+            workload = f"{workload}[B={record['batch']}]"
         size = record.get("n", record.get("num_cells"))
         table.add_row(
             record["section"],
@@ -473,6 +562,7 @@ def compare_payloads(
     baseline: Dict[str, Any],
     *,
     tolerance: float = DEFAULT_TOLERANCE,
+    informational_sections: Sequence[str] = (),
 ) -> Tuple[str, int]:
     """Diff two benchmark payloads per (section, workload, kernel, size).
 
@@ -480,9 +570,17 @@ def compare_payloads(
     comparable entry whose current time exceeds the baseline by more than
     ``tolerance`` (a fraction: 0.25 means 25% slower).  Entries present in
     only one payload are listed but never counted as regressions.
+
+    Sections named in ``informational_sections`` are compared and reported
+    but their regressions never count toward the returned total (they are
+    flagged ``regression (info)``).  CI uses this for sections whose
+    committed baseline is hardware-bound — e.g. ``intra_trial`` numbers
+    recorded on a 1-core host are noise, not signal, on a multi-core
+    runner.
     """
     if tolerance < 0:
         raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    informational = set(informational_sections)
     base_by_key, base_collisions = _index_records(baseline)
     cur_by_key, cur_collisions = _index_records(current)
     table = Table(
@@ -493,6 +591,7 @@ def compare_payloads(
         ),
     )
     regressions = 0
+    informational_regressions = 0
     compared = 0
     for key, record in cur_by_key.items():
         base = base_by_key.get(key)
@@ -500,15 +599,21 @@ def compare_payloads(
             continue
         compared += 1
         delta = record["seconds"] / base["seconds"] - 1.0 if base["seconds"] else float("inf")
+        section, workload, kernel, size = key[:4]
         flag = ""
         if delta > tolerance:
-            flag = "REGRESSION"
-            regressions += 1
+            if section in informational:
+                flag = "regression (info)"
+                informational_regressions += 1
+            else:
+                flag = "REGRESSION"
+                regressions += 1
         elif delta < -tolerance:
             flag = "improved"
-        section, workload, kernel, size = key[:4]
         if key[6] is not None:
             workload = f"{workload}[w={key[6]}]"
+        if section == "batched" and key[5] is not None:
+            workload = f"{workload}[B={key[5]}]"
         table.add_row(
             section, workload, kernel if kernel != "None" else "-", size,
             f"{base['seconds']:.4f}", f"{record['seconds']:.4f}", f"{delta:+.1%}", flag,
@@ -536,10 +641,17 @@ def compare_payloads(
             "no comparable entries between the two payloads "
             "(different sizes/kernels?); nothing gated"
         )
-    lines.append(
+    summary = (
         f"{compared} compared, {regressions} regression(s) past "
         f"{tolerance:.0%} tolerance"
     )
+    if informational_regressions:
+        summary += (
+            f" (+{informational_regressions} informational in "
+            + ", ".join(sorted(informational))
+            + ", not gated)"
+        )
+    lines.append(summary)
     return "\n".join(lines), regressions
 
 
@@ -594,6 +706,17 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         default=list(INTRA_TRIAL_WORKERS),
         help="shm-parallel worker counts to benchmark (default: %(default)s)",
     )
+    parser.add_argument(
+        "--batched-batches",
+        type=int,
+        nargs="+",
+        default=list(BATCHED_BATCH_SIZES),
+        help=(
+            "batch sizes of the batched section (per-graph loop vs fused "
+            f"lockstep peel_many over n={BATCHED_GRAPH_SIZE} graphs at "
+            f"c={BATCHED_DENSITY}; default: %(default)s)"
+        ),
+    )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
@@ -622,6 +745,19 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--informational-section",
+        dest="informational_sections",
+        action="append",
+        default=None,
+        metavar="SECTION",
+        help=(
+            "bench section whose --compare regressions are reported but "
+            "never fail the run (repeatable); use for sections whose "
+            "baseline timings are hardware-bound, e.g. intra_trial numbers "
+            "committed from a different host"
+        ),
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print per-cell progress to stderr while benchmarking",
@@ -636,6 +772,9 @@ def run_bench_command(args: argparse.Namespace) -> Tuple[str, int]:
     """
     sizes: Sequence[int] = QUICK_SIZES if args.quick else args.sizes
     intra_sizes: Sequence[int] = QUICK_SIZES if args.quick else args.intra_sizes
+    batched_batches: Sequence[int] = (
+        QUICK_BATCHED_BATCH_SIZES if args.quick else args.batched_batches
+    )
     repeats = 1 if args.quick else args.repeats
     payload = run_benchmarks(
         sizes=sizes,
@@ -644,6 +783,7 @@ def run_bench_command(args: argparse.Namespace) -> Tuple[str, int]:
         repeats=repeats,
         intra_sizes=intra_sizes,
         intra_workers=args.intra_workers,
+        batched_batches=batched_batches,
         progress=print_progress if getattr(args, "progress", False) else None,
     )
     write_results(payload, args.out)
@@ -653,7 +793,10 @@ def run_bench_command(args: argparse.Namespace) -> Tuple[str, int]:
     if getattr(args, "compare", None) is not None:
         baseline = json.loads(Path(args.compare).read_text())
         comparison, regressions = compare_payloads(
-            payload, baseline, tolerance=args.tolerance
+            payload,
+            baseline,
+            tolerance=args.tolerance,
+            informational_sections=getattr(args, "informational_sections", None) or (),
         )
         report += "\n\n" + comparison
         code = 1 if regressions else 0

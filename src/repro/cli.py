@@ -16,6 +16,7 @@ Examples
     python -m repro peel --n 100000 --kernel numpy
     python -m repro peel --n 1000000 --engine shm-parallel --workers 4
     python -m repro table1 --backend processes --workers 4
+    python -m repro table1 --backend batched   # fuse same-cell trials
     python -m repro table1 --out table1.json --progress
     python -m repro table1 --out table1.json --resume   # skip finished cells
     python -m repro table3 --decoder flat
@@ -43,7 +44,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis import peeling_threshold
 from repro.analysis.rounds import predict_rounds
@@ -52,14 +53,25 @@ from repro.engine import available_engines
 from repro.iblt import available_decoders
 from repro.kernels import available_kernels
 from repro.parallel.backend import available_backends, get_backend
-from repro.sweeps import AggregateFn, SweepSpec, TrialFn, print_progress, run_sweep
+from repro.sweeps import (
+    AggregateFn,
+    BatchTrialFn,
+    SweepSpec,
+    TrialFn,
+    print_progress,
+    run_sweep,
+)
 
 __all__ = ["build_parser", "main"]
 
-# One sweep sub-command = spec + trial + aggregate + renderer; the generic
-# driver (_run_sweep_command) supplies scheduling, artifacts and progress.
-SweepCommandParts = Tuple[
-    SweepSpec, TrialFn, AggregateFn, Callable[[List[Any], argparse.Namespace], str]
+# One sweep sub-command = spec + trial + aggregate + renderer, optionally
+# followed by a cell-level batch trial (used by --backend batched); the
+# generic driver (_run_sweep_command) supplies scheduling, artifacts and
+# progress.
+_RenderFn = Callable[[List[Any], argparse.Namespace], str]
+SweepCommandParts = Union[
+    Tuple[SweepSpec, TrialFn, AggregateFn, _RenderFn],
+    Tuple[SweepSpec, TrialFn, AggregateFn, _RenderFn, BatchTrialFn],
 ]
 
 
@@ -233,7 +245,13 @@ def _build_table1(args: argparse.Namespace) -> SweepCommandParts:
         sizes=args.sizes, densities=args.densities, r=args.r, k=args.k,
         trials=args.trials, seed=args.seed,
     )
-    return spec, mod._table1_trial, mod._table1_aggregate, lambda rows, a: mod.format_table1(rows)
+    return (
+        spec,
+        mod._table1_trial,
+        mod._table1_aggregate,
+        lambda rows, a: mod.format_table1(rows),
+        mod._table1_batch_trial,
+    )
 
 
 def _build_table2(args: argparse.Namespace) -> SweepCommandParts:
@@ -315,12 +333,15 @@ def _run_sweep_command(args: argparse.Namespace) -> str:
     """Generic driver behind every experiment sub-command."""
     if args.resume and args.out is None:
         raise SystemExit("--resume requires --out (the artifact to resume from)")
-    spec, trial, aggregate, render = _SWEEP_BUILDERS[args.command](args)
+    parts = _SWEEP_BUILDERS[args.command](args)
+    spec, trial, aggregate, render = parts[:4]
+    batch_trial = parts[4] if len(parts) > 4 else None
     with get_backend(args.backend, max_workers=args.workers) as backend:
         rows = run_sweep(
             spec,
             trial,
             aggregate,
+            batch_trial=batch_trial,
             backend=backend,
             out=args.out,
             resume=args.resume,

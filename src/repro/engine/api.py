@@ -12,7 +12,10 @@ True
 ``peel_many`` dispatches independent graphs through an
 :class:`~repro.parallel.backend.ExecutionBackend` (``"serial"``,
 ``"threads"`` or ``"processes"``), so multi-graph workloads scale with the
-cores of the host.
+cores of the host.  The ``"batched"`` backend instead *fuses* the batch:
+for the parallel schedule, all graphs are stacked block-diagonally and
+peeled in lockstep — one kernel pass per round for the whole batch — with
+results bit-for-bit identical to the per-graph loop.
 """
 
 from __future__ import annotations
@@ -23,7 +26,7 @@ from typing import Iterable, List, Optional, Union
 from repro.core.results import PeelingResult
 from repro.engine.config import DEFAULT_ENGINE, PeelingConfig
 from repro.hypergraph.hypergraph import Hypergraph
-from repro.parallel.backend import ExecutionBackend, get_backend
+from repro.parallel.backend import BatchedBackend, ExecutionBackend, get_backend
 
 __all__ = ["peel", "peel_many"]
 
@@ -72,6 +75,52 @@ def _peel_one(config: PeelingConfig, graph: Hypergraph) -> PeelingResult:
     return config.build().peel(graph)
 
 
+#: Engines whose schedule the fused batched path implements.  Other engines
+#: selected with backend="batched" fall back to the serial per-graph loop
+#: (the BatchedBackend contract: fuse what it can, degrade gracefully).
+_BATCHABLE_ENGINES = ("parallel", "batched")
+
+
+def _is_batchable(config: PeelingConfig, graphs: List[Hypergraph]) -> bool:
+    """Whether the fused lockstep path can take this request.
+
+    Unsupported engines and mixed-arity batches (whose endpoint rows cannot
+    share one ``(m, r)`` array) degrade to the per-graph loop instead of
+    failing — the BatchedBackend contract is that selecting it is safe for
+    any input the other backends accept.
+    """
+    if config.engine not in _BATCHABLE_ENGINES:
+        return False
+    arities = {g.edge_size for g in graphs if g.num_edges > 0}
+    return len(arities) <= 1
+
+
+def _peel_many_fused(config: PeelingConfig, graphs: List[Hypergraph]) -> List[PeelingResult]:
+    """Run a whole batch through the lockstep engine in fused chunks.
+
+    Construction goes through the ordinary registry path
+    (:meth:`PeelingConfig.build`), so shared fields and engine options —
+    including the batched-only ``chunk_vertices`` knob — are validated
+    exactly like everywhere else.
+    """
+    return config.replace(engine="batched").build().peel_many(graphs)
+
+
+def _without_batched_only_options(config: PeelingConfig) -> PeelingConfig:
+    """Drop options only the fused path understands before degrading.
+
+    ``chunk_vertices`` tunes lockstep chunking and is documented as having
+    no effect on results, so when a batched-backend request falls back to
+    the per-graph loop it is ignored rather than rejected — the fallback
+    must accept everything the fused path would have.
+    """
+    if "chunk_vertices" not in config.options:
+        return config
+    options = dict(config.options)
+    options.pop("chunk_vertices")
+    return config.replace(options=options)
+
+
 def peel_many(
     graphs: Iterable[Hypergraph],
     engine: Optional[str] = None,
@@ -90,19 +139,27 @@ def peel_many(
     engine, config, **opts:
         As in :func:`peel` — one configuration shared by every graph.
     backend:
-        Backend name (``"serial"``, ``"threads"``, ``"processes"``) or an
+        Backend name (``"serial"``, ``"batched"``, ``"threads"``,
+        ``"processes"``) or an
         :class:`~repro.parallel.backend.ExecutionBackend` instance.  Named
         backends are created for the call and closed afterwards; instances
-        are left open for the caller to reuse.
+        are left open for the caller to reuse.  With ``"batched"`` and the
+        parallel schedule the whole batch is stacked and peeled in lockstep
+        (one kernel pass per round for all graphs); engines the fused path
+        does not implement fall back to the serial per-graph loop.
     max_workers:
-        Worker count for named pool backends (ignored for ``"serial"`` and
-        for backend instances).
+        Worker count for named pool backends (ignored for ``"serial"``,
+        ``"batched"`` and backend instances).
     """
     resolved_config = _resolve_config(engine, config, opts)
     items = list(graphs)
     owned = isinstance(backend, str)
     resolved_backend = get_backend(backend, max_workers=max_workers) if owned else backend
     try:
+        if isinstance(resolved_backend, BatchedBackend):
+            if _is_batchable(resolved_config, items):
+                return _peel_many_fused(resolved_config, items)
+            resolved_config = _without_batched_only_options(resolved_config)
         return resolved_backend.map(functools.partial(_peel_one, resolved_config), items)
     finally:
         if owned:

@@ -1,0 +1,114 @@
+"""The ``"batched"`` engine: lockstep parallel peeling over a whole batch.
+
+:class:`BatchedPeeler` is the engine-registry face of
+:func:`repro.kernels.batched.batched_peel`.  It implements the same
+round-synchronous parallel schedule as
+:class:`~repro.core.peeling.ParallelPeeler` — and produces bit-for-bit
+identical :class:`~repro.core.results.PeelingResult`\\ s — but peels *many*
+graphs per kernel pass instead of one, which is the difference between a
+Python loop of B engine runs and ``max_g rounds`` fused vectorized rounds.
+
+Use it directly (``BatchedPeeler(k).peel_many(graphs)``), through the
+registry (``peel(graph, "batched", k=2)`` runs a batch of one), or — the
+common path — via ``peel_many(graphs, "parallel", backend="batched")``,
+which detects the batched execution backend and routes the whole batch
+here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.results import PeelingResult
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.kernels import get_kernel
+from repro.kernels.batched import batched_peel
+from repro.utils.validation import check_positive_int
+
+__all__ = ["BatchedPeeler", "DEFAULT_CHUNK_VERTICES"]
+
+DEFAULT_CHUNK_VERTICES = 131_072
+"""Default cap on stacked vertices per lockstep chunk.  Beyond roughly this
+scale the stacked working set outgrows the cache hierarchy and per-round
+passes turn memory-bound, so very large batches run *faster* as a short
+sequence of cache-sized lockstep chunks (measured on the build host:
+B=1024 graphs of n=10^3 peel ~1.4x faster in chunks of ~128 than as one
+stack).  Chunks are independent, so results are unaffected."""
+
+
+class BatchedPeeler:
+    """Lockstep round-synchronous peeling of a batch of same-arity graphs.
+
+    Parameters
+    ----------
+    k:
+        Degree threshold; vertices of degree ``< k`` are removed each round.
+    update:
+        Work-accounting mode, ``"full"`` or ``"frontier"`` — identical
+        semantics (and identical recorded work) to
+        :class:`~repro.core.peeling.ParallelPeeler`.
+    max_rounds:
+        Safety cap on lockstep rounds (defaults to ``4 * max_n + 16``).
+    track_stats:
+        Record per-round :class:`~repro.core.results.RoundStats` per graph.
+    kernel:
+        Kernel backend name or instance (``None`` selects the default,
+        ``"numpy"``).
+    chunk_vertices:
+        Cap on total stacked vertices per lockstep chunk (default
+        :data:`DEFAULT_CHUNK_VERTICES`); batches exceeding it are processed
+        as consecutive independent chunks.  Purely a performance knob —
+        results are identical for any value.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        *,
+        update: str = "full",
+        max_rounds: Optional[int] = None,
+        track_stats: bool = True,
+        kernel=None,
+        chunk_vertices: int = DEFAULT_CHUNK_VERTICES,
+    ) -> None:
+        self.k = check_positive_int(k, "k")
+        if update not in ("full", "frontier"):
+            raise ValueError(f"update must be 'full' or 'frontier', got {update!r}")
+        self.update = update
+        if max_rounds is not None:
+            max_rounds = check_positive_int(max_rounds, "max_rounds")
+        self.max_rounds = max_rounds
+        self.track_stats = bool(track_stats)
+        self.kernel = get_kernel(kernel)
+        self.chunk_vertices = check_positive_int(chunk_vertices, "chunk_vertices")
+
+    def peel_many(self, graphs: Iterable[Hypergraph]) -> List[PeelingResult]:
+        """Peel every graph in lockstep chunks; results in input order."""
+        graphs = list(graphs)
+        results: List[PeelingResult] = []
+        start = 0
+        while start < len(graphs):
+            stop = start + 1  # a chunk always takes at least one graph
+            total = graphs[start].num_vertices
+            while (
+                stop < len(graphs)
+                and total + graphs[stop].num_vertices <= self.chunk_vertices
+            ):
+                total += graphs[stop].num_vertices
+                stop += 1
+            results.extend(
+                batched_peel(
+                    self.kernel,
+                    graphs[start:stop],
+                    self.k,
+                    update=self.update,
+                    max_rounds=self.max_rounds,
+                    track_stats=self.track_stats,
+                )
+            )
+            start = stop
+        return results
+
+    def peel(self, graph: Hypergraph) -> PeelingResult:
+        """Peel a single graph (a batch of one) — the engine-protocol face."""
+        return self.peel_many([graph])[0]

@@ -93,6 +93,26 @@ def _table1_trial(params: Dict[str, Any], rng: np.random.Generator) -> Tuple[int
     return (result.num_rounds, result.success)
 
 
+def _table1_batch_trial(
+    params: Dict[str, Any], rngs: List[np.random.Generator]
+) -> List[Tuple[int, bool]]:
+    # Fused cell execution (--backend batched): all of a cell's trial graphs
+    # are peeled in one lockstep pass.  Graph generation consumes each
+    # trial's rng exactly as _table1_trial does and the batched engine is
+    # bit-for-bit identical to the per-graph loop, so rows cannot move.
+    from repro.engine import peel_many
+
+    graphs = [
+        random_hypergraph(params["n"], params["c"], params["r"], seed=rng)
+        for rng in rngs
+    ]
+    results = peel_many(
+        graphs, "parallel", k=params["k"], update="full", track_stats=False,
+        backend="batched",
+    )
+    return [(result.num_rounds, result.success) for result in results]
+
+
 def _table1_aggregate(params: Dict[str, Any], results: List[Tuple[int, bool]]) -> Table1Row:
     rounds = np.array([row[0] for row in results], dtype=float)
     failed = sum(1 for row in results if not row[1])
@@ -155,7 +175,10 @@ def run_table1_cell(
     """Run the trials for a single (n, c) cell of Table 1."""
     cell = _table1_cell_spec(n, c, r=r, k=k, trials=trials, seed=seed)
     spec = SweepSpec(name="table1-cell", cells=(cell,))
-    return run_sweep(spec, _table1_trial, _table1_aggregate, backend=backend)[0]
+    return run_sweep(
+        spec, _table1_trial, _table1_aggregate,
+        batch_trial=_table1_batch_trial, backend=backend,
+    )[0]
 
 
 def run_table1(
@@ -175,7 +198,10 @@ def run_table1(
     at paper scale (see EXPERIMENTS.md).
     """
     spec = table1_spec(sizes, densities, r=r, k=k, trials=trials, seed=seed)
-    return run_sweep(spec, _table1_trial, _table1_aggregate, backend=backend)
+    return run_sweep(
+        spec, _table1_trial, _table1_aggregate,
+        batch_trial=_table1_batch_trial, backend=backend,
+    )
 
 
 def format_table1(rows: Sequence[Table1Row]) -> str:

@@ -9,11 +9,16 @@
   whole-table-per-round ablation variant.
 * :class:`~repro.iblt.hashing.KeyHasher` — the hash family mapping keys to
   cells and computing checksums.
+* :class:`~repro.iblt.batched_decode.BatchedFlatDecoder` /
+  :func:`~repro.iblt.batched_decode.decode_many` — lockstep recovery of a
+  whole batch of same-hash-family tables in one fused pass per round
+  (``IBLT.decode_many(tables)``).
 * :mod:`~repro.iblt.registry` — the decoder registry behind
-  ``IBLT.decode(decoder="serial"|"flat"|"subtable")``; new decoders plug in
-  via :func:`register_decoder`.
+  ``IBLT.decode(decoder="serial"|"flat"|"subtable"|"batched")``; new
+  decoders plug in via :func:`register_decoder`.
 """
 
+from repro.iblt.batched_decode import BatchedFlatDecoder, decode_many
 from repro.iblt.hashing import KeyHasher, checksum_keys, splitmix64
 from repro.iblt.iblt import IBLT, IBLTDecodeResult
 from repro.iblt.parallel_decode import (
@@ -35,6 +40,8 @@ __all__ = [
     "splitmix64",
     "IBLT",
     "IBLTDecodeResult",
+    "BatchedFlatDecoder",
+    "decode_many",
     "FlatParallelDecoder",
     "ParallelDecodeResult",
     "SubtableParallelDecoder",

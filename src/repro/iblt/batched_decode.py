@@ -1,0 +1,322 @@
+"""Batched lockstep IBLT recovery: one fused pass over many tables.
+
+The serving shape of set reconciliation and sparse recovery is *many small
+tables* sharing one hash family — a fleet of difference digests, one per
+peer — decoded independently.  Looping ``table.decode()`` over them pays
+the per-table Python round loop B times.  This module stacks the cell
+arrays of B same-geometry tables into flat columns (table ``g`` owns cells
+``[g·m, (g+1)·m)``) and runs the flat round-synchronous recovery of
+:class:`~repro.iblt.parallel_decode.FlatParallelDecoder` on all of them in
+lockstep: one pure-cell scan and one XOR-removal scatter per round for the
+whole batch.
+
+Because a key's cells never leave its own table, round ``t`` of the
+lockstep process recovers exactly the union of what round ``t`` of each
+per-table decode recovers, and the per-table results — recovered keys and
+their order, round counts, per-round statistics, conflict depths — are
+identical to ``[FlatParallelDecoder(...).decode(t) for t in tables]``
+(``tests/test_batched_decode.py`` pins this property, including failing
+and partially-decoding tables).
+
+:class:`BatchedFlatDecoder` is registered in the decoder registry as
+``"batched"``; the batch entry point is
+:func:`decode_many` / :meth:`IBLT.decode_many`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.results import RoundStats
+from repro.iblt.iblt import IBLT, IBLTDecodeResult
+from repro.iblt.parallel_decode import ParallelDecodeResult
+from repro.kernels import PeelingKernel, get_kernel, remove_hyperedges
+from repro.utils.validation import check_positive_int
+
+__all__ = ["BatchedFlatDecoder", "decode_many"]
+
+
+def _require_shared_family(tables: Sequence[IBLT]) -> IBLT:
+    """All tables must share geometry, layout and hash seed; returns the first."""
+    first = tables[0]
+    for index, table in enumerate(tables[1:], start=1):
+        if (
+            table.num_cells != first.num_cells
+            or table.r != first.r
+            or table.layout != first.layout
+            or table.hasher.seed != first.hasher.seed
+        ):
+            raise ValueError(
+                "batched decoding requires tables sharing geometry, layout and "
+                f"hash seed; table {index} differs from table 0"
+            )
+    return first
+
+
+class BatchedFlatDecoder:
+    """Lockstep flat recovery of a batch of same-hash-family tables.
+
+    Parameters
+    ----------
+    signed:
+        Treat ``count == −1`` cells as pure as well (difference digests).
+    max_rounds:
+        Safety cap on the number of lockstep rounds.
+    track_conflicts:
+        Record per-table atomic-conflict depths per round.
+    kernel:
+        Kernel backend name or instance (``None`` selects the default,
+        ``"numpy"``).
+    """
+
+    def __init__(
+        self,
+        *,
+        signed: bool = True,
+        max_rounds: Optional[int] = None,
+        track_conflicts: bool = True,
+        kernel: Union[str, PeelingKernel, None] = None,
+    ) -> None:
+        self.signed = bool(signed)
+        if max_rounds is not None:
+            max_rounds = check_positive_int(max_rounds, "max_rounds")
+        self.max_rounds = max_rounds
+        self.track_conflicts = bool(track_conflicts)
+        self.kernel = get_kernel(kernel)
+
+    # ------------------------------------------------------------------ #
+    # single-table face (the decoder-registry protocol)
+    # ------------------------------------------------------------------ #
+    def decode(self, iblt: IBLT, *, in_place: bool = False) -> ParallelDecodeResult:
+        """Decode a single table (a batch of one).
+
+        ``in_place`` writes the residual cell state back into the caller's
+        table — empty on success, the undecodable remainder on failure —
+        matching the other decoders' contract (the lockstep pass itself
+        always works on stacked scratch columns).
+        """
+        results, residuals = self._decode_stacked([iblt], keep_residuals=True)
+        if in_place:
+            residual_count, residual_keys, residual_checks = residuals[0]
+            iblt.count[:] = residual_count
+            iblt.key_sum[:] = residual_keys
+            iblt.check_sum[:] = residual_checks
+        return results[0]
+
+    # ------------------------------------------------------------------ #
+    # the batch entry point
+    # ------------------------------------------------------------------ #
+    def decode_many(self, tables: Sequence[IBLT]) -> List[ParallelDecodeResult]:
+        """Decode every table in one lockstep run; results in input order."""
+        return self._decode_stacked(tables)[0]
+
+    def _decode_stacked(self, tables: Sequence[IBLT], *, keep_residuals: bool = False):
+        """Lockstep decode; returns ``(results, residuals)``.
+
+        ``residuals`` (captured only when ``keep_residuals``) holds each
+        table's final ``(count, key_sum, check_sum)`` segment — empty on
+        success, the undecodable remainder on failure.
+        """
+        tables = list(tables)
+        residuals: List[Optional[tuple]] = [None] * len(tables)
+        if not tables:
+            return [], residuals
+        first = _require_shared_family(tables)
+        kernel = self.kernel
+        hasher = first.hasher
+        m = first.num_cells
+        num_tables = len(tables)
+
+        # Stack the cell columns; the stack is the scratch copy, so the
+        # input tables are never mutated.  ``stacked_ids`` maps each stack
+        # position to its original table index — a table leaves the stack
+        # (via compaction below) the round after its last recovery, exactly
+        # when its own loop would have observed "no pure cells", recorded
+        # the empty round and broken out.
+        count = np.concatenate([t.count for t in tables])
+        key_sum = np.concatenate([t.key_sum for t in tables])
+        check_sum = np.concatenate([t.check_sum for t in tables])
+        stacked_ids = np.arange(num_tables, dtype=np.int64)
+        open_local = np.ones(num_tables, dtype=bool)
+
+        limit = self.max_rounds if self.max_rounds is not None else 4 * m + 16
+        # Per-table bookkeeping (original indices), mirroring
+        # FlatParallelDecoder's loop state.
+        recovered: List[List[np.ndarray]] = [[] for _ in range(num_tables)]
+        removed: List[List[np.ndarray]] = [[] for _ in range(num_tables)]
+        stats: List[List[RoundStats]] = [[] for _ in range(num_tables)]
+        conflicts: List[List[int]] = [[] for _ in range(num_tables)]
+        items_outstanding = np.asarray([abs(t.net_items) for t in tables], dtype=np.int64)
+        rounds_executed = np.zeros(num_tables, dtype=np.int64)
+        rounds_recorded = np.zeros(num_tables, dtype=np.int64)
+        success = np.zeros(num_tables, dtype=bool)
+
+        for round_index in range(1, limit + 1):
+            stack_size = stacked_ids.size
+            pure = kernel.pure_cells(
+                count, key_sum, check_sum, hasher.checksums, signed=self.signed,
+                start=0, stop=stack_size * m,
+            )
+            seg = pure // m  # local stack position
+            keys = key_sum[pure]
+            signs = count[pure]
+            # Per-table dedup with per-table sorted order — exactly what
+            # np.unique does inside each table's own flat decode round.
+            order = np.lexsort((keys, seg))
+            seg, keys, signs = seg[order], keys[order], signs[order]
+            if keys.size:
+                first_occurrence = np.ones(keys.size, dtype=bool)
+                first_occurrence[1:] = (keys[1:] != keys[:-1]) | (seg[1:] != seg[:-1])
+                seg = seg[first_occurrence]
+                keys = keys[first_occurrence]
+                signs = signs[first_occurrence]
+
+            recovered_per_local = np.zeros(stack_size, dtype=np.int64)
+            if seg.size:
+                np.add.at(recovered_per_local, seg, 1)
+
+            # Close out tables whose round recovered nothing: record the
+            # final all-zero stats entry their own loop emits; their cells
+            # can never change again, so success and residuals are final.
+            closing = np.flatnonzero(open_local & (recovered_per_local == 0))
+            for local in closing:
+                g = int(stacked_ids[local])
+                lo, hi = local * m, (local + 1) * m
+                stats[g].append(
+                    RoundStats(
+                        round_index=round_index,
+                        vertices_peeled=0,
+                        edges_peeled=0,
+                        vertices_remaining=int(np.count_nonzero(count[lo:hi])),
+                        edges_remaining=int(items_outstanding[g]),
+                        work=m,
+                    )
+                )
+                rounds_recorded[g] = round_index
+                success[g] = bool(
+                    not count[lo:hi].any()
+                    and not key_sum[lo:hi].any()
+                    and not check_sum[lo:hi].any()
+                )
+                if keep_residuals:
+                    residuals[g] = (
+                        count[lo:hi].copy(), key_sum[lo:hi].copy(), check_sum[lo:hi].copy()
+                    )
+                open_local[local] = False
+            if not seg.size:
+                break
+
+            checks = hasher.checksums(keys)
+            cells = hasher.cell_indices(keys) + (seg * m)[:, None]
+            flat_cells = cells.reshape(-1)
+            remove_hyperedges(
+                kernel,
+                cells,
+                count,
+                signs,
+                payloads=((key_sum, keys), (check_sum, checks)),
+            )
+
+            if self.track_conflicts and flat_cells.size:
+                targets, multiplicities = np.unique(flat_cells, return_counts=True)
+                depth_per_local = np.zeros(stack_size, dtype=np.int64)
+                np.maximum.at(depth_per_local, targets // m, multiplicities)
+
+            boundaries = np.searchsorted(seg, np.arange(stack_size + 1))
+            for local in np.flatnonzero(open_local & (recovered_per_local > 0)):
+                g = int(stacked_ids[local])
+                items_outstanding[g] = max(
+                    int(items_outstanding[g] - recovered_per_local[local]), 0
+                )
+                rounds_executed[g] = round_index
+                rounds_recorded[g] = round_index
+                table_keys = keys[boundaries[local]: boundaries[local + 1]]
+                table_signs = signs[boundaries[local]: boundaries[local + 1]]
+                positive = table_keys[table_signs > 0]
+                negative = table_keys[table_signs < 0]
+                if positive.size:
+                    recovered[g].append(positive)
+                if negative.size:
+                    removed[g].append(negative)
+                if self.track_conflicts:
+                    conflicts[g].append(int(depth_per_local[local]))
+                lo, hi = local * m, (local + 1) * m
+                stats[g].append(
+                    RoundStats(
+                        round_index=round_index,
+                        vertices_peeled=int(recovered_per_local[local]),
+                        edges_peeled=int(recovered_per_local[local]),
+                        vertices_remaining=int(np.count_nonzero(count[lo:hi])),
+                        edges_remaining=int(items_outstanding[g]),
+                        work=m,
+                    )
+                )
+
+            # Compact closed tables out of the stack once they are at least
+            # half of it, so a few stubborn stragglers do not keep paying
+            # pure-cell scans over everyone who already finished.  The
+            # half threshold amortizes: total compaction work is O(B·m).
+            open_count = int(open_local.sum())
+            if open_count * 2 <= stack_size:
+                keep = np.flatnonzero(open_local)
+                count = count.reshape(stack_size, m)[keep].reshape(-1)
+                key_sum = key_sum.reshape(stack_size, m)[keep].reshape(-1)
+                check_sum = check_sum.reshape(stack_size, m)[keep].reshape(-1)
+                stacked_ids = stacked_ids[keep]
+                open_local = np.ones(keep.size, dtype=bool)
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"batched recovery did not terminate within {limit} rounds"
+            )
+
+        results: List[ParallelDecodeResult] = []
+        for g in range(num_tables):
+            recovered_arr = (
+                np.concatenate(recovered[g]) if recovered[g] else np.empty(0, dtype=np.uint64)
+            )
+            removed_arr = (
+                np.concatenate(removed[g]) if removed[g] else np.empty(0, dtype=np.uint64)
+            )
+            decode = IBLTDecodeResult(
+                recovered=recovered_arr,
+                removed=removed_arr,
+                success=bool(success[g]),
+                rounds=int(rounds_executed[g]),
+                subrounds=int(rounds_executed[g]),
+                cells_scanned=int(rounds_recorded[g]) * m,
+            )
+            results.append(
+                ParallelDecodeResult(
+                    decode=decode,
+                    round_stats=stats[g],
+                    conflict_depths=conflicts[g],
+                )
+            )
+        return results, residuals
+
+
+def decode_many(
+    tables: Sequence[IBLT],
+    *,
+    decoder: str = "batched",
+    signed: bool = True,
+    **options,
+) -> List[object]:
+    """Decode a batch of tables with a name-selected decoder, in input order.
+
+    With ``decoder="batched"`` (the default) all tables are decoded in one
+    lockstep pass through :class:`BatchedFlatDecoder` — they must share
+    geometry, layout and hash seed.  Any other registered decoder name
+    falls back to a per-table loop with that decoder, so the call is a
+    drop-in batch front door regardless of schedule.
+    """
+    from repro.iblt.registry import get_decoder  # local import avoids a cycle
+
+    factory = get_decoder(decoder)
+    instance = factory(signed=signed, **options)
+    batch_decode = getattr(instance, "decode_many", None)
+    if callable(batch_decode):
+        return list(batch_decode(tables))
+    return [instance.decode(table) for table in tables]

@@ -280,6 +280,28 @@ class IBLT:
         factory = get_decoder(decoder)
         return factory(signed=signed, **options).decode(self, in_place=in_place)
 
+    @staticmethod
+    def decode_many(
+        tables: Sequence["IBLT"],
+        *,
+        decoder: str = "batched",
+        signed: bool = True,
+        **options,
+    ):
+        """Decode a batch of tables, in input order.
+
+        With ``decoder="batched"`` (the default) every table is decoded in
+        one lockstep pass — one pure-cell scan and one removal scatter per
+        round for the whole batch — which requires the tables to share
+        geometry, layout and hash seed, and returns results identical to
+        decoding each table with the ``"flat"`` decoder.  Any other
+        registered decoder name decodes the tables one by one with that
+        decoder.  See :func:`repro.iblt.batched_decode.decode_many`.
+        """
+        from repro.iblt.batched_decode import decode_many  # local import avoids a cycle
+
+        return decode_many(tables, decoder=decoder, signed=signed, **options)
+
     def _decode_serial(self, *, signed: bool = True, in_place: bool = False) -> IBLTDecodeResult:
         """Worklist recovery: repeatedly extract pure cells until none remain."""
         table = self if in_place else self.copy()

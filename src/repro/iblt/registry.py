@@ -14,6 +14,9 @@ flat      :class:`~repro.iblt.parallel_decode.FlatParallelDecoder`
 subtable  :class:`~repro.iblt.parallel_decode.SubtableParallelDecoder`
 shm-flat  :class:`~repro.parallel.shm.decode.ShmFlatDecoder` (flat
           schedule across shared-memory worker processes)
+batched   :class:`~repro.iblt.batched_decode.BatchedFlatDecoder` (flat
+          schedule over a whole batch of tables in lockstep; the batch
+          face is :func:`repro.iblt.decode_many`)
 ========= =====================================================
 
 The historical spellings ``"parallel"`` (→ ``"subtable"``) and
@@ -28,6 +31,7 @@ from __future__ import annotations
 
 from typing import Callable, Tuple
 
+from repro.iblt.batched_decode import BatchedFlatDecoder
 from repro.iblt.iblt import IBLT, IBLTDecodeResult
 from repro.iblt.parallel_decode import FlatParallelDecoder, SubtableParallelDecoder
 from repro.parallel.shm.decode import ShmFlatDecoder
@@ -66,6 +70,7 @@ _DECODERS.register("serial", SerialDecoder)
 _DECODERS.register("flat", FlatParallelDecoder)
 _DECODERS.register("subtable", SubtableParallelDecoder)
 _DECODERS.register("shm-flat", ShmFlatDecoder)
+_DECODERS.register("batched", BatchedFlatDecoder)
 _DECODERS.register_alias("parallel", "subtable")
 _DECODERS.register_alias("flat-parallel", "flat")
 

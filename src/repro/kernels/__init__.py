@@ -19,6 +19,7 @@ side effects.  This package is that observation as code:
 """
 
 from repro.kernels.base import EdgeEffect, PeelingKernel
+from repro.kernels.batched import BatchedPeelState, batched_peel
 from repro.kernels.numpy_backend import NumpyKernel
 from repro.kernels.registry import (
     DEFAULT_KERNEL,
@@ -44,6 +45,8 @@ else:  # pragma: no cover - exercised only with numba installed
 
 __all__ = [
     "PeelState",
+    "BatchedPeelState",
+    "batched_peel",
     "PeelingKernel",
     "EdgeEffect",
     "NumpyKernel",

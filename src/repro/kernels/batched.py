@@ -1,0 +1,377 @@
+"""Batched lockstep peeling: one fused kernel pass over many graphs.
+
+Every sweep cell and every serving batch peels *many small graphs* with the
+same configuration.  Dispatching them one at a time through the Python
+engine loop pays interpreter and engine-construction overhead per graph —
+at ``n ~ 10^3`` that overhead dominates the actual kernel work.  This module
+removes it by exploiting the block-diagonal structure of a batch:
+
+* :class:`BatchedPeelState` stacks B independent same-arity hypergraphs into
+  one columnar :class:`~repro.kernels.state.PeelState` — vertex ``v`` of
+  graph ``g`` becomes flat vertex ``vertex_offsets[g] + v`` and every edge
+  endpoint is shifted accordingly, so the stacked edge set is block-diagonal
+  (no edge crosses a graph boundary).
+* :func:`batched_peel` then runs the round-synchronous parallel schedule on
+  the stacked state through the kernel primitives: one removable-selection /
+  vertex-kill / edge-kill sequence per round peels *all* B graphs in
+  lockstep.  Because the blocks are independent, round ``t`` of the
+  lockstep process removes exactly the union of what round ``t`` of each
+  per-graph process removes, so the per-graph results — peel-round arrays,
+  round counts, per-round work and survivor accounting — are *bit-for-bit
+  identical* to the per-graph loop (the parity suite pins this against the
+  golden fingerprints).
+
+Per-graph accounting is recovered from the lockstep rounds with
+``searchsorted`` over the offset tables (the kernel primitives return
+sorted index arrays), and a graph whose round removed nothing has reached
+its fixed point — nothing in its block can change again — so it simply
+stops accumulating statistics while the remaining graphs keep peeling.  In
+frontier mode finished graphs drop out of the shared frontier naturally:
+no dying edges means no touched vertices.
+
+One deliberate divergence from the single-graph engine's *implementation*
+(not its results): dying edges are found through the stacked CSR incidence
+index — gathering only the incident edges of the vertices removed this
+round — instead of re-scanning the whole batch's ``(m, r)`` edge array
+every round the way the single-graph full scan does.  The total gather
+volume over a whole run is bounded by the stacked incidence size (every
+vertex is removed at most once), so finished graphs stop costing edge work
+the moment they stop removing vertices, which is what keeps the fused pass
+ahead of the per-graph loop even when a few stubborn graphs stretch the
+lockstep round count past the batch average.  The index is concatenated
+from the per-graph CSR indexes the graphs already cache, so stacking pays
+no global sort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.results import UNPEELED, PeelingResult, RoundStats
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.kernels.base import PeelingKernel
+from repro.kernels.state import PeelState
+
+__all__ = ["BatchedPeelState", "batched_peel"]
+
+
+@dataclass
+class BatchedPeelState:
+    """B independent hypergraphs stacked into one block-diagonal PeelState.
+
+    Attributes
+    ----------
+    state:
+        The flat :class:`~repro.kernels.state.PeelState` over the union of
+        all graphs; every kernel primitive operates on it unchanged.
+    vertex_offsets / edge_offsets:
+        Arrays of length ``B + 1``; graph ``g`` owns flat vertices
+        ``[vertex_offsets[g], vertex_offsets[g+1])`` and flat edges
+        ``[edge_offsets[g], edge_offsets[g+1])``.
+    vertices_remaining / edges_remaining:
+        Per-graph live counts, maintained incrementally each round (the
+        flat state only tracks the batch totals).
+    incidence_ptr / incidence_edges:
+        CSR vertex→edge index of the stacked graph (flat vertex/edge ids),
+        concatenated from the per-graph indexes; lets each round touch only
+        the incident edges of the vertices it removes.
+    """
+
+    state: PeelState
+    vertex_offsets: np.ndarray
+    edge_offsets: np.ndarray
+    vertices_remaining: np.ndarray
+    edges_remaining: np.ndarray
+    incidence_ptr: np.ndarray
+    incidence_edges: np.ndarray
+
+    @property
+    def num_graphs(self) -> int:
+        """Batch size B."""
+        return int(self.vertex_offsets.shape[0]) - 1
+
+    @classmethod
+    def from_graphs(cls, graphs: Sequence[Hypergraph]) -> "BatchedPeelState":
+        """Stack ``graphs`` block-diagonally into one flat peeling state.
+
+        All graphs with at least one edge must share the same arity ``r``
+        (edgeless graphs stack with anything); mixed arities raise
+        ``ValueError`` because their endpoint rows cannot share one
+        ``(m, r)`` array.
+        """
+        arities = {g.edge_size for g in graphs if g.num_edges > 0}
+        if len(arities) > 1:
+            raise ValueError(
+                f"batched peeling requires same-arity graphs; got arities {sorted(arities)}"
+            )
+        r = arities.pop() if arities else 0
+        vertex_counts = np.asarray([g.num_vertices for g in graphs], dtype=np.int64)
+        edge_counts = np.asarray([g.num_edges for g in graphs], dtype=np.int64)
+        vertex_offsets = np.zeros(len(graphs) + 1, dtype=np.int64)
+        edge_offsets = np.zeros(len(graphs) + 1, dtype=np.int64)
+        np.cumsum(vertex_counts, out=vertex_offsets[1:])
+        np.cumsum(edge_counts, out=edge_offsets[1:])
+        total_v = int(vertex_offsets[-1])
+        total_e = int(edge_offsets[-1])
+
+        # One concatenate per column beats a per-graph copy loop; the
+        # per-graph vertex offsets are added in place with a single
+        # vectorized repeat (concatenate already produced a fresh buffer).
+        degrees = (
+            np.concatenate([g.degrees_view for g in graphs])
+            if graphs
+            else np.empty(0, dtype=np.int64)
+        )
+        if total_e:
+            edges = np.concatenate([g.edges.reshape(-1, r) for g in graphs])
+            edges += np.repeat(vertex_offsets[:-1], edge_counts)[:, None]
+        else:
+            edges = np.empty((0, r), dtype=np.int64)
+        incidence_ptr = np.zeros(total_v + 1, dtype=np.int64)
+        if total_v:
+            incidence_ptr[1:] = np.concatenate(
+                [g.incidence_ptr[1:] for g in graphs if g.num_vertices]
+            )
+            incidence_ptr[1:] += np.repeat(r * edge_offsets[:-1], vertex_counts)
+        incidence_edges = np.concatenate(
+            [g.incidence_edges for g in graphs] or [np.empty(0, dtype=np.int64)]
+        )
+        if incidence_edges.size:
+            incidence_edges += np.repeat(edge_offsets[:-1], r * edge_counts)
+
+        state = PeelState(
+            edges=edges,
+            degrees=degrees,
+            vertex_alive=np.ones(total_v, dtype=bool),
+            edge_alive=np.ones(total_e, dtype=bool),
+            vertex_peel_round=np.full(total_v, UNPEELED, dtype=np.int64),
+            edge_peel_round=np.full(total_e, UNPEELED, dtype=np.int64),
+            vertices_remaining=total_v,
+            edges_remaining=total_e,
+        )
+        return cls(
+            state=state,
+            vertex_offsets=vertex_offsets,
+            edge_offsets=edge_offsets,
+            vertices_remaining=vertex_counts.copy(),
+            edges_remaining=edge_counts.copy(),
+            incidence_ptr=incidence_ptr,
+            incidence_edges=incidence_edges,
+        )
+
+    def incident_edges_of(self, vertices: np.ndarray) -> np.ndarray:
+        """Flat gather of every edge incident to ``vertices`` (with repeats).
+
+        The multi-slice gather over the CSR index: an edge appears once per
+        listed endpoint and dead edges are included — the caller filters on
+        ``edge_alive`` and deduplicates.
+        """
+        starts = self.incidence_ptr[vertices]
+        lengths = self.incidence_ptr[vertices + 1] - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        out_offsets = np.zeros(lengths.shape[0], dtype=np.int64)
+        np.cumsum(lengths[:-1], out=out_offsets[1:])
+        flat = np.arange(total, dtype=np.int64) + np.repeat(starts - out_offsets, lengths)
+        return self.incidence_edges[flat]
+
+    def split_vertex_array(self, values: np.ndarray, g: int) -> np.ndarray:
+        """Graph ``g``'s slice of a flat per-vertex array (a copy)."""
+        return values[self.vertex_offsets[g]: self.vertex_offsets[g + 1]].copy()
+
+    def split_edge_array(self, values: np.ndarray, g: int) -> np.ndarray:
+        """Graph ``g``'s slice of a flat per-edge array (a copy)."""
+        return values[self.edge_offsets[g]: self.edge_offsets[g + 1]].copy()
+
+
+def _per_graph_counts(sorted_indices: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """How many of ``sorted_indices`` fall into each ``[offsets[g], offsets[g+1])``."""
+    return np.diff(np.searchsorted(sorted_indices, offsets))
+
+
+#: Above this many values, deduplicate through the scratch-flag scatter;
+#: below it, sort + adjacent-compare wins (measured crossover ~1e5 on the
+#: index arrays these rounds produce — np.unique itself is far slower than
+#: either at every relevant size).
+_DENSE_DEDUP_THRESHOLD = 1 << 17
+
+
+def _sorted_unique(values: np.ndarray, scratch_flag: np.ndarray) -> np.ndarray:
+    """Sorted unique of ``values`` (non-negative indices into the flag domain).
+
+    ``scratch_flag`` must be an all-False bool array over the value domain;
+    it is returned all-False again.  Strategy is picked by size: sort +
+    adjacent-dedup for small batches, scatter + ``flatnonzero`` (whose cost
+    is dominated by the fixed domain scan) for large ones.
+    """
+    if values.size < _DENSE_DEDUP_THRESHOLD:
+        ordered = np.sort(values)
+        keep = np.ones(ordered.size, dtype=bool)
+        keep[1:] = ordered[1:] != ordered[:-1]
+        return ordered[keep]
+    scratch_flag[values] = True
+    out = np.flatnonzero(scratch_flag)
+    scratch_flag[out] = False
+    return out
+
+
+def batched_peel(
+    kernel: PeelingKernel,
+    graphs: Sequence[Hypergraph],
+    k: int,
+    *,
+    update: str = "full",
+    max_rounds: Optional[int] = None,
+    track_stats: bool = True,
+) -> List[PeelingResult]:
+    """Peel B independent graphs in lockstep and split the per-graph results.
+
+    The returned list matches ``[ParallelPeeler(k, ...).peel(g) for g in
+    graphs]`` element for element — same rounds, same peel-round arrays,
+    same per-round work accounting — while executing only one fused kernel
+    pass per round for the whole batch.
+
+    Parameters
+    ----------
+    kernel:
+        Kernel backend supplying the round primitives.
+    graphs:
+        Same-arity hypergraphs to peel (results in input order).
+    k:
+        Degree threshold; vertices of degree ``< k`` are removed each round.
+    update:
+        ``"full"`` or ``"frontier"`` — the same work-accounting modes the
+        :class:`~repro.core.peeling.ParallelPeeler` supports, with identical
+        per-graph work terms.
+    max_rounds:
+        Safety cap on lockstep rounds (defaults to ``4 * max_n + 16``).
+    track_stats:
+        Record per-round :class:`~repro.core.results.RoundStats` per graph.
+    """
+    graphs = list(graphs)
+    if not graphs:
+        return []
+    if update not in ("full", "frontier"):
+        raise ValueError(f"update must be 'full' or 'frontier', got {update!r}")
+    frontier_mode = update == "frontier"
+    batch = BatchedPeelState.from_graphs(graphs)
+    state = batch.state
+    num_graphs = batch.num_graphs
+    v_off = batch.vertex_offsets
+    e_off = batch.edge_offsets
+    total_v = int(v_off[-1])
+    total_e = int(e_off[-1])
+
+    max_n = max((g.num_vertices for g in graphs), default=0)
+    limit = max_rounds if max_rounds is not None else 4 * max(max_n, 1) + 16
+
+    # Per-graph bookkeeping the flat state cannot provide.
+    num_rounds = np.zeros(num_graphs, dtype=np.int64)
+    active = np.ones(num_graphs, dtype=bool)
+    stats: List[List[RoundStats]] = [[] for _ in range(num_graphs)]
+    empty = np.empty(0, dtype=np.int64)
+    # Reusable scratch mask for deduplicating dying edges: scatter-set, read
+    # back with flatnonzero (sorted for free), clear only the set entries.
+    dying_flag = np.zeros(total_e, dtype=bool)
+    # Candidate tracking (both modes): only a vertex that lost an incident
+    # edge can become removable, so each round examines the previous
+    # round's touched endpoints instead of re-scanning every vertex of
+    # every graph — the scatter/flatnonzero flag round-trip deduplicates
+    # them and keeps the candidate list sorted for free.  This is the
+    # frontier-correctness argument the single-graph engine already relies
+    # on; in full mode it changes only *how* the (identical) removable set
+    # is found, while the recorded work term remains the full-scan count.
+    candidate_flag = np.zeros(total_v, dtype=bool)
+    candidates = np.arange(total_v, dtype=np.int64)
+
+    for round_index in range(1, limit + 1):
+        examined_per_graph = None
+        if frontier_mode and track_stats:
+            # Frontier work accounting needs the live candidate set per
+            # graph, so filter it up front and hand the kernel the very
+            # same array (its internal re-filter is then a no-op).
+            live = (
+                candidates[state.vertex_alive[candidates]] if candidates.size else empty
+            )
+            examined_per_graph = _per_graph_counts(live, v_off)
+            removable, _, _ = kernel.find_removable(state, k, candidates=live)
+        else:
+            if track_stats:
+                examined_per_graph = batch.vertices_remaining.copy()
+            removable, _, _ = kernel.find_removable(state, k, candidates=candidates)
+        if removable.size == 0:
+            break
+
+        kernel.kill_vertices(state, removable, round_index)
+        # Dying-edge detection via the incidence index: only the removed
+        # vertices' incident edges can die, so the round's edge work is
+        # proportional to the removals, not to the batch size.  kill_edges
+        # then performs the exact same state mutations the single-graph
+        # engine's mask-scan path would.
+        incident = batch.incident_edges_of(removable)
+        dying = (
+            _sorted_unique(incident[state.edge_alive[incident]], dying_flag)
+            if incident.size
+            else empty
+        )
+        if dying.size:
+            # Inline of kernel.kill_edges (same mutations, same order) so
+            # the endpoint rows are gathered once and reused to seed the
+            # next round's candidates; the repeat-safe degree scatter still
+            # goes through the kernel primitive.
+            state.edge_alive[dying] = False
+            state.edge_peel_round[dying] = round_index
+            state.edges_remaining -= int(dying.size)
+            endpoints = state.edges[dying].reshape(-1)
+            kernel.scatter_degree_updates(state.degrees, endpoints)
+            # Next round's candidates: every endpoint of a killed edge
+            # (removed and dead ones drop out through the alive filter).
+            candidates = _sorted_unique(endpoints, candidate_flag)
+        else:
+            candidates = empty
+
+        removed_per_graph = _per_graph_counts(removable, v_off)
+        dying_per_graph = _per_graph_counts(dying, e_off)
+        batch.vertices_remaining -= removed_per_graph
+        batch.edges_remaining -= dying_per_graph
+
+        # A graph that removed nothing this round is at its fixed point:
+        # its block can never change again, so it stops accumulating rounds
+        # and stats exactly where its per-graph loop would have stopped.
+        progressed = removed_per_graph > 0
+        active &= progressed
+        num_rounds[active] = round_index
+        if track_stats:
+            for g in np.flatnonzero(active):
+                stats[g].append(
+                    RoundStats(
+                        round_index=round_index,
+                        vertices_peeled=int(removed_per_graph[g]),
+                        edges_peeled=int(dying_per_graph[g]),
+                        vertices_remaining=int(batch.vertices_remaining[g]),
+                        edges_remaining=int(batch.edges_remaining[g]),
+                        work=int(examined_per_graph[g]),
+                    )
+                )
+    else:  # pragma: no cover - loop exhausted without fixed point
+        raise RuntimeError(
+            f"batched parallel peeling did not reach a fixed point within {limit} rounds"
+        )
+
+    return [
+        PeelingResult(
+            k=k,
+            mode="parallel",
+            num_rounds=int(num_rounds[g]),
+            num_subrounds=int(num_rounds[g]),
+            success=int(batch.edges_remaining[g]) == 0,
+            vertex_peel_round=batch.split_vertex_array(state.vertex_peel_round, g),
+            edge_peel_round=batch.split_edge_array(state.edge_peel_round, g),
+            round_stats=stats[g],
+        )
+        for g in range(num_graphs)
+    ]

@@ -87,7 +87,15 @@ class NumpyKernel:
     def scatter_degree_updates(
         self, degrees: np.ndarray, endpoints: np.ndarray, amount: int = 1
     ) -> None:
-        np.subtract.at(degrees, endpoints, amount)
+        # ``np.subtract.at`` serializes one element at a time; once the
+        # scatter is dense relative to the target, a counting pass is an
+        # order of magnitude faster and arithmetically identical.  The
+        # sparse case keeps the direct scatter — a bincount there would
+        # allocate and scan far more than the update touches.
+        if endpoints.size * 4 >= degrees.size:
+            degrees -= amount * np.bincount(endpoints, minlength=degrees.size)
+        else:
+            np.subtract.at(degrees, endpoints, amount)
 
     def scatter_sub(self, target: np.ndarray, indices: np.ndarray, values: np.ndarray) -> None:
         np.subtract.at(target, indices, values)

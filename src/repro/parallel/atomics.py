@@ -37,7 +37,10 @@ def atomic_xor_depth(targets: Sequence[int] | np.ndarray, num_cells: int) -> int
         raise ValueError(f"num_cells must be positive, got {num_cells}")
     if arr.min() < 0 or arr.max() >= num_cells:
         raise ValueError("atomic XOR target out of range")
-    counts = np.bincount(arr, minlength=num_cells)
+    # Count only the cells actually hit: a bincount(minlength=num_cells)
+    # would allocate one entry per *table cell*, which for a handful of
+    # targets in a 10^8-cell table is hundreds of megabytes of zeros.
+    _, counts = np.unique(arr, return_counts=True)
     return int(counts.max())
 
 

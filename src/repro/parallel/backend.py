@@ -14,6 +14,11 @@ behind the same tiny interface (``map``) so callers never special-case:
   which sidesteps the GIL entirely; the work function and items must be
   picklable (module-level functions, ``functools.partial`` of them, plain
   data objects).
+* ``"batched"`` — a marker backend requesting *fused* execution: layers
+  that know how to stack their work items into one vectorized pass
+  (``peel_many``, the sweep scheduler's cell batching) detect it and take
+  the fused path; for opaque callables it degrades to serial execution, so
+  it is safe to select anywhere a backend name is accepted.
 
 Additional backends plug in through :func:`register_backend` and become
 selectable by name everywhere a backend name is accepted (``peel_many``,
@@ -33,6 +38,7 @@ from repro.utils.validation import check_positive_int
 __all__ = [
     "ExecutionBackend",
     "SerialBackend",
+    "BatchedBackend",
     "ThreadPoolBackend",
     "ProcessPoolBackend",
     "register_backend",
@@ -87,6 +93,22 @@ class SerialBackend(ExecutionBackend):
     def imap_unordered(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[Tuple[int, R]]:
         for index, item in enumerate(items):
             yield index, fn(item)
+
+
+class BatchedBackend(SerialBackend):
+    """Marker backend selecting fused (vectorized-batch) execution.
+
+    Batch-aware layers check ``isinstance(backend, BatchedBackend)`` and
+    stack their work items into one kernel pass instead of mapping a Python
+    callable per item: :func:`repro.engine.peel_many` runs the whole batch
+    through :func:`repro.kernels.batched.batched_peel`, and
+    :func:`repro.sweeps.run_sweep` dispatches whole cells through a
+    ``batch_trial`` when one is provided.  For opaque callables — layers
+    that have no batch shape to exploit — it behaves exactly like the
+    serial backend, so ``--backend batched`` is safe everywhere.
+    """
+
+    name = "batched"
 
 
 def _consume_future_exception(future) -> None:
@@ -208,6 +230,7 @@ BackendFactory = Callable[..., ExecutionBackend]
 
 _BACKENDS: Registry[BackendFactory] = Registry("backend")
 _BACKENDS.register("serial", SerialBackend)
+_BACKENDS.register("batched", BatchedBackend)
 _BACKENDS.register("threads", ThreadPoolBackend)
 _BACKENDS.register("processes", ProcessPoolBackend)
 

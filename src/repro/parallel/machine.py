@@ -27,7 +27,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.results import PeelingResult, RoundStats
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import check_nonnegative_int, check_positive_int
 
 __all__ = ["CostModel", "SimulatedTiming", "ParallelMachine"]
 
@@ -142,8 +142,12 @@ class ParallelMachine:
         parallel depth is ``ceil(items / threads)`` item-steps, times the
         per-item cost, plus the worst atomic-conflict serialization observed
         (``max_conflict_depth`` atomic ops).
+
+        ``num_items`` must be a non-negative integer: 0 is a legal empty
+        phase, but non-integers (``None``, ``False``, ``0.0``) are rejected
+        instead of being silently priced as zero items.
         """
-        num_items = check_positive_int(num_items, "num_items") if num_items else 0
+        num_items = check_nonnegative_int(num_items, "num_items")
         edge_size = check_positive_int(edge_size, "edge_size")
         cm = self.cost_model
         per_item_cost = cm.cell_op_cost + edge_size * cm.atomic_op_cost
@@ -203,10 +207,13 @@ class ParallelMachine:
             stats = list(round_stats)
         cm = self.cost_model
         edge_size = check_positive_int(edge_size, "edge_size")
-        if full_scan:
-            if num_cells is None:
-                raise ValueError("num_cells is required when full_scan=True")
+        # Validate num_cells whenever it is supplied — a falsy-but-wrong
+        # value (False, 0.0) must fail loudly rather than be ignored or
+        # priced as an empty table.
+        if num_cells is not None:
             num_cells = check_positive_int(num_cells, "num_cells")
+        if full_scan and num_cells is None:
+            raise ValueError("num_cells is required when full_scan=True")
 
         parallel_time = 0.0
         parallel_work = 0

@@ -19,6 +19,7 @@ harness (:mod:`repro.bench`) for the spec builders riding on this layer.
 from repro.sweeps.artifact import ARTIFACT_FORMAT, SweepArtifact, SweepSpecMismatch
 from repro.sweeps.scheduler import (
     AggregateFn,
+    BatchTrialFn,
     ProgressFn,
     SweepProgress,
     TrialFn,
@@ -37,6 +38,7 @@ __all__ = [
     "SweepProgress",
     "print_progress",
     "TrialFn",
+    "BatchTrialFn",
     "AggregateFn",
     "ProgressFn",
 ]

@@ -31,7 +31,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.parallel.backend import ExecutionBackend, get_backend
+from repro.parallel.backend import BatchedBackend, ExecutionBackend, get_backend
 from repro.sweeps.artifact import SweepArtifact
 from repro.sweeps.spec import SweepSpec
 from repro.utils.rng import spawn_rngs
@@ -41,6 +41,7 @@ __all__ = [
     "SweepProgress",
     "print_progress",
     "TrialFn",
+    "BatchTrialFn",
     "AggregateFn",
     "ProgressFn",
 ]
@@ -48,6 +49,12 @@ __all__ = [
 TrialFn = Callable[[Dict[str, Any], np.random.Generator], Any]
 """One trial: ``(cell_params, rng) -> trial result``.  Must be a picklable
 module-level function for the ``"processes"`` backend."""
+
+BatchTrialFn = Callable[[Dict[str, Any], List[np.random.Generator]], List[Any]]
+"""One whole cell at once: ``(cell_params, per-trial rngs) -> trial results
+in trial order``.  Implementations typically stack the cell's trials into a
+fused pass (e.g. ``peel_many(..., backend="batched")``); the contract is
+that the returned list equals running the per-trial function on each rng."""
 
 AggregateFn = Callable[[Dict[str, Any], List[Any]], Any]
 """Cell aggregation: ``(cell_params, trial results in trial order) -> row``."""
@@ -98,6 +105,14 @@ def _run_trial_task(task: Tuple[TrialFn, Dict[str, Any], np.random.Generator]) -
     return trial(params, rng)
 
 
+def _run_cell_task(
+    task: Tuple[BatchTrialFn, Dict[str, Any], List[np.random.Generator]]
+) -> List[Any]:
+    # One whole cell fused into a single task (batched execution).
+    batch_trial, params, rngs = task
+    return batch_trial(params, rngs)
+
+
 def _load_cached_rows(
     spec: SweepSpec, out: Optional[Path], resume: bool
 ) -> Tuple[SweepArtifact, Dict[str, Any]]:
@@ -123,6 +138,7 @@ def run_sweep(
     trial: TrialFn,
     aggregate: AggregateFn,
     *,
+    batch_trial: Optional[BatchTrialFn] = None,
     backend: Optional[Union[str, ExecutionBackend]] = None,
     max_workers: Optional[int] = None,
     out: Optional[Union[str, Path]] = None,
@@ -141,6 +157,12 @@ def run_sweep(
     aggregate:
         Per-cell reduction ``(params, results) -> row``; results arrive in
         trial order regardless of completion order.
+    batch_trial:
+        Optional cell-level trial function ``(params, rngs) -> results`` —
+        all of a cell's trials in one call, results in trial order.  Used
+        instead of per-trial dispatch when the resolved backend is the
+        ``"batched"`` marker backend, so same-cell trials fuse into one
+        vectorized pass; other backends ignore it.
     backend:
         Execution backend name or instance (default serial); named backends
         are created for the call and closed afterwards, instances are left
@@ -178,49 +200,76 @@ def run_sweep(
 
     pending = [i for i, cell in enumerate(spec.cells) if cell.key not in rows_by_key]
 
-    # Flatten every pending (cell, trial) pair into one task stream; the
-    # per-trial generators are spawned per cell exactly as run_trials does,
-    # so results are independent of scheduling.
-    tasks: List[Tuple[TrialFn, Dict[str, Any], np.random.Generator]] = []
-    owners: List[Tuple[int, int]] = []
-    for cell_index in pending:
-        cell = spec.cells[cell_index]
-        for trial_index, rng in enumerate(spawn_rngs(cell.seed, cell.trials)):
-            tasks.append((trial, dict(cell.params), rng))
-            owners.append((cell_index, trial_index))
-
     # The artifact is (re)written only as cells complete: a re-run that
     # forgot --resume gets an abort window before the first new cell lands,
     # instead of an existing checkpoint being truncated at startup.
     artifact.rows = dict(rows_by_key)
 
-    if tasks:
-        buffers = {i: [None] * spec.cells[i].trials for i in pending}
-        remaining = {i: spec.cells[i].trials for i in pending}
+    def finish_cell(cell_index: int, results: List[Any]) -> None:
+        nonlocal completed
+        cell = spec.cells[cell_index]
+        row = aggregate(dict(cell.params), results)
+        rows_by_key[cell.key] = row
+        completed += 1
+        if out_path is not None:
+            artifact.rows[cell.key] = row
+            artifact.save(out_path)
+        if progress is not None:
+            progress(
+                SweepProgress(spec.name, completed, total, cell.key, cell.trials, False)
+            )
+
+    if pending:
         owned = backend is None or isinstance(backend, str)
         resolved = (
             get_backend(backend or "serial", max_workers=max_workers) if owned else backend
         )
         try:
-            for task_index, result in resolved.imap_unordered(_run_trial_task, tasks):
-                cell_index, trial_index = owners[task_index]
-                buffers[cell_index][trial_index] = result
-                remaining[cell_index] -= 1
-                if remaining[cell_index]:
-                    continue
-                cell = spec.cells[cell_index]
-                row = aggregate(dict(cell.params), buffers.pop(cell_index))
-                rows_by_key[cell.key] = row
-                completed += 1
-                if out_path is not None:
-                    artifact.rows[cell.key] = row
-                    artifact.save(out_path)
-                if progress is not None:
-                    progress(
-                        SweepProgress(
-                            spec.name, completed, total, cell.key, cell.trials, False
-                        )
+            if batch_trial is not None and isinstance(resolved, BatchedBackend):
+                # Fused execution: one task per cell, all of its trials in a
+                # single call.  Seed derivation is identical to the
+                # per-trial stream, so rows cannot move.
+                cell_tasks = [
+                    (
+                        batch_trial,
+                        dict(spec.cells[i].params),
+                        list(spawn_rngs(spec.cells[i].seed, spec.cells[i].trials)),
                     )
+                    for i in pending
+                ]
+                for task_index, results in resolved.imap_unordered(
+                    _run_cell_task, cell_tasks
+                ):
+                    cell_index = pending[task_index]
+                    cell = spec.cells[cell_index]
+                    results = list(results)
+                    if len(results) != cell.trials:
+                        raise ValueError(
+                            f"batch trial for cell {cell.key!r} returned "
+                            f"{len(results)} results for {cell.trials} trials"
+                        )
+                    finish_cell(cell_index, results)
+            else:
+                # Flatten every pending (cell, trial) pair into one task
+                # stream; the per-trial generators are spawned per cell
+                # exactly as run_trials does, so results are independent of
+                # scheduling.
+                tasks: List[Tuple[TrialFn, Dict[str, Any], np.random.Generator]] = []
+                owners: List[Tuple[int, int]] = []
+                for cell_index in pending:
+                    cell = spec.cells[cell_index]
+                    for trial_index, rng in enumerate(spawn_rngs(cell.seed, cell.trials)):
+                        tasks.append((trial, dict(cell.params), rng))
+                        owners.append((cell_index, trial_index))
+                buffers = {i: [None] * spec.cells[i].trials for i in pending}
+                remaining = {i: spec.cells[i].trials for i in pending}
+                for task_index, result in resolved.imap_unordered(_run_trial_task, tasks):
+                    cell_index, trial_index = owners[task_index]
+                    buffers[cell_index][trial_index] = result
+                    remaining[cell_index] -= 1
+                    if remaining[cell_index]:
+                        continue
+                    finish_cell(cell_index, buffers.pop(cell_index))
         finally:
             if owned:
                 resolved.close()

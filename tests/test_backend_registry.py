@@ -13,6 +13,7 @@ import pytest
 
 from repro.experiments.runner import run_trials
 from repro.parallel.backend import (
+    BatchedBackend,
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
@@ -48,12 +49,19 @@ def _rng_draw(rng) -> float:
 
 class TestRegistry:
     def test_builtin_backends(self):
-        assert set(available_backends()) == {"serial", "threads", "processes"}
+        assert set(available_backends()) == {"serial", "batched", "threads", "processes"}
 
     def test_get_backend_by_name(self):
         assert isinstance(get_backend("serial"), SerialBackend)
+        assert isinstance(get_backend("batched"), BatchedBackend)
         assert isinstance(get_backend("threads"), ThreadPoolBackend)
         assert isinstance(get_backend("processes"), ProcessPoolBackend)
+
+    def test_batched_backend_maps_opaque_callables_serially(self):
+        # The marker backend degrades to serial execution for work it
+        # cannot fuse, so it is safe anywhere a backend name is accepted.
+        with get_backend("batched") as backend:
+            assert backend.map(_square, [1, 2, 3]) == [1, 4, 9]
 
     def test_get_backend_passes_instances_through(self):
         instance = SerialBackend()

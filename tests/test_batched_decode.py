@@ -1,0 +1,219 @@
+"""Tests for batched lockstep IBLT recovery (decode_many / BatchedFlatDecoder).
+
+The contract: ``IBLT.decode_many(tables)`` returns, for every table, exactly
+what ``table.decode(decoder="flat")`` returns — recovered keys in the same
+order, rounds, per-round statistics, conflict depths, scan work — while
+running the whole batch through one lockstep pass per round.  The property
+holds on mixed batches including failing and partially-decoding tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.set_reconciliation import SetReconciler, random_set_pair
+from repro.apps.sparse_recovery import SparseRecovery, random_distinct_keys
+from repro.iblt import IBLT, BatchedFlatDecoder, available_decoders, decode_many
+
+
+def assert_same_decode(batched, solo):
+    assert batched.success == solo.success
+    assert batched.rounds == solo.rounds
+    assert batched.subrounds == solo.subrounds
+    assert batched.num_recovered == solo.num_recovered
+    np.testing.assert_array_equal(batched.recovered, solo.recovered)
+    np.testing.assert_array_equal(batched.removed, solo.removed)
+    assert batched.decode.cells_scanned == solo.decode.cells_scanned
+    assert batched.round_stats == solo.round_stats
+    assert batched.conflict_depths == solo.conflict_depths
+
+
+def _loaded_table(num_cells: int, load: float, *, r: int = 3, seed: int = 0) -> IBLT:
+    table = IBLT(num_cells, r, seed=9)
+    keys = random_distinct_keys(int(load * num_cells), seed=seed)
+    if keys.size:
+        table.insert(keys)
+    return table
+
+
+@pytest.fixture(scope="module")
+def mixed_tables():
+    """Decodable, partially-decodable, overloaded (failing) and empty tables."""
+    tables = [
+        _loaded_table(3000, 0.5, seed=1),
+        _loaded_table(3000, 0.75, seed=2),
+        _loaded_table(3000, 1.4, seed=3),   # far above threshold: fails
+        _loaded_table(3000, 0.0, seed=4),   # empty: decodes in zero rounds
+        _loaded_table(3000, 0.95, seed=5),
+    ]
+    # A signed difference digest with net deletions in the batch, too.
+    a = IBLT(3000, 3, seed=9)
+    b = IBLT(3000, 3, seed=9)
+    a.insert(random_distinct_keys(400, seed=6))
+    b.insert(random_distinct_keys(380, seed=7))
+    tables.append(a.subtract(b))
+    return tables
+
+
+class TestDecodeManyMatchesPerTableFlat:
+    def test_bitwise_parity_on_mixed_batch(self, mixed_tables):
+        batch = decode_many(mixed_tables)
+        assert len(batch) == len(mixed_tables)
+        for table, got in zip(mixed_tables, batch):
+            assert_same_decode(got, table.decode(decoder="flat"))
+
+    def test_inputs_never_mutated(self, mixed_tables):
+        before = [(t.count.copy(), t.key_sum.copy(), t.check_sum.copy()) for t in mixed_tables]
+        decode_many(mixed_tables)
+        for table, (count, key_sum, check_sum) in zip(mixed_tables, before):
+            np.testing.assert_array_equal(table.count, count)
+            np.testing.assert_array_equal(table.key_sum, key_sum)
+            np.testing.assert_array_equal(table.check_sum, check_sum)
+
+    def test_empty_batch(self):
+        assert decode_many([]) == []
+
+    def test_single_table_batch_matches_flat(self):
+        table = _loaded_table(2001, 0.7, seed=11)
+        assert_same_decode(decode_many([table])[0], table.decode(decoder="flat"))
+
+    def test_unsigned_mode(self):
+        tables = [_loaded_table(1500, 0.6, seed=s) for s in (21, 22)]
+        batch = decode_many(tables, signed=False)
+        for table, got in zip(tables, batch):
+            assert_same_decode(got, table.decode(decoder="flat", signed=False))
+
+    def test_flat_layout_tables(self):
+        tables = []
+        for s in (31, 32):
+            table = IBLT(1000, 3, layout="flat", seed=4)
+            table.insert(random_distinct_keys(500, seed=s))
+            tables.append(table)
+        batch = decode_many(tables)
+        for table, got in zip(tables, batch):
+            assert_same_decode(got, table.decode(decoder="flat"))
+
+    def test_duplicate_keys_across_tables(self):
+        # The same key in two tables must be recovered once per table —
+        # dedup is per table, never global.
+        keys = random_distinct_keys(600, seed=41)
+        tables = []
+        for _ in range(3):
+            table = IBLT(1200, 3, seed=5)
+            table.insert(keys)
+            tables.append(table)
+        for got in decode_many(tables):
+            assert got.success
+            np.testing.assert_array_equal(np.sort(got.recovered), np.sort(keys))
+
+    def test_skewed_batch_with_straggler_matches_per_table_decode(self):
+        # One near-threshold straggler among many quick tables: exercises
+        # the mid-run compaction that drops closed tables out of the stack
+        # while the straggler keeps decoding.
+        tables = []
+        for i in range(48):
+            table = IBLT(1500, 3, seed=9)
+            load = 0.8 if i == 20 else 0.3
+            table.insert(random_distinct_keys(int(load * 1500), seed=300 + i))
+            tables.append(table)
+        batch = decode_many(tables)
+        rounds = [got.rounds for got in batch]
+        assert rounds[20] > max(r for i, r in enumerate(rounds) if i != 20)
+        for table, got in zip(tables, batch):
+            assert_same_decode(got, table.decode(decoder="flat"))
+
+    @given(
+        loads=st.lists(st.floats(min_value=0.0, max_value=1.3), min_size=1, max_size=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_batches_equal_per_table_decode(self, loads, seed):
+        tables = [
+            _loaded_table(300, load, seed=seed + i) for i, load in enumerate(loads)
+        ]
+        batch = decode_many(tables)
+        for table, got in zip(tables, batch):
+            assert_same_decode(got, table.decode(decoder="flat"))
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_non_batched_decoders_loop_per_table(self, seed):
+        tables = [_loaded_table(300, 0.6, seed=seed + i) for i in range(3)]
+        for decoder in ("serial", "subtable"):
+            batch = decode_many(tables, decoder=decoder)
+            for table, got in zip(tables, batch):
+                solo = table.decode(decoder=decoder)
+                assert got.success == solo.success
+                np.testing.assert_array_equal(
+                    np.sort(got.recovered), np.sort(solo.recovered)
+                )
+
+
+class TestBatchedDecoderRegistry:
+    def test_registered(self):
+        assert "batched" in available_decoders()
+
+    def test_single_table_decode_front_door(self):
+        table = _loaded_table(1500, 0.7, seed=51)
+        result = table.decode(decoder="batched")
+        assert_same_decode(result, table.decode(decoder="flat"))
+
+    def test_in_place_residual_matches_flat(self):
+        overloaded = _loaded_table(900, 1.4, seed=52)
+        via_batched = overloaded.copy()
+        via_flat = overloaded.copy()
+        res_b = BatchedFlatDecoder().decode(via_batched, in_place=True)
+        res_f = via_flat.decode(decoder="flat", in_place=True)
+        assert not res_b.success and not res_f.success
+        np.testing.assert_array_equal(via_batched.count, via_flat.count)
+        np.testing.assert_array_equal(via_batched.key_sum, via_flat.key_sum)
+        np.testing.assert_array_equal(via_batched.check_sum, via_flat.check_sum)
+
+    def test_mismatched_geometry_rejected(self):
+        tables = [_loaded_table(900, 0.5, seed=1), _loaded_table(1200, 0.5, seed=2)]
+        with pytest.raises(ValueError, match="sharing geometry"):
+            decode_many(tables)
+
+    def test_mismatched_seed_rejected(self):
+        a = IBLT(900, 3, seed=1)
+        b = IBLT(900, 3, seed=2)
+        with pytest.raises(ValueError, match="hash seed"):
+            decode_many([a, b])
+
+
+class TestAppsUseBatchedDecoding:
+    def test_sparse_recovery_recover_many(self):
+        pipeline = SparseRecovery(1200, 3, seed=3)
+        tables, truths = [], []
+        for i, survivors in enumerate((300, 500, 800)):
+            keys = random_distinct_keys(2000, seed=60 + i)
+            surviving = keys[:survivors]
+            tables.append(pipeline.build_table(keys, keys[survivors:]))
+            truths.append(surviving)
+        results = pipeline.recover_many(tables, truths)
+        singles = [
+            pipeline.recover(table, truth, decoder="flat")
+            for table, truth in zip(tables, truths)
+        ]
+        for got, solo in zip(results, singles):
+            assert got.success == solo.success
+            assert got.rounds == solo.rounds
+            assert got.fraction_recovered == solo.fraction_recovered
+
+    def test_sparse_recovery_recover_many_length_mismatch(self):
+        pipeline = SparseRecovery(600, 3, seed=3)
+        with pytest.raises(ValueError, match="expected key sets"):
+            pipeline.recover_many([], [np.empty(0, dtype=np.uint64)])
+
+    def test_set_reconciliation_reconcile_many(self):
+        reconciler = SetReconciler(600, 3, seed=12)
+        pairs = [random_set_pair(800, 40, 30, seed=70 + i) for i in range(4)]
+        many = reconciler.reconcile_many(pairs)
+        singles = [reconciler.reconcile(a, b) for a, b in pairs]
+        for got, solo in zip(many, singles):
+            assert got.success and solo.success
+            np.testing.assert_array_equal(np.sort(got.a_minus_b), np.sort(solo.a_minus_b))
+            np.testing.assert_array_equal(np.sort(got.b_minus_a), np.sort(solo.b_minus_a))

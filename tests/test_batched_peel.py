@@ -1,0 +1,227 @@
+"""Tests for the batched lockstep peeling subsystem.
+
+The contract under test: ``peel_many(graphs, "parallel", backend="batched")``
+returns results *bit-for-bit identical* to the serial per-graph loop — same
+rounds, same peel-round arrays, same per-round statistics — while executing
+one fused kernel pass per round for the whole batch.  (The golden-fingerprint
+pins live in test_kernel_parity.py next to the other engines'.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchedPeeler, PeelingConfig, available_engines, peel, peel_many
+from repro.hypergraph import random_hypergraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.kernels.batched import BatchedPeelState, batched_peel
+from repro.kernels import get_kernel
+
+
+def assert_identical(a, b):
+    assert a.mode == b.mode
+    assert a.k == b.k
+    assert a.num_rounds == b.num_rounds
+    assert a.num_subrounds == b.num_subrounds
+    assert a.success == b.success
+    np.testing.assert_array_equal(a.vertex_peel_round, b.vertex_peel_round)
+    np.testing.assert_array_equal(a.edge_peel_round, b.edge_peel_round)
+    assert a.round_stats == b.round_stats
+    np.testing.assert_array_equal(a.peel_order, b.peel_order)
+
+
+@pytest.fixture(scope="module")
+def mixed_batch():
+    """Graphs of different sizes, densities and outcomes (plus edgeless)."""
+    graphs = [
+        random_hypergraph(800, 0.7, 4, seed=1),
+        random_hypergraph(300, 0.85, 4, seed=2),   # above threshold: fails
+        random_hypergraph(1500, 0.75, 4, seed=3),
+        random_hypergraph(40, 0.7, 4, seed=4),
+    ]
+    graphs.append(Hypergraph(9, np.empty((0, 4), dtype=np.int64)))  # edgeless
+    return graphs
+
+
+class TestBatchedMatchesSerialLoop:
+    @pytest.mark.parametrize("update", ["full", "frontier"])
+    def test_bitwise_parity_with_per_graph_loop(self, mixed_batch, update):
+        serial = peel_many(mixed_batch, "parallel", k=2, update=update, backend="serial")
+        fused = peel_many(mixed_batch, "parallel", k=2, update=update, backend="batched")
+        assert len(fused) == len(mixed_batch)
+        for a, b in zip(serial, fused):
+            assert_identical(a, b)
+
+    def test_parity_without_stats(self, mixed_batch):
+        serial = peel_many(mixed_batch, "parallel", k=2, track_stats=False, backend="serial")
+        fused = peel_many(mixed_batch, "parallel", k=2, track_stats=False, backend="batched")
+        for a, b in zip(serial, fused):
+            assert_identical(a, b)
+            assert a.round_stats == []
+
+    def test_parity_at_higher_k(self, mixed_batch):
+        serial = peel_many(mixed_batch, "parallel", k=3, backend="serial")
+        fused = peel_many(mixed_batch, "parallel", k=3, backend="batched")
+        for a, b in zip(serial, fused):
+            assert_identical(a, b)
+
+    def test_results_in_input_order(self, mixed_batch):
+        fused = peel_many(mixed_batch, "parallel", k=2, backend="batched")
+        for graph, result in zip(mixed_batch, fused):
+            assert result.num_vertices == graph.num_vertices
+            assert result.num_edges == graph.num_edges
+
+    def test_duplicate_endpoint_edges(self):
+        # Hashing applications produce edges with repeated vertices; the
+        # stacked degree accounting must keep the multiset semantics.
+        edges = np.array([[0, 0, 1], [1, 2, 3], [2, 3, 3]], dtype=np.int64)
+        graph = Hypergraph(4, edges, allow_duplicate_vertices=True)
+        other = random_hypergraph(200, 0.8, 3, seed=7)
+        serial = peel_many([graph, other], "parallel", k=2, backend="serial")
+        fused = peel_many([graph, other], "parallel", k=2, backend="batched")
+        for a, b in zip(serial, fused):
+            assert_identical(a, b)
+
+
+class TestBatchedDispatch:
+    def test_empty_batch(self):
+        assert peel_many([], "parallel", k=2, backend="batched") == []
+
+    def test_single_graph_batch(self):
+        graph = random_hypergraph(500, 0.7, 4, seed=5)
+        fused = peel_many([graph], "parallel", k=2, backend="batched")[0]
+        assert_identical(fused, peel(graph, "parallel", k=2))
+
+    def test_batched_engine_name_dispatches_fused(self):
+        graph = random_hypergraph(500, 0.7, 4, seed=5)
+        fused = peel_many([graph], "batched", k=2, backend="batched")[0]
+        assert_identical(fused, peel(graph, "parallel", k=2))
+
+    def test_registered_as_engine(self):
+        assert "batched" in available_engines()
+        graph = random_hypergraph(400, 0.7, 4, seed=6)
+        assert_identical(peel(graph, "batched", k=2), peel(graph, "parallel", k=2))
+
+    def test_config_build_constructs_batched_engine(self):
+        engine = PeelingConfig(engine="batched", k=3, update="frontier").build()
+        assert isinstance(engine, BatchedPeeler)
+        assert engine.k == 3
+        assert engine.update == "frontier"
+
+    def test_unsupported_engine_falls_back_to_serial_loop(self):
+        # The BatchedBackend contract: engines the fused path does not
+        # implement run through the ordinary per-graph loop.
+        graphs = [random_hypergraph(300, 0.7, 4, seed=s) for s in range(2)]
+        results = peel_many(graphs, "sequential", k=2, backend="batched")
+        for graph, result in zip(graphs, results):
+            assert_identical(result, peel(graph, "sequential", k=2))
+
+    def test_unknown_options_rejected_on_fused_path(self):
+        graphs = [random_hypergraph(100, 0.7, 4, seed=1)]
+        with pytest.raises(TypeError, match="does not accept option"):
+            peel_many(graphs, "parallel", k=2, warp_speed=True, backend="batched")
+
+    def test_mixed_arity_falls_back_to_serial_loop(self):
+        # The BatchedBackend contract: inputs the fused path cannot stack
+        # run through the ordinary per-graph loop instead of failing.
+        graphs = [
+            random_hypergraph(200, 0.7, 3, seed=1),
+            random_hypergraph(200, 0.7, 4, seed=2),
+        ]
+        results = peel_many(graphs, "parallel", k=2, backend="batched")
+        for graph, got in zip(graphs, results):
+            assert_identical(got, peel(graph, "parallel", k=2))
+
+    def test_mixed_arity_rejected_by_the_engine_itself(self):
+        # Direct engine use is explicit about the constraint.
+        graphs = [
+            random_hypergraph(200, 0.7, 3, seed=1),
+            random_hypergraph(200, 0.7, 4, seed=2),
+        ]
+        with pytest.raises(ValueError, match="same-arity"):
+            BatchedPeeler(2).peel_many(graphs)
+
+    def test_edgeless_graphs_stack_with_anything(self):
+        graphs = [
+            Hypergraph(5, np.empty((0, 3), dtype=np.int64)),
+            random_hypergraph(200, 0.7, 4, seed=2),
+        ]
+        serial = peel_many(graphs, "parallel", k=2, backend="serial")
+        fused = peel_many(graphs, "parallel", k=2, backend="batched")
+        for a, b in zip(serial, fused):
+            assert_identical(a, b)
+
+    def test_invalid_update_rejected(self):
+        with pytest.raises(ValueError, match="update"):
+            BatchedPeeler(2, update="sideways")
+
+    def test_chunking_is_invisible_in_results(self, mixed_batch):
+        # chunk_vertices is purely a performance knob: any chunking of the
+        # batch must give the same results as one unchunked lockstep pass.
+        unchunked = peel_many(
+            mixed_batch, "parallel", k=2, chunk_vertices=10**9, backend="batched"
+        )
+        tiny_chunks = peel_many(
+            mixed_batch, "parallel", k=2, chunk_vertices=100, backend="batched"
+        )
+        for a, b in zip(unchunked, tiny_chunks):
+            assert_identical(a, b)
+
+    def test_chunk_vertices_validated(self):
+        with pytest.raises(ValueError):
+            BatchedPeeler(2, chunk_vertices=0)
+
+    def test_chunk_vertices_ignored_when_fallback_degrades(self):
+        # The batched-only knob must not make the graceful fallback fail:
+        # a mixed-arity batch with chunk_vertices runs the per-graph loop.
+        graphs = [
+            random_hypergraph(200, 0.7, 3, seed=1),
+            random_hypergraph(200, 0.7, 4, seed=2),
+        ]
+        results = peel_many(
+            graphs, "parallel", k=2, chunk_vertices=500, backend="batched"
+        )
+        for graph, got in zip(graphs, results):
+            assert_identical(got, peel(graph, "parallel", k=2))
+
+    def test_max_rounds_cap_raises_like_the_engine(self):
+        graphs = [random_hypergraph(400, 0.7, 4, seed=3)]
+        with pytest.raises(RuntimeError, match="did not reach a fixed point"):
+            batched_peel(get_kernel(None), graphs, 2, max_rounds=1)
+
+
+class TestBatchedPeelState:
+    def test_offsets_partition_the_flat_arrays(self, mixed_batch):
+        batch = BatchedPeelState.from_graphs(mixed_batch)
+        assert batch.num_graphs == len(mixed_batch)
+        assert int(batch.vertex_offsets[-1]) == sum(g.num_vertices for g in mixed_batch)
+        assert int(batch.edge_offsets[-1]) == sum(g.num_edges for g in mixed_batch)
+        # Block-diagonal: every edge's endpoints stay inside its graph's range.
+        for g in range(batch.num_graphs):
+            rows = batch.state.edges[batch.edge_offsets[g]: batch.edge_offsets[g + 1]]
+            if rows.size:
+                assert rows.min() >= batch.vertex_offsets[g]
+                assert rows.max() < batch.vertex_offsets[g + 1]
+
+    def test_stacked_degrees_match_per_graph_degrees(self, mixed_batch):
+        batch = BatchedPeelState.from_graphs(mixed_batch)
+        for g, graph in enumerate(mixed_batch):
+            np.testing.assert_array_equal(
+                batch.state.degrees[batch.vertex_offsets[g]: batch.vertex_offsets[g + 1]],
+                graph.degrees(),
+            )
+
+    def test_incidence_round_trips_through_offsets(self, mixed_batch):
+        batch = BatchedPeelState.from_graphs(mixed_batch)
+        for g, graph in enumerate(mixed_batch):
+            for v in range(0, graph.num_vertices, max(1, graph.num_vertices // 7)):
+                flat = int(batch.vertex_offsets[g]) + v
+                got = batch.incident_edges_of(np.asarray([flat])) - batch.edge_offsets[g]
+                np.testing.assert_array_equal(np.sort(got), np.sort(graph.incident_edges(v)))
+
+    def test_result_arrays_are_independent_copies(self, mixed_batch):
+        results = peel_many(mixed_batch, "parallel", k=2, backend="batched")
+        results[0].vertex_peel_round[:] = -77
+        fresh = peel_many(mixed_batch, "parallel", k=2, backend="batched")
+        assert not np.array_equal(results[0].vertex_peel_round, fresh[0].vertex_peel_round)

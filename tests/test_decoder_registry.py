@@ -29,7 +29,9 @@ def loaded_table() -> tuple:
 
 class TestRegistry:
     def test_builtin_decoders(self):
-        assert set(available_decoders()) == {"serial", "flat", "subtable", "shm-flat"}
+        assert set(available_decoders()) == {
+            "serial", "flat", "subtable", "shm-flat", "batched",
+        }
 
     def test_get_decoder_by_name(self):
         assert get_decoder("serial") is SerialDecoder

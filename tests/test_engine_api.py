@@ -213,6 +213,19 @@ class TestPeelMany:
     def test_empty_batch(self):
         assert peel_many([], "parallel", k=2) == []
 
+    def test_processes_backend_preserves_input_order(self):
+        # Pin the documented "results come back in input order" guarantee
+        # where it can actually break: a pool whose completion order differs
+        # from submission order.  The first graph is much larger than the
+        # rest, so later graphs finish first on the workers.
+        graphs = [random_hypergraph(20_000, 0.7, 4, seed=90)] + [
+            random_hypergraph(150 + 10 * i, 0.7, 4, seed=91 + i) for i in range(6)
+        ]
+        results = peel_many(graphs, "parallel", k=2, backend="processes", max_workers=2)
+        assert [r.num_vertices for r in results] == [g.num_vertices for g in graphs]
+        for graph, got in zip(graphs, results):
+            assert_same_result(got, peel(graph, "parallel", k=2))
+
 
 # --------------------------------------------------------------------- #
 # deprecation shims

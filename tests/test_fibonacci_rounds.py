@@ -18,6 +18,7 @@ from repro.analysis.rounds import (
     predict_rounds,
     rounds_above_threshold,
     rounds_below_threshold,
+    rounds_near_threshold,
     rounds_with_subtables,
 )
 from repro.analysis.thresholds import peeling_threshold
@@ -182,6 +183,64 @@ class TestPredictRounds:
     def test_threshold_field(self):
         prediction = predict_rounds(1000, 0.7, 2, 4)
         assert prediction.threshold == pytest.approx(peeling_threshold(2, 4))
+
+    def test_below_regime_leading_term_is_theorem1(self):
+        prediction = predict_rounds(1_000_000, 0.7, 2, 4)
+        assert prediction.leading_term == pytest.approx(
+            rounds_below_threshold(1_000_000, 2, 4)
+        )
+
+
+class TestCriticalRegimeLeadingTerm:
+    """Theorem 5: the critical window carries an additive Θ(sqrt(1/ν)) term.
+
+    Regression: predict_rounds used to label the critical regime with the
+    bare Theorem 1 below-threshold leading term, which misses the plateau
+    entirely — these tests fail on that behaviour.
+    """
+
+    def test_near_threshold_leading_term_includes_plateau(self):
+        c_star = peeling_threshold(2, 4)
+        nu = 1e-10  # inside the default critical window (tol=1e-9)
+        prediction = predict_rounds(1_000_000, c_star - nu, 2, 4)
+        assert prediction.regime == "critical"
+        below = rounds_below_threshold(1_000_000, 2, 4)
+        assert prediction.leading_term == pytest.approx(below + math.sqrt(1.0 / nu))
+        # The plateau term dominates: the old (Theorem-1-only) value is
+        # orders of magnitude too small.
+        assert prediction.leading_term > 100 * below
+
+    def test_exactly_at_threshold_diverges(self):
+        c_star = peeling_threshold(2, 4)
+        prediction = predict_rounds(1_000_000, c_star, 2, 4)
+        assert prediction.regime == "critical"
+        assert math.isinf(prediction.leading_term)
+
+    def test_helper_is_symmetric_in_nu(self):
+        c_star = peeling_threshold(2, 4)
+        below = rounds_near_threshold(10**6, c_star - 1e-10, 2, 4)
+        above = rounds_near_threshold(10**6, c_star + 1e-10, 2, 4)
+        assert below == pytest.approx(above)
+
+    def test_helper_additive_constant(self):
+        c_star = peeling_threshold(2, 4)
+        base = rounds_near_threshold(10**6, c_star - 1e-10, 2, 4)
+        assert rounds_near_threshold(
+            10**6, c_star - 1e-10, 2, 4, constant=3.0
+        ) == pytest.approx(base + 3.0)
+
+    def test_helper_grows_as_nu_shrinks(self):
+        c_star = peeling_threshold(2, 4)
+        wider = rounds_near_threshold(10**6, c_star - 1e-6, 2, 4)
+        tighter = rounds_near_threshold(10**6, c_star - 1e-8, 2, 4)
+        assert tighter > wider
+        # Θ(sqrt(1/ν)) scaling: 100x closer → 10x larger plateau term.
+        below = rounds_below_threshold(10**6, 2, 4)
+        assert (tighter - below) == pytest.approx(10 * (wider - below), rel=1e-6)
+
+    def test_helper_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            rounds_near_threshold(2, 0.77, 2, 4)
 
     def test_near_threshold_takes_many_rounds(self):
         # At c = 0.772 (nu ≈ 0.0003) Theorem 5 predicts a ~sqrt(1/nu) ≈ 60

@@ -319,6 +319,33 @@ def test_decoder_accounting_matches_pre_kernel_golden(kernel, decoder, num_cells
     assert fingerprint == GOLDEN[f"iblt-{decoder}/m{num_cells}/r{r}/l{load}/s{seed}"]
 
 
+# The batched lockstep engine stacks many graphs into one block-diagonal
+# state; peeling a golden-pinned graph inside a batch (surrounded by decoy
+# graphs) must still reproduce the per-graph golden fingerprint exactly —
+# rounds, peel-round arrays, per-round work, everything.
+
+BATCHED_PEEL_CASES = [case for case in PEEL_CASES if case[0] == "parallel"]
+
+
+@pytest.mark.parametrize("kernel", available_kernels())
+@pytest.mark.parametrize("engine,update,n,c,r,k,seed", BATCHED_PEEL_CASES)
+def test_batched_peel_many_matches_parallel_golden(kernel, engine, update, n, c, r, k, seed):
+    from repro.engine import peel_many
+
+    graph = random_hypergraph(n, c, r, seed=seed)
+    decoys = [random_hypergraph(500, 0.75, r, seed=seed + 1000 + i) for i in range(2)]
+    batch = [decoys[0], graph, decoys[1]]
+    results = peel_many(
+        batch, "parallel", k=k, update=update, kernel=kernel, backend="batched"
+    )
+    expected = GOLDEN[_peel_case_key(engine, update, n, c, r, k, seed)]
+    assert _peel_fingerprint(results[1]) == expected
+    # The decoys must equal their own per-graph runs, too.
+    for decoy, result in zip(decoys, (results[0], results[2])):
+        solo = peel(decoy, "parallel", k=k, update=update, kernel=kernel)
+        assert _peel_fingerprint(result) == _peel_fingerprint(solo)
+
+
 # The shm engines are *schedules*, not kernels: they must land on the very
 # same golden fingerprints the in-process engines pinned, at any worker
 # count — rounds, removals, peel-round arrays, work terms, conflict depths.

@@ -36,6 +36,15 @@ class TestAtomicXorDepth:
         with pytest.raises(ValueError):
             atomic_xor_depth([0], 0)
 
+    def test_huge_table_with_few_targets_stays_cheap(self):
+        # Regression: the depth used to be computed with
+        # np.bincount(minlength=num_cells), allocating one counter per
+        # *table cell* — for this num_cells that is an ~8 TB array (instant
+        # MemoryError); counting only the hit cells makes table size
+        # irrelevant.
+        assert atomic_xor_depth([3, 3, 7], 10**12) == 2
+        assert atomic_xor_depth([10**12 - 1], 10**12) == 1
+
 
 class TestConflictTracker:
     def test_record_and_aggregate(self):
@@ -85,6 +94,18 @@ class TestInsertionTiming:
         assert timing.serial_time == 0.0
         assert timing.rounds == 0
 
+    @pytest.mark.parametrize("bad", [None, False, 0.0, 1.5, "10"])
+    def test_non_integer_items_rejected(self, bad):
+        # Regression: falsy non-integers (None, False, 0.0) used to slip
+        # through a `check_positive_int(x) if x else 0` guard and be
+        # silently priced as an empty insertion phase.
+        with pytest.raises(TypeError):
+            ParallelMachine().time_insertions(bad, 3)
+
+    def test_negative_items_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelMachine().time_insertions(-1, 3)
+
     def test_conflicts_add_time(self):
         machine = ParallelMachine(num_threads=1024)
         base = machine.time_insertions(10_000, 3, max_conflict_depth=1)
@@ -121,6 +142,22 @@ class TestRecoveryTiming:
         machine = ParallelMachine()
         with pytest.raises(ValueError):
             machine.time_recovery(self._stats(3, 1000, 10), full_scan=True)
+
+    @pytest.mark.parametrize("bad", [False, 0.0, 1.5, "1000"])
+    def test_non_integer_num_cells_rejected_even_without_full_scan(self, bad):
+        # Regression companion to the time_insertions audit: a supplied
+        # num_cells is validated in every mode, so falsy non-integers fail
+        # loudly instead of being ignored on the full_scan=False path.
+        machine = ParallelMachine()
+        with pytest.raises(TypeError):
+            machine.time_recovery(
+                self._stats(3, 1000, 10), num_cells=bad, full_scan=False
+            )
+
+    def test_zero_num_cells_rejected(self):
+        machine = ParallelMachine()
+        with pytest.raises(ValueError):
+            machine.time_recovery(self._stats(3, 1000, 10), num_cells=0)
 
     def test_more_rounds_cost_more(self):
         machine = ParallelMachine(num_threads=4096)

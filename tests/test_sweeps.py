@@ -29,6 +29,15 @@ def _sum_aggregate(params, results):
     return {"offset": params["offset"], "values": list(results)}
 
 
+def _sum_batch_trial(params, rngs):
+    # Cell-level fusion of _sum_trial: same draws, one call per cell.
+    return [_sum_trial(params, rng) for rng in rngs]
+
+
+def _short_batch_trial(params, rngs):
+    return [_sum_trial(params, rng) for rng in rngs][:-1]
+
+
 def _demo_spec(offsets=(0, 100, 200), trials=3, seed=7, name="demo"):
     cells = tuple(
         CellSpec(
@@ -149,6 +158,43 @@ class TestScheduler:
             spec, trial, lambda p, res: res[0], backend="threads", max_workers=2
         )
         assert rows == [1, 2]
+
+    def test_batched_backend_fuses_cells_with_identical_rows(self):
+        spec = _demo_spec()
+        serial = run_sweep(spec, _sum_trial, _sum_aggregate)
+        fused = run_sweep(
+            spec, _sum_trial, _sum_aggregate,
+            batch_trial=_sum_batch_trial, backend="batched",
+        )
+        assert serial == fused
+
+    def test_batch_trial_ignored_on_non_batched_backends(self):
+        spec = _demo_spec()
+        rows = run_sweep(
+            spec, _sum_trial, _sum_aggregate,
+            batch_trial=_short_batch_trial,  # would corrupt rows if used
+            backend="serial",
+        )
+        assert rows == run_sweep(spec, _sum_trial, _sum_aggregate)
+
+    def test_batched_backend_without_batch_trial_runs_per_trial(self):
+        spec = _demo_spec()
+        rows = run_sweep(spec, _sum_trial, _sum_aggregate, backend="batched")
+        assert rows == run_sweep(spec, _sum_trial, _sum_aggregate)
+
+    def test_batch_trial_result_count_mismatch_raises(self):
+        with pytest.raises(ValueError, match="returned 2 results for 3 trials"):
+            run_sweep(
+                _demo_spec(), _sum_trial, _sum_aggregate,
+                batch_trial=_short_batch_trial, backend="batched",
+            )
+
+    def test_table1_batched_backend_rows_identical(self):
+        serial = run_table1(sizes=[600], densities=[0.7], trials=4, seed=3)
+        fused = run_table1(
+            sizes=[600], densities=[0.7], trials=4, seed=3, backend="batched"
+        )
+        assert serial == fused
 
     def test_progress_reports_every_cell(self):
         events = []
