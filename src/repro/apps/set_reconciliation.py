@@ -158,6 +158,59 @@ class SetReconciler:
             for outcome, (a, b) in zip(outcomes, key_pairs)
         ]
 
+    # ------------------------------------------------------------------ #
+    # the wire path: reconciliation through the decode service
+    # ------------------------------------------------------------------ #
+    def digest_payload(self, keys: Sequence[int] | np.ndarray) -> bytes:
+        """Serialize this party's digest of ``keys`` — the bytes the peer ships."""
+        return self.digest(keys).to_bytes()
+
+    async def reconcile_via_service(
+        self,
+        local_keys: Sequence[int] | np.ndarray,
+        peer_digest: bytes,
+        *,
+        client,
+    ) -> ReconciliationResult:
+        """Reconcile against a peer's serialized digest via the decode service.
+
+        The real deployment shape: the peer ships
+        :meth:`digest_payload` bytes across the reconciliation link, we
+        deserialize, subtract our own digest and hand the *difference
+        table* to a :class:`repro.serve.client.DecodeClient` — where it is
+        coalesced with whatever other digests are in flight and listed in
+        one fused batch.  Keys recovered with positive sign are ours-only
+        (``a_minus_b``), negative sign the peer's (``b_minus_a``).
+
+        Unlike :meth:`reconcile`, no ground truth exists here (we never see
+        the peer's set), so ``success`` reports only that the difference
+        digest decoded completely.  ``bytes_exchanged`` counts the peer's
+        digest payload — the reconciliation link's cost, not the local
+        service round trip.
+        """
+        peer_table = IBLT.from_bytes(peer_digest)
+        if (
+            peer_table.num_cells != self.num_cells
+            or peer_table.r != self.r
+            or peer_table.hasher.seed != self.seed
+        ):
+            raise ValueError(
+                "peer digest does not match this reconciler's hash family: got "
+                f"(num_cells={peer_table.num_cells}, r={peer_table.r}, "
+                f"seed={peer_table.hasher.seed}), expected (num_cells={self.num_cells}, "
+                f"r={self.r}, seed={self.seed})"
+            )
+        difference = self.digest(local_keys).subtract(peer_table)
+        outcome = await client.decode(difference, signed=True)
+        return ReconciliationResult(
+            a_minus_b=outcome.recovered,
+            b_minus_a=outcome.removed,
+            success=outcome.success,
+            rounds=outcome.rounds,
+            subrounds=outcome.rounds,
+            bytes_exchanged=len(peer_digest),
+        )
+
     def _grade(self, outcome, a: np.ndarray, b: np.ndarray) -> ReconciliationResult:
         # The ground-truth difference is computed locally (we hold both
         # sets in this simulation) purely to grade the result.

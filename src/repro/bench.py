@@ -30,6 +30,11 @@ The ``batched`` section times the same batch of small graphs through the
 per-graph loop and through the fused lockstep path
 (``peel_many(..., backend="batched")``) at several batch sizes; both
 produce bit-identical results, so the ratio isolates dispatch structure.
+The ``serve`` section runs the decode service end-to-end (in-process
+server on a loopback socket, one multiplexed client firing concurrent
+requests) at several ``--batch-window-ms`` settings and records
+requests/sec plus p50/p95/p99 latency; it is wall-clock- and
+scheduler-bound, so CI compares it with ``--informational-section serve``.
 """
 
 from __future__ import annotations
@@ -57,6 +62,12 @@ __all__ = [
     "QUICK_BATCHED_BATCH_SIZES",
     "BATCHED_GRAPH_SIZE",
     "BATCHED_DENSITY",
+    "SERVE_WINDOWS_MS",
+    "QUICK_SERVE_WINDOWS_MS",
+    "SERVE_REQUESTS",
+    "QUICK_SERVE_REQUESTS",
+    "SERVE_NUM_CELLS",
+    "SERVE_MAX_BATCH",
     "DEFAULT_TOLERANCE",
     "bench_spec",
     "run_benchmarks",
@@ -94,6 +105,29 @@ BATCHED_DENSITY = 0.75
 ``c*_{2,4} ≈ 0.772``): near the threshold the round count stretches, so the
 per-graph loop pays many almost-empty Python rounds per graph while the
 lockstep pass absorbs them — the regime the fused path targets."""
+
+SERVE_WINDOWS_MS = (0.0, 2.0, 8.0)
+"""Batch-window settings of the ``serve`` section: 0 ms (no time-based
+coalescing — every request decodes solo unless arrivals are simultaneous)
+against two real latency budgets, so the trajectory records what fusion
+buys end-to-end."""
+
+QUICK_SERVE_WINDOWS_MS = (2.0,)
+"""Batch windows for the CI smoke run (``--quick``)."""
+
+SERVE_REQUESTS = 192
+"""Concurrent requests fired per ``serve`` cell."""
+
+QUICK_SERVE_REQUESTS = 32
+"""Requests per ``serve`` cell in the CI smoke run."""
+
+SERVE_NUM_CELLS = 240
+"""Table geometry of the ``serve`` section: small digests (the
+reconciliation shape) where per-request dispatch dominates — the regime
+micro-batching exists to fix."""
+
+SERVE_MAX_BATCH = 64
+"""Size-trigger of the benched server's coalescer."""
 
 DEFAULT_TOLERANCE = 0.25
 """Default slowdown fraction past which ``--compare`` reports a regression."""
@@ -273,12 +307,75 @@ def _bench_batched_trial(params: Dict[str, Any], rng: np.random.Generator) -> Di
     }
 
 
+def _bench_serve_trial(params: Dict[str, Any], rng: np.random.Generator) -> Dict[str, Any]:
+    # End-to-end service throughput: an in-process DecodeServer on a
+    # loopback socket, one multiplexed client firing `requests` concurrent
+    # decode requests.  window_ms=0 is the no-coalescing baseline (solo
+    # decodes); real windows let the micro-batcher fuse, so the rps ratio
+    # measures what batch fusion buys through the full socket + frame +
+    # executor path, not just the kernel.  Wall clocks are hardware- and
+    # scheduler-bound, so CI treats this section as informational.
+    import asyncio
+
+    window_ms = params["window_ms"]
+    requests, num_cells, r = params["requests"], params["num_cells"], params["r"]
+    load, seed = params["load"], params["seed"]
+
+    async def _run_once() -> Dict[str, Any]:
+        from repro.serve.client import run_load
+        from repro.serve.server import DecodeServer
+
+        server = DecodeServer(
+            port=0,
+            batch_window_ms=window_ms,
+            max_batch_size=params["max_batch"],
+        )
+        await server.start()
+        try:
+            summary = await run_load(
+                "127.0.0.1",
+                server.port,
+                requests=requests,
+                num_cells=num_cells,
+                r=r,
+                load=load,
+                seed=seed,
+                verify=False,
+            )
+        finally:
+            await server.stop()
+        return summary
+
+    best: Optional[Dict[str, Any]] = None
+    for _ in range(max(1, params["repeats"])):
+        summary = asyncio.run(_run_once())
+        if best is None or summary["elapsed_s"] < best["elapsed_s"]:
+            best = summary
+    assert best is not None
+    return {
+        "section": "serve",
+        "engine": "serve",
+        "kernel": "numpy",
+        "n": int(num_cells),
+        "r": r,
+        "load": load,
+        "seed": seed,
+        "batch": int(requests),
+        "window_ms": float(window_ms),
+        "requests_per_s": best["requests_per_s"],
+        "latency_ms": best["latency_ms"],
+        "mean_batch_size": best["server_stats"]["mean_batch_size"],
+        "seconds": best["elapsed_s"],
+    }
+
+
 _TRIALS = {
     "peel": _bench_peel_trial,
     "peel_many": _bench_peel_many_trial,
     "iblt_decode": _bench_iblt_trial,
     "intra_trial": _bench_intra_trial,
     "batched": _bench_batched_trial,
+    "serve": _bench_serve_trial,
 }
 
 
@@ -306,6 +403,8 @@ def bench_spec(
     intra_sizes: Sequence[int] = INTRA_TRIAL_SIZES,
     intra_workers: Sequence[int] = INTRA_TRIAL_WORKERS,
     batched_batches: Sequence[int] = BATCHED_BATCH_SIZES,
+    serve_windows_ms: Sequence[float] = SERVE_WINDOWS_MS,
+    serve_requests: int = SERVE_REQUESTS,
 ) -> SweepSpec:
     """Declare the benchmark matrix as a sweep (one single-trial cell each).
 
@@ -315,7 +414,8 @@ def bench_spec(
     ``intra_trial`` (size × {serial numpy baseline, shm-parallel × worker
     count} on one identical large graph), then ``batched`` (batch size ×
     {per-graph loop, fused lockstep} × kernel on identical batches of
-    ``n=1000`` graphs at ``c=0.75``).
+    ``n=1000`` graphs at ``c=0.75``), then ``serve`` (end-to-end decode
+    service throughput at each batch-window setting).
     """
     from repro.kernels import available_kernels
 
@@ -401,6 +501,19 @@ def bench_spec(
                         seed=derive_seed(seed, "bench", "batched", mode, kernel, b),
                     )
                 )
+    for window_ms in serve_windows_ms:
+        cells.append(
+            CellSpec(
+                key=f"serve/window={window_ms}ms",
+                params={
+                    "section": "serve", "window_ms": float(window_ms),
+                    "requests": int(serve_requests), "num_cells": int(SERVE_NUM_CELLS),
+                    "r": iblt_r, "load": load, "max_batch": int(SERVE_MAX_BATCH),
+                    "seed": seed, "repeats": repeats,
+                },
+                seed=derive_seed(seed, "bench", "serve", f"{float(window_ms)}"),
+            )
+        )
     return SweepSpec(
         name="bench",
         cells=tuple(cells),
@@ -410,6 +523,8 @@ def bench_spec(
             "intra_sizes": [int(n) for n in intra_sizes],
             "intra_workers": [int(w) for w in intra_workers],
             "batched_batches": [int(b) for b in batched_batches],
+            "serve_windows_ms": [float(w) for w in serve_windows_ms],
+            "serve_requests": int(serve_requests),
         },
     )
 
@@ -429,6 +544,8 @@ def run_benchmarks(
     intra_sizes: Sequence[int] = INTRA_TRIAL_SIZES,
     intra_workers: Sequence[int] = INTRA_TRIAL_WORKERS,
     batched_batches: Sequence[int] = BATCHED_BATCH_SIZES,
+    serve_windows_ms: Sequence[float] = SERVE_WINDOWS_MS,
+    serve_requests: int = SERVE_REQUESTS,
     artifact: Optional[Union[str, Path]] = None,
     resume: bool = False,
     progress: Optional[Callable[[SweepProgress], None]] = None,
@@ -459,6 +576,10 @@ def run_benchmarks(
     batched_batches:
         Batch sizes of the ``batched`` section (per-graph loop vs fused
         lockstep ``peel_many`` on identical batches of small graphs).
+    serve_windows_ms, serve_requests:
+        Batch-window settings and concurrent-request count of the
+        ``serve`` section (end-to-end decode-service throughput over a
+        loopback socket; hardware-bound, so CI gates it informationally).
     artifact, resume:
         Optional sweep-artifact path for per-cell checkpointing; with
         ``resume=True`` a compatible artifact's timings are reused and only
@@ -471,6 +592,7 @@ def run_benchmarks(
         seed=seed, repeats=repeats, batch=batch,
         intra_sizes=intra_sizes, intra_workers=intra_workers,
         batched_batches=batched_batches,
+        serve_windows_ms=serve_windows_ms, serve_requests=serve_requests,
     )
     # Always serial: parallel timing cells would contend for the same cores.
     results = run_sweep(
@@ -488,6 +610,8 @@ def run_benchmarks(
             "intra_sizes": list(spec.meta["intra_sizes"]),
             "intra_workers": list(spec.meta["intra_workers"]),
             "batched_batches": list(spec.meta["batched_batches"]),
+            "serve_windows_ms": list(spec.meta["serve_windows_ms"]),
+            "serve_requests": spec.meta["serve_requests"],
             "repeats": repeats,
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         },
@@ -512,6 +636,8 @@ def format_results(payload: Dict[str, Any]) -> str:
             workload = f"{workload}[w={record['workers']}]"
         if record["section"] == "batched":
             workload = f"{workload}[B={record['batch']}]"
+        if record["section"] == "serve":
+            workload = f"{workload}[win={record['window_ms']:g}ms]"
         size = record.get("n", record.get("num_cells"))
         table.add_row(
             record["section"],
@@ -523,12 +649,13 @@ def format_results(payload: Dict[str, Any]) -> str:
     return table.render()
 
 
-def _record_key(record: Dict[str, Any]) -> Tuple[str, str, str, int, Any, Any, Any]:
+def _record_key(record: Dict[str, Any]) -> Tuple[str, str, str, int, Any, Any, Any, Any]:
     """Identity of one benchmark record across runs.
 
-    Includes the seed, batch and worker count so runs of *different*
-    workloads (other random graphs, other batch sizes, other shm pools)
-    never silently compare as if they were the same measurement.
+    Includes the seed, batch, worker count and serve batch window so runs
+    of *different* workloads (other random graphs, other batch sizes,
+    other shm pools, other latency budgets) never silently compare as if
+    they were the same measurement.
     """
     return (
         record["section"],
@@ -538,6 +665,7 @@ def _record_key(record: Dict[str, Any]) -> Tuple[str, str, str, int, Any, Any, A
         record.get("seed"),
         record.get("batch"),
         record.get("workers"),
+        record.get("window_ms"),
     )
 
 
@@ -614,6 +742,8 @@ def compare_payloads(
             workload = f"{workload}[w={key[6]}]"
         if section == "batched" and key[5] is not None:
             workload = f"{workload}[B={key[5]}]"
+        if section == "serve" and key[7] is not None:
+            workload = f"{workload}[win={key[7]:g}ms]"
         table.add_row(
             section, workload, kernel if kernel != "None" else "-", size,
             f"{base['seconds']:.4f}", f"{record['seconds']:.4f}", f"{delta:+.1%}", flag,
@@ -717,6 +847,23 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
             f"c={BATCHED_DENSITY}; default: %(default)s)"
         ),
     )
+    parser.add_argument(
+        "--serve-windows-ms",
+        type=float,
+        nargs="+",
+        default=list(SERVE_WINDOWS_MS),
+        help=(
+            "batch-window settings of the serve section (end-to-end decode "
+            "service throughput; 0 disables time-based coalescing; "
+            "default: %(default)s)"
+        ),
+    )
+    parser.add_argument(
+        "--serve-requests",
+        type=int,
+        default=SERVE_REQUESTS,
+        help="concurrent requests per serve cell (default: %(default)s)",
+    )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
@@ -775,6 +922,10 @@ def run_bench_command(args: argparse.Namespace) -> Tuple[str, int]:
     batched_batches: Sequence[int] = (
         QUICK_BATCHED_BATCH_SIZES if args.quick else args.batched_batches
     )
+    serve_windows: Sequence[float] = (
+        QUICK_SERVE_WINDOWS_MS if args.quick else args.serve_windows_ms
+    )
+    serve_requests = QUICK_SERVE_REQUESTS if args.quick else args.serve_requests
     repeats = 1 if args.quick else args.repeats
     payload = run_benchmarks(
         sizes=sizes,
@@ -784,6 +935,8 @@ def run_bench_command(args: argparse.Namespace) -> Tuple[str, int]:
         intra_sizes=intra_sizes,
         intra_workers=args.intra_workers,
         batched_batches=batched_batches,
+        serve_windows_ms=serve_windows,
+        serve_requests=serve_requests,
         progress=print_progress if getattr(args, "progress", False) else None,
     )
     write_results(payload, args.out)

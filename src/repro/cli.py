@@ -22,6 +22,8 @@ Examples
     python -m repro table3 --decoder flat
     python -m repro bench --quick
     python -m repro bench --compare BENCH_kernels.json --tolerance 0.5
+    python -m repro serve --port 8641 --batch-window-ms 2
+    python -m repro decode-client --port 8641 --requests 64 --expect-mean-batch-gt 1
 
 Every sub-command prints the same layout the paper's tables use; the
 defaults are the scaled-down settings documented in EXPERIMENTS.md.
@@ -37,7 +39,10 @@ artifact, checkpointed per cell), ``--resume`` (reuse completed cells from a
 compatible artifact) and ``--progress`` (per-cell reporting on stderr).
 ``repro bench`` runs the kernel benchmark harness (:mod:`repro.bench`),
 writes ``BENCH_kernels.json``, and can gate regressions against a prior run
-via ``--compare``/``--tolerance``.
+via ``--compare``/``--tolerance``.  ``repro serve`` runs the long-lived
+asyncio decode service (:mod:`repro.serve`) that coalesces concurrent
+requests into fused ``decode_many`` batches, and ``repro decode-client``
+load-drives one and verifies every response against a local decode.
 """
 
 from __future__ import annotations
@@ -219,6 +224,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     peel.add_argument("--seed", type=int, default=1)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the async IBLT-decode service with micro-batching",
+        description=(
+            "Long-lived asyncio TCP server speaking the repro.serve frame "
+            "protocol: concurrent decode requests are coalesced by "
+            "(num_cells, r, layout, seed, signed) and flushed into fused "
+            "IBLT.decode_many batches when --max-batch requests are waiting "
+            "or the --batch-window-ms latency budget expires.  SIGINT/SIGTERM "
+            "drain gracefully and print the metrics snapshot as JSON."
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8641,
+                       help="listening port; 0 binds an ephemeral port (default: %(default)s)")
+    serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                       help=("latency budget: how long the first request of a batch "
+                             "waits for peers before flushing (default: %(default)s)"))
+    serve.add_argument("--max-batch", type=int, default=256,
+                       help="flush a batch as soon as it holds this many requests")
+    serve.add_argument("--max-pending", type=int, default=1024,
+                       help="admitted-but-unanswered request bound (backpressure)")
+    serve.add_argument("--executor-workers", type=int, default=1,
+                       help="decode executor threads (default: 1, serial decodes)")
+    serve.add_argument("--kernel", choices=available_kernels(), default=None,
+                       help="kernel backend for the batched decoder (default: numpy)")
+    serve.add_argument("--port-file", default=None, metavar="PATH",
+                       help="write the bound port here once listening (for --port 0 scripts)")
+
+    client = sub.add_parser(
+        "decode-client",
+        help="load-drive a running decode service and verify the results",
+        description=(
+            "Build a fleet of random same-geometry IBLTs, fire them at a "
+            "repro serve instance concurrently, check every response "
+            "bit-for-bit against a local decode(decoder='flat'), and print a "
+            "JSON summary (throughput, latency percentiles, server stats)."
+        ),
+    )
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, required=True)
+    client.add_argument("--requests", type=int, default=32)
+    client.add_argument("--connections", type=int, default=1,
+                        help="TCP connections to spread the requests over")
+    client.add_argument("--num-cells", type=int, default=240)
+    client.add_argument("--r", type=int, default=3)
+    client.add_argument("--load", type=float, default=0.6,
+                        help=("keys inserted per table as a fraction of --num-cells; "
+                              "the default stays comfortably under the r=3 peeling "
+                              "threshold so decodes succeed (default: %(default)s)"))
+    client.add_argument("--seed", type=int, default=1)
+    client.add_argument("--no-verify", dest="verify", action="store_false",
+                        help="skip the local flat-decode comparison (pure load mode)")
+    client.add_argument("--expect-mean-batch-gt", type=float, default=None, metavar="X",
+                        help=("exit non-zero unless the server's mean batch size "
+                              "exceeds X (CI uses this to prove fusion engaged)"))
+
     bench = sub.add_parser(
         "bench",
         help="benchmark engines and decoders across kernel backends",
@@ -383,11 +445,82 @@ def _run_peel(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_serve(args: argparse.Namespace) -> str:
+    import asyncio
+    import json
+
+    from repro.serve.server import DecodeServer, run_server
+
+    server = DecodeServer(
+        host=args.host,
+        port=args.port,
+        batch_window_ms=args.batch_window_ms,
+        max_batch_size=args.max_batch,
+        max_pending=args.max_pending,
+        executor_workers=args.executor_workers,
+        kernel=args.kernel,
+    )
+
+    def announce(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
+
+    snapshot = asyncio.run(
+        run_server(server, port_file=args.port_file, announce=announce)
+    )
+    return json.dumps(snapshot, indent=2)
+
+
+def _run_decode_client(args: argparse.Namespace) -> Tuple[str, int]:
+    import asyncio
+    import json
+
+    from repro.serve.client import run_load
+
+    if args.requests < 1:
+        raise SystemExit("--requests must be >= 1")
+    summary = asyncio.run(
+        run_load(
+            args.host,
+            args.port,
+            requests=args.requests,
+            connections=args.connections,
+            num_cells=args.num_cells,
+            r=args.r,
+            load=args.load,
+            seed=args.seed,
+            verify=args.verify,
+        )
+    )
+    code = 0
+    problems = []
+    # decode_failures (tables whose 2-core was non-empty) are a property of
+    # the workload, not the service: with --verify on, a failure that is
+    # bit-identical to the local flat decode is correct service behaviour,
+    # so only mismatches gate the exit code.
+    if summary["mismatches"]:
+        problems.append(
+            f"{len(summary['mismatches'])} response(s) differ from the local flat decode"
+        )
+    if args.expect_mean_batch_gt is not None:
+        mean_batch = summary.get("server_stats", {}).get("mean_batch_size", 0.0)
+        if not mean_batch > args.expect_mean_batch_gt:
+            problems.append(
+                f"server mean batch size {mean_batch:.2f} is not > "
+                f"{args.expect_mean_batch_gt} (fusion did not engage)"
+            )
+    if problems:
+        summary["problems"] = problems
+        code = 1
+    return json.dumps(summary, indent=2), code
+
+
 _DISPATCH = {
     **{name: _run_sweep_command for name in _SWEEP_BUILDERS},
     "thresholds": _run_thresholds,
     "peel": _run_peel,
     "bench": run_bench_command,
+    "serve": _run_serve,
+    "decode-client": _run_decode_client,
 }
 
 

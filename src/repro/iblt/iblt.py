@@ -347,14 +347,18 @@ class IBLT:
     # serialization (what actually crosses the wire in set reconciliation)
     # ------------------------------------------------------------------ #
     _MAGIC = b"IBLT1\x00"
+    _FORMAT_VERSION = 1
+    _HEADER_BYTES = len(_MAGIC) + 1 + 5 * 8  # magic + version byte + 5 i64 fields
 
     def to_bytes(self) -> bytes:
         """Serialize the table to a compact byte string.
 
-        The encoding is a fixed header (magic, geometry, layout, seed, net
-        item count) followed by the three cell arrays in little-endian
-        order; 24 bytes per cell plus a 40-byte header.  This is the payload
-        a set-reconciliation protocol ships across the link.
+        The encoding is a fixed header (magic, a format-version byte,
+        geometry, layout, seed, net item count) followed by the three cell
+        arrays in little-endian order; 24 bytes per cell plus a 47-byte
+        header.  This is the payload a set-reconciliation protocol ships
+        across the link, and the decode-request body of the
+        :mod:`repro.serve` service.
         """
         header = np.array(
             [
@@ -369,6 +373,7 @@ class IBLT:
         return b"".join(
             [
                 self._MAGIC,
+                bytes([self._FORMAT_VERSION]),
                 header.tobytes(),
                 self.count.astype("<i8").tobytes(),
                 self.key_sum.astype("<u8").tobytes(),
@@ -378,20 +383,58 @@ class IBLT:
 
     @classmethod
     def from_bytes(cls, payload: bytes) -> "IBLT":
-        """Reconstruct a table serialized with :meth:`to_bytes`."""
+        """Reconstruct a table serialized with :meth:`to_bytes`.
+
+        The payload is validated before any array is materialized — this
+        format is parsed from untrusted sockets by :mod:`repro.serve`, so a
+        short, oversized or hostile payload must raise a clear
+        ``ValueError`` rather than a low-level numpy buffer error.
+        """
+        payload = bytes(payload)
         magic_len = len(cls._MAGIC)
-        if payload[:magic_len] != cls._MAGIC:
+        if len(payload) < magic_len or payload[:magic_len] != cls._MAGIC:
             raise ValueError("not an IBLT payload (bad magic)")
-        header = np.frombuffer(payload, dtype="<i8", count=5, offset=magic_len)
-        num_cells, r, layout_flag, seed, net_items = (int(x) for x in header)
-        expected = magic_len + 5 * 8 + 3 * 8 * num_cells
-        if len(payload) != expected:
+        if len(payload) < cls._HEADER_BYTES:
             raise ValueError(
-                f"truncated IBLT payload: expected {expected} bytes, got {len(payload)}"
+                f"truncated IBLT payload: {len(payload)} bytes is shorter than "
+                f"the {cls._HEADER_BYTES}-byte header"
+            )
+        version = payload[magic_len]
+        if version != cls._FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported IBLT format version {version} "
+                f"(this build reads version {cls._FORMAT_VERSION})"
+            )
+        header = np.frombuffer(payload, dtype="<i8", count=5, offset=magic_len + 1)
+        num_cells, r, layout_flag, seed, net_items = (int(x) for x in header)
+        if num_cells < 1:
+            raise ValueError(f"invalid IBLT header: num_cells must be >= 1, got {num_cells}")
+        if r < 2:
+            raise ValueError(f"invalid IBLT header: r must be >= 2, got {r}")
+        if layout_flag not in (0, 1):
+            raise ValueError(
+                f"invalid IBLT header: layout flag must be 0 (flat) or 1 (subtables), "
+                f"got {layout_flag}"
             )
         layout: Layout = "subtables" if layout_flag else "flat"
+        if layout == "subtables" and num_cells % r != 0:
+            raise ValueError(
+                f"invalid IBLT header: num_cells ({num_cells}) must be divisible "
+                f"by r ({r}) for the subtable layout"
+            )
+        expected = cls._HEADER_BYTES + 3 * 8 * num_cells
+        if len(payload) < expected:
+            raise ValueError(
+                f"truncated IBLT payload: expected {expected} bytes for "
+                f"num_cells={num_cells}, got {len(payload)}"
+            )
+        if len(payload) > expected:
+            raise ValueError(
+                f"oversized IBLT payload: expected {expected} bytes for "
+                f"num_cells={num_cells}, got {len(payload)}"
+            )
         table = cls(num_cells, r, layout=layout, seed=seed)
-        offset = magic_len + 5 * 8
+        offset = cls._HEADER_BYTES
         table.count = np.frombuffer(payload, dtype="<i8", count=num_cells, offset=offset).astype(np.int64)
         offset += 8 * num_cells
         table.key_sum = np.frombuffer(payload, dtype="<u8", count=num_cells, offset=offset).astype(np.uint64)

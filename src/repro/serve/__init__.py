@@ -1,0 +1,42 @@
+"""The decode service: an asyncio front door over the batched IBLT kernels.
+
+The batched subsystem fuses B same-geometry decodes into one lockstep
+pass; this package converts *traffic* into that shape:
+
+* :mod:`~repro.serve.protocol` — the length-prefixed frame protocol whose
+  decode-request body is ``IBLT.to_bytes``.
+* :mod:`~repro.serve.batcher` — the micro-batching coalescer: in-flight
+  requests grouped by ``(num_cells, r, layout, seed, signed)`` and
+  flushed into ``IBLT.decode_many(decoder="batched")`` on a size or
+  latency-budget trigger.
+* :mod:`~repro.serve.server` — the TCP server behind ``repro serve``
+  (bounded admission, per-request error isolation, graceful drain).
+* :mod:`~repro.serve.client` — the multiplexing asyncio client and the
+  ``repro decode-client`` load driver.
+* :mod:`~repro.serve.metrics` — per-server counters, batch-size
+  histogram and latency percentiles.
+"""
+
+from repro.serve.batcher import BatchKey, MicroBatcher, batch_key
+from repro.serve.client import DecodeClient, run_load
+from repro.serve.metrics import ServeMetrics
+from repro.serve.protocol import (
+    FrameError,
+    RemoteDecodeError,
+    RemoteDecodeResult,
+)
+from repro.serve.server import DecodeServer, run_server
+
+__all__ = [
+    "BatchKey",
+    "MicroBatcher",
+    "batch_key",
+    "DecodeClient",
+    "run_load",
+    "ServeMetrics",
+    "FrameError",
+    "RemoteDecodeError",
+    "RemoteDecodeResult",
+    "DecodeServer",
+    "run_server",
+]

@@ -1,0 +1,192 @@
+"""Micro-batching coalescer: in-flight decode requests → ``decode_many`` batches.
+
+The service exists to convert concurrent traffic into the fused lockstep
+decode path (:class:`repro.iblt.batched_decode.BatchedFlatDecoder`), which
+requires every table in a batch to share geometry, layout and hash seed.
+The :class:`MicroBatcher` therefore groups pending requests by the *batch
+key* ``(num_cells, r, layout, seed, signed)`` and flushes a group when
+either
+
+* it reaches ``max_batch_size`` requests (size flush), or
+* ``batch_window`` seconds elapse after the group's *first* request
+  arrives (latency-budget flush — a lone request is never stuck waiting
+  for peers that may not come).
+
+A flushed batch runs ``IBLT.decode_many(..., decoder="batched")`` on a
+thread-pool executor, so the event loop keeps accepting and coalescing
+new requests while numpy churns; per-request results are identical to a
+direct ``IBLT.decode(decoder="flat")`` because the lockstep pass is
+bit-for-bit the flat schedule (pinned in ``tests/test_batched_decode.py``
+and re-pinned end-to-end in ``tests/test_serve.py``).
+
+Backpressure is a counting semaphore over *admitted-but-unanswered*
+requests: :meth:`MicroBatcher.submit` suspends once ``max_pending``
+requests are in flight, which in the server propagates to the socket (the
+connection's read loop stops pulling frames, TCP flow control does the
+rest).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor
+from typing import Dict, List, Optional, Tuple
+
+from repro.iblt.iblt import IBLT
+from repro.serve.metrics import ServeMetrics
+from repro.utils.validation import check_positive_int
+
+__all__ = ["BatchKey", "MicroBatcher", "batch_key"]
+
+BatchKey = Tuple[int, int, str, int, bool]
+
+
+def batch_key(table: IBLT, *, signed: bool) -> BatchKey:
+    """The fusion key: tables decode together iff these five fields match."""
+    return (table.num_cells, table.r, str(table.layout), table.hasher.seed, bool(signed))
+
+
+class _Pending:
+    __slots__ = ("table", "future", "enqueued_at")
+
+    def __init__(self, table: IBLT, future: "asyncio.Future", enqueued_at: float) -> None:
+        self.table = table
+        self.future = future
+        self.enqueued_at = enqueued_at
+
+
+class MicroBatcher:
+    """Coalesce concurrent decode requests into fused ``decode_many`` calls.
+
+    Parameters
+    ----------
+    executor:
+        Where decode batches run (a ``ThreadPoolExecutor``; one worker
+        keeps decodes serial, which is right for a single-socket host).
+    batch_window:
+        Latency budget in *seconds*: how long the first request of a group
+        may wait for peers before the group is flushed.  ``0`` disables
+        coalescing-by-time (every request flushes immediately unless the
+        size trigger fuses simultaneous arrivals).
+    max_batch_size:
+        Size trigger: a group is flushed as soon as it holds this many
+        requests.
+    max_pending:
+        Backpressure bound on admitted-but-unanswered requests.
+    metrics:
+        Optional :class:`ServeMetrics` to record into.
+    decoder, kernel:
+        Decoder registry name for the batch pass (default ``"batched"``)
+        and optional kernel-backend name forwarded to it.
+    """
+
+    def __init__(
+        self,
+        executor: Executor,
+        *,
+        batch_window: float = 0.002,
+        max_batch_size: int = 256,
+        max_pending: int = 1024,
+        metrics: Optional[ServeMetrics] = None,
+        decoder: str = "batched",
+        kernel: Optional[str] = None,
+    ) -> None:
+        if batch_window < 0:
+            raise ValueError(f"batch_window must be >= 0, got {batch_window}")
+        self.executor = executor
+        self.batch_window = float(batch_window)
+        self.max_batch_size = check_positive_int(max_batch_size, "max_batch_size")
+        self.max_pending = check_positive_int(max_pending, "max_pending")
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        self.decoder = decoder
+        self.kernel = kernel
+        self._groups: Dict[BatchKey, List[_Pending]] = {}
+        self._timers: Dict[BatchKey, asyncio.TimerHandle] = {}
+        self._inflight: "set[asyncio.Future]" = set()
+        self._slots: Optional[asyncio.Semaphore] = None  # created lazily in the loop
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    async def submit(self, table: IBLT, *, signed: bool = True):
+        """Enqueue one table; resolves to its decoder result.
+
+        Suspends while ``max_pending`` requests are already in flight
+        (backpressure), then joins — or opens — the group for the table's
+        batch key.
+        """
+        loop = asyncio.get_running_loop()
+        if self._slots is None:
+            self._slots = asyncio.Semaphore(self.max_pending)
+        await self._slots.acquire()
+        future: asyncio.Future = loop.create_future()
+        pending = _Pending(table, future, loop.time())
+        key = batch_key(table, signed=signed)
+        group = self._groups.setdefault(key, [])
+        group.append(pending)
+        if len(group) >= self.max_batch_size:
+            self._flush(key, trigger="size")
+        elif len(group) == 1:
+            if self.batch_window <= 0:
+                self._flush(key, trigger="window")
+            else:
+                self._timers[key] = loop.call_later(
+                    self.batch_window, self._flush, key, "window"
+                )
+        try:
+            return await future
+        finally:
+            self._slots.release()
+
+    @property
+    def num_waiting(self) -> int:
+        """Requests currently coalescing (not yet flushed to the executor)."""
+        return sum(len(group) for group in self._groups.values())
+
+    # ------------------------------------------------------------------ #
+    # flushing
+    # ------------------------------------------------------------------ #
+    def _flush(self, key: BatchKey, trigger: str = "window") -> None:
+        """Move one group to the executor; runs in the event-loop thread."""
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        group = self._groups.pop(key, None)
+        if not group:
+            return
+        signed = key[4]
+        self.metrics.observe_batch(len(group), trigger=trigger)
+        loop = asyncio.get_running_loop()
+        job = loop.run_in_executor(
+            self.executor, self._decode_batch, [p.table for p in group], signed
+        )
+        self._inflight.add(job)
+
+        def _distribute(done: "asyncio.Future") -> None:
+            self._inflight.discard(done)
+            now = loop.time()
+            exc = done.exception() if not done.cancelled() else None
+            for index, pending in enumerate(group):
+                if pending.future.done():  # the waiter was cancelled meanwhile
+                    continue
+                self.metrics.observe_latency(now - pending.enqueued_at)
+                if done.cancelled():
+                    pending.future.cancel()
+                elif exc is not None:
+                    pending.future.set_exception(exc)
+                else:
+                    pending.future.set_result(done.result()[index])
+
+        job.add_done_callback(_distribute)
+
+    def _decode_batch(self, tables: List[IBLT], signed: bool) -> List[object]:
+        """Executor-side body: one fused lockstep decode of the whole group."""
+        options = {} if self.kernel is None else {"kernel": self.kernel}
+        return IBLT.decode_many(tables, decoder=self.decoder, signed=signed, **options)
+
+    async def drain(self) -> None:
+        """Flush everything still coalescing and wait for in-flight decodes."""
+        for key in list(self._groups):
+            self._flush(key, trigger="drain")
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)

@@ -1,0 +1,111 @@
+"""Server-side metrics of the decode service.
+
+One :class:`ServeMetrics` instance lives per server; the batcher and the
+connection handlers record into it from the event-loop thread only (no
+locking needed).  :meth:`ServeMetrics.snapshot` renders a JSON-ready dict
+— the payload of a ``STATS_RESULT`` frame and of the shutdown dump.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Any, Dict
+
+import numpy as np
+
+__all__ = ["ServeMetrics", "LATENCY_WINDOW"]
+
+LATENCY_WINDOW = 65_536
+"""Latency samples kept for the percentile estimates (a sliding window, so
+a long-lived server's stats frame stays bounded and recent)."""
+
+
+class ServeMetrics:
+    """Counters and latency window of one decode server."""
+
+    def __init__(self, *, latency_window: int = LATENCY_WINDOW) -> None:
+        self.requests_received = 0
+        self.responses_sent = 0
+        self.errors = 0
+        self.batches_flushed = 0
+        self.fused_batches = 0  # batches of size > 1
+        self.solo_batches = 0  # batches of size 1
+        self.fused_requests = 0  # requests served from a fused batch
+        self.solo_requests = 0
+        self.batch_size_histogram: Counter = Counter()
+        self.window_flushes = 0  # flushes triggered by the latency budget
+        self.size_flushes = 0  # flushes triggered by the max batch size
+        self.drain_flushes = 0  # flushes triggered by shutdown drain
+        self._latencies: deque = deque(maxlen=latency_window)
+
+    # ------------------------------------------------------------------ #
+    # recording (event-loop thread only)
+    # ------------------------------------------------------------------ #
+    def observe_request(self) -> None:
+        self.requests_received += 1
+
+    def observe_response(self) -> None:
+        self.responses_sent += 1
+
+    def observe_error(self) -> None:
+        self.errors += 1
+
+    def observe_batch(self, size: int, *, trigger: str) -> None:
+        """Record one flushed batch; ``trigger`` is ``window``/``size``/``drain``."""
+        self.batches_flushed += 1
+        self.batch_size_histogram[int(size)] += 1
+        if size > 1:
+            self.fused_batches += 1
+            self.fused_requests += size
+        else:
+            self.solo_batches += 1
+            self.solo_requests += size
+        if trigger == "window":
+            self.window_flushes += 1
+        elif trigger == "size":
+            self.size_flushes += 1
+        else:
+            self.drain_flushes += 1
+
+    def observe_latency(self, seconds: float) -> None:
+        self._latencies.append(float(seconds))
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    @property
+    def mean_batch_size(self) -> float:
+        total = sum(size * count for size, count in self.batch_size_histogram.items())
+        return total / self.batches_flushed if self.batches_flushed else 0.0
+
+    def latency_percentiles_ms(self) -> Dict[str, float]:
+        """p50/p95/p99 of the enqueue-to-result latency window, in ms."""
+        if not self._latencies:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        samples = np.asarray(self._latencies, dtype=np.float64) * 1e3
+        p50, p95, p99 = np.percentile(samples, (50.0, 95.0, 99.0))
+        return {"p50": float(p50), "p95": float(p95), "p99": float(p99)}
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready view of everything recorded so far."""
+        return {
+            "requests_received": self.requests_received,
+            "responses_sent": self.responses_sent,
+            "errors": self.errors,
+            "batches_flushed": self.batches_flushed,
+            "fused_batches": self.fused_batches,
+            "solo_batches": self.solo_batches,
+            "fused_requests": self.fused_requests,
+            "solo_requests": self.solo_requests,
+            "mean_batch_size": self.mean_batch_size,
+            "batch_size_histogram": {
+                str(size): count for size, count in sorted(self.batch_size_histogram.items())
+            },
+            "flush_triggers": {
+                "window": self.window_flushes,
+                "size": self.size_flushes,
+                "drain": self.drain_flushes,
+            },
+            "latency_ms": self.latency_percentiles_ms(),
+            "latency_samples": len(self._latencies),
+        }

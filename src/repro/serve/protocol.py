@@ -1,0 +1,217 @@
+"""Wire protocol of the decode service: length-prefixed frames over TCP.
+
+Every message is one *frame*::
+
+    frame := u32 body_length (big-endian) | body
+    body  := u8 frame_type | u32 request_id (big-endian) | payload
+
+``request_id`` is assigned by the client and echoed verbatim in the
+response, so a connection can have any number of requests in flight and
+the client maps responses back without ordering assumptions (the server
+completes requests batch by batch, not in arrival order).
+
+Frame types
+-----------
+``DECODE_REQUEST``
+    payload = 1 flags byte (bit 0: signed decoding) followed by the
+    :meth:`repro.iblt.IBLT.to_bytes` encoding of the table to decode.
+``DECODE_RESULT``
+    payload = ``!BIII`` (success, rounds, num_recovered, num_removed)
+    followed by the recovered then removed keys as little-endian uint64.
+``ERROR``
+    payload = UTF-8 error message; sent with the failing request's id
+    (or id 0 for connection-level protocol errors).
+``STATS_REQUEST`` / ``STATS_RESULT``
+    empty request; the response payload is the server's metrics snapshot
+    as UTF-8 JSON.
+
+Frame parsing errors split into two severities: :class:`FrameError` (the
+stream itself is unframeable — bad length prefix, oversized frame,
+truncated body — the connection must close) and per-request payload
+errors (a well-framed request with a hostile body — the server answers
+that request with an ``ERROR`` frame and keeps serving).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.iblt.iblt import IBLT
+
+__all__ = [
+    "FRAME_DECODE_REQUEST",
+    "FRAME_DECODE_RESULT",
+    "FRAME_ERROR",
+    "FRAME_STATS_REQUEST",
+    "FRAME_STATS_RESULT",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FrameError",
+    "RemoteDecodeError",
+    "RemoteDecodeResult",
+    "encode_frame",
+    "read_frame",
+    "encode_decode_request",
+    "decode_decode_request",
+    "encode_decode_result",
+    "decode_decode_result",
+]
+
+FRAME_DECODE_REQUEST = 1
+FRAME_DECODE_RESULT = 2
+FRAME_ERROR = 3
+FRAME_STATS_REQUEST = 4
+FRAME_STATS_RESULT = 5
+
+_KNOWN_FRAME_TYPES = frozenset(
+    (
+        FRAME_DECODE_REQUEST,
+        FRAME_DECODE_RESULT,
+        FRAME_ERROR,
+        FRAME_STATS_REQUEST,
+        FRAME_STATS_RESULT,
+    )
+)
+
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
+"""Frames longer than this are rejected before any allocation (a hostile
+length prefix must not make the server allocate gigabytes)."""
+
+_LENGTH = struct.Struct("!I")
+_BODY_HEAD = struct.Struct("!BI")  # frame type, request id
+_RESULT_HEAD = struct.Struct("!BIII")  # success, rounds, n_recovered, n_removed
+
+
+class FrameError(ValueError):
+    """The byte stream is not a valid frame stream (connection-fatal)."""
+
+
+class RemoteDecodeError(RuntimeError):
+    """The server answered a request with an ``ERROR`` frame."""
+
+
+@dataclass(frozen=True)
+class RemoteDecodeResult:
+    """A decode outcome as it crosses the wire.
+
+    Carries the fields every decoder agrees on (``recovered`` / ``removed``
+    keys in decoder order, ``success``, ``rounds``); per-round statistics
+    stay server-side.
+    """
+
+    recovered: np.ndarray
+    removed: np.ndarray
+    success: bool
+    rounds: int
+
+    @property
+    def num_recovered(self) -> int:
+        return int(self.recovered.size + self.removed.size)
+
+
+# --------------------------------------------------------------------- #
+# framing
+# --------------------------------------------------------------------- #
+
+def encode_frame(frame_type: int, request_id: int, payload: bytes = b"") -> bytes:
+    """Serialize one frame (length prefix included)."""
+    body = _BODY_HEAD.pack(frame_type, request_id) + payload
+    return _LENGTH.pack(len(body)) + body
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    *,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> "tuple[int, int, bytes]":
+    """Read one frame; returns ``(frame_type, request_id, payload)``.
+
+    Raises ``asyncio.IncompleteReadError`` on clean EOF before the length
+    prefix, and :class:`FrameError` on an unframeable stream (oversized or
+    undersized length prefix, unknown frame type).
+    """
+    length_bytes = await reader.readexactly(_LENGTH.size)
+    (length,) = _LENGTH.unpack(length_bytes)
+    if length < _BODY_HEAD.size:
+        raise FrameError(f"frame body of {length} bytes is shorter than the frame header")
+    if length > max_frame_bytes:
+        raise FrameError(f"frame of {length} bytes exceeds the {max_frame_bytes}-byte limit")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:  # mid-frame EOF is corruption
+        raise FrameError(
+            f"connection closed mid-frame ({len(exc.partial)}/{length} body bytes)"
+        ) from exc
+    frame_type, request_id = _BODY_HEAD.unpack_from(body)
+    if frame_type not in _KNOWN_FRAME_TYPES:
+        raise FrameError(f"unknown frame type {frame_type}")
+    return frame_type, request_id, body[_BODY_HEAD.size:]
+
+
+# --------------------------------------------------------------------- #
+# payload codecs
+# --------------------------------------------------------------------- #
+
+def encode_decode_request(table: IBLT, *, signed: bool = True) -> bytes:
+    """Payload of a ``DECODE_REQUEST``: flags byte + serialized table."""
+    return bytes([1 if signed else 0]) + table.to_bytes()
+
+
+def decode_decode_request(payload: bytes) -> "tuple[IBLT, bool]":
+    """Parse a ``DECODE_REQUEST`` payload into ``(table, signed)``.
+
+    Raises ``ValueError`` on anything malformed; the table bytes go
+    through the hardened :meth:`IBLT.from_bytes` validation.
+    """
+    if len(payload) < 1:
+        raise ValueError("empty decode request (missing flags byte)")
+    flags = payload[0]
+    if flags not in (0, 1):
+        raise ValueError(f"invalid decode-request flags byte {flags}")
+    table = IBLT.from_bytes(payload[1:])
+    return table, bool(flags & 1)
+
+
+def encode_decode_result(result) -> bytes:
+    """Payload of a ``DECODE_RESULT`` from any decoder-result object.
+
+    ``result`` needs the common ``recovered`` / ``removed`` / ``success``
+    / ``rounds`` surface (both ``IBLTDecodeResult`` and
+    ``ParallelDecodeResult`` expose it).
+    """
+    recovered = np.asarray(result.recovered, dtype=np.uint64)
+    removed = np.asarray(result.removed, dtype=np.uint64)
+    head = _RESULT_HEAD.pack(
+        1 if result.success else 0, int(result.rounds), recovered.size, removed.size
+    )
+    return head + recovered.astype("<u8").tobytes() + removed.astype("<u8").tobytes()
+
+
+def decode_decode_result(payload: bytes) -> RemoteDecodeResult:
+    """Parse a ``DECODE_RESULT`` payload."""
+    if len(payload) < _RESULT_HEAD.size:
+        raise ValueError(
+            f"truncated decode result: {len(payload)} bytes is shorter than "
+            f"the {_RESULT_HEAD.size}-byte result header"
+        )
+    success, rounds, n_recovered, n_removed = _RESULT_HEAD.unpack_from(payload)
+    expected = _RESULT_HEAD.size + 8 * (n_recovered + n_removed)
+    if len(payload) != expected:
+        raise ValueError(
+            f"decode result length mismatch: expected {expected} bytes for "
+            f"{n_recovered}+{n_removed} keys, got {len(payload)}"
+        )
+    offset = _RESULT_HEAD.size
+    recovered = np.frombuffer(payload, dtype="<u8", count=n_recovered, offset=offset).astype(
+        np.uint64
+    )
+    offset += 8 * n_recovered
+    removed = np.frombuffer(payload, dtype="<u8", count=n_removed, offset=offset).astype(
+        np.uint64
+    )
+    return RemoteDecodeResult(
+        recovered=recovered, removed=removed, success=bool(success), rounds=int(rounds)
+    )

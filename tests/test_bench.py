@@ -16,7 +16,7 @@ def payload():
     """One tiny benchmark run shared by the assertions below."""
     return run_benchmarks(
         sizes=(300,), repeats=1, batch=2, intra_sizes=(300,), intra_workers=(2,),
-        batched_batches=(4,),
+        batched_batches=(4,), serve_windows_ms=(2.0,), serve_requests=8,
     )
 
 
@@ -30,7 +30,9 @@ class TestRunBenchmarks:
 
     def test_all_sections_present(self, payload):
         sections = {record["section"] for record in payload["results"]}
-        assert sections == {"peel", "peel_many", "iblt_decode", "intra_trial", "batched"}
+        assert sections == {
+            "peel", "peel_many", "iblt_decode", "intra_trial", "batched", "serve",
+        }
 
     def test_batched_section_pairs_loop_with_fused(self, payload):
         records = [r for r in payload["results"] if r["section"] == "batched"]
@@ -43,6 +45,16 @@ class TestRunBenchmarks:
         assert combos == {("parallel", None), ("shm-parallel", 2)}
         rounds = {r["rounds"] for r in records}
         assert len(rounds) == 1  # identical graph, identical process
+
+    def test_serve_section_reports_throughput_and_fusion(self, payload):
+        records = [r for r in payload["results"] if r["section"] == "serve"]
+        assert {r["window_ms"] for r in records} == {2.0}
+        for record in records:
+            assert record["batch"] == 8  # the concurrent-request count
+            assert record["requests_per_s"] > 0
+            assert set(record["latency_ms"]) == {"p50", "p95", "p99"}
+            # 8 concurrent requests inside a 2 ms window must coalesce
+            assert record["mean_batch_size"] > 1
 
     def test_peel_covers_engines_times_kernels(self, payload):
         combos = {
@@ -75,7 +87,7 @@ class TestRunBenchmarks:
     def test_kernel_subset_selectable(self):
         run = run_benchmarks(
             sizes=(300,), kernels=("numpy",), repeats=1, batch=2, intra_sizes=(300,),
-            batched_batches=(4,),
+            batched_batches=(4,), serve_windows_ms=(2.0,), serve_requests=8,
         )
         assert run["meta"]["kernels"] == ["numpy"]
         assert {r["kernel"] for r in run["results"]} == {"numpy", None}
@@ -87,10 +99,13 @@ class TestRunBenchmarks:
 
     def test_format_results_mentions_every_section(self, payload):
         report = format_results(payload)
-        for section in ("peel", "peel_many", "iblt_decode", "intra_trial", "batched"):
+        for section in (
+            "peel", "peel_many", "iblt_decode", "intra_trial", "batched", "serve",
+        ):
             assert section in report
         assert "shm-parallel[w=2]" in report
         assert "batched[B=4]" in report
+        assert "[win=2ms]" in report
 
 
 class TestComparePayloads:
@@ -163,13 +178,15 @@ class TestComparePayloads:
         artifact = tmp_path / "bench_sweep.json"
         first = run_benchmarks(
             sizes=(300,), repeats=1, batch=2, intra_sizes=(300,),
-            batched_batches=(4,), artifact=artifact,
+            batched_batches=(4,), serve_windows_ms=(2.0,), serve_requests=8,
+            artifact=artifact,
         )
 
         calls = []
         second = run_benchmarks(
             sizes=(300,), repeats=1, batch=2, intra_sizes=(300,),
-            batched_batches=(4,), artifact=artifact,
+            batched_batches=(4,), serve_windows_ms=(2.0,), serve_requests=8,
+            artifact=artifact,
             resume=True, progress=calls.append,
         )
         assert all(event.cached for event in calls)

@@ -35,7 +35,13 @@ class TestIBLTSerialization:
     def test_payload_size(self):
         table = IBLT(300, 3)
         payload = table.to_bytes()
-        assert len(payload) == len(IBLT._MAGIC) + 5 * 8 + 3 * 8 * 300
+        # magic + version byte + 5 i64 header fields + 3 arrays of 8 bytes/cell
+        assert len(payload) == len(IBLT._MAGIC) + 1 + 5 * 8 + 3 * 8 * 300
+        assert len(payload) == IBLT._HEADER_BYTES + 3 * 8 * 300
+
+    def test_format_version_byte(self):
+        payload = IBLT(300, 3).to_bytes()
+        assert payload[len(IBLT._MAGIC)] == IBLT._FORMAT_VERSION == 1
 
     def test_flat_layout_roundtrip(self):
         table = IBLT(101, 3, layout="flat", seed=9)
@@ -52,6 +58,80 @@ class TestIBLTSerialization:
         payload = IBLT(300, 3).to_bytes()
         with pytest.raises(ValueError, match="truncated"):
             IBLT.from_bytes(payload[:-8])
+
+
+class TestFromBytesHardening:
+    """`from_bytes` parses untrusted socket bytes; every hostile shape must
+    raise a clear ValueError, never a raw numpy buffer error."""
+
+    @staticmethod
+    def _forge(num_cells=6, r=3, layout_flag=1, seed=0, net_items=0, *, cells=None,
+               version=None):
+        """Hand-build a payload with arbitrary (possibly hostile) header fields."""
+        m = num_cells if cells is None else cells
+        header = np.array([num_cells, r, layout_flag, seed, net_items], dtype="<i8")
+        version_byte = bytes([IBLT._FORMAT_VERSION if version is None else version])
+        return IBLT._MAGIC + version_byte + header.tobytes() + b"\x00" * (3 * 8 * max(m, 0))
+
+    def test_empty_payload(self):
+        with pytest.raises(ValueError, match="magic"):
+            IBLT.from_bytes(b"")
+
+    def test_payload_shorter_than_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            IBLT.from_bytes(IBLT._MAGIC[:3])
+
+    def test_payload_shorter_than_header(self):
+        # Magic intact but the header is cut off: previously this reached
+        # np.frombuffer and raised its raw "buffer is smaller than requested
+        # size" error.
+        with pytest.raises(ValueError, match="truncated IBLT payload"):
+            IBLT.from_bytes(IBLT._MAGIC + b"\x01" + b"\x00" * 10)
+
+    def test_oversized_payload_rejected(self):
+        payload = IBLT(300, 3).to_bytes()
+        with pytest.raises(ValueError, match="oversized"):
+            IBLT.from_bytes(payload + b"\x00" * 24)
+
+    def test_negative_num_cells_rejected(self):
+        with pytest.raises(ValueError, match="num_cells must be >= 1"):
+            IBLT.from_bytes(self._forge(num_cells=-4, cells=0))
+
+    def test_zero_num_cells_rejected(self):
+        with pytest.raises(ValueError, match="num_cells must be >= 1"):
+            IBLT.from_bytes(self._forge(num_cells=0, cells=0))
+
+    def test_negative_r_rejected(self):
+        with pytest.raises(ValueError, match="r must be >= 2"):
+            IBLT.from_bytes(self._forge(r=-1))
+
+    def test_huge_num_cells_does_not_allocate(self):
+        # A hostile header claiming ~3e12 cells must fail the length check,
+        # not attempt a ~79 TB allocation.
+        with pytest.raises(ValueError, match="truncated IBLT payload"):
+            IBLT.from_bytes(self._forge(num_cells=3 << 40, cells=6))
+
+    def test_bad_layout_flag_rejected(self):
+        with pytest.raises(ValueError, match="layout flag"):
+            IBLT.from_bytes(self._forge(layout_flag=7))
+
+    def test_subtable_divisibility_enforced(self):
+        with pytest.raises(ValueError, match="divisible"):
+            IBLT.from_bytes(self._forge(num_cells=7, r=3, layout_flag=1, cells=7))
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError, match="version 2"):
+            IBLT.from_bytes(self._forge(version=2))
+
+    def test_version_zero_rejected(self):
+        with pytest.raises(ValueError, match="unsupported IBLT format version"):
+            IBLT.from_bytes(self._forge(version=0))
+
+    def test_valid_forged_payload_accepted(self):
+        # The forge helper itself builds a valid (empty) table, proving the
+        # hardening rejects only actually-hostile shapes.
+        table = IBLT.from_bytes(self._forge(num_cells=6, r=3))
+        assert table.num_cells == 6 and table.r == 3 and table.is_empty()
 
     def test_reconciliation_over_serialized_digest(self):
         """End-to-end: party B serializes its digest, party A deserializes,
