@@ -17,7 +17,10 @@ size) — and executed on the :func:`repro.sweeps.run_sweep` scheduler, always
 serially (timing cells in parallel would corrupt each other's wall clocks);
 what the sweep layer buys here is the shared progress/artifact machinery.
 
-Timing methodology: each cell builds its workload from its cell seed
+Timing methodology: each cell first warms its kernel backend up
+(``get_kernel`` + ``warmup()``, so one-time Numba JIT / C compile+dlopen
+costs never leak into the timings; the warm-up cost itself is reported per
+record as ``compile_ms``), then builds its workload from its cell seed
 (generation is not timed), then runs it ``repeats`` times; the *best*
 wall-clock time is reported, which is the standard way to suppress scheduler
 noise for sub-second kernels.  ``compare_payloads`` diffs two result files
@@ -146,6 +149,25 @@ def _best_time(fn: Callable[[], Any], repeats: int) -> float:
     return best
 
 
+def _warmup_kernel(kernel: Optional[str]) -> Optional[float]:
+    """Resolve ``kernel`` and run its warm-up; returns the cost in ms.
+
+    Compiled backends pay their one-time cost (Numba JIT, C build+dlopen)
+    inside ``get_kernel`` + ``warmup()``; running this before the timed
+    repetitions keeps compilation out of every ``seconds`` figure, and the
+    returned ``compile_ms`` reports it separately per record (near-zero
+    once a process has already warmed that backend — the first record of a
+    backend carries its real compile cost).
+    """
+    if kernel is None:
+        return None
+    from repro.kernels import get_kernel
+
+    start = time.perf_counter()
+    get_kernel(kernel).warmup()
+    return (time.perf_counter() - start) * 1000.0
+
+
 def _subtable_cells(n: int, r: int) -> int:
     """Largest cell count ``<= n`` divisible by ``r`` (the subtable layout needs it)."""
     return max(n - n % r, r)
@@ -160,6 +182,7 @@ def _bench_peel_trial(params: Dict[str, Any], rng: np.random.Generator) -> Dict[
 
     engine, kernel = params["engine"], params["kernel"]
     n, c, r, k, seed = params["n"], params["c"], params["r"], params["k"], params["seed"]
+    compile_ms = _warmup_kernel(kernel)
     if engine == "subtable":
         graph = partitioned_hypergraph(_subtable_cells(n, r), c, r, seed=seed)
     else:
@@ -177,6 +200,7 @@ def _bench_peel_trial(params: Dict[str, Any], rng: np.random.Generator) -> Dict[
         "seed": seed,
         "rounds": result.num_rounds,
         "success": bool(result.success),
+        "compile_ms": compile_ms,
         "seconds": seconds,
     }
 
@@ -187,6 +211,7 @@ def _bench_peel_many_trial(params: Dict[str, Any], rng: np.random.Generator) -> 
 
     n, c, r, k, seed = params["n"], params["c"], params["r"], params["k"], params["seed"]
     kernel, batch = params["kernel"], params["batch"]
+    compile_ms = _warmup_kernel(kernel)
     graphs = [random_hypergraph(n, c, r, seed=seed + i) for i in range(batch)]
     seconds = _best_time(
         lambda: peel_many(graphs, "parallel", k=k, kernel=kernel, backend="serial"),
@@ -202,6 +227,7 @@ def _bench_peel_many_trial(params: Dict[str, Any], rng: np.random.Generator) -> 
         "k": k,
         "seed": seed,
         "batch": batch,
+        "compile_ms": compile_ms,
         "seconds": seconds,
     }
 
@@ -211,6 +237,7 @@ def _bench_iblt_trial(params: Dict[str, Any], rng: np.random.Generator) -> Dict[
 
     num_cells, r, load, seed = params["num_cells"], params["r"], params["load"], params["seed"]
     decoder, kernel = params["decoder"], params["kernel"]
+    compile_ms = _warmup_kernel(kernel)
     table = IBLT(num_cells, r, seed=seed)
     num_keys = int(load * num_cells)
     # Any fixed injective map into non-zero uint64 keys works here.
@@ -235,6 +262,7 @@ def _bench_iblt_trial(params: Dict[str, Any], rng: np.random.Generator) -> Dict[
     if decoder != "serial":
         record["rounds"] = result.rounds
     record["success"] = bool(result.success)
+    record["compile_ms"] = compile_ms
     record["seconds"] = seconds
     return record
 
@@ -249,6 +277,7 @@ def _bench_intra_trial(params: Dict[str, Any], rng: np.random.Generator) -> Dict
 
     engine = params["engine"]
     n, c, r, k, seed = params["n"], params["c"], params["r"], params["k"], params["seed"]
+    compile_ms = _warmup_kernel(None if engine == "shm-parallel" else params["kernel"])
     graph = random_hypergraph(n, c, r, seed=seed)
     opts: Dict[str, Any] = {}
     if engine == "shm-parallel":
@@ -262,6 +291,7 @@ def _bench_intra_trial(params: Dict[str, Any], rng: np.random.Generator) -> Dict
         "engine": engine,
         "kernel": params["kernel"],
         "workers": params.get("workers"),
+        "compile_ms": compile_ms,
         "n": int(graph.num_vertices),
         "c": c,
         "r": r,
@@ -283,6 +313,7 @@ def _bench_batched_trial(params: Dict[str, Any], rng: np.random.Generator) -> Di
 
     n, c, r, k, seed = params["n"], params["c"], params["r"], params["k"], params["seed"]
     kernel, batch, mode = params["kernel"], params["batch"], params["mode"]
+    compile_ms = _warmup_kernel(kernel)
     backend = "batched" if mode == "batched" else "serial"
     graphs = [random_hypergraph(n, c, r, seed=seed + i) for i in range(batch)]
     # track_stats=False is the serving/throughput configuration (the same
@@ -303,6 +334,7 @@ def _bench_batched_trial(params: Dict[str, Any], rng: np.random.Generator) -> Di
         "k": k,
         "seed": seed,
         "batch": batch,
+        "compile_ms": compile_ms,
         "seconds": seconds,
     }
 
@@ -417,9 +449,12 @@ def bench_spec(
     ``n=1000`` graphs at ``c=0.75``), then ``serve`` (end-to-end decode
     service throughput at each batch-window setting).
     """
-    from repro.kernels import available_kernels
+    from repro.kernels import ready_kernels
 
-    kernel_names = tuple(kernels) if kernels is not None else available_kernels()
+    # ready_kernels (not available_kernels): a declared compiled backend
+    # whose toolchain turns out broken must drop out of the sweep with its
+    # cached KernelUnavailableError, not crash the whole benchmark run.
+    kernel_names = tuple(kernels) if kernels is not None else ready_kernels()
     cells: List[CellSpec] = []
     common = {"c": c, "r": r, "k": k, "seed": seed, "repeats": repeats}
     for n in sizes:
@@ -558,7 +593,9 @@ def run_benchmarks(
         Vertex / cell counts to benchmark at (each engine × kernel runs at
         every size).
     kernels:
-        Kernel-backend names to sweep; ``None`` means every registered one.
+        Kernel-backend names to sweep; ``None`` means every *ready* backend
+        (:func:`repro.kernels.ready_kernels` — declared backends whose
+        toolchain fails to load are skipped, not fatal).
     c, r, k:
         Hypergraph density, edge size and peeling threshold of the k-core
         workloads.
@@ -817,7 +854,17 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         action="append",
         default=None,
         metavar="NAME",
-        help="kernel backend to include (repeatable; default: all registered)",
+        help="kernel backend to include (repeatable; default: every ready backend)",
+    )
+    parser.add_argument(
+        "--kernels",
+        dest="kernels_csv",
+        default=None,
+        metavar="NAMES",
+        help=(
+            "comma-separated kernel backends to include, e.g. "
+            "'numpy,numba,cffi' (combines with --kernel)"
+        ),
     )
     parser.add_argument(
         "--intra-sizes",
@@ -927,9 +974,13 @@ def run_bench_command(args: argparse.Namespace) -> Tuple[str, int]:
     )
     serve_requests = QUICK_SERVE_REQUESTS if args.quick else args.serve_requests
     repeats = 1 if args.quick else args.repeats
+    kernels: Optional[List[str]] = list(args.kernels or [])
+    csv = getattr(args, "kernels_csv", None)
+    if csv:
+        kernels.extend(name.strip() for name in csv.split(",") if name.strip())
     payload = run_benchmarks(
         sizes=sizes,
-        kernels=args.kernels,
+        kernels=kernels or None,
         seed=args.seed,
         repeats=repeats,
         intra_sizes=intra_sizes,

@@ -13,9 +13,13 @@ Both engines are thin *schedules* over the shared kernel layer
 (:mod:`repro.kernels`): they own the loop structure and statistics while
 every state mutation — removable selection, edge death, degree scatter —
 runs through a :class:`~repro.kernels.base.PeelingKernel` backend selected
-by the ``kernel=`` option (``"numpy"`` reference backend by default,
-``"numba"`` when importable).  All backends are bit-exact, so swapping one
-changes wall-clock time and nothing else.
+by the ``kernel=`` option (``"numpy"`` reference backend by default; the
+compiled ``"numba"`` / ``"cffi"`` tiers when their toolchains are present).
+Compiled backends additionally fuse the whole subround into one pass (see
+:meth:`~repro.kernels.base.PeelingKernel.fused_subround`); the parallel
+engine attaches the CSR incidence to the peel state so that fused path can
+find dying edges in work proportional to the removals.  All backends are
+bit-exact, so swapping one changes wall-clock time and nothing else.
 """
 
 from __future__ import annotations
@@ -97,6 +101,13 @@ class ParallelPeeler:
         frontier_mode = self.update == "frontier"
         n = graph.num_vertices
         state = PeelState.from_graph(graph)
+        if getattr(kernel, "fused_subround", None) is not None:
+            # Fused backends find dying edges through the CSR incidence
+            # (work proportional to the removals instead of an O(m·r) edge
+            # scan); the graph caches these arrays across runs.  The NumPy
+            # reference path never reads them, so it never pays for them.
+            state.incidence_ptr = graph.incidence_ptr
+            state.incidence_edges = graph.incidence_edges
         stats: List[RoundStats] = []
 
         limit = self.max_rounds if self.max_rounds is not None else 4 * max(n, 1) + 16

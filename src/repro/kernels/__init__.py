@@ -8,15 +8,25 @@ side effects.  This package is that observation as code:
   (alive masks, degrees, peel-round arrays, frontier) every engine shares.
 * :class:`~repro.kernels.base.PeelingKernel` — the backend protocol of
   vectorized round primitives (``find_removable``, ``kill_edges``,
-  ``scatter_degree_updates``, frontier maintenance, ``pure_cells``).
+  ``scatter_degree_updates``, frontier maintenance, ``pure_cells``), plus
+  the optional fused hooks compiled backends add on top.
 * :func:`~repro.kernels.rounds.peel_subround` /
   :func:`~repro.kernels.rounds.remove_hyperedges` — the shared inner loop,
   parameterized by an :data:`~repro.kernels.base.EdgeEffect` hook so pure
   k-core peeling and XOR-payload IBLT removal are the same code path.
-* the kernel registry — ``"numpy"`` always, ``"numba"`` auto-registered when
-  Numba is importable; select with ``kernel=`` on any engine/decoder,
-  :class:`repro.PeelingConfig`, or the CLI's ``--kernel``.
+* the kernel registry — ``"numpy"`` always; the compiled tiers ``"numba"``
+  (JIT, ``prange``-parallel) and ``"cffi"`` (system-cc-compiled C) are
+  *declared lazily* whenever their toolchain looks present, and pay their
+  import/JIT/compile cost only on the first ``get_kernel`` call.  A
+  declared backend whose load fails raises
+  :class:`~repro.kernels.registry.KernelUnavailableError` naming the cause
+  — a broken Numba install can never poison ``import repro``.  Select with
+  ``kernel=`` on any engine/decoder, :class:`repro.PeelingConfig`, or the
+  CLI's ``--kernel``.
 """
+
+import importlib.util
+import shutil
 
 from repro.kernels.base import EdgeEffect, PeelingKernel
 from repro.kernels.batched import BatchedPeelState, batched_peel
@@ -24,24 +34,61 @@ from repro.kernels.numpy_backend import NumpyKernel
 from repro.kernels.registry import (
     DEFAULT_KERNEL,
     KernelFactory,
+    KernelUnavailableError,
     available_kernels,
     get_kernel,
+    ready_kernels,
     register_kernel,
+    register_lazy_kernel,
     unregister_kernel,
 )
 from repro.kernels.rounds import SubroundOutcome, peel_subround, remove_hyperedges
 from repro.kernels.state import PeelState
 
-if "numpy" not in available_kernels():  # tolerate re-imports (e.g. importlib.reload)
-    register_kernel("numpy", NumpyKernel)
 
-try:  # the Numba backend is optional; register it only when importable
+def _load_numba_kernel() -> KernelFactory:
+    """Lazy loader for the ``"numba"`` backend (imports + JIT machinery)."""
     from repro.kernels.numba_backend import NumbaKernel
-except ImportError:  # pragma: no cover - exercised only without numba
-    NumbaKernel = None  # type: ignore[assignment,misc]
-else:  # pragma: no cover - exercised only with numba installed
-    if "numba" not in available_kernels():
-        register_kernel("numba", NumbaKernel)
+
+    return NumbaKernel
+
+
+def _load_cffi_kernel() -> KernelFactory:
+    """Lazy loader for the ``"cffi"`` backend (compiles the C library)."""
+    from repro.kernels.cffi_backend import CffiKernel, ensure_library
+
+    ensure_library()
+    return CffiKernel
+
+
+# Registration tolerates re-imports (e.g. importlib.reload): never re-declare
+# a name that is already present.  The gates here are *cheap* presence checks
+# (is the module findable / is a C compiler on PATH) — the heavy work, and
+# any failure it produces, is deferred to the first get_kernel() lookup.
+if "numpy" not in available_kernels():
+    register_kernel("numpy", NumpyKernel)
+if "numba" not in available_kernels() and importlib.util.find_spec("numba") is not None:
+    register_lazy_kernel("numba", _load_numba_kernel)
+if (
+    "cffi" not in available_kernels()
+    and importlib.util.find_spec("cffi") is not None
+    and any(shutil.which(cc) for cc in ("cc", "gcc", "clang"))
+):
+    register_lazy_kernel("cffi", _load_cffi_kernel)
+
+
+def __getattr__(name: str):
+    """Expose the compiled backend classes without importing them eagerly."""
+    if name == "NumbaKernel":
+        from repro.kernels.numba_backend import NumbaKernel
+
+        return NumbaKernel
+    if name == "CffiKernel":
+        from repro.kernels.cffi_backend import CffiKernel
+
+        return CffiKernel
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "PeelState",
@@ -51,13 +98,17 @@ __all__ = [
     "EdgeEffect",
     "NumpyKernel",
     "NumbaKernel",
+    "CffiKernel",
     "SubroundOutcome",
     "peel_subround",
     "remove_hyperedges",
     "DEFAULT_KERNEL",
     "KernelFactory",
+    "KernelUnavailableError",
     "register_kernel",
+    "register_lazy_kernel",
     "unregister_kernel",
     "get_kernel",
     "available_kernels",
+    "ready_kernels",
 ]

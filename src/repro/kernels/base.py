@@ -35,7 +35,37 @@ removal here."""
 
 @runtime_checkable
 class PeelingKernel(Protocol):
-    """Backend of vectorized round primitives shared by all peeling engines."""
+    """Backend of vectorized round primitives shared by all peeling engines.
+
+    Optional fused hooks
+    --------------------
+    Compiled backends may additionally provide any of the following; they
+    are *not* part of the runtime-checkable protocol (a plain-NumPy backend
+    must stay a valid kernel without them) and are discovered by
+    ``getattr`` at dispatch time:
+
+    ``fused_subround(state, k, round_index, *, candidates=None,
+    collect_touched=False, edge_effect=None) -> Optional[SubroundOutcome]``
+        One compiled pass replacing the whole select → kill-vertices →
+        kill-edges → scatter sequence of
+        :func:`~repro.kernels.rounds.peel_subround`.  Must be bit-exact
+        with the three-call reference path (same removable/dying sets,
+        same stamps, same accounting) and may return ``None`` to decline a
+        configuration it does not implement (e.g. a state without the CSR
+        incidence attached), in which case the caller falls back to the
+        primitive-by-primitive path.
+
+    ``fused_remove_hyperedges(cells, counts, deltas, payloads) -> bool``
+        One compiled pass replacing the per-column scatter loop of
+        :func:`~repro.kernels.rounds.remove_hyperedges` (the IBLT XOR
+        removal).  Returns ``True`` when it handled the request, ``False``
+        to decline (unexpected payload shape/dtypes) and fall back.
+
+    ``warmup() -> None``
+        Force any one-time JIT / shared-library compilation on tiny inputs
+        so benchmark harnesses can pay (and report) the compile cost
+        outside the timed region.
+    """
 
     name: str
 

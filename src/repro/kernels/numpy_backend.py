@@ -24,6 +24,14 @@ class NumpyKernel:
 
     name = "numpy"
 
+    def warmup(self) -> None:
+        """No-op: the reference backend has no compile step to front-load.
+
+        Compiled backends override this to force their one-time JIT /
+        shared-library build on tiny inputs, so benchmarks can exclude (and
+        report) the compile cost separately from the timed repetitions.
+        """
+
     # ------------------------------------------------------------------ #
     # round primitives
     # ------------------------------------------------------------------ #

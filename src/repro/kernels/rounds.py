@@ -86,7 +86,28 @@ def peel_subround(
         Optional hook fired with the killed edge indices after degrees are
         scattered — the seam where IBLT-style payload removal plugs into the
         same inner loop.
+
+    Notes
+    -----
+    Backends may expose an optional ``fused_subround`` hook (see
+    :class:`~repro.kernels.base.PeelingKernel`) collapsing the whole
+    sequence into one compiled pass; it is tried first and may decline
+    (return ``None``) to fall back to the primitive-by-primitive path
+    below.  The reference NumPy backend has no such hook, so its path is
+    unchanged.
     """
+    fused = getattr(kernel, "fused_subround", None)
+    if fused is not None:
+        outcome = fused(
+            state,
+            k,
+            round_index,
+            candidates=candidates,
+            collect_touched=collect_touched,
+            edge_effect=edge_effect,
+        )
+        if outcome is not None:
+            return outcome
     removable, removable_mask, examined = kernel.find_removable(
         state, k, candidates=candidates
     )
@@ -126,7 +147,16 @@ def remove_hyperedges(
     ``(check_sum, checks)``.  With empty ``payloads`` and unit deltas this is
     exactly the degree update of k-core peeling; the XOR payloads are the
     only difference between the two processes, which is the paper's point.
+
+    Backends may expose an optional ``fused_remove_hyperedges`` hook (see
+    :class:`~repro.kernels.base.PeelingKernel`) handling the whole batch —
+    count scatter plus every XOR payload — in one compiled pass; it is
+    tried first and may decline (return falsy) to fall back to the
+    per-column scatter loop below.
     """
+    fused = getattr(kernel, "fused_remove_hyperedges", None)
+    if fused is not None and fused(cells, counts, deltas, payloads):
+        return
     for j in range(cells.shape[1]):
         column = cells[:, j]
         kernel.scatter_sub(counts, column, deltas)

@@ -46,6 +46,14 @@ class PeelState:
     frontier:
         Candidate vertices to examine next round (frontier schedules only);
         ``None`` means "examine everything".
+    incidence_ptr / incidence_edges:
+        Optional CSR vertex→edge index of the graph being peeled (the
+        arrays :attr:`repro.hypergraph.Hypergraph.incidence_ptr` /
+        ``incidence_edges`` already cache).  ``None`` by default — only
+        engines targeting a compiled backend's fused round primitive attach
+        them (see :meth:`~repro.kernels.base.PeelingKernel.fused_subround`),
+        so the reference NumPy path never pays for an index it does not
+        read.
     """
 
     edges: np.ndarray
@@ -57,6 +65,8 @@ class PeelState:
     vertices_remaining: int
     edges_remaining: int
     frontier: Optional[np.ndarray] = field(default=None)
+    incidence_ptr: Optional[np.ndarray] = field(default=None)
+    incidence_edges: Optional[np.ndarray] = field(default=None)
 
     @classmethod
     def from_graph(cls, graph: Hypergraph) -> "PeelState":

@@ -1,0 +1,314 @@
+"""Compiled kernel tier: lazy registration, fused dispatch, warm-up plumbing.
+
+The parity suite (test_kernel_parity.py) pins every backend's *results*;
+this module covers the machinery around the compiled tier: the lazy
+registry (a broken toolchain must surface as a clear, cached
+``KernelUnavailableError`` — never poison imports or silently vanish), the
+optional fused hooks' decline-and-fall-back contract in the shared round
+loop, and the benchmark harness's warm-up / ``compile_ms`` accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hypergraph import random_hypergraph
+from repro.kernels import (
+    KernelUnavailableError,
+    NumpyKernel,
+    PeelState,
+    available_kernels,
+    get_kernel,
+    peel_subround,
+    register_lazy_kernel,
+    remove_hyperedges,
+    ready_kernels,
+    unregister_kernel,
+)
+from repro.kernels.rounds import SubroundOutcome
+
+
+# --------------------------------------------------------------------- #
+# lazy registry
+# --------------------------------------------------------------------- #
+class _BoomError(ImportError):
+    pass
+
+
+def test_lazy_kernel_failure_is_cached_and_names_the_cause():
+    calls = []
+
+    def loader():
+        calls.append(1)
+        raise _BoomError("libfoo.so: undefined symbol")
+
+    register_lazy_kernel("broken-test-kernel", loader)
+    try:
+        assert "broken-test-kernel" in available_kernels()
+        with pytest.raises(KernelUnavailableError) as excinfo:
+            get_kernel("broken-test-kernel")
+        message = str(excinfo.value)
+        assert "broken-test-kernel" in message
+        assert "_BoomError" in message
+        assert "undefined symbol" in message
+        # The loader ran once; every later lookup replays the cached failure.
+        with pytest.raises(KernelUnavailableError):
+            get_kernel("broken-test-kernel")
+        assert calls == [1]
+        # A failed backend drops out of the declared set and the ready set.
+        assert "broken-test-kernel" not in available_kernels()
+        assert "broken-test-kernel" not in ready_kernels()
+    finally:
+        unregister_kernel("broken-test-kernel")
+
+
+def test_lazy_kernel_success_promotes_to_eager():
+    loads = []
+
+    def loader():
+        loads.append(1)
+        return NumpyKernel
+
+    register_lazy_kernel("lazy-test-kernel", loader)
+    try:
+        assert isinstance(get_kernel("lazy-test-kernel"), NumpyKernel)
+        assert isinstance(get_kernel("lazy-test-kernel"), NumpyKernel)
+        assert loads == [1]
+        assert "lazy-test-kernel" in ready_kernels()
+    finally:
+        unregister_kernel("lazy-test-kernel")
+
+
+def test_lazy_registration_rejects_taken_names_without_overwrite():
+    with pytest.raises(ValueError, match="already registered"):
+        register_lazy_kernel("numpy", lambda: NumpyKernel)
+
+
+def test_unregister_unknown_kernel_raises():
+    with pytest.raises(Exception):
+        unregister_kernel("never-registered-kernel")
+
+
+def test_broken_kernel_does_not_break_other_backends():
+    register_lazy_kernel("broken-test-kernel", lambda: 1 / 0)
+    try:
+        with pytest.raises(KernelUnavailableError):
+            get_kernel("broken-test-kernel")
+        assert "numpy" in ready_kernels()
+        assert isinstance(get_kernel("numpy"), NumpyKernel)
+    finally:
+        unregister_kernel("broken-test-kernel")
+
+
+def test_kernels_module_getattr_rejects_unknown_names():
+    import repro.kernels as kernels
+
+    with pytest.raises(AttributeError):
+        kernels.no_such_symbol  # noqa: B018
+
+
+# --------------------------------------------------------------------- #
+# fused-hook dispatch contract
+# --------------------------------------------------------------------- #
+class _DecliningFusedKernel(NumpyKernel):
+    name = "declining-fused"
+
+    def __init__(self):
+        self.fused_calls = 0
+
+    def fused_subround(self, state, k, round_index, *, candidates=None,
+                       collect_touched=False, edge_effect=None):
+        self.fused_calls += 1
+        return None  # always decline → generic path must run
+
+    def fused_remove_hyperedges(self, cells, counts, deltas, payloads):
+        self.fused_calls += 1
+        return False
+
+
+class _ShortCircuitKernel(NumpyKernel):
+    name = "short-circuit-fused"
+
+    SENTINEL = SubroundOutcome(np.array([7], dtype=np.int64), 0,
+                               np.empty(0, dtype=np.int64), 42)
+
+    def fused_subround(self, state, k, round_index, *, candidates=None,
+                       collect_touched=False, edge_effect=None):
+        return self.SENTINEL
+
+
+def _tiny_state():
+    graph = random_hypergraph(300, 0.7, 3, seed=3)
+    return graph, PeelState.from_graph(graph)
+
+
+def test_declined_fused_subround_falls_back_to_reference_path():
+    graph, state = _tiny_state()
+    kernel = _DecliningFusedKernel()
+    outcome = peel_subround(kernel, state, 2, 1)
+    assert kernel.fused_calls == 1
+    _, reference = _tiny_state()
+    expected = peel_subround(NumpyKernel(), reference, 2, 1)
+    assert np.array_equal(outcome.removable, expected.removable)
+    assert outcome.num_dying == expected.num_dying
+    assert outcome.examined == expected.examined
+    assert np.array_equal(state.degrees, reference.degrees)
+    assert np.array_equal(state.vertex_alive, reference.vertex_alive)
+
+
+def test_fused_subround_outcome_short_circuits_the_generic_path():
+    _, state = _tiny_state()
+    untouched = state.degrees.copy()
+    outcome = peel_subround(_ShortCircuitKernel(), state, 2, 1)
+    assert outcome is _ShortCircuitKernel.SENTINEL
+    # The generic path never ran: the state is untouched.
+    assert np.array_equal(state.degrees, untouched)
+    assert state.vertex_alive.all()
+
+
+def test_declined_fused_remove_hyperedges_falls_back():
+    kernel = _DecliningFusedKernel()
+    counts = np.array([3, 2, 1], dtype=np.int64)
+    cells = np.array([[0, 2]], dtype=np.int64)
+    deltas = np.array([1], dtype=np.int64)
+    key_sum = np.array([5, 0, 5], dtype=np.uint64)
+    check_sum = np.array([9, 0, 9], dtype=np.uint64)
+    remove_hyperedges(kernel, cells, counts, deltas,
+                      payloads=((key_sum, np.array([5], dtype=np.uint64)),
+                                (check_sum, np.array([9], dtype=np.uint64))))
+    assert kernel.fused_calls == 1
+    assert counts.tolist() == [2, 2, 0]
+    assert key_sum.tolist() == [0, 0, 0]
+    assert check_sum.tolist() == [0, 0, 0]
+
+
+# --------------------------------------------------------------------- #
+# cffi backend specifics (skipped with reason when the toolchain is absent)
+# --------------------------------------------------------------------- #
+def _cffi_kernel_or_skip():
+    if "cffi" not in available_kernels():
+        pytest.skip("cffi backend not declared (no cffi module or no C compiler)")
+    try:
+        return get_kernel("cffi")
+    except KernelUnavailableError as exc:
+        pytest.skip(f"cffi backend unavailable: {exc}")
+
+
+def test_cffi_fused_subround_declines_without_incidence():
+    kernel = _cffi_kernel_or_skip()
+    _, state = _tiny_state()
+    assert state.incidence_ptr is None
+    assert kernel.fused_subround(state, 2, 1) is None
+    assert state.vertex_alive.all()  # declined without touching the state
+
+
+def test_cffi_fused_subround_matches_reference_with_incidence():
+    kernel = _cffi_kernel_or_skip()
+    graph, state = _tiny_state()
+    state.incidence_ptr = graph.incidence_ptr
+    state.incidence_edges = graph.incidence_edges
+    _, reference = _tiny_state()
+    for round_index in range(1, 5):
+        got = kernel.fused_subround(state, 2, round_index)
+        want = peel_subround(NumpyKernel(), reference, 2, round_index)
+        assert got is not None
+        assert np.array_equal(got.removable, want.removable)
+        assert got.num_dying == want.num_dying
+        assert got.examined == want.examined
+    assert np.array_equal(state.degrees, reference.degrees)
+    assert np.array_equal(state.vertex_peel_round, reference.vertex_peel_round)
+    assert np.array_equal(state.edge_peel_round, reference.edge_peel_round)
+    assert state.vertices_remaining == reference.vertices_remaining
+    assert state.edges_remaining == reference.edges_remaining
+
+
+def test_cffi_fused_remove_hyperedges_declines_unexpected_payloads():
+    kernel = _cffi_kernel_or_skip()
+    counts = np.zeros(4, dtype=np.int64)
+    cells = np.array([[0, 1]], dtype=np.int64)
+    deltas = np.array([1], dtype=np.int64)
+    # One payload instead of the IBLT's two: must decline.
+    assert not kernel.fused_remove_hyperedges(
+        cells, counts, deltas,
+        ((np.zeros(4, dtype=np.uint64), np.array([1], dtype=np.uint64)),),
+    )
+    # Wrong count dtype: must decline.
+    assert not kernel.fused_remove_hyperedges(
+        cells, np.zeros(4, dtype=np.int32), deltas,
+        ((np.zeros(4, dtype=np.uint64), np.array([1], dtype=np.uint64)),
+         (np.zeros(4, dtype=np.uint64), np.array([1], dtype=np.uint64))),
+    )
+
+
+def test_cffi_scatters_match_numpy_reference():
+    kernel = _cffi_kernel_or_skip()
+    reference = NumpyKernel()
+    rng = np.random.default_rng(17)
+    idx = rng.integers(0, 50, size=400).astype(np.int64)
+
+    a = rng.integers(0, 1000, size=50).astype(np.int64)
+    b = a.copy()
+    vals = rng.integers(0, 9, size=400).astype(np.int64)
+    kernel.scatter_sub(a, idx, vals)
+    reference.scatter_sub(b, idx, vals)
+    assert np.array_equal(a, b)
+
+    x = rng.integers(0, 2**63, size=50, dtype=np.uint64)
+    y = x.copy()
+    xvals = rng.integers(0, 2**63, size=400, dtype=np.uint64)
+    kernel.scatter_xor(x, idx, xvals)
+    reference.scatter_xor(y, idx, xvals)
+    assert np.array_equal(x, y)
+
+    d1 = rng.integers(5, 1000, size=50).astype(np.int64)
+    d2 = d1.copy()
+    kernel.scatter_degree_updates(d1, idx)
+    reference.scatter_degree_updates(d2, idx)
+    assert np.array_equal(d1, d2)
+
+
+def test_cffi_library_build_is_cached():
+    _cffi_kernel_or_skip()
+    from repro.kernels import cffi_backend
+
+    first = cffi_backend.ensure_library()
+    assert first.exists()
+    assert cffi_backend.ensure_library() == first  # cached, no rebuild
+
+
+# --------------------------------------------------------------------- #
+# bench warm-up / compile_ms plumbing
+# --------------------------------------------------------------------- #
+def test_bench_warmup_returns_milliseconds():
+    from repro.bench import _warmup_kernel
+
+    assert _warmup_kernel(None) is None
+    ms = _warmup_kernel("numpy")
+    assert isinstance(ms, float) and ms >= 0.0
+
+
+def test_bench_records_carry_compile_ms():
+    from repro.bench import _bench_peel_trial
+
+    record = _bench_peel_trial(
+        {"section": "peel", "engine": "parallel", "kernel": "numpy",
+         "n": 400, "c": 0.7, "r": 3, "k": 2, "seed": 1, "repeats": 1},
+        np.random.default_rng(0),
+    )
+    assert record["compile_ms"] is not None and record["compile_ms"] >= 0.0
+    assert record["seconds"] > 0.0
+
+
+def test_bench_kernels_csv_flag_merges_with_repeatable_flag():
+    import argparse
+
+    from repro.bench import add_bench_arguments
+
+    parser = argparse.ArgumentParser()
+    add_bench_arguments(parser)
+    args = parser.parse_args(["--kernel", "numpy", "--kernels", "numpy,cffi"])
+    merged = list(args.kernels or [])
+    if args.kernels_csv:
+        merged.extend(s.strip() for s in args.kernels_csv.split(",") if s.strip())
+    assert merged == ["numpy", "numpy", "cffi"]
