@@ -38,6 +38,18 @@ server on a loopback socket, one multiplexed client firing concurrent
 requests) at several ``--batch-window-ms`` settings and records
 requests/sec plus p50/p95/p99 latency; it is wall-clock- and
 scheduler-bound, so CI compares it with ``--informational-section serve``.
+
+The ``memory`` section records the footprint story of the compact columnar
+state: per mode (``compact`` 32-bit ids vs ``wide`` int64) it reports the
+explicit working-set bytes of a fully-attached :class:`PeelState`
+(``state_bytes`` — the acceptance metric: compact must be well under
+wide), the tracemalloc peak of newly-allocated bytes during one
+steady-state peel (``steady_peel_traced_bytes`` — the per-round temporary
+traffic), the thread-local arena's new-buffer count across that peel
+(``arena_allocations_steady`` — zero once warm), the process high-water
+RSS for context, and the peel wall clock.  Footprints are deterministic
+but wall clocks are not, so CI compares this section with
+``--informational-section memory``.
 """
 
 from __future__ import annotations
@@ -71,6 +83,8 @@ __all__ = [
     "QUICK_SERVE_REQUESTS",
     "SERVE_NUM_CELLS",
     "SERVE_MAX_BATCH",
+    "MEMORY_SIZES",
+    "QUICK_MEMORY_SIZES",
     "DEFAULT_TOLERANCE",
     "bench_spec",
     "run_benchmarks",
@@ -131,6 +145,14 @@ micro-batching exists to fix."""
 
 SERVE_MAX_BATCH = 64
 """Size-trigger of the benched server's coalescer."""
+
+MEMORY_SIZES = (1_000_000,)
+"""Graph sizes of the ``memory`` section: large enough that the columnar
+working set dwarfs every constant, so the compact-vs-wide byte ratio is the
+asymptotic one."""
+
+QUICK_MEMORY_SIZES = (100_000,)
+"""Memory-section sizes for the CI smoke run (``--quick``)."""
 
 DEFAULT_TOLERANCE = 0.25
 """Default slowdown fraction past which ``--compare`` reports a regression."""
@@ -401,6 +423,68 @@ def _bench_serve_trial(params: Dict[str, Any], rng: np.random.Generator) -> Dict
     }
 
 
+def _bench_memory_trial(params: Dict[str, Any], rng: np.random.Generator) -> Dict[str, Any]:
+    # Footprint of the columnar state per id layout.  ``state_bytes`` is the
+    # deterministic acceptance metric: the summed nbytes of every column of a
+    # fully-attached PeelState (mutable + shared-immutable + CSR incidence),
+    # i.e. the working set one peel trial keeps live.  The tracemalloc peak
+    # and the arena counter are taken over a *warm* peel — after the first
+    # trial has populated the thread-local arena and the graph's cached
+    # columns — so they measure steady-state per-round temporary traffic,
+    # which the arena is supposed to drive to zero new arrays.  ru_maxrss is
+    # the process high-water mark (monotone across the whole bench run):
+    # context only, never compared.
+    import resource
+    import tracemalloc
+
+    from repro.engine import peel
+    from repro.hypergraph import random_hypergraph
+    from repro.kernels import PeelState, default_arena
+
+    mode, kernel = params["mode"], params["kernel"]
+    n, c, r, k, seed = params["n"], params["c"], params["r"], params["k"], params["seed"]
+    wide = mode == "wide"
+    compile_ms = _warmup_kernel(kernel)
+    graph = random_hypergraph(n, c, r, seed=seed)
+    state = PeelState.from_graph(graph, wide_ids=wide, attach_incidence=True)
+    state_bytes = int(sum(arr.nbytes for arr in (
+        state.edges, state.degrees,
+        state.vertex_alive, state.edge_alive,
+        state.vertex_peel_round, state.edge_peel_round,
+        state.incidence_ptr, state.incidence_edges,
+    )))
+    del state
+
+    def run() -> None:
+        peel(graph, "parallel", k=k, kernel=kernel, wide_ids=wide)
+
+    run()  # warm: arena buffers, incidence/compact caches, kernel dispatch
+    arena = default_arena()
+    allocations_before = arena.allocations
+    tracemalloc.start()
+    run()
+    _, traced_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    arena_allocations_steady = arena.allocations - allocations_before
+    seconds = _best_time(run, params["repeats"])
+    return {
+        "section": "memory",
+        "engine": mode,
+        "kernel": kernel,
+        "n": n,
+        "c": c,
+        "r": r,
+        "k": k,
+        "seed": seed,
+        "compile_ms": compile_ms,
+        "state_bytes": state_bytes,
+        "steady_peel_traced_bytes": int(traced_peak),
+        "arena_allocations_steady": int(arena_allocations_steady),
+        "ru_maxrss_kb": int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
+        "seconds": seconds,
+    }
+
+
 _TRIALS = {
     "peel": _bench_peel_trial,
     "peel_many": _bench_peel_many_trial,
@@ -408,6 +492,7 @@ _TRIALS = {
     "intra_trial": _bench_intra_trial,
     "batched": _bench_batched_trial,
     "serve": _bench_serve_trial,
+    "memory": _bench_memory_trial,
 }
 
 
@@ -437,6 +522,7 @@ def bench_spec(
     batched_batches: Sequence[int] = BATCHED_BATCH_SIZES,
     serve_windows_ms: Sequence[float] = SERVE_WINDOWS_MS,
     serve_requests: int = SERVE_REQUESTS,
+    memory_sizes: Sequence[int] = MEMORY_SIZES,
 ) -> SweepSpec:
     """Declare the benchmark matrix as a sweep (one single-trial cell each).
 
@@ -447,7 +533,9 @@ def bench_spec(
     count} on one identical large graph), then ``batched`` (batch size ×
     {per-graph loop, fused lockstep} × kernel on identical batches of
     ``n=1000`` graphs at ``c=0.75``), then ``serve`` (end-to-end decode
-    service throughput at each batch-window setting).
+    service throughput at each batch-window setting), then ``memory``
+    (columnar-state footprint per id layout: compact 32-bit vs wide int64
+    on the reference numpy backend).
     """
     from repro.kernels import ready_kernels
 
@@ -549,6 +637,19 @@ def bench_spec(
                 seed=derive_seed(seed, "bench", "serve", f"{float(window_ms)}"),
             )
         )
+    for n in memory_sizes:
+        # The numpy backend only: footprints are layout properties of the
+        # state, not of the backend, and one backend keeps the section's
+        # compact/wide comparison apples-to-apples everywhere.
+        for mode in ("compact", "wide"):
+            cells.append(
+                CellSpec(
+                    key=f"memory/n={n}/{mode}",
+                    params={"section": "memory", "mode": mode, "kernel": "numpy",
+                            "n": int(n), **common},
+                    seed=derive_seed(seed, "bench", "memory", mode, n),
+                )
+            )
     return SweepSpec(
         name="bench",
         cells=tuple(cells),
@@ -560,6 +661,7 @@ def bench_spec(
             "batched_batches": [int(b) for b in batched_batches],
             "serve_windows_ms": [float(w) for w in serve_windows_ms],
             "serve_requests": int(serve_requests),
+            "memory_sizes": [int(n) for n in memory_sizes],
         },
     )
 
@@ -581,6 +683,7 @@ def run_benchmarks(
     batched_batches: Sequence[int] = BATCHED_BATCH_SIZES,
     serve_windows_ms: Sequence[float] = SERVE_WINDOWS_MS,
     serve_requests: int = SERVE_REQUESTS,
+    memory_sizes: Sequence[int] = MEMORY_SIZES,
     artifact: Optional[Union[str, Path]] = None,
     resume: bool = False,
     progress: Optional[Callable[[SweepProgress], None]] = None,
@@ -617,6 +720,10 @@ def run_benchmarks(
         Batch-window settings and concurrent-request count of the
         ``serve`` section (end-to-end decode-service throughput over a
         loopback socket; hardware-bound, so CI gates it informationally).
+    memory_sizes:
+        Graph sizes of the ``memory`` section (columnar-state footprint,
+        compact 32-bit ids vs wide int64; byte figures are deterministic
+        but the wall clock is not, so CI gates it informationally).
     artifact, resume:
         Optional sweep-artifact path for per-cell checkpointing; with
         ``resume=True`` a compatible artifact's timings are reused and only
@@ -630,6 +737,7 @@ def run_benchmarks(
         intra_sizes=intra_sizes, intra_workers=intra_workers,
         batched_batches=batched_batches,
         serve_windows_ms=serve_windows_ms, serve_requests=serve_requests,
+        memory_sizes=memory_sizes,
     )
     # Always serial: parallel timing cells would contend for the same cores.
     results = run_sweep(
@@ -649,6 +757,7 @@ def run_benchmarks(
             "batched_batches": list(spec.meta["batched_batches"]),
             "serve_windows_ms": list(spec.meta["serve_windows_ms"]),
             "serve_requests": spec.meta["serve_requests"],
+            "memory_sizes": list(spec.meta["memory_sizes"]),
             "repeats": repeats,
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         },
@@ -675,6 +784,8 @@ def format_results(payload: Dict[str, Any]) -> str:
             workload = f"{workload}[B={record['batch']}]"
         if record["section"] == "serve":
             workload = f"{workload}[win={record['window_ms']:g}ms]"
+        if record["section"] == "memory":
+            workload = f"{workload}[{record['state_bytes'] / 1e6:.1f}MB]"
         size = record.get("n", record.get("num_cells"))
         table.add_row(
             record["section"],
@@ -911,6 +1022,16 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         default=SERVE_REQUESTS,
         help="concurrent requests per serve cell (default: %(default)s)",
     )
+    parser.add_argument(
+        "--memory-sizes",
+        type=int,
+        nargs="+",
+        default=list(MEMORY_SIZES),
+        help=(
+            "graph sizes of the memory section (columnar-state footprint, "
+            "compact 32-bit ids vs wide int64; default: %(default)s)"
+        ),
+    )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
@@ -973,6 +1094,7 @@ def run_bench_command(args: argparse.Namespace) -> Tuple[str, int]:
         QUICK_SERVE_WINDOWS_MS if args.quick else args.serve_windows_ms
     )
     serve_requests = QUICK_SERVE_REQUESTS if args.quick else args.serve_requests
+    memory_sizes: Sequence[int] = QUICK_MEMORY_SIZES if args.quick else args.memory_sizes
     repeats = 1 if args.quick else args.repeats
     kernels: Optional[List[str]] = list(args.kernels or [])
     csv = getattr(args, "kernels_csv", None)
@@ -988,6 +1110,7 @@ def run_bench_command(args: argparse.Namespace) -> Tuple[str, int]:
         batched_batches=batched_batches,
         serve_windows_ms=serve_windows,
         serve_requests=serve_requests,
+        memory_sizes=memory_sizes,
         progress=print_progress if getattr(args, "progress", False) else None,
     )
     write_results(payload, args.out)

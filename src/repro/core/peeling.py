@@ -27,11 +27,10 @@ from __future__ import annotations
 import warnings
 from typing import List, Literal, Optional, Union
 
-import numpy as np
-
 from repro.core.results import PeelingResult, RoundStats
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.kernels import PeelingKernel, PeelState, get_kernel, peel_subround
+from repro.kernels.arena import default_arena
 from repro.utils.validation import check_positive_int
 
 __all__ = ["ParallelPeeler", "SequentialPeeler", "peel_to_kcore"]
@@ -66,6 +65,10 @@ class ParallelPeeler:
         (see :func:`repro.kernels.available_kernels`) or a ready
         :class:`~repro.kernels.base.PeelingKernel` instance; ``None`` selects
         the default (``"numpy"``).
+    wide_ids:
+        Force the wide ``int64`` working layout; by default the state is
+        compact (32-bit ids) whenever the graph fits, which halves the
+        per-round memory traffic.  Results are bit-identical either way.
     """
 
     def __init__(
@@ -76,6 +79,7 @@ class ParallelPeeler:
         max_rounds: Optional[int] = None,
         track_stats: bool = True,
         kernel: KernelLike = None,
+        wide_ids: bool = False,
     ) -> None:
         self.k = check_positive_int(k, "k")
         if update not in ("full", "frontier"):
@@ -86,6 +90,7 @@ class ParallelPeeler:
         self.max_rounds = max_rounds
         self.track_stats = bool(track_stats)
         self.kernel = get_kernel(kernel)
+        self.wide_ids = bool(wide_ids)
 
     def peel(self, graph: Hypergraph) -> PeelingResult:
         """Run the parallel peeling process on ``graph``.
@@ -100,21 +105,25 @@ class ParallelPeeler:
         kernel = self.kernel
         frontier_mode = self.update == "frontier"
         n = graph.num_vertices
-        state = PeelState.from_graph(graph)
-        if getattr(kernel, "fused_subround", None) is not None:
-            # Fused backends find dying edges through the CSR incidence
-            # (work proportional to the removals instead of an O(m·r) edge
-            # scan); the graph caches these arrays across runs.  The NumPy
-            # reference path never reads them, so it never pays for them.
-            state.incidence_ptr = graph.incidence_ptr
-            state.incidence_edges = graph.incidence_edges
+        # Fused backends find dying edges through the CSR incidence (work
+        # proportional to the removals instead of an O(m·r) edge scan); the
+        # graph caches these arrays across runs.  The NumPy reference path
+        # never reads them, so it never pays for them.  The thread-local
+        # arena backs the mutable arrays, so repeat trials on one worker
+        # reuse the same buffers instead of reallocating the working set.
+        state = PeelState.from_graph(
+            graph,
+            wide_ids=self.wide_ids,
+            arena=default_arena(),
+            attach_incidence=getattr(kernel, "fused_subround", None) is not None,
+        )
         stats: List[RoundStats] = []
 
         limit = self.max_rounds if self.max_rounds is not None else 4 * max(n, 1) + 16
         # Frontier mode starts by examining everything once; full mode passes
         # candidates=None so the kernel scans every live vertex each round.
         if frontier_mode:
-            state.frontier = np.arange(n, dtype=np.int64)
+            state.frontier = default_arena().arange("engine/frontier", n)
         rounds = 0
 
         for round_index in range(1, limit + 1):
@@ -125,6 +134,7 @@ class ParallelPeeler:
                 round_index,
                 candidates=state.frontier if frontier_mode else None,
                 collect_touched=frontier_mode,
+                arena=state.arena,
             )
             if outcome.num_removed == 0:
                 break
@@ -147,14 +157,15 @@ class ParallelPeeler:
                 f"parallel peeling did not reach a fixed point within {limit} rounds"
             )
 
+        vertex_rounds, edge_rounds = state.result_peel_rounds()
         return PeelingResult(
             k=k,
             mode="parallel",
             num_rounds=rounds,
             num_subrounds=rounds,
             success=state.done,
-            vertex_peel_round=state.vertex_peel_round,
-            edge_peel_round=state.edge_peel_round,
+            vertex_peel_round=vertex_rounds,
+            edge_peel_round=edge_rounds,
             round_stats=stats,
         )
 
@@ -173,17 +184,28 @@ class SequentialPeeler:
     """
 
     def __init__(
-        self, k: int, *, track_stats: bool = True, kernel: KernelLike = None
+        self,
+        k: int,
+        *,
+        track_stats: bool = True,
+        kernel: KernelLike = None,
+        wide_ids: bool = False,
     ) -> None:
         self.k = check_positive_int(k, "k")
         self.track_stats = bool(track_stats)
         self.kernel = get_kernel(kernel)
+        self.wide_ids = bool(wide_ids)
 
     def peel(self, graph: Hypergraph) -> PeelingResult:
         """Run sequential peeling on ``graph``."""
-        state = PeelState.from_graph(graph)
+        state = PeelState.from_graph(
+            graph,
+            wide_ids=self.wide_ids,
+            arena=default_arena(),
+            attach_incidence=True,
+        )
         peel_order, work, step = self.kernel.sequential_peel(
-            state, self.k, graph.incidence_ptr, graph.incidence_edges
+            state, self.k, state.incidence_ptr, state.incidence_edges
         )
 
         stats: List[RoundStats] = []
@@ -199,14 +221,15 @@ class SequentialPeeler:
                 )
             )
         num_rounds = 1 if step else 0
+        vertex_rounds, edge_rounds = state.result_peel_rounds()
         return PeelingResult(
             k=self.k,
             mode="sequential",
             num_rounds=num_rounds,
             num_subrounds=num_rounds,
             success=state.done,
-            vertex_peel_round=state.vertex_peel_round,
-            edge_peel_round=state.edge_peel_round,
+            vertex_peel_round=vertex_rounds,
+            edge_peel_round=edge_rounds,
             round_stats=stats,
             peel_order=peel_order,
         )

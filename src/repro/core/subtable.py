@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.results import PeelingResult, RoundStats
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.kernels import PeelingKernel, PeelState, get_kernel, peel_subround
+from repro.kernels.arena import default_arena
 from repro.utils.validation import check_positive_int
 
 __all__ = ["SubtablePeeler"]
@@ -47,6 +48,9 @@ class SubtablePeeler:
     kernel:
         Kernel backend name or instance (``None`` selects the default,
         ``"numpy"``).
+    wide_ids:
+        Force the wide ``int64`` working layout (compact 32-bit ids are the
+        default whenever the graph fits; results are bit-identical).
 
     Notes
     -----
@@ -63,6 +67,7 @@ class SubtablePeeler:
         max_rounds: Optional[int] = None,
         track_stats: bool = True,
         kernel: Union[str, PeelingKernel, None] = None,
+        wide_ids: bool = False,
     ) -> None:
         self.k = check_positive_int(k, "k")
         if max_rounds is not None:
@@ -70,6 +75,7 @@ class SubtablePeeler:
         self.max_rounds = max_rounds
         self.track_stats = bool(track_stats)
         self.kernel = get_kernel(kernel)
+        self.wide_ids = bool(wide_ids)
 
     def peel(self, graph: Hypergraph) -> PeelingResult:
         """Run subtable peeling on a partitioned hypergraph.
@@ -96,7 +102,9 @@ class SubtablePeeler:
         kernel = self.kernel
         n = graph.num_vertices
         partition = graph.vertex_partition
-        state = PeelState.from_graph(graph)
+        state = PeelState.from_graph(
+            graph, wide_ids=self.wide_ids, arena=default_arena()
+        )
         stats: List[RoundStats] = []
 
         subtable_members = [np.flatnonzero(partition == j) for j in range(r)]
@@ -110,7 +118,12 @@ class SubtablePeeler:
             for j in range(r):
                 subround += 1
                 outcome = peel_subround(
-                    kernel, state, k, round_index, candidates=subtable_members[j]
+                    kernel,
+                    state,
+                    k,
+                    round_index,
+                    candidates=subtable_members[j],
+                    arena=state.arena,
                 )
                 if outcome.num_removed:
                     removed_this_round += outcome.num_removed
@@ -143,13 +156,14 @@ class SubtablePeeler:
         if last_removing_subround:
             num_rounds = (last_removing_subround + r - 1) // r
 
+        vertex_rounds, edge_rounds = state.result_peel_rounds()
         return PeelingResult(
             k=k,
             mode="subtable",
             num_rounds=num_rounds,
             num_subrounds=last_removing_subround,
             success=state.done,
-            vertex_peel_round=state.vertex_peel_round,
-            edge_peel_round=state.edge_peel_round,
+            vertex_peel_round=vertex_rounds,
+            edge_peel_round=edge_rounds,
             round_stats=stats,
         )

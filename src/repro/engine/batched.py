@@ -59,6 +59,9 @@ class BatchedPeeler:
         :data:`DEFAULT_CHUNK_VERTICES`); batches exceeding it are processed
         as consecutive independent chunks.  Purely a performance knob —
         results are identical for any value.
+    wide_ids:
+        Force the wide ``int64`` stacked layout (compact 32-bit ids are
+        the default whenever the chunk fits; results are bit-identical).
     """
 
     def __init__(
@@ -70,6 +73,7 @@ class BatchedPeeler:
         track_stats: bool = True,
         kernel=None,
         chunk_vertices: int = DEFAULT_CHUNK_VERTICES,
+        wide_ids: bool = False,
     ) -> None:
         self.k = check_positive_int(k, "k")
         if update not in ("full", "frontier"):
@@ -81,6 +85,7 @@ class BatchedPeeler:
         self.track_stats = bool(track_stats)
         self.kernel = get_kernel(kernel)
         self.chunk_vertices = check_positive_int(chunk_vertices, "chunk_vertices")
+        self.wide_ids = bool(wide_ids)
 
     def peel_many(self, graphs: Iterable[Hypergraph]) -> List[PeelingResult]:
         """Peel every graph in lockstep chunks; results in input order."""
@@ -104,6 +109,7 @@ class BatchedPeeler:
                     update=self.update,
                     max_rounds=self.max_rounds,
                     track_stats=self.track_stats,
+                    wide_ids=self.wide_ids,
                 )
             )
             start = stop

@@ -61,6 +61,7 @@ class Hypergraph:
         "_incidence_ptr",
         "_incidence_edges",
         "_degrees",
+        "_compact",
     )
 
     def __init__(
@@ -111,6 +112,7 @@ class Hypergraph:
         self._incidence_ptr: Optional[np.ndarray] = None
         self._incidence_edges: Optional[np.ndarray] = None
         self._degrees: Optional[np.ndarray] = None
+        self._compact: Optional[tuple] = None
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -236,6 +238,25 @@ class Hypergraph:
         assert self._degrees is not None
         return self._degrees.copy()
 
+    def degrees_into(self, out: np.ndarray) -> np.ndarray:
+        """Fill ``out`` with the degree vector and return it (no allocation).
+
+        ``out`` must have shape ``(n,)``; any integer dtype wide enough for
+        the degree values works (``int32`` suffices whenever
+        :attr:`supports_compact_ids` — every degree is at most ``m * r``).
+        This is the arena-friendly face of :meth:`degrees`: peel states fill
+        a reused buffer instead of allocating a fresh copy per trial.
+        """
+        if self._degrees is None:
+            self._build_incidence()
+        assert self._degrees is not None
+        if out.shape != self._degrees.shape:
+            raise ValueError(
+                f"out must have shape {self._degrees.shape}, got {out.shape}"
+            )
+        np.copyto(out, self._degrees, casting="unsafe")
+        return out
+
     def degree(self, vertex: int) -> int:
         """Degree of a single vertex."""
         if not (0 <= vertex < self._n):
@@ -251,6 +272,95 @@ class Hypergraph:
         view = self._degrees.view()
         view.setflags(write=False)
         return view
+
+    # ------------------------------------------------------------------ #
+    # compact-id (32-bit) cache
+    # ------------------------------------------------------------------ #
+    @property
+    def supports_compact_ids(self) -> bool:
+        """True when every id/offset/degree fits the 32-bit compact layout.
+
+        Vertex ids must fit ``uint32`` and — because peel rounds and degree
+        counters stay *signed* 32-bit (``UNPEELED`` is ``-1``) — the CSR
+        offsets ``m * r`` must fit ``int32``.  Every workload under
+        ``n, m·r < 2^31`` qualifies, i.e. everything short of the sharded
+        ≥ 1e8-scale regime.
+        """
+        limit = np.iinfo(np.int32).max
+        return self._n < limit and self.num_edges * max(self._r, 1) < limit
+
+    def _build_compact(self) -> tuple:
+        """Build (once) and cache the 32-bit copies of the columnar arrays.
+
+        The cache is what makes compact ids cheap across trials: sweeps that
+        re-peel the same hypergraph share one ``uint32`` edge array and CSR
+        index instead of re-narrowing ``int64`` arrays per trial.
+
+        When the wide CSR is already cached it is narrowed in place-free
+        copies; otherwise the compact CSR is built *directly* (same counting
+        sort, 32-bit outputs) so a compact-only workload never materializes
+        — and never retains — the int64 incidence arrays at all.  Both paths
+        produce bit-identical values.  The wide ``_degrees`` cache (n int64,
+        small next to the ``m·r`` incidence) is populated either way so
+        :meth:`degrees` / :meth:`degrees_into` stay allocation-free later.
+        """
+        if self._compact is not None:
+            return self._compact
+        if not self.supports_compact_ids:
+            raise ValueError(
+                f"hypergraph (n={self._n}, m={self.num_edges}, r={self._r}) "
+                "exceeds the 32-bit compact-id range; use wide (int64) ids"
+            )
+        edges32 = np.ascontiguousarray(self._edges, dtype=np.uint32)
+        if self._incidence_ptr is not None:
+            assert self._incidence_edges is not None
+            assert self._degrees is not None
+            self._compact = (
+                edges32,
+                np.ascontiguousarray(self._incidence_ptr, dtype=np.int32),
+                np.ascontiguousarray(self._incidence_edges, dtype=np.uint32),
+                np.ascontiguousarray(self._degrees, dtype=np.int32),
+            )
+            return self._compact
+        m = self.num_edges
+        r = self._r
+        flat_vertices = self._edges.reshape(-1)
+        counts = np.bincount(flat_vertices, minlength=self._n) if m > 0 else np.zeros(self._n, dtype=np.int64)
+        ptr = np.zeros(self._n + 1, dtype=np.int32)
+        np.cumsum(counts, out=ptr[1:])
+        incidence = np.empty(m * r, dtype=np.uint32)
+        if m > 0:
+            order = np.argsort(flat_vertices, kind="stable")
+            incidence[:] = order // r
+        if self._degrees is None:
+            self._degrees = counts
+        self._compact = (edges32, ptr, incidence, counts.astype(np.int32))
+        return self._compact
+
+    def _compact_view(self, index: int) -> np.ndarray:
+        view = self._build_compact()[index].view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def compact_edges(self) -> np.ndarray:
+        """The ``(m, r)`` edge array as ``uint32`` (read-only, cached)."""
+        return self._compact_view(0)
+
+    @property
+    def compact_incidence_ptr(self) -> np.ndarray:
+        """CSR row-pointer array as ``int32`` (read-only, cached)."""
+        return self._compact_view(1)
+
+    @property
+    def compact_incidence_edges(self) -> np.ndarray:
+        """Concatenated incident-edge lists as ``uint32`` (read-only, cached)."""
+        return self._compact_view(2)
+
+    @property
+    def compact_degrees_view(self) -> np.ndarray:
+        """Read-only ``int32`` degree array (no copy)."""
+        return self._compact_view(3)
 
     def incident_edges(self, vertex: int) -> np.ndarray:
         """Edges incident to ``vertex`` (a copy; safe to mutate)."""

@@ -33,9 +33,24 @@ from repro.core.results import RoundStats
 from repro.iblt.iblt import IBLT, IBLTDecodeResult
 from repro.iblt.parallel_decode import ParallelDecodeResult
 from repro.kernels import PeelingKernel, get_kernel, remove_hyperedges
+from repro.kernels.arena import default_arena
 from repro.utils.validation import check_positive_int
 
 __all__ = ["BatchedFlatDecoder", "decode_many"]
+
+
+def _stack(columns: List[np.ndarray], name: str) -> np.ndarray:
+    """Concatenate same-dtype columns into a reused thread-local arena buffer.
+
+    The stack is mutable scratch that lives only for one ``_decode_stacked``
+    call, so successive batches on a worker reuse one allocation instead of
+    concatenating into a fresh array per call.  (Compaction rounds may later
+    rebind the stack to a fresh smaller array; that is fine — the arena
+    buffer simply becomes reusable scratch again.)
+    """
+    total = sum(c.size for c in columns)
+    out = default_arena().take(name, total, columns[0].dtype)
+    return np.concatenate(columns, out=out)
 
 
 def _require_shared_family(tables: Sequence[IBLT]) -> IBLT:
@@ -135,9 +150,9 @@ class BatchedFlatDecoder:
         # (via compaction below) the round after its last recovery, exactly
         # when its own loop would have observed "no pure cells", recorded
         # the empty round and broken out.
-        count = np.concatenate([t.count for t in tables])
-        key_sum = np.concatenate([t.key_sum for t in tables])
-        check_sum = np.concatenate([t.check_sum for t in tables])
+        count = _stack([t.count for t in tables], "iblt/count")
+        key_sum = _stack([t.key_sum for t in tables], "iblt/key_sum")
+        check_sum = _stack([t.check_sum for t in tables], "iblt/check_sum")
         stacked_ids = np.arange(num_tables, dtype=np.int64)
         open_local = np.ones(num_tables, dtype=bool)
 

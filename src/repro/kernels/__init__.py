@@ -6,6 +6,11 @@ side effects.  This package is that observation as code:
 
 * :class:`~repro.kernels.state.PeelState` — the struct-of-arrays working set
   (alive masks, degrees, peel-round arrays, frontier) every engine shares.
+* :class:`~repro.kernels.arena.RoundArena` — a grow-only scratch-buffer
+  pool (one per worker thread via
+  :func:`~repro.kernels.arena.default_arena`) that backs the mutable state
+  arrays and per-round flags, so repeated trials reuse memory instead of
+  reallocating the working set every peel.
 * :class:`~repro.kernels.base.PeelingKernel` — the backend protocol of
   vectorized round primitives (``find_removable``, ``kill_edges``,
   ``scatter_degree_updates``, frontier maintenance, ``pure_cells``), plus
@@ -28,6 +33,7 @@ side effects.  This package is that observation as code:
 import importlib.util
 import shutil
 
+from repro.kernels.arena import RoundArena, default_arena
 from repro.kernels.base import EdgeEffect, PeelingKernel
 from repro.kernels.batched import BatchedPeelState, batched_peel
 from repro.kernels.numpy_backend import NumpyKernel
@@ -92,6 +98,8 @@ def __getattr__(name: str):
 
 __all__ = [
     "PeelState",
+    "RoundArena",
+    "default_arena",
     "BatchedPeelState",
     "batched_peel",
     "PeelingKernel",

@@ -1,0 +1,134 @@
+"""Grow-only scratch-buffer arena shared across peel rounds and trials.
+
+Round-synchronous peeling allocates the same families of temporaries over
+and over: alive masks and peel-round arrays per trial, candidate/dying
+dedup flags and ``arange`` identity ramps per round.  At sweep scale those
+allocations — not the arithmetic — dominate the allocator profile, and at
+``n = 10^6`` each trial churns tens of megabytes of short-lived arrays.
+
+A :class:`RoundArena` is a named, grow-only pool of NumPy buffers.  Each
+``(name, kind)`` key owns one backing buffer that only ever grows; callers
+receive right-sized views, so once the pool has seen the largest shape of a
+workload, steady-state rounds and repeat trials allocate nothing (the
+:attr:`RoundArena.allocations` counter is the regression-test contract for
+this).  The arena makes no attempt at lifetime tracking: two live users of
+the same key alias the same memory, so every key namespace (``"state/"``,
+``"batched/"``, ``"iblt/"``, ...) must have at most one user at a time —
+which the engines guarantee by construction, since each ``peel`` /
+``batched_peel`` / ``decode_many`` call runs to completion before the next
+one starts on that thread.
+
+:func:`default_arena` hands out one arena per thread, which is what gives
+sweeps and the micro-batching decode service cross-trial buffer reuse for
+free: worker threads and ``peel_many``'s serial loop keep hitting the same
+thread-local pool even though engines are rebuilt per trial.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Tuple, Union
+
+import numpy as np
+
+__all__ = ["RoundArena", "default_arena"]
+
+ShapeLike = Union[int, Tuple[int, ...]]
+
+
+class RoundArena:
+    """Named pool of reusable scratch buffers (grow-only, no lifetime tracking)."""
+
+    __slots__ = ("_buffers", "allocations")
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple[str, str], np.ndarray] = {}
+        #: Count of backing-buffer allocations performed so far.  Steady-state
+        #: rounds/trials must not move it — the allocation-count regression
+        #: test asserts exactly that.
+        self.allocations = 0
+
+    def _grow(self, key: Tuple[str, str], size: int, dtype, zero: bool) -> np.ndarray:
+        buf = self._buffers.get(key)
+        if buf is None or buf.size < size:
+            # Doubling keeps the amortized copy/alloc count logarithmic when a
+            # workload's sizes creep upward across trials.
+            capacity = size if buf is None else max(size, 2 * buf.size)
+            buf = (
+                np.zeros(capacity, dtype=dtype)
+                if zero
+                else np.empty(capacity, dtype=dtype)
+            )
+            self._buffers[key] = buf
+            self.allocations += 1
+        return buf
+
+    def take(self, name: str, shape: ShapeLike, dtype) -> np.ndarray:
+        """A writable view of shape ``shape`` over the ``name`` buffer.
+
+        Contents are arbitrary (previous users' data); callers must fill
+        every element they read.  One live user per ``name`` at a time.
+        """
+        dtype = np.dtype(dtype)
+        if isinstance(shape, int):
+            size = shape
+            shape = (shape,)
+        else:
+            size = math.prod(shape)
+        buf = self._grow((name, dtype.str), int(size), dtype, zero=False)
+        return buf[:size].reshape(shape)
+
+    def full(self, name: str, shape: ShapeLike, dtype, fill_value) -> np.ndarray:
+        """Like :meth:`take` but with every element set to ``fill_value``."""
+        out = self.take(name, shape, dtype)
+        out[...] = fill_value
+        return out
+
+    def flag(self, name: str, size: int) -> np.ndarray:
+        """An all-False bool scratch of length ``size``.
+
+        Contract: the caller returns the view all-False again (clear exactly
+        the entries it set) — that is what lets reuse skip the O(size)
+        re-zeroing that ``np.zeros`` would pay every round.
+        """
+        buf = self._grow((name, "flag"), int(size), bool, zero=True)
+        return buf[:size]
+
+    def arange(self, name: str, size: int) -> np.ndarray:
+        """The identity ramp ``[0, size)`` as int64 (shared; do not write)."""
+        size = int(size)
+        key = (name, "arange")
+        buf = self._buffers.get(key)
+        if buf is None or buf.size < size:
+            capacity = size if buf is None else max(size, 2 * buf.size)
+            buf = np.arange(capacity, dtype=np.int64)
+            self._buffers[key] = buf
+            self.allocations += 1
+        return buf[:size]
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the pool's backing buffers."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def clear(self) -> None:
+        """Drop every backing buffer (the allocation counter is kept)."""
+        self._buffers.clear()
+
+
+_THREAD_LOCAL = threading.local()
+
+
+def default_arena() -> RoundArena:
+    """The calling thread's shared arena (created on first use).
+
+    Engines pass this into :class:`~repro.kernels.state.PeelState` /
+    ``batched_peel`` so repeated trials on one worker thread reuse the same
+    buffers; each thread owning its own pool keeps the views race-free
+    without locking.
+    """
+    arena = getattr(_THREAD_LOCAL, "arena", None)
+    if arena is None:
+        arena = _THREAD_LOCAL.arena = RoundArena()
+    return arena

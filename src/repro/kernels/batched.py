@@ -52,8 +52,11 @@ import numpy as np
 
 from repro.core.results import UNPEELED, PeelingResult, RoundStats
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.kernels.arena import RoundArena, default_arena
 from repro.kernels.base import PeelingKernel
 from repro.kernels.state import PeelState
+
+_INT32_LIMIT = np.iinfo(np.int32).max
 
 __all__ = ["BatchedPeelState", "batched_peel"]
 
@@ -94,13 +97,28 @@ class BatchedPeelState:
         return int(self.vertex_offsets.shape[0]) - 1
 
     @classmethod
-    def from_graphs(cls, graphs: Sequence[Hypergraph]) -> "BatchedPeelState":
+    def from_graphs(
+        cls,
+        graphs: Sequence[Hypergraph],
+        *,
+        wide_ids: bool = False,
+        arena: Optional[RoundArena] = None,
+    ) -> "BatchedPeelState":
         """Stack ``graphs`` block-diagonally into one flat peeling state.
 
         All graphs with at least one edge must share the same arity ``r``
         (edgeless graphs stack with anything); mixed arities raise
         ``ValueError`` because their endpoint rows cannot share one
         ``(m, r)`` array.
+
+        The stacked layout is compact (``uint32`` ids / ``int32`` offsets
+        and rounds) whenever the flat totals fit 32-bit, unless
+        ``wide_ids`` forces int64.  Stacking concatenates the per-graph
+        arrays each graph already caches — in compact mode the cached
+        32-bit copies, so repeat batches over the same graphs (sweeps,
+        the decode service) share one narrowed CSR instead of
+        re-narrowing per trial.  With an ``arena`` the stacked buffers
+        themselves are reused across same-shape batches.
         """
         arities = {g.edge_size for g in graphs if g.num_edges > 0}
         if len(arities) > 1:
@@ -116,41 +134,96 @@ class BatchedPeelState:
         np.cumsum(edge_counts, out=edge_offsets[1:])
         total_v = int(vertex_offsets[-1])
         total_e = int(edge_offsets[-1])
+        compact = (
+            not wide_ids
+            and total_v < _INT32_LIMIT
+            and total_e * max(r, 1) < _INT32_LIMIT
+        )
+        edge_dtype = np.uint32 if compact else np.int64
+        idx_dtype = np.int32 if compact else np.int64
+
+        def take(name: str, shape, dtype) -> np.ndarray:
+            if arena is not None:
+                return arena.take(f"batched/{name}", shape, dtype)
+            return np.empty(shape, dtype=dtype)
 
         # One concatenate per column beats a per-graph copy loop; the
         # per-graph vertex offsets are added in place with a single
-        # vectorized repeat (concatenate already produced a fresh buffer).
-        degrees = (
-            np.concatenate([g.degrees_view for g in graphs])
-            if graphs
-            else np.empty(0, dtype=np.int64)
-        )
+        # vectorized repeat.  Concatenating straight into the (arena)
+        # destination avoids the intermediate buffer, and the offset shifts
+        # are pre-cast so the in-place adds never widen the compact arrays.
+        degrees = take("degrees", total_v, idx_dtype)
+        if graphs:
+            np.concatenate(
+                [
+                    g.compact_degrees_view if compact else g.degrees_view
+                    for g in graphs
+                ],
+                out=degrees,
+            )
         if total_e:
-            edges = np.concatenate([g.edges.reshape(-1, r) for g in graphs])
-            edges += np.repeat(vertex_offsets[:-1], edge_counts)[:, None]
+            edges = take("edges", (total_e, r), edge_dtype)
+            np.concatenate(
+                [
+                    (g.compact_edges if compact else g.edges).reshape(-1, r)
+                    for g in graphs
+                ],
+                out=edges,
+            )
+            shift = np.repeat(vertex_offsets[:-1], edge_counts)
+            edges += shift.astype(edge_dtype, copy=False)[:, None]
         else:
-            edges = np.empty((0, r), dtype=np.int64)
-        incidence_ptr = np.zeros(total_v + 1, dtype=np.int64)
+            edges = np.empty((0, r), dtype=edge_dtype)
+        incidence_ptr = take("inc_ptr", total_v + 1, idx_dtype)
+        incidence_ptr[0] = 0
         if total_v:
-            incidence_ptr[1:] = np.concatenate(
-                [g.incidence_ptr[1:] for g in graphs if g.num_vertices]
+            np.concatenate(
+                [
+                    (g.compact_incidence_ptr if compact else g.incidence_ptr)[1:]
+                    for g in graphs
+                    if g.num_vertices
+                ],
+                out=incidence_ptr[1:],
             )
             incidence_ptr[1:] += np.repeat(r * edge_offsets[:-1], vertex_counts)
-        incidence_edges = np.concatenate(
-            [g.incidence_edges for g in graphs] or [np.empty(0, dtype=np.int64)]
-        )
-        if incidence_edges.size:
-            incidence_edges += np.repeat(edge_offsets[:-1], r * edge_counts)
+        incidence_edges = take("inc_edges", total_e * r, edge_dtype)
+        if graphs and total_e:
+            np.concatenate(
+                [
+                    g.compact_incidence_edges if compact else g.incidence_edges
+                    for g in graphs
+                ],
+                out=incidence_edges,
+            )
+            incidence_edges += np.repeat(
+                edge_offsets[:-1], r * edge_counts
+            ).astype(edge_dtype, copy=False)
+
+        if arena is not None:
+            vertex_alive = arena.full("batched/vertex_alive", total_v, bool, True)
+            edge_alive = arena.full("batched/edge_alive", total_e, bool, True)
+            vertex_peel_round = arena.full(
+                "batched/vertex_round", total_v, idx_dtype, UNPEELED
+            )
+            edge_peel_round = arena.full(
+                "batched/edge_round", total_e, idx_dtype, UNPEELED
+            )
+        else:
+            vertex_alive = np.ones(total_v, dtype=bool)
+            edge_alive = np.ones(total_e, dtype=bool)
+            vertex_peel_round = np.full(total_v, UNPEELED, dtype=idx_dtype)
+            edge_peel_round = np.full(total_e, UNPEELED, dtype=idx_dtype)
 
         state = PeelState(
             edges=edges,
             degrees=degrees,
-            vertex_alive=np.ones(total_v, dtype=bool),
-            edge_alive=np.ones(total_e, dtype=bool),
-            vertex_peel_round=np.full(total_v, UNPEELED, dtype=np.int64),
-            edge_peel_round=np.full(total_e, UNPEELED, dtype=np.int64),
+            vertex_alive=vertex_alive,
+            edge_alive=edge_alive,
+            vertex_peel_round=vertex_peel_round,
+            edge_peel_round=edge_peel_round,
             vertices_remaining=total_v,
             edges_remaining=total_e,
+            arena=arena,
         )
         return cls(
             state=state,
@@ -186,6 +259,16 @@ class BatchedPeelState:
     def split_edge_array(self, values: np.ndarray, g: int) -> np.ndarray:
         """Graph ``g``'s slice of a flat per-edge array (a copy)."""
         return values[self.edge_offsets[g]: self.edge_offsets[g + 1]].copy()
+
+    def split_vertex_round(self, g: int) -> np.ndarray:
+        """Graph ``g``'s vertex peel rounds, widened to the int64 boundary dtype."""
+        lo, hi = self.vertex_offsets[g], self.vertex_offsets[g + 1]
+        return self.state.vertex_peel_round[lo:hi].astype(np.int64)
+
+    def split_edge_round(self, g: int) -> np.ndarray:
+        """Graph ``g``'s edge peel rounds, widened to the int64 boundary dtype."""
+        lo, hi = self.edge_offsets[g], self.edge_offsets[g + 1]
+        return self.state.edge_peel_round[lo:hi].astype(np.int64)
 
 
 def _per_graph_counts(sorted_indices: np.ndarray, offsets: np.ndarray) -> np.ndarray:
@@ -227,6 +310,8 @@ def batched_peel(
     update: str = "full",
     max_rounds: Optional[int] = None,
     track_stats: bool = True,
+    wide_ids: bool = False,
+    arena: Optional[RoundArena] = None,
 ) -> List[PeelingResult]:
     """Peel B independent graphs in lockstep and split the per-graph results.
 
@@ -251,6 +336,14 @@ def batched_peel(
         Safety cap on lockstep rounds (defaults to ``4 * max_n + 16``).
     track_stats:
         Record per-round :class:`~repro.core.results.RoundStats` per graph.
+    wide_ids:
+        Force the wide ``int64`` stacked layout (compact 32-bit is the
+        default whenever the batch fits; results are bit-identical).
+    arena:
+        Scratch arena backing the stacked state and the per-round dedup
+        flags / candidate ramp; defaults to the calling thread's shared
+        arena, so repeat batches reuse one set of buffers instead of
+        reallocating the whole working set per call.
     """
     graphs = list(graphs)
     if not graphs:
@@ -258,7 +351,9 @@ def batched_peel(
     if update not in ("full", "frontier"):
         raise ValueError(f"update must be 'full' or 'frontier', got {update!r}")
     frontier_mode = update == "frontier"
-    batch = BatchedPeelState.from_graphs(graphs)
+    if arena is None:
+        arena = default_arena()
+    batch = BatchedPeelState.from_graphs(graphs, wide_ids=wide_ids, arena=arena)
     state = batch.state
     num_graphs = batch.num_graphs
     v_off = batch.vertex_offsets
@@ -276,7 +371,9 @@ def batched_peel(
     empty = np.empty(0, dtype=np.int64)
     # Reusable scratch mask for deduplicating dying edges: scatter-set, read
     # back with flatnonzero (sorted for free), clear only the set entries.
-    dying_flag = np.zeros(total_e, dtype=bool)
+    # Both flags and the identity ramp come from the arena, so steady-state
+    # calls allocate nothing (the allocation-count test pins this).
+    dying_flag = arena.flag("batched/dying_flag", total_e)
     # Candidate tracking (both modes): only a vertex that lost an incident
     # edge can become removable, so each round examines the previous
     # round's touched endpoints instead of re-scanning every vertex of
@@ -285,8 +382,8 @@ def batched_peel(
     # frontier-correctness argument the single-graph engine already relies
     # on; in full mode it changes only *how* the (identical) removable set
     # is found, while the recorded work term remains the full-scan count.
-    candidate_flag = np.zeros(total_v, dtype=bool)
-    candidates = np.arange(total_v, dtype=np.int64)
+    candidate_flag = arena.flag("batched/candidate_flag", total_v)
+    candidates = arena.arange("batched/candidates", total_v)
 
     for round_index in range(1, limit + 1):
         examined_per_graph = None
@@ -369,8 +466,8 @@ def batched_peel(
             num_rounds=int(num_rounds[g]),
             num_subrounds=int(num_rounds[g]),
             success=int(batch.edges_remaining[g]) == 0,
-            vertex_peel_round=batch.split_vertex_array(state.vertex_peel_round, g),
-            edge_peel_round=batch.split_edge_array(state.edge_peel_round, g),
+            vertex_peel_round=batch.split_vertex_round(g),
+            edge_peel_round=batch.split_edge_round(g),
             round_stats=stats[g],
         )
         for g in range(num_graphs)

@@ -58,6 +58,15 @@ int repro_fused_subround(
     const int64_t *candidates, int64_t num_candidates, int64_t use_candidates,
     int64_t k, int64_t round_index,
     int64_t *removable_out, int64_t *dying_out, int64_t *stats_out);
+int repro_fused_subround_u32(
+    const uint32_t *edges, int64_t m, int64_t r,
+    const int32_t *inc_ptr, const uint32_t *inc_edges,
+    int32_t *degrees, int64_t n,
+    uint8_t *vertex_alive, uint8_t *edge_alive,
+    int32_t *vertex_round, int32_t *edge_round,
+    const int64_t *candidates, int64_t num_candidates, int64_t use_candidates,
+    int64_t k, int64_t round_index,
+    int64_t *removable_out, int64_t *dying_out, int64_t *stats_out);
 void repro_remove_hyperedges(
     const int64_t *cells, int64_t b, int64_t r,
     int64_t *counts, const int64_t *deltas,
@@ -71,6 +80,8 @@ void repro_scatter_xor_u64(
     int64_t count);
 void repro_scatter_sub_scalar_i64(
     int64_t *target, const int64_t *indices, int64_t count, int64_t amount);
+void repro_scatter_sub_scalar_i32(
+    int32_t *target, const uint32_t *indices, int64_t count, int64_t amount);
 """
 
 _SOURCE = """
@@ -80,84 +91,96 @@ _SOURCE = """
 /* One fused find/kill/scatter subround; see peel_subround for semantics.
  * Buffers removable_out (>= scan size), dying_out (>= m) and stats_out
  * ([num_removable, num_dying, examined]) are caller-allocated.  Returns
- * nonzero (before mutating anything) if the scratch allocation fails. */
-int repro_fused_subround(
-    const int64_t *edges, int64_t m, int64_t r,
-    const int64_t *inc_ptr, const int64_t *inc_edges,
-    int64_t *degrees, int64_t n,
-    uint8_t *vertex_alive, uint8_t *edge_alive,
-    int64_t *vertex_round, int64_t *edge_round,
-    const int64_t *candidates, int64_t num_candidates, int64_t use_candidates,
-    int64_t k, int64_t round_index,
-    int64_t *removable_out, int64_t *dying_out, int64_t *stats_out)
-{
-    uint8_t *mark = (uint8_t *)calloc((size_t)m, 1);
-    if (mark == NULL) {
-        return 1;
-    }
-    /* Phase 1: removable selection — ascending for the full scan, stable
-     * candidate order otherwise, matching the reference backend. */
-    int64_t total = use_candidates ? num_candidates : n;
-    int64_t num_removable = 0;
-    int64_t examined = 0;
-    for (int64_t i = 0; i < total; i++) {
-        int64_t v = use_candidates ? candidates[i] : i;
-        if (!vertex_alive[v]) {
-            continue;
-        }
-        examined++;
-        if (degrees[v] < k) {
-            removable_out[num_removable++] = v;
-        }
-    }
-    stats_out[0] = num_removable;
-    stats_out[1] = 0;
-    stats_out[2] = examined;
-    if (num_removable == 0) {
-        free(mark);
-        return 0;
-    }
-    /* Phase 2: kill vertices (disjoint indices, so the omp loop is
-     * race-free; without OpenMP the pragma is ignored). */
-    #pragma omp parallel for
-    for (int64_t i = 0; i < num_removable; i++) {
-        int64_t v = removable_out[i];
-        vertex_alive[v] = 0;
-        vertex_round[v] = round_index;
-    }
-    /* Phase 3: dying edges via the CSR incidence — marking costs work
-     * proportional to the removals, the compaction scan yields the
-     * ascending edge order of the reference flatnonzero. */
-    for (int64_t i = 0; i < num_removable; i++) {
-        int64_t v = removable_out[i];
-        for (int64_t idx = inc_ptr[v]; idx < inc_ptr[v + 1]; idx++) {
-            int64_t e = inc_edges[idx];
-            if (edge_alive[e]) {
-                mark[e] = 1;
-            }
-        }
-    }
-    int64_t num_dying = 0;
-    for (int64_t e = 0; e < m; e++) {
-        if (mark[e]) {
-            dying_out[num_dying++] = e;
-        }
-    }
-    free(mark);
-    stats_out[1] = num_dying;
-    /* Phase 4: kill edges + degree scatter (subtraction commutes, so any
-     * order is bit-identical to the reference scatter). */
-    for (int64_t i = 0; i < num_dying; i++) {
-        int64_t e = dying_out[i];
-        edge_alive[e] = 0;
-        edge_round[e] = round_index;
-        const int64_t *row = edges + e * r;
-        for (int64_t j = 0; j < r; j++) {
-            degrees[row[j]]--;
-        }
-    }
-    return 0;
+ * nonzero (before mutating anything) if the scratch allocation fails.
+ *
+ * The body is an X-macro instantiated once per id layout: the wide int64
+ * layout and the compact layout (uint32 edge ids, int32 CSR pointers /
+ * degrees / peel rounds).  Candidates and the output index buffers stay
+ * int64 in both so the Python wrapper marshals one shape of scratch.
+ * Phase notes (identical in both instantiations):
+ *   1. removable selection — ascending full scan / stable candidate order,
+ *      matching the reference backend;
+ *   2. vertex kills — disjoint indices, so the omp loop is race-free
+ *      (_Pragma is ignored by a non-OpenMP build);
+ *   3. dying edges via the CSR incidence — marking costs work proportional
+ *      to the removals, the compaction scan yields the ascending edge
+ *      order of the reference flatnonzero;
+ *   4. edge kills + degree scatter — subtraction commutes, so any order is
+ *      bit-identical to the reference scatter.
+ * Stamped round indices are bounded by the removals (every stamping round
+ * removed a vertex), so they always fit ROUND_T. */
+#define DEFINE_FUSED_SUBROUND(NAME, EDGE_T, PTR_T, DEG_T, ROUND_T) \\
+int NAME( \\
+    const EDGE_T *edges, int64_t m, int64_t r, \\
+    const PTR_T *inc_ptr, const EDGE_T *inc_edges, \\
+    DEG_T *degrees, int64_t n, \\
+    uint8_t *vertex_alive, uint8_t *edge_alive, \\
+    ROUND_T *vertex_round, ROUND_T *edge_round, \\
+    const int64_t *candidates, int64_t num_candidates, int64_t use_candidates, \\
+    int64_t k, int64_t round_index, \\
+    int64_t *removable_out, int64_t *dying_out, int64_t *stats_out) \\
+{ \\
+    uint8_t *mark = (uint8_t *)calloc((size_t)m, 1); \\
+    if (mark == NULL) { \\
+        return 1; \\
+    } \\
+    int64_t total = use_candidates ? num_candidates : n; \\
+    int64_t num_removable = 0; \\
+    int64_t examined = 0; \\
+    for (int64_t i = 0; i < total; i++) { \\
+        int64_t v = use_candidates ? candidates[i] : i; \\
+        if (!vertex_alive[v]) { \\
+            continue; \\
+        } \\
+        examined++; \\
+        if (degrees[v] < k) { \\
+            removable_out[num_removable++] = v; \\
+        } \\
+    } \\
+    stats_out[0] = num_removable; \\
+    stats_out[1] = 0; \\
+    stats_out[2] = examined; \\
+    if (num_removable == 0) { \\
+        free(mark); \\
+        return 0; \\
+    } \\
+    _Pragma("omp parallel for") \\
+    for (int64_t i = 0; i < num_removable; i++) { \\
+        int64_t v = removable_out[i]; \\
+        vertex_alive[v] = 0; \\
+        vertex_round[v] = (ROUND_T)round_index; \\
+    } \\
+    for (int64_t i = 0; i < num_removable; i++) { \\
+        int64_t v = removable_out[i]; \\
+        for (int64_t idx = inc_ptr[v]; idx < inc_ptr[v + 1]; idx++) { \\
+            int64_t e = (int64_t)inc_edges[idx]; \\
+            if (edge_alive[e]) { \\
+                mark[e] = 1; \\
+            } \\
+        } \\
+    } \\
+    int64_t num_dying = 0; \\
+    for (int64_t e = 0; e < m; e++) { \\
+        if (mark[e]) { \\
+            dying_out[num_dying++] = e; \\
+        } \\
+    } \\
+    free(mark); \\
+    stats_out[1] = num_dying; \\
+    for (int64_t i = 0; i < num_dying; i++) { \\
+        int64_t e = dying_out[i]; \\
+        edge_alive[e] = 0; \\
+        edge_round[e] = (ROUND_T)round_index; \\
+        const EDGE_T *row = edges + e * r; \\
+        for (int64_t j = 0; j < r; j++) { \\
+            degrees[row[j]]--; \\
+        } \\
+    } \\
+    return 0; \\
 }
+
+DEFINE_FUSED_SUBROUND(repro_fused_subround, int64_t, int64_t, int64_t, int64_t)
+DEFINE_FUSED_SUBROUND(repro_fused_subround_u32, uint32_t, int32_t, int32_t, int32_t)
 
 /* Fused IBLT removal: count deltas plus key/checksum XOR, one pass over the
  * (b, r) cell matrix.  Subtraction and XOR commute, so the row-major order
@@ -205,6 +228,18 @@ void repro_scatter_sub_scalar_i64(
 {
     for (int64_t i = 0; i < count; i++) {
         target[indices[i]] -= amount;
+    }
+}
+
+/* Compact-layout flavour of the scalar degree scatter: int32 degrees
+ * indexed by uint32 endpoint ids (the batched lockstep engine's hot
+ * update when the stacked state is compact). */
+void repro_scatter_sub_scalar_i32(
+    int32_t *target, const uint32_t *indices, int64_t count, int64_t amount)
+{
+    int32_t a = (int32_t)amount;
+    for (int64_t i = 0; i < count; i++) {
+        target[indices[i]] -= a;
     }
 }
 """
@@ -295,6 +330,18 @@ def _self_test(ffi: Any, lib: Any) -> None:
     )
     if not np.array_equal(xt, [0, 6]):
         raise RuntimeError(f"C scatter_xor self-test mismatch: {xt.tolist()}")
+    t32 = np.array([10, 20, 30], dtype=np.int32)
+    i32 = np.array([0, 2, 0], dtype=np.uint32)
+    lib.repro_scatter_sub_scalar_i32(
+        ffi.cast("int32_t *", t32.ctypes.data),
+        ffi.cast("const uint32_t *", i32.ctypes.data),
+        3,
+        2,
+    )
+    if not np.array_equal(t32, [6, 20, 28]):
+        raise RuntimeError(
+            f"C scatter_sub_scalar_i32 self-test mismatch: {t32.tolist()}"
+        )
 
 
 def ensure_library(force: bool = False) -> Path:
@@ -329,6 +376,10 @@ def _c_i64(arr: np.ndarray) -> bool:
     return arr.dtype == np.int64 and arr.flags.c_contiguous
 
 
+def _c_arr(arr: np.ndarray, dtype) -> bool:
+    return arr.dtype == dtype and arr.flags.c_contiguous
+
+
 class CffiKernel(NumpyKernel):
     """cc-compiled kernel backend (bit-exact with :class:`NumpyKernel`)."""
 
@@ -354,15 +405,45 @@ class CffiKernel(NumpyKernel):
 
         Declines (falling back to the primitive-by-primitive path) when the
         state has no CSR incidence attached, is edgeless, or carries
-        unexpected dtypes/layouts.
+        unexpected dtypes/layouts.  Two compiled flavours cover the two id
+        layouts — all-wide (int64 throughout) dispatches to
+        ``repro_fused_subround``, all-compact (uint32 edge ids, int32
+        pointers/degrees/rounds) to ``repro_fused_subround_u32``; a state
+        mixing layouts declines.
         """
         if state.incidence_ptr is None or state.incidence_edges is None:
             return None
         if state.num_edges == 0:
             return None
-        if not (_c_i64(state.edges) and _c_i64(state.degrees)):
-            return None
+        edges = state.edges
+        degrees = state.degrees
+        inc_ptr = state.incidence_ptr
+        inc_edges = state.incidence_edges
+        vertex_round = state.vertex_peel_round
+        edge_round = state.edge_peel_round
         ffi, lib = _FFI, _LIB
+        if (
+            _c_i64(edges)
+            and _c_i64(degrees)
+            and _c_i64(inc_ptr)
+            and _c_i64(inc_edges)
+            and _c_i64(vertex_round)
+            and _c_i64(edge_round)
+        ):
+            fn = lib.repro_fused_subround
+            edge_t, ptr_t, word_t = "int64_t", "int64_t", "int64_t"
+        elif (
+            _c_arr(edges, np.uint32)
+            and _c_arr(degrees, np.int32)
+            and _c_arr(inc_ptr, np.int32)
+            and _c_arr(inc_edges, np.uint32)
+            and _c_arr(vertex_round, np.int32)
+            and _c_arr(edge_round, np.int32)
+        ):
+            fn = lib.repro_fused_subround_u32
+            edge_t, ptr_t, word_t = "uint32_t", "int32_t", "int32_t"
+        else:
+            return None
         use_candidates = candidates is not None
         examined_full = state.vertices_remaining
         cand = (
@@ -371,21 +452,28 @@ class CffiKernel(NumpyKernel):
             else _EMPTY
         )
         scan = cand.shape[0] if use_candidates else state.num_vertices
-        removable_out = np.empty(scan, dtype=np.int64)
-        dying_out = np.empty(state.num_edges, dtype=np.int64)
+        # The index scratch is int64 in both layouts; the arena (when the
+        # engine supplied one) recycles it across rounds and trials.  Both
+        # slices handed back in the outcome are .copy()'d, so reuse is safe.
+        if state.arena is not None:
+            removable_out = state.arena.take("cffi/removable", scan, np.int64)
+            dying_out = state.arena.take("cffi/dying", state.num_edges, np.int64)
+        else:
+            removable_out = np.empty(scan, dtype=np.int64)
+            dying_out = np.empty(state.num_edges, dtype=np.int64)
         stats = np.zeros(3, dtype=np.int64)
-        status = lib.repro_fused_subround(
-            ffi.cast("const int64_t *", state.edges.ctypes.data),
+        status = fn(
+            ffi.cast(f"const {edge_t} *", edges.ctypes.data),
             state.num_edges,
-            state.edges.shape[1],
-            ffi.cast("const int64_t *", state.incidence_ptr.ctypes.data),
-            ffi.cast("const int64_t *", state.incidence_edges.ctypes.data),
-            ffi.cast("int64_t *", state.degrees.ctypes.data),
+            edges.shape[1],
+            ffi.cast(f"const {ptr_t} *", inc_ptr.ctypes.data),
+            ffi.cast(f"const {edge_t} *", inc_edges.ctypes.data),
+            ffi.cast(f"{word_t} *", degrees.ctypes.data),
             state.num_vertices,
             ffi.cast("uint8_t *", state.vertex_alive.ctypes.data),
             ffi.cast("uint8_t *", state.edge_alive.ctypes.data),
-            ffi.cast("int64_t *", state.vertex_peel_round.ctypes.data),
-            ffi.cast("int64_t *", state.edge_peel_round.ctypes.data),
+            ffi.cast(f"{word_t} *", vertex_round.ctypes.data),
+            ffi.cast(f"{word_t} *", edge_round.ctypes.data),
             ffi.cast("const int64_t *", cand.ctypes.data),
             cand.shape[0],
             1 if use_candidates else 0,
@@ -456,16 +544,25 @@ class CffiKernel(NumpyKernel):
     def scatter_degree_updates(
         self, degrees: np.ndarray, endpoints: np.ndarray, amount: int = 1
     ) -> None:
-        if not _c_i64(degrees):
-            super().scatter_degree_updates(degrees, endpoints, amount)
+        if _c_i64(degrees):
+            endpoints = np.ascontiguousarray(endpoints, dtype=np.int64)
+            _LIB.repro_scatter_sub_scalar_i64(
+                _FFI.cast("int64_t *", degrees.ctypes.data),
+                _FFI.cast("const int64_t *", endpoints.ctypes.data),
+                endpoints.shape[0],
+                amount,
+            )
             return
-        endpoints = np.ascontiguousarray(endpoints, dtype=np.int64)
-        _LIB.repro_scatter_sub_scalar_i64(
-            _FFI.cast("int64_t *", degrees.ctypes.data),
-            _FFI.cast("const int64_t *", endpoints.ctypes.data),
-            endpoints.shape[0],
-            amount,
-        )
+        if _c_arr(degrees, np.int32):
+            endpoints = np.ascontiguousarray(endpoints, dtype=np.uint32)
+            _LIB.repro_scatter_sub_scalar_i32(
+                _FFI.cast("int32_t *", degrees.ctypes.data),
+                _FFI.cast("const uint32_t *", endpoints.ctypes.data),
+                endpoints.shape[0],
+                amount,
+            )
+            return
+        super().scatter_degree_updates(degrees, endpoints, amount)
 
     def scatter_sub(self, target: np.ndarray, indices: np.ndarray, values: np.ndarray) -> None:
         if not (_c_i64(target) and values.dtype == np.int64):
@@ -501,20 +598,28 @@ class CffiKernel(NumpyKernel):
     # warm-up
     # ------------------------------------------------------------------ #
     def warmup(self) -> None:
-        """Compile/load the shared library and run a toy fused subround."""
+        """Compile/load the library; run a toy fused subround per id layout."""
         ensure_library()
-        state = PeelState(
-            edges=np.array([[0, 1]], dtype=np.int64),
-            degrees=np.array([1, 1], dtype=np.int64),
-            vertex_alive=np.ones(2, dtype=bool),
-            edge_alive=np.ones(1, dtype=bool),
-            vertex_peel_round=np.full(2, -1, dtype=np.int64),
-            edge_peel_round=np.full(1, -1, dtype=np.int64),
-            vertices_remaining=2,
-            edges_remaining=1,
-            incidence_ptr=np.array([0, 1, 2], dtype=np.int64),
-            incidence_edges=np.array([0, 0], dtype=np.int64),
+        layouts = (
+            (np.int64, np.int64, np.int64),  # edges, ptr, rounds/degrees
+            (np.uint32, np.int32, np.int32),
         )
-        outcome = self.fused_subround(state, 2, 1)
-        if outcome is None or outcome.num_removed != 2 or outcome.num_dying != 1:
-            raise RuntimeError("cffi kernel warm-up subround returned wrong outcome")
+        for edge_dtype, ptr_dtype, word_dtype in layouts:
+            state = PeelState(
+                edges=np.array([[0, 1]], dtype=edge_dtype),
+                degrees=np.array([1, 1], dtype=word_dtype),
+                vertex_alive=np.ones(2, dtype=bool),
+                edge_alive=np.ones(1, dtype=bool),
+                vertex_peel_round=np.full(2, -1, dtype=word_dtype),
+                edge_peel_round=np.full(1, -1, dtype=word_dtype),
+                vertices_remaining=2,
+                edges_remaining=1,
+                incidence_ptr=np.array([0, 1, 2], dtype=ptr_dtype),
+                incidence_edges=np.array([0, 0], dtype=edge_dtype),
+            )
+            outcome = self.fused_subround(state, 2, 1)
+            if outcome is None or outcome.num_removed != 2 or outcome.num_dying != 1:
+                raise RuntimeError(
+                    "cffi kernel warm-up subround returned wrong outcome "
+                    f"for the {np.dtype(edge_dtype).name} edge layout"
+                )

@@ -340,7 +340,11 @@ class NumbaKernel(NumpyKernel):
         target fused kernels do so; see
         :meth:`~repro.core.peeling.ParallelPeeler.peel`) — without it, or
         on an edgeless state, the caller's primitive-by-primitive path runs
-        instead.
+        instead.  Numba specializes the compiled body per dtype signature,
+        so the compact (``uint32`` edges / ``int32`` rounds) and wide
+        (``int64``) layouts each get their own machine code; candidates are
+        normalized to ``int64`` so both layouts share one signature per
+        ``use_candidates`` value.
         """
         if state.incidence_ptr is None or state.incidence_edges is None:
             return None
@@ -357,7 +361,9 @@ class NumbaKernel(NumpyKernel):
             state.edge_alive,
             state.vertex_peel_round,
             state.edge_peel_round,
-            np.ascontiguousarray(candidates) if use_candidates else _EMPTY,
+            np.ascontiguousarray(candidates, dtype=np.int64)
+            if use_candidates
+            else _EMPTY,
             use_candidates,
             state.num_vertices,
             state.num_edges,
@@ -527,4 +533,41 @@ class NumbaKernel(NumpyKernel):
             np.ones(1, dtype=bool),
             np.full(2, -1, dtype=np.int64),
             np.full(1, -1, dtype=np.int64),
+        )
+        # Compact-layout signatures: uint32 edge ids, int32 CSR pointers /
+        # degrees / peel rounds.  Candidates stay int64 in both layouts, so
+        # the two use_candidates flavours share one compiled specialization.
+        edges32 = np.array([[0, 1]], dtype=np.uint32)
+        incidence_ptr32 = np.array([0, 1, 2], dtype=np.int32)
+        incidence_edges32 = np.array([0, 0], dtype=np.uint32)
+        degrees32 = np.array([1, 1], dtype=np.int32)
+        for use_candidates in (False, True):
+            _fused_subround(
+                edges32,
+                incidence_ptr32,
+                incidence_edges32,
+                degrees32.copy(),
+                np.ones(2, dtype=bool),
+                np.ones(1, dtype=bool),
+                np.full(2, -1, dtype=np.int32),
+                np.full(1, -1, dtype=np.int32),
+                np.array([0], dtype=np.int64) if use_candidates else _EMPTY,
+                use_candidates,
+                2,
+                1,
+                2,
+                1,
+            )
+        _find_dying_edges(edges32, np.ones(1, dtype=bool), np.zeros(2, dtype=bool))
+        _scatter_sub_scalar(degrees32.copy(), np.array([0], dtype=np.uint32), 1)
+        _sequential_peel(
+            edges32,
+            incidence_ptr32,
+            incidence_edges32,
+            degrees32.copy(),
+            2,
+            np.ones(2, dtype=bool),
+            np.ones(1, dtype=bool),
+            np.full(2, -1, dtype=np.int32),
+            np.full(1, -1, dtype=np.int32),
         )

@@ -5,6 +5,16 @@ against.  The primitives are the exact operations the pre-kernel engines ran
 inline — boolean-mask selection, ``any(axis=1)`` edge death detection and
 ``np.ufunc.at`` scatter updates — so refactoring the engines onto the kernel
 layer changed neither their results nor their accounting.
+
+Dtype contract: every primitive is layout-generic.  A :class:`PeelState`
+arrives either *wide* (``int64`` throughout) or *compact* (``uint32`` edge
+ids, signed ``int32`` degrees / peel rounds, so the ``UNPEELED`` sentinel
+and in-place ``-=`` with promoted intermediates still work — NumPy's
+``same_kind`` in-place casting rejects ``int64``-into-``uint32`` but
+accepts it into ``int32``).  Indexing, boolean masking, ``bincount`` and
+setitem round-stamping are all dtype-polymorphic, so a single code path
+serves both layouts bit-identically; compiled backends instead dispatch to
+per-dtype specializations and must preserve the same semantics.
 """
 
 from __future__ import annotations
@@ -63,7 +73,17 @@ class NumpyKernel:
     def find_dying_edges(self, state: PeelState, removable_mask: np.ndarray) -> np.ndarray:
         if state.num_edges == 0:
             return np.empty(0, dtype=np.int64)
-        dying_mask = state.edge_alive & removable_mask[state.edges].any(axis=1)
+        # Column-wise OR accumulation instead of mask[edges].any(axis=1):
+        # boolean OR is order-free so the result is bit-identical, but this
+        # skips both the (m, r) gather materialization and the axis-1
+        # reduce over tiny rows, and ``take`` stays on the fast path for
+        # the compact uint32 ids where fancy indexing pays an index
+        # conversion per round.
+        edges = state.edges
+        dying_mask = removable_mask.take(edges[:, 0])
+        for j in range(1, edges.shape[1]):
+            dying_mask |= removable_mask.take(edges[:, j])
+        dying_mask &= state.edge_alive
         return np.flatnonzero(dying_mask)
 
     def kill_edges(
@@ -99,11 +119,16 @@ class NumpyKernel:
         # scatter is dense relative to the target, a counting pass is an
         # order of magnitude faster and arithmetically identical.  The
         # sparse case keeps the direct scatter — a bincount there would
-        # allocate and scan far more than the update touches.
+        # allocate and scan far more than the update touches.  Both
+        # branches hand the target's own dtype to the ufunc: a python-int
+        # amount (or bincount's int64 counts) against compact int32
+        # degrees would otherwise force the casting slow path, ~25x on
+        # the scatter.
         if endpoints.size * 4 >= degrees.size:
-            degrees -= amount * np.bincount(endpoints, minlength=degrees.size)
+            counts = np.bincount(endpoints, minlength=degrees.size)
+            degrees -= (amount * counts).astype(degrees.dtype, copy=False)
         else:
-            np.subtract.at(degrees, endpoints, amount)
+            np.subtract.at(degrees, endpoints, degrees.dtype.type(amount))
 
     def scatter_sub(self, target: np.ndarray, indices: np.ndarray, values: np.ndarray) -> None:
         np.subtract.at(target, indices, values)

@@ -17,6 +17,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.kernels.arena import RoundArena
 from repro.kernels.base import EdgeEffect, PeelingKernel
 from repro.kernels.state import PeelState
 
@@ -62,6 +63,7 @@ def peel_subround(
     candidates: Optional[np.ndarray] = None,
     collect_touched: bool = False,
     edge_effect: Optional[EdgeEffect] = None,
+    arena: Optional[RoundArena] = None,
 ) -> SubroundOutcome:
     """Run one synchronous removal step on ``state`` and return its outcome.
 
@@ -86,6 +88,11 @@ def peel_subround(
         Optional hook fired with the killed edge indices after degrees are
         scattered — the seam where IBLT-style payload removal plugs into the
         same inner loop.
+    arena:
+        Optional :class:`~repro.kernels.arena.RoundArena`; when given, the
+        candidates path builds its removable mask in a reused scratch flag
+        (cleared before returning) instead of allocating a fresh
+        ``zeros(n)`` every subround.
 
     Notes
     -----
@@ -114,9 +121,18 @@ def peel_subround(
     if removable.size == 0:
         return SubroundOutcome(removable, 0, _EMPTY, examined)
     kernel.kill_vertices(state, removable, round_index)
+    arena_mask = removable_mask is None and arena is not None
     if removable_mask is None:
-        removable_mask = kernel.make_mask(state.num_vertices, removable)
+        if arena_mask:
+            removable_mask = arena.flag("subround/removable_mask", state.num_vertices)
+            removable_mask[removable] = True
+        else:
+            removable_mask = kernel.make_mask(state.num_vertices, removable)
     dying = kernel.find_dying_edges(state, removable_mask)
+    if arena_mask:
+        # Restore the arena flag's all-False contract by clearing only the
+        # entries set above (never an O(n) re-zeroing).
+        removable_mask[removable] = False
     touched: Optional[np.ndarray] = _EMPTY
     if dying.size:
         touched = kernel.kill_edges(

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.results import UNPEELED
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.kernels.arena import RoundArena
 
 __all__ = ["PeelState"]
 
@@ -54,6 +55,24 @@ class PeelState:
         them (see :meth:`~repro.kernels.base.PeelingKernel.fused_subround`),
         so the reference NumPy path never pays for an index it does not
         read.
+    arena:
+        The :class:`~repro.kernels.arena.RoundArena` backing the mutable
+        arrays, or ``None`` when they are owned.  Arena-backed arrays alias
+        the pool's reusable buffers, so anything that must outlive this
+        state (the result peel-round arrays) goes through
+        :meth:`result_peel_rounds`, which copies exactly when needed.
+
+    Dtypes
+    ------
+    By default the state is *compact* whenever the graph fits 32-bit ids
+    (see :attr:`~repro.hypergraph.Hypergraph.supports_compact_ids`):
+    ``edges`` / ``incidence_edges`` are ``uint32`` and ``degrees`` /
+    ``incidence_ptr`` / the peel-round arrays are ``int32`` (signed, since
+    ``UNPEELED`` is ``-1``) — half the memory bandwidth per round of the
+    wide ``int64`` layout.  ``wide_ids=True`` is the escape hatch back to
+    int64 everywhere; results are bit-identical either way (the parity
+    suite pins compact vs wide on every backend), because index arrays
+    *returned* by kernels and results stay int64 at the boundary.
     """
 
     edges: np.ndarray
@@ -67,22 +86,89 @@ class PeelState:
     frontier: Optional[np.ndarray] = field(default=None)
     incidence_ptr: Optional[np.ndarray] = field(default=None)
     incidence_edges: Optional[np.ndarray] = field(default=None)
+    arena: Optional[RoundArena] = field(default=None, repr=False)
 
     @classmethod
-    def from_graph(cls, graph: Hypergraph) -> "PeelState":
-        """Initial state for peeling ``graph``: everything alive, true degrees."""
+    def from_graph(
+        cls,
+        graph: Hypergraph,
+        *,
+        wide_ids: bool = False,
+        arena: Optional[RoundArena] = None,
+        attach_incidence: bool = False,
+    ) -> "PeelState":
+        """Initial state for peeling ``graph``: everything alive, true degrees.
+
+        Parameters
+        ----------
+        wide_ids:
+            Force the wide ``int64`` layout even when the graph fits compact
+            32-bit ids (the compact layout is the default whenever it fits).
+        arena:
+            Optional scratch arena to back the mutable arrays (alive masks,
+            degrees, peel rounds) with reused buffers instead of fresh
+            allocations.  At most one arena-backed state may be live per
+            arena at a time — engines create one state per ``peel`` call,
+            which satisfies this by construction.
+        attach_incidence:
+            Attach the graph's (dtype-matching) CSR incidence index, for
+            engines that target a fused kernel round or the sequential
+            worklist.
+        """
         n = graph.num_vertices
         m = graph.num_edges
-        return cls(
-            edges=graph.edges,
-            degrees=graph.degrees(),
-            vertex_alive=np.ones(n, dtype=bool),
-            edge_alive=np.ones(m, dtype=bool),
-            vertex_peel_round=np.full(n, UNPEELED, dtype=np.int64),
-            edge_peel_round=np.full(m, UNPEELED, dtype=np.int64),
+        compact = not wide_ids and graph.supports_compact_ids
+        round_dtype = np.int32 if compact else np.int64
+        if arena is not None:
+            degrees = arena.take("state/degrees", n, round_dtype)
+            vertex_alive = arena.full("state/vertex_alive", n, bool, True)
+            edge_alive = arena.full("state/edge_alive", m, bool, True)
+            vertex_peel_round = arena.full("state/vertex_round", n, round_dtype, UNPEELED)
+            edge_peel_round = arena.full("state/edge_round", m, round_dtype, UNPEELED)
+        else:
+            degrees = np.empty(n, dtype=round_dtype)
+            vertex_alive = np.ones(n, dtype=bool)
+            edge_alive = np.ones(m, dtype=bool)
+            vertex_peel_round = np.full(n, UNPEELED, dtype=round_dtype)
+            edge_peel_round = np.full(m, UNPEELED, dtype=round_dtype)
+        graph.degrees_into(degrees)
+        state = cls(
+            edges=graph.compact_edges if compact else graph.edges,
+            degrees=degrees,
+            vertex_alive=vertex_alive,
+            edge_alive=edge_alive,
+            vertex_peel_round=vertex_peel_round,
+            edge_peel_round=edge_peel_round,
             vertices_remaining=n,
             edges_remaining=m,
+            arena=arena,
         )
+        if attach_incidence:
+            if compact:
+                state.incidence_ptr = graph.compact_incidence_ptr
+                state.incidence_edges = graph.compact_incidence_edges
+            else:
+                state.incidence_ptr = graph.incidence_ptr
+                state.incidence_edges = graph.incidence_edges
+        return state
+
+    def result_peel_rounds(self) -> tuple:
+        """``(vertex_peel_round, edge_peel_round)`` safe to hand to results.
+
+        Results are int64 regardless of the working layout (the golden
+        fingerprints hash raw bytes, so the boundary dtype is pinned), and
+        must not alias arena buffers that the next trial will overwrite.
+        Copies happen exactly when one of those forces them — the wide,
+        owned state hands its arrays over untouched like it always did.
+        """
+        vertex_rounds = self.vertex_peel_round
+        edge_rounds = self.edge_peel_round
+        if vertex_rounds.dtype != np.int64 or self.arena is not None:
+            return (
+                vertex_rounds.astype(np.int64),
+                edge_rounds.astype(np.int64),
+            )
+        return vertex_rounds, edge_rounds
 
     @property
     def num_vertices(self) -> int:

@@ -84,17 +84,29 @@ def resolve_num_workers(num_workers: Optional[int]) -> int:
     return check_positive_int(num_workers, "num_workers")
 
 
-def _peel_layout(n: int, m: int, r: int, num_workers: int) -> ShmLayout:
+def _peel_layout(
+    n: int, m: int, r: int, num_workers: int, compact: bool = False
+) -> ShmLayout:
+    """Columnar segment layout; ``compact`` halves the id-carrying columns.
+
+    The compact layout mirrors :meth:`PeelState.from_graph`'s dtype policy —
+    ``uint32`` edge ids, ``int32`` degrees / peel rounds / deltas (signed:
+    rounds hold the ``UNPEELED`` sentinel and deltas are subtracted) — which
+    halves both the segment size and the O(num_workers · n) per-round delta
+    fold traffic.  Counters and the control word stay ``int64``.
+    """
+    edge_dt = "uint32" if compact else "int64"
+    word_dt = "int32" if compact else "int64"
     return ShmLayout.build(
         [
-            ("edges", (m, r), "int64"),
-            ("degrees", (n,), "int64"),
+            ("edges", (m, r), edge_dt),
+            ("degrees", (n,), word_dt),
             ("vertex_alive", (n,), "bool"),
             ("edge_alive", (m,), "bool"),
-            ("vertex_peel_round", (n,), "int64"),
-            ("edge_peel_round", (m,), "int64"),
+            ("vertex_peel_round", (n,), word_dt),
+            ("edge_peel_round", (m,), word_dt),
             ("removable_mask", (n,), "bool"),
-            ("deltas", (num_workers, n), "int64"),
+            ("deltas", (num_workers, n), word_dt),
             ("counters", (num_workers, 2), "int64"),
             ("control", (2,), "int64"),
         ]
@@ -207,6 +219,10 @@ class ShmParallelPeeler:
         with :class:`~repro.parallel.shm.pool.ShmPoolError` (deadlock guard).
     mp_context:
         Optional multiprocessing context (``fork`` on Linux by default).
+    wide_ids:
+        Force the wide ``int64`` segment layout; by default the segment uses
+        compact 32-bit columns whenever the graph fits (see
+        :func:`_peel_layout`).  Results are bit-identical either way.
     """
 
     def __init__(
@@ -218,6 +234,7 @@ class ShmParallelPeeler:
         track_stats: bool = True,
         barrier_timeout: float = DEFAULT_BARRIER_TIMEOUT,
         mp_context: Optional[Any] = None,
+        wide_ids: bool = False,
     ) -> None:
         self.k = check_positive_int(k, "k")
         self.num_workers = resolve_num_workers(num_workers)
@@ -227,6 +244,7 @@ class ShmParallelPeeler:
         self.track_stats = bool(track_stats)
         self.barrier_timeout = float(barrier_timeout)
         self.mp_context = mp_context
+        self.wide_ids = bool(wide_ids)
 
     def peel(self, graph: Hypergraph) -> PeelingResult:
         """Run the shared-memory parallel peeling process on ``graph``."""
@@ -237,7 +255,8 @@ class ShmParallelPeeler:
         # More workers than vertices would only add idle barrier parties.
         num_workers = max(1, min(self.num_workers, n)) if n else 1
 
-        layout = _peel_layout(n, m, r, num_workers)
+        compact = not self.wide_ids and graph.supports_compact_ids
+        layout = _peel_layout(n, m, r, num_workers, compact)
         limit = self.max_rounds if self.max_rounds is not None else 4 * max(n, 1) + 16
         stats: List[RoundStats] = []
         rounds = 0
@@ -246,8 +265,8 @@ class ShmParallelPeeler:
 
         with ShmBlock(layout) as block:
             arrays = block.arrays
-            arrays["edges"][...] = graph.edges
-            arrays["degrees"][...] = graph.degrees()
+            arrays["edges"][...] = graph.edges  # setitem casts into the layout
+            graph.degrees_into(arrays["degrees"])
             arrays["vertex_alive"][...] = True
             arrays["edge_alive"][...] = True
             arrays["vertex_peel_round"][...] = UNPEELED
@@ -307,8 +326,10 @@ class ShmParallelPeeler:
                 pool.sync()  # workers observe the stop command and exit
                 pool.join()
 
-            vertex_peel_round = arrays["vertex_peel_round"].copy()
-            edge_peel_round = arrays["edge_peel_round"].copy()
+            # astype always copies here, widening the compact layout back to
+            # the int64 result contract (fingerprints hash int64 bytes).
+            vertex_peel_round = arrays["vertex_peel_round"].astype(np.int64)
+            edge_peel_round = arrays["edge_peel_round"].astype(np.int64)
             # Drop every parent-side view before the block closes its mapping
             # (a mapping with exported buffers cannot be closed).
             del control, counters

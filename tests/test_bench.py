@@ -17,6 +17,7 @@ def payload():
     return run_benchmarks(
         sizes=(300,), repeats=1, batch=2, intra_sizes=(300,), intra_workers=(2,),
         batched_batches=(4,), serve_windows_ms=(2.0,), serve_requests=8,
+        memory_sizes=(300,),
     )
 
 
@@ -32,6 +33,7 @@ class TestRunBenchmarks:
         sections = {record["section"] for record in payload["results"]}
         assert sections == {
             "peel", "peel_many", "iblt_decode", "intra_trial", "batched", "serve",
+            "memory",
         }
 
     def test_batched_section_pairs_loop_with_fused(self, payload):
@@ -88,6 +90,7 @@ class TestRunBenchmarks:
         run = run_benchmarks(
             sizes=(300,), kernels=("numpy",), repeats=1, batch=2, intra_sizes=(300,),
             batched_batches=(4,), serve_windows_ms=(2.0,), serve_requests=8,
+            memory_sizes=(300,),
         )
         assert run["meta"]["kernels"] == ["numpy"]
         assert {r["kernel"] for r in run["results"]} == {"numpy", None}
@@ -97,10 +100,19 @@ class TestRunBenchmarks:
         write_results(payload, out)
         assert json.loads(out.read_text()) == json.loads(json.dumps(payload))
 
+    def test_memory_section_pairs_compact_with_wide(self, payload):
+        records = {r["engine"]: r for r in payload["results"] if r["section"] == "memory"}
+        assert set(records) == {"compact", "wide"}
+        assert records["wide"]["state_bytes"] > records["compact"]["state_bytes"]
+        for record in records.values():
+            assert record["arena_allocations_steady"] == 0
+            assert record["ru_maxrss_kb"] > 0
+
     def test_format_results_mentions_every_section(self, payload):
         report = format_results(payload)
         for section in (
             "peel", "peel_many", "iblt_decode", "intra_trial", "batched", "serve",
+            "memory",
         ):
             assert section in report
         assert "shm-parallel[w=2]" in report
@@ -179,14 +191,14 @@ class TestComparePayloads:
         first = run_benchmarks(
             sizes=(300,), repeats=1, batch=2, intra_sizes=(300,),
             batched_batches=(4,), serve_windows_ms=(2.0,), serve_requests=8,
-            artifact=artifact,
+            memory_sizes=(300,), artifact=artifact,
         )
 
         calls = []
         second = run_benchmarks(
             sizes=(300,), repeats=1, batch=2, intra_sizes=(300,),
             batched_batches=(4,), serve_windows_ms=(2.0,), serve_requests=8,
-            artifact=artifact,
+            memory_sizes=(300,), artifact=artifact,
             resume=True, progress=calls.append,
         )
         assert all(event.cached for event in calls)

@@ -203,11 +203,14 @@ def test_cffi_fused_subround_declines_without_incidence():
     assert state.vertex_alive.all()  # declined without touching the state
 
 
-def test_cffi_fused_subround_matches_reference_with_incidence():
+@pytest.mark.parametrize("wide_ids", [False, True], ids=["compact", "wide"])
+def test_cffi_fused_subround_matches_reference_with_incidence(wide_ids):
     kernel = _cffi_kernel_or_skip()
-    graph, state = _tiny_state()
-    state.incidence_ptr = graph.incidence_ptr
-    state.incidence_edges = graph.incidence_edges
+    graph = random_hypergraph(300, 0.7, 3, seed=3)
+    # from_graph attaches an id-layout-consistent CSR incidence; both the
+    # compact (uint32/int32) and wide (int64) C flavours must accept their
+    # layout and reproduce the reference path exactly.
+    state = PeelState.from_graph(graph, wide_ids=wide_ids, attach_incidence=True)
     _, reference = _tiny_state()
     for round_index in range(1, 5):
         got = kernel.fused_subround(state, 2, round_index)
@@ -221,6 +224,19 @@ def test_cffi_fused_subround_matches_reference_with_incidence():
     assert np.array_equal(state.edge_peel_round, reference.edge_peel_round)
     assert state.vertices_remaining == reference.vertices_remaining
     assert state.edges_remaining == reference.edges_remaining
+
+
+def test_cffi_fused_subround_declines_mixed_id_layouts():
+    kernel = _cffi_kernel_or_skip()
+    graph = random_hypergraph(300, 0.7, 3, seed=3)
+    state = PeelState.from_graph(graph)  # compact mutable arrays
+    assert state.degrees.dtype == np.int32  # sanity: the graph fits compact
+    # Wide int64 incidence on a compact state is a layout mix the C tier
+    # must decline rather than reinterpret the bytes of.
+    state.incidence_ptr = graph.incidence_ptr
+    state.incidence_edges = graph.incidence_edges
+    assert kernel.fused_subround(state, 2, 1) is None
+    assert state.vertex_alive.all()  # declined without touching the state
 
 
 def test_cffi_fused_remove_hyperedges_declines_unexpected_payloads():
