@@ -39,6 +39,14 @@ requests) at several ``--batch-window-ms`` settings and records
 requests/sec plus p50/p95/p99 latency; it is wall-clock- and
 scheduler-bound, so CI compares it with ``--informational-section serve``.
 
+The ``incremental`` section measures what the resident decode session buys:
+per churn ratio it replays the identical deterministic churn schedule
+(delete/insert a fraction of the keys) against the same bootstrapped table
+twice — once re-decoding from scratch, once through
+``IBLT.decode(incremental=True)`` — timing only the (re-)decode.  The two
+modes return bit-identical key sets, so the seconds ratio isolates the
+incremental re-peel; its rounds scale with the churn, not the table size.
+
 The ``memory`` section records the footprint story of the compact columnar
 state: per mode (``compact`` 32-bit ids vs ``wide`` int64) it reports the
 explicit working-set bytes of a fully-attached :class:`PeelState`
@@ -85,6 +93,8 @@ __all__ = [
     "SERVE_MAX_BATCH",
     "MEMORY_SIZES",
     "QUICK_MEMORY_SIZES",
+    "INCREMENTAL_CHURNS",
+    "QUICK_INCREMENTAL_CHURNS",
     "DEFAULT_TOLERANCE",
     "bench_spec",
     "run_benchmarks",
@@ -153,6 +163,14 @@ asymptotic one."""
 
 QUICK_MEMORY_SIZES = (100_000,)
 """Memory-section sizes for the CI smoke run (``--quick``)."""
+
+INCREMENTAL_CHURNS = (0.001, 0.01, 0.1)
+"""Churn ratios of the ``incremental`` section: the fraction of keys
+replaced between decodes, spanning three orders of magnitude so the
+trajectory records how incremental cost tracks churn rather than size."""
+
+QUICK_INCREMENTAL_CHURNS = (0.01,)
+"""Churn ratios for the CI smoke run (``--quick``)."""
 
 DEFAULT_TOLERANCE = 0.25
 """Default slowdown fraction past which ``--compare`` reports a regression."""
@@ -485,6 +503,71 @@ def _bench_memory_trial(params: Dict[str, Any], rng: np.random.Generator) -> Dic
     }
 
 
+def _bench_incremental_trial(params: Dict[str, Any], rng: np.random.Generator) -> Dict[str, Any]:
+    # Incremental decode vs from-scratch on identical churned tables: both
+    # modes replay the same deterministic churn schedule against the same
+    # bootstrap table; the churn application (and the incremental mode's
+    # bootstrap decode) runs off the clock, only the (re-)decode is timed.
+    # The two modes recover bit-identical key sets, so the seconds ratio
+    # isolates what the resident session buys.
+    from repro.apps.sparse_recovery import random_distinct_keys
+    from repro.iblt import IBLT
+
+    mode, kernel = params["mode"], params["kernel"]
+    num_cells, r, load = params["num_cells"], params["r"], params["load"]
+    churn, seed, n = params["churn"], params["seed"], params["n"]
+    compile_ms = _warmup_kernel(kernel)
+    num_keys = int(load * num_cells)
+    churn_count = max(1, min(num_keys, int(churn * num_keys)))
+    repeats = max(1, params["repeats"])
+    pool = random_distinct_keys(num_keys + repeats * churn_count, seed=seed)
+    keys = pool[:num_keys]
+    table = IBLT(num_cells, r, seed=seed)
+    table.insert(keys)
+    decode_kwargs: Dict[str, Any] = {"decoder": "flat", "signed": True}
+    if kernel is not None:
+        decode_kwargs["kernel"] = kernel
+    bootstrap = table.decode(incremental=True, **decode_kwargs) if mode == "incremental" else None
+    current = keys.copy()
+    churn_rng = np.random.default_rng(derive_seed(seed, "bench", "incremental-churn", n))
+    best = float("inf")
+    last: Any = None
+    for i in range(repeats):
+        drop_idx = churn_rng.choice(current.size, size=churn_count, replace=False)
+        deleted = current[drop_idx]
+        inserted = pool[num_keys + i * churn_count : num_keys + (i + 1) * churn_count]
+        table.delete(deleted)
+        table.insert(inserted)
+        current = np.concatenate([np.delete(current, drop_idx), inserted])
+        start = time.perf_counter()
+        if mode == "incremental":
+            last = table.decode(incremental=True, **decode_kwargs)
+        else:
+            last = table.decode(**decode_kwargs)
+        best = min(best, time.perf_counter() - start)
+    record: Dict[str, Any] = {
+        "section": "incremental",
+        "engine": mode,
+        "kernel": kernel,
+        "n": int(n),
+        "num_cells": int(num_cells),
+        "r": r,
+        "load": load,
+        "churn": float(churn),
+        "seed": seed,
+        "success": bool(last.success),
+        "compile_ms": compile_ms,
+    }
+    if mode == "incremental":
+        record["bootstrap_rounds"] = int(bootstrap.rounds)
+        record["rounds_incremental"] = int(last.rounds_incremental)
+        record["cells_scanned"] = int(last.cells_scanned)
+    else:
+        record["rounds"] = int(last.rounds)
+    record["seconds"] = best
+    return record
+
+
 _TRIALS = {
     "peel": _bench_peel_trial,
     "peel_many": _bench_peel_many_trial,
@@ -493,6 +576,7 @@ _TRIALS = {
     "batched": _bench_batched_trial,
     "serve": _bench_serve_trial,
     "memory": _bench_memory_trial,
+    "incremental": _bench_incremental_trial,
 }
 
 
@@ -523,6 +607,7 @@ def bench_spec(
     serve_windows_ms: Sequence[float] = SERVE_WINDOWS_MS,
     serve_requests: int = SERVE_REQUESTS,
     memory_sizes: Sequence[int] = MEMORY_SIZES,
+    incremental_churns: Sequence[float] = INCREMENTAL_CHURNS,
 ) -> SweepSpec:
     """Declare the benchmark matrix as a sweep (one single-trial cell each).
 
@@ -535,7 +620,9 @@ def bench_spec(
     ``n=1000`` graphs at ``c=0.75``), then ``serve`` (end-to-end decode
     service throughput at each batch-window setting), then ``memory``
     (columnar-state footprint per id layout: compact 32-bit vs wide int64
-    on the reference numpy backend).
+    on the reference numpy backend), then ``incremental`` (size × churn
+    ratio × {from-scratch re-decode, incremental checkpoint} on identical
+    churn schedules, numpy backend).
     """
     from repro.kernels import ready_kernels
 
@@ -650,6 +737,26 @@ def bench_spec(
                     seed=derive_seed(seed, "bench", "memory", mode, n),
                 )
             )
+    for n in sizes:
+        num_cells = _subtable_cells(n, iblt_r)
+        for churn in incremental_churns:
+            # The numpy backend only: the incremental re-peel is
+            # decoder-independent, so one backend keeps the
+            # scratch-vs-incremental ratio apples-to-apples.
+            for mode in ("scratch", "incremental"):
+                cells.append(
+                    CellSpec(
+                        key=f"incremental/n={n}/churn={churn:g}/{mode}",
+                        params={"section": "incremental", "mode": mode,
+                                "kernel": "numpy", "n": int(n),
+                                "num_cells": int(num_cells), "r": iblt_r,
+                                "load": load, "churn": float(churn),
+                                "seed": seed, "repeats": repeats},
+                        seed=derive_seed(
+                            seed, "bench", "incremental", mode, f"{float(churn)}", n
+                        ),
+                    )
+                )
     return SweepSpec(
         name="bench",
         cells=tuple(cells),
@@ -662,6 +769,7 @@ def bench_spec(
             "serve_windows_ms": [float(w) for w in serve_windows_ms],
             "serve_requests": int(serve_requests),
             "memory_sizes": [int(n) for n in memory_sizes],
+            "incremental_churns": [float(x) for x in incremental_churns],
         },
     )
 
@@ -684,6 +792,7 @@ def run_benchmarks(
     serve_windows_ms: Sequence[float] = SERVE_WINDOWS_MS,
     serve_requests: int = SERVE_REQUESTS,
     memory_sizes: Sequence[int] = MEMORY_SIZES,
+    incremental_churns: Sequence[float] = INCREMENTAL_CHURNS,
     artifact: Optional[Union[str, Path]] = None,
     resume: bool = False,
     progress: Optional[Callable[[SweepProgress], None]] = None,
@@ -724,6 +833,10 @@ def run_benchmarks(
         Graph sizes of the ``memory`` section (columnar-state footprint,
         compact 32-bit ids vs wide int64; byte figures are deterministic
         but the wall clock is not, so CI gates it informationally).
+    incremental_churns:
+        Churn ratios of the ``incremental`` section (from-scratch re-decode
+        vs incremental checkpoint on identical churn schedules; paired
+        single-host ratios are the signal, so CI gates it informationally).
     artifact, resume:
         Optional sweep-artifact path for per-cell checkpointing; with
         ``resume=True`` a compatible artifact's timings are reused and only
@@ -737,7 +850,7 @@ def run_benchmarks(
         intra_sizes=intra_sizes, intra_workers=intra_workers,
         batched_batches=batched_batches,
         serve_windows_ms=serve_windows_ms, serve_requests=serve_requests,
-        memory_sizes=memory_sizes,
+        memory_sizes=memory_sizes, incremental_churns=incremental_churns,
     )
     # Always serial: parallel timing cells would contend for the same cores.
     results = run_sweep(
@@ -758,6 +871,7 @@ def run_benchmarks(
             "serve_windows_ms": list(spec.meta["serve_windows_ms"]),
             "serve_requests": spec.meta["serve_requests"],
             "memory_sizes": list(spec.meta["memory_sizes"]),
+            "incremental_churns": list(spec.meta["incremental_churns"]),
             "repeats": repeats,
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         },
@@ -786,6 +900,8 @@ def format_results(payload: Dict[str, Any]) -> str:
             workload = f"{workload}[win={record['window_ms']:g}ms]"
         if record["section"] == "memory":
             workload = f"{workload}[{record['state_bytes'] / 1e6:.1f}MB]"
+        if record["section"] == "incremental":
+            workload = f"{workload}[churn={record['churn']:g}]"
         size = record.get("n", record.get("num_cells"))
         table.add_row(
             record["section"],
@@ -797,13 +913,14 @@ def format_results(payload: Dict[str, Any]) -> str:
     return table.render()
 
 
-def _record_key(record: Dict[str, Any]) -> Tuple[str, str, str, int, Any, Any, Any, Any]:
+def _record_key(record: Dict[str, Any]) -> Tuple[str, str, str, int, Any, Any, Any, Any, Any]:
     """Identity of one benchmark record across runs.
 
-    Includes the seed, batch, worker count and serve batch window so runs
-    of *different* workloads (other random graphs, other batch sizes,
-    other shm pools, other latency budgets) never silently compare as if
-    they were the same measurement.
+    Includes the seed, batch, worker count, serve batch window and churn
+    ratio so runs of *different* workloads (other random graphs, other
+    batch sizes, other shm pools, other latency budgets, other churn
+    schedules) never silently compare as if they were the same
+    measurement.
     """
     return (
         record["section"],
@@ -814,6 +931,7 @@ def _record_key(record: Dict[str, Any]) -> Tuple[str, str, str, int, Any, Any, A
         record.get("batch"),
         record.get("workers"),
         record.get("window_ms"),
+        record.get("churn"),
     )
 
 
@@ -892,6 +1010,8 @@ def compare_payloads(
             workload = f"{workload}[B={key[5]}]"
         if section == "serve" and key[7] is not None:
             workload = f"{workload}[win={key[7]:g}ms]"
+        if section == "incremental" and key[8] is not None:
+            workload = f"{workload}[churn={key[8]:g}]"
         table.add_row(
             section, workload, kernel if kernel != "None" else "-", size,
             f"{base['seconds']:.4f}", f"{record['seconds']:.4f}", f"{delta:+.1%}", flag,
@@ -1032,6 +1152,17 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
             "compact 32-bit ids vs wide int64; default: %(default)s)"
         ),
     )
+    parser.add_argument(
+        "--incremental-churns",
+        type=float,
+        nargs="+",
+        default=list(INCREMENTAL_CHURNS),
+        help=(
+            "churn ratios of the incremental section (from-scratch re-decode "
+            "vs incremental checkpoint on identical churn schedules; "
+            "default: %(default)s)"
+        ),
+    )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
@@ -1095,6 +1226,9 @@ def run_bench_command(args: argparse.Namespace) -> Tuple[str, int]:
     )
     serve_requests = QUICK_SERVE_REQUESTS if args.quick else args.serve_requests
     memory_sizes: Sequence[int] = QUICK_MEMORY_SIZES if args.quick else args.memory_sizes
+    incremental_churns: Sequence[float] = (
+        QUICK_INCREMENTAL_CHURNS if args.quick else args.incremental_churns
+    )
     repeats = 1 if args.quick else args.repeats
     kernels: Optional[List[str]] = list(args.kernels or [])
     csv = getattr(args, "kernels_csv", None)
@@ -1111,6 +1245,7 @@ def run_bench_command(args: argparse.Namespace) -> Tuple[str, int]:
         serve_windows_ms=serve_windows,
         serve_requests=serve_requests,
         memory_sizes=memory_sizes,
+        incremental_churns=incremental_churns,
         progress=print_progress if getattr(args, "progress", False) else None,
     )
     write_results(payload, args.out)

@@ -15,6 +15,9 @@ Examples
     python -m repro peel --n 100000 --c 0.7 --r 4 --k 2 --engine subtable
     python -m repro peel --n 100000 --kernel numpy
     python -m repro peel --n 1000000 --engine shm-parallel --workers 4
+    python -m repro peel --n 100000 --incremental --churn 0.01
+    python -m repro decode --num-cells 30000 --decoder flat
+    python -m repro decode --incremental --churn 0.01
     python -m repro table1 --backend processes --workers 4
     python -m repro table1 --backend batched   # fuse same-cell trials
     python -m repro table1 --out table1.json --progress
@@ -223,6 +226,64 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     peel.add_argument("--seed", type=int, default=1)
+    peel.add_argument(
+        "--incremental",
+        action="store_true",
+        help=(
+            "after the full peel, drop a --churn fraction of edges from the "
+            "resident state, resume from the dirty frontier, and verify the "
+            "resumed result against a from-scratch peel of the mutated graph "
+            "(requires a resumable engine: parallel or sequential)"
+        ),
+    )
+    peel.add_argument(
+        "--churn",
+        type=float,
+        default=0.01,
+        help="edge fraction dropped before the resume (default: %(default)s)",
+    )
+
+    decode = sub.add_parser(
+        "decode",
+        help="decode one random IBLT and report rounds",
+        description=(
+            "Build one IBLT from random distinct keys and decode it with any "
+            "registered decoder.  --incremental bootstraps a resident decode "
+            "session, churns a --churn fraction of the keys, re-decodes "
+            "incrementally (re-peeling only the dirty neighbourhood) and "
+            "verifies the checkpoint bit-for-bit against a from-scratch "
+            "decode of the mutated table, exiting non-zero on any mismatch."
+        ),
+    )
+    decode.add_argument("--num-cells", type=int, default=30_000,
+                        help="cells in the table, rounded up to a multiple of --r")
+    decode.add_argument("--r", type=int, default=3)
+    decode.add_argument("--load", type=float, default=0.75,
+                        help="keys inserted as a fraction of the cell count")
+    decode.add_argument(
+        "--decoder",
+        choices=available_decoders(),
+        default="serial",
+        help="IBLT decoder (default: serial)",
+    )
+    decode.add_argument(
+        "--kernel",
+        choices=available_kernels(),
+        default=None,
+        help="kernel backend forwarded to parallel decoders (default: numpy)",
+    )
+    decode.add_argument("--seed", type=int, default=1)
+    decode.add_argument(
+        "--incremental",
+        action="store_true",
+        help="bootstrap a decode session, churn keys, checkpoint incrementally, verify",
+    )
+    decode.add_argument(
+        "--churn",
+        type=float,
+        default=0.01,
+        help="key fraction replaced between bootstrap and checkpoint (default: %(default)s)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -424,7 +485,7 @@ def _run_thresholds(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
-def _run_peel(args: argparse.Namespace) -> str:
+def _run_peel(args: argparse.Namespace) -> Union[str, Tuple[str, int]]:
     from repro.engine import peel
     from repro.hypergraph import partitioned_hypergraph, random_hypergraph
 
@@ -435,6 +496,8 @@ def _run_peel(args: argparse.Namespace) -> str:
     else:
         graph = random_hypergraph(args.n, args.c, args.r, seed=args.seed)
     opts = {} if args.workers is None else {"num_workers": args.workers}
+    if args.incremental:
+        return _run_peel_incremental(args, engine, graph, opts)
     result = peel(graph, engine, k=args.k, kernel=args.kernel, **opts)
     lines = [result.summary()]
     prediction = predict_rounds(graph.num_vertices, args.c, args.k, args.r)
@@ -443,6 +506,107 @@ def _run_peel(args: argparse.Namespace) -> str:
         f"c* = {prediction.threshold:.4f})"
     )
     return "\n".join(lines)
+
+
+def _run_peel_incremental(args, engine, graph, opts) -> Tuple[str, int]:
+    """The --incremental flow of ``repro peel``: peel, churn edges, resume, verify."""
+    import numpy as np
+
+    from repro.engine import peel, peel_resumable, resume
+    from repro.hypergraph import hypergraph_from_edges
+    from repro.kernels import drop_edges, get_kernel
+
+    if engine not in ("parallel", "sequential"):
+        raise SystemExit(
+            f"--incremental requires a resumable engine (parallel or sequential), got {engine!r}"
+        )
+    result, state = peel_resumable(graph, engine, k=args.k, kernel=args.kernel, **opts)
+    lines = [result.summary()]
+    m = graph.num_edges
+    drop_count = max(1, min(m, int(args.churn * m)))
+    rng = np.random.default_rng(args.seed + 1)
+    dropped = np.sort(rng.choice(m, size=drop_count, replace=False)).astype(np.int64)
+    dirty = drop_edges(get_kernel(args.kernel), state, dropped)
+    resumed = resume(state, dirty, engine, k=args.k, kernel=args.kernel, **opts)
+    lines.append(
+        f"churned {drop_count} of {m} edges ({drop_count / m:.2%}), "
+        f"{dirty.size} dirty vertices"
+    )
+    lines.append("resumed: " + resumed.summary())
+    keep = np.setdiff1d(np.arange(m, dtype=np.int64), dropped)
+    mutated = hypergraph_from_edges(graph.num_vertices, graph.edges[keep])
+    scratch = peel(mutated, engine, k=args.k, kernel=args.kernel, **opts)
+    ok = bool(
+        resumed.core_size == scratch.core_size
+        and np.array_equal(resumed.core_vertex_mask, scratch.core_vertex_mask)
+        and np.array_equal(resumed.core_edge_mask[keep], scratch.core_edge_mask)
+    )
+    lines.append(
+        "verified: resumed core matches a from-scratch peel of the mutated graph"
+        if ok
+        else "MISMATCH: resumed core differs from a from-scratch peel of the mutated graph"
+    )
+    return "\n".join(lines), 0 if ok else 1
+
+
+def _run_decode(args: argparse.Namespace) -> Union[str, Tuple[str, int]]:
+    import numpy as np
+
+    from repro.apps.sparse_recovery import random_distinct_keys
+    from repro.iblt import IBLT
+
+    num_cells = args.num_cells + (-args.num_cells) % args.r
+    num_keys = max(1, int(args.load * num_cells))
+    churn = max(1, min(num_keys, int(args.churn * num_keys)))
+    pool = random_distinct_keys(num_keys + churn, seed=args.seed)
+    keys = pool[:num_keys]
+    table = IBLT(num_cells, args.r, layout="subtables", seed=args.seed)
+    table.insert(keys)
+    options = {} if args.kernel is None else {"kernel": args.kernel}
+    if not args.incremental:
+        result = table.decode(decoder=args.decoder, signed=True, **options)
+        return (
+            f"IBLT decode ({args.decoder}): {num_keys} keys in {num_cells} cells: "
+            f"success={result.success} rounds={result.rounds} "
+            f"recovered={np.asarray(result.recovered).size}"
+        )
+    bootstrap = table.decode(decoder=args.decoder, signed=True, incremental=True, **options)
+    lines = [
+        f"bootstrap decode ({args.decoder}): {num_keys} keys in {num_cells} cells: "
+        f"success={bootstrap.success} rounds={bootstrap.rounds}"
+    ]
+    rng = np.random.default_rng(args.seed + 1)
+    deleted = rng.choice(keys, size=churn, replace=False).astype(np.uint64)
+    inserted = pool[num_keys:]
+    table.delete(deleted)
+    table.insert(inserted)
+    incr = table.decode(decoder=args.decoder, signed=True, incremental=True, **options)
+    lines.append(
+        f"incremental checkpoint after churn of {churn} deletes + {inserted.size} inserts "
+        f"({args.churn:.2%}): success={incr.success} "
+        f"resumed_from_round={incr.resumed_from_round} "
+        f"rounds_incremental={incr.rounds_incremental} cells_scanned={incr.cells_scanned}"
+    )
+    scratch = IBLT.from_bytes(table.to_bytes()).decode(
+        decoder=args.decoder, signed=True, **options
+    )
+    ok = bool(
+        bool(incr.success) == bool(scratch.success)
+        and np.array_equal(
+            np.sort(np.asarray(incr.recovered, dtype=np.uint64)),
+            np.sort(np.asarray(scratch.recovered, dtype=np.uint64)),
+        )
+        and np.array_equal(
+            np.sort(np.asarray(incr.removed, dtype=np.uint64)),
+            np.sort(np.asarray(scratch.removed, dtype=np.uint64)),
+        )
+    )
+    lines.append(
+        "verified: checkpoint is bit-identical to a from-scratch decode of the mutated table"
+        if ok
+        else "MISMATCH: checkpoint differs from a from-scratch decode of the mutated table"
+    )
+    return "\n".join(lines), 0 if ok else 1
 
 
 def _run_serve(args: argparse.Namespace) -> str:
@@ -518,6 +682,7 @@ _DISPATCH = {
     **{name: _run_sweep_command for name in _SWEEP_BUILDERS},
     "thresholds": _run_thresholds,
     "peel": _run_peel,
+    "decode": _run_decode,
     "bench": run_bench_command,
     "serve": _run_serve,
     "decode-client": _run_decode_client,

@@ -25,12 +25,15 @@ bit-exact, so swapping one changes wall-clock time and nothing else.
 from __future__ import annotations
 
 import warnings
-from typing import List, Literal, Optional, Union
+from typing import List, Literal, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.core.results import PeelingResult, RoundStats
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.kernels import PeelingKernel, PeelState, get_kernel, peel_subround
 from repro.kernels.arena import default_arena
+from repro.kernels.rounds import reseed_frontier
 from repro.utils.validation import check_positive_int
 
 __all__ = ["ParallelPeeler", "SequentialPeeler", "peel_to_kcore"]
@@ -117,16 +120,52 @@ class ParallelPeeler:
             arena=default_arena(),
             attach_incidence=getattr(kernel, "fused_subround", None) is not None,
         )
-        stats: List[RoundStats] = []
-
-        limit = self.max_rounds if self.max_rounds is not None else 4 * max(n, 1) + 16
         # Frontier mode starts by examining everything once; full mode passes
         # candidates=None so the kernel scans every live vertex each round.
         if frontier_mode:
             state.frontier = default_arena().arange("engine/frontier", n)
-        rounds = 0
+        stats: List[RoundStats] = []
+        rounds = self._run_rounds(state, frontier_mode=frontier_mode, stats=stats)
 
-        for round_index in range(1, limit + 1):
+        vertex_rounds, edge_rounds = state.result_peel_rounds()
+        return PeelingResult(
+            k=k,
+            mode="parallel",
+            num_rounds=rounds,
+            num_subrounds=rounds,
+            success=state.done,
+            vertex_peel_round=vertex_rounds,
+            edge_peel_round=edge_rounds,
+            round_stats=stats,
+        )
+
+    def _run_rounds(
+        self,
+        state: PeelState,
+        *,
+        frontier_mode: bool,
+        stats: List[RoundStats],
+    ) -> int:
+        """Drive ``state`` to its fixed point, starting after any completed rounds.
+
+        The shared round loop behind both :meth:`peel` (``rounds_completed ==
+        0``) and :meth:`resume` (a checkpointed fixed point with a reseeded
+        frontier).  Round indices are absolute: a resumed run stamps rounds
+        ``rounds_completed + 1, ...`` so the peel-round arrays of an
+        incremental run line up with the process history.  Returns the last
+        productive (absolute) round and records it on the state.
+        """
+        k = self.k
+        kernel = self.kernel
+        start = state.rounds_completed
+        limit = (
+            self.max_rounds
+            if self.max_rounds is not None
+            else 4 * max(state.num_vertices, 1) + 16
+        )
+        rounds = start
+
+        for round_index in range(start + 1, start + limit + 1):
             outcome = peel_subround(
                 kernel,
                 state,
@@ -157,9 +196,33 @@ class ParallelPeeler:
                 f"parallel peeling did not reach a fixed point within {limit} rounds"
             )
 
-        vertex_rounds, edge_rounds = state.result_peel_rounds()
-        return PeelingResult(
-            k=k,
+        state.rounds_completed = rounds
+        return rounds
+
+    def peel_resumable(self, graph: Hypergraph) -> Tuple[PeelingResult, PeelState]:
+        """Peel ``graph`` and keep the fixed-point state resident for :meth:`resume`.
+
+        Unlike :meth:`peel`, the working arrays are *owned* (no arena): the
+        thread-local arena buffers would be recycled by the next peel on this
+        thread, and a resumable state must outlive arbitrary later work.  The
+        returned result is identical to :meth:`peel`'s (the parity tests pin
+        this); its peel-round arrays are copies, so later ``resume`` calls
+        mutating the state never retroactively change a returned result.
+        """
+        frontier_mode = self.update == "frontier"
+        state = PeelState.from_graph(
+            graph,
+            wide_ids=self.wide_ids,
+            arena=None,
+            attach_incidence=getattr(self.kernel, "fused_subround", None) is not None,
+        )
+        if frontier_mode:
+            state.frontier = np.arange(graph.num_vertices, dtype=np.int64)
+        stats: List[RoundStats] = []
+        rounds = self._run_rounds(state, frontier_mode=frontier_mode, stats=stats)
+        vertex_rounds, edge_rounds = state.result_peel_rounds(force_copy=True)
+        result = PeelingResult(
+            k=self.k,
             mode="parallel",
             num_rounds=rounds,
             num_subrounds=rounds,
@@ -167,6 +230,40 @@ class ParallelPeeler:
             vertex_peel_round=vertex_rounds,
             edge_peel_round=edge_rounds,
             round_stats=stats,
+        )
+        return result, state
+
+    def resume(self, state: PeelState, dirty: np.ndarray) -> PeelingResult:
+        """Continue peeling a checkpointed fixed point after churn.
+
+        ``state`` is a resident state from :meth:`peel_resumable` (or a
+        ``PeelState.resume``-restored checkpoint) whose graph was mutated by
+        dropping edges (:func:`repro.kernels.rounds.drop_edges`); ``dirty``
+        lists the vertices whose degree those mutations changed.  Only those
+        vertices can have become newly removable — the fixed point is
+        monotone everywhere else — so the resumed run always uses the
+        frontier schedule seeded from ``dirty``
+        (:func:`~repro.kernels.rounds.reseed_frontier`), regardless of the
+        configured ``update`` mode: the whole point is churn-proportional
+        work.  Round stamps continue after ``resumed_from_round``, and the
+        surviving core is identical to a from-scratch peel of the mutated
+        graph (order-independence of peeling; the resume tests pin this).
+        """
+        reseed_frontier(self.kernel, state, dirty)
+        start = state.rounds_completed
+        stats: List[RoundStats] = []
+        rounds = self._run_rounds(state, frontier_mode=True, stats=stats)
+        vertex_rounds, edge_rounds = state.result_peel_rounds(force_copy=True)
+        return PeelingResult(
+            k=self.k,
+            mode="parallel",
+            num_rounds=rounds,
+            num_subrounds=rounds - start,
+            success=state.done,
+            vertex_peel_round=vertex_rounds,
+            edge_peel_round=edge_rounds,
+            round_stats=stats,
+            resumed_from_round=start,
         )
 
 
@@ -232,6 +329,137 @@ class SequentialPeeler:
             edge_peel_round=edge_rounds,
             round_stats=stats,
             peel_order=peel_order,
+        )
+
+    def peel_resumable(self, graph: Hypergraph) -> Tuple[PeelingResult, PeelState]:
+        """Peel ``graph`` keeping the fixed-point state resident for :meth:`resume`.
+
+        The state owns its buffers (no arena — it must outlive later peels on
+        this thread) and records the worklist *step* counter in
+        ``rounds_completed``, so a resumed run continues stamping the
+        per-vertex/edge removal steps where this run stopped.
+        """
+        state = PeelState.from_graph(
+            graph,
+            wide_ids=self.wide_ids,
+            arena=None,
+            attach_incidence=True,
+        )
+        peel_order, work, step = self.kernel.sequential_peel(
+            state, self.k, state.incidence_ptr, state.incidence_edges
+        )
+        state.rounds_completed = step
+
+        stats: List[RoundStats] = []
+        if self.track_stats:
+            stats.append(
+                RoundStats(
+                    round_index=1,
+                    vertices_peeled=state.num_vertices - state.vertices_remaining,
+                    edges_peeled=state.num_edges - state.edges_remaining,
+                    vertices_remaining=state.vertices_remaining,
+                    edges_remaining=state.edges_remaining,
+                    work=work,
+                )
+            )
+        num_rounds = 1 if step else 0
+        vertex_rounds, edge_rounds = state.result_peel_rounds(force_copy=True)
+        result = PeelingResult(
+            k=self.k,
+            mode="sequential",
+            num_rounds=num_rounds,
+            num_subrounds=num_rounds,
+            success=state.done,
+            vertex_peel_round=vertex_rounds,
+            edge_peel_round=edge_rounds,
+            round_stats=stats,
+            peel_order=peel_order,
+        )
+        return result, state
+
+    def resume(self, state: PeelState, dirty: np.ndarray) -> PeelingResult:
+        """Continue the greedy worklist from a checkpointed fixed point.
+
+        Seeds the worklist with the live members of ``dirty`` (the vertices
+        whose degree the churn changed — only they can have dropped below
+        ``k``) and continues the per-vertex/edge step stamps from
+        ``state.rounds_completed``.  The surviving core equals a from-scratch
+        sequential peel of the mutated graph, and ``peel_order`` lists only
+        the *incrementally* removed edges.  Requires the CSR incidence the
+        resumable state attaches; the loop mirrors the kernel's
+        ``sequential_peel`` worklist exactly, in plain Python — incremental
+        work is churn-sized, so a compiled inner loop buys nothing here.
+        """
+        k = self.k
+        edges = state.edges
+        degrees = state.degrees
+        vertex_alive = state.vertex_alive
+        edge_alive = state.edge_alive
+        vertex_peel_round = state.vertex_peel_round
+        edge_peel_round = state.edge_peel_round
+        incidence_ptr = state.incidence_ptr
+        incidence_edges = state.incidence_edges
+        if incidence_ptr is None or incidence_edges is None:
+            raise ValueError(
+                "sequential resume requires a state with the CSR incidence attached"
+                " (use SequentialPeeler.peel_resumable to create one)"
+            )
+        dirty = np.unique(np.asarray(dirty, dtype=np.int64))
+        worklist = [int(v) for v in dirty if vertex_alive[v] and degrees[v] < k]
+        start_step = state.rounds_completed
+        step = start_step
+        work = 0
+        peel_order: List[int] = []
+        while worklist:
+            v = worklist.pop()
+            work += 1
+            if not vertex_alive[v] or degrees[v] >= k:
+                continue
+            step += 1
+            vertex_alive[v] = False
+            vertex_peel_round[v] = step
+            for e in incidence_edges[incidence_ptr[v]: incidence_ptr[v + 1]]:
+                e = int(e)
+                if not edge_alive[e]:
+                    continue
+                edge_alive[e] = False
+                edge_peel_round[e] = step
+                peel_order.append(e)
+                for u in edges[e]:
+                    u = int(u)
+                    degrees[u] -= 1
+                    if vertex_alive[u] and degrees[u] < k:
+                        worklist.append(u)
+        state.vertices_remaining = int(vertex_alive.sum())
+        state.edges_remaining = int(edge_alive.sum())
+        state.rounds_completed = step
+
+        resumed_from = 1 if start_step else 0
+        num_rounds = 1 if step else 0
+        stats: List[RoundStats] = []
+        if self.track_stats:
+            stats.append(
+                RoundStats(
+                    round_index=resumed_from + 1,
+                    vertices_peeled=step - start_step,
+                    edges_peeled=len(peel_order),
+                    vertices_remaining=state.vertices_remaining,
+                    edges_remaining=state.edges_remaining,
+                    work=work,
+                )
+            )
+        vertex_rounds, edge_rounds = state.result_peel_rounds(force_copy=True)
+        return PeelingResult(
+            k=k,
+            mode="sequential",
+            num_rounds=max(num_rounds, resumed_from),
+            num_subrounds=1 if step > start_step else 0,
+            success=state.done,
+            vertex_peel_round=vertex_rounds,
+            edge_peel_round=edge_rounds,
+            round_stats=stats,
+            peel_order=np.asarray(peel_order, dtype=np.int64),
+            resumed_from_round=resumed_from,
         )
 
 

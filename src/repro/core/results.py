@@ -14,10 +14,16 @@ from typing import List, Optional
 
 import numpy as np
 
-__all__ = ["RoundStats", "PeelingResult"]
+__all__ = ["RoundStats", "PeelingResult", "UNPEELED", "DROPPED"]
 
 UNPEELED = -1
 """Sentinel used in peel-round arrays for vertices/edges never peeled."""
+
+DROPPED = -2
+"""Sentinel used in edge peel-round arrays for edges deleted by *churn*
+(:func:`repro.kernels.rounds.drop_edges`) rather than peeled by the process.
+Distinct from :data:`UNPEELED` so a resumed run's core masks count only true
+survivors."""
 
 
 @dataclass(frozen=True)
@@ -83,6 +89,11 @@ class PeelingResult:
     peel_order:
         For sequential peeling, the order in which edges were removed (edge
         indices); empty for round-synchronous engines.
+    resumed_from_round:
+        Round the run was resumed from (0 for a from-scratch run).  Resumed
+        runs continue stamping peel rounds after this value, so
+        ``num_rounds`` stays the absolute round the process reached and
+        :attr:`rounds_incremental` is the work this run actually did.
     """
 
     k: int
@@ -94,6 +105,7 @@ class PeelingResult:
     edge_peel_round: np.ndarray
     round_stats: List[RoundStats] = field(default_factory=list)
     peel_order: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    resumed_from_round: int = 0
 
     # ------------------------------------------------------------------ #
     # Derived views
@@ -107,6 +119,13 @@ class PeelingResult:
     def num_edges(self) -> int:
         """Number of edges in the peeled hypergraph."""
         return int(self.edge_peel_round.shape[0])
+
+    @property
+    def rounds_incremental(self) -> int:
+        """Productive rounds executed by this run (``num_rounds`` minus the
+        resume origin).  Equal to ``num_rounds`` for from-scratch runs; for
+        resumed runs this is what scales with the churn rather than ``n``."""
+        return self.num_rounds - self.resumed_from_round
 
     @property
     def core_vertex_mask(self) -> np.ndarray:
@@ -173,7 +192,13 @@ class PeelingResult:
     def summary(self) -> str:
         """One-line human-readable summary."""
         status = "empty core" if self.success else f"core of {self.core_size} edges"
+        resumed = (
+            f", resumed_from_round={self.resumed_from_round}"
+            f" rounds_incremental={self.rounds_incremental}"
+            if self.resumed_from_round
+            else ""
+        )
         return (
             f"{self.mode} peeling (k={self.k}): {self.num_rounds} rounds"
-            f" ({self.num_subrounds} subrounds), {status}"
+            f" ({self.num_subrounds} subrounds), {status}{resumed}"
         )

@@ -27,7 +27,7 @@ from repro.engine.registry import (
     unregister_engine,
 )
 from repro.engine.config import DEFAULT_ENGINE, PeelingConfig
-from repro.engine.api import peel, peel_many
+from repro.engine.api import peel, peel_many, peel_resumable, resume
 
 from repro.core.peeling import ParallelPeeler, SequentialPeeler
 from repro.core.subtable import SubtablePeeler
@@ -57,4 +57,6 @@ __all__ = [
     "BatchedPeeler",
     "peel",
     "peel_many",
+    "peel_resumable",
+    "resume",
 ]

@@ -21,14 +21,17 @@ results bit-for-bit identical to the per-graph loop.
 from __future__ import annotations
 
 import functools
-from typing import Iterable, List, Optional, Union
+from typing import Iterable, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.core.results import PeelingResult
 from repro.engine.config import DEFAULT_ENGINE, PeelingConfig
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.kernels.state import PeelState
 from repro.parallel.backend import BatchedBackend, ExecutionBackend, get_backend
 
-__all__ = ["peel", "peel_many"]
+__all__ = ["peel", "peel_many", "peel_resumable", "resume"]
 
 
 def _resolve_config(
@@ -68,6 +71,58 @@ def peel(
         engine-specific options (see :meth:`PeelingConfig.from_options`).
     """
     return _resolve_config(engine, config, opts).build().peel(graph)
+
+
+def peel_resumable(
+    graph: Hypergraph,
+    engine: Optional[str] = None,
+    *,
+    config: Optional[PeelingConfig] = None,
+    **opts,
+) -> Tuple[PeelingResult, PeelState]:
+    """Peel ``graph`` and keep the fixed-point state resident for :func:`resume`.
+
+    Same resolution as :func:`peel`, but the engine must support the
+    optional resumable surface (``parallel`` and ``sequential`` do); the
+    returned :class:`~repro.kernels.state.PeelState` owns its buffers and
+    carries ``rounds_completed``, so churn can later be applied to it
+    (:func:`repro.kernels.rounds.drop_edges`) and peeled incrementally.
+    """
+    built = _resolve_config(engine, config, opts).build()
+    hook = getattr(built, "peel_resumable", None)
+    if hook is None:
+        raise ValueError(
+            f"engine {type(built).__name__!r} does not support resumable peeling; "
+            "use 'parallel' or 'sequential'"
+        )
+    return hook(graph)
+
+
+def resume(
+    state: PeelState,
+    dirty: np.ndarray,
+    engine: Optional[str] = None,
+    *,
+    config: Optional[PeelingConfig] = None,
+    **opts,
+) -> PeelingResult:
+    """Continue a resident fixed point after churn, via the named engine.
+
+    ``state`` comes from :func:`peel_resumable` (mutated in the meantime by
+    :func:`repro.kernels.rounds.drop_edges`); ``dirty`` lists the vertices
+    whose degree the churn changed.  The engine configuration should match
+    the one that produced the state — in particular ``k`` — since the state
+    itself does not record it.  Engines without a ``resume`` hook raise
+    ``ValueError`` naming the resumable ones.
+    """
+    built = _resolve_config(engine, config, opts).build()
+    hook = getattr(built, "resume", None)
+    if hook is None:
+        raise ValueError(
+            f"engine {type(built).__name__!r} does not support resumed peeling; "
+            "use 'parallel' or 'sequential'"
+        )
+    return hook(state, dirty)
 
 
 def _peel_one(config: PeelingConfig, graph: Hypergraph) -> PeelingResult:

@@ -40,7 +40,28 @@ __all__ = [
 
 @runtime_checkable
 class PeelingEngine(Protocol):
-    """What every peeling engine must provide: ``peel(graph) -> PeelingResult``."""
+    """What every peeling engine must provide: ``peel(graph) -> PeelingResult``.
+
+    Optional resumable surface
+    --------------------------
+    Engines supporting incremental peeling may additionally provide
+
+    ``peel_resumable(graph) -> (PeelingResult, PeelState)``
+        Like ``peel`` but keeps the fixed-point working state resident
+        (owned buffers, ``rounds_completed`` recorded) so later churn can be
+        peeled from the checkpoint instead of from round 0.
+
+    ``resume(state, dirty) -> PeelingResult``
+        Continue a resident state after edges were dropped
+        (:func:`repro.kernels.rounds.drop_edges`); ``dirty`` lists the
+        degree-changed vertices.  The result records ``resumed_from_round``
+        and ``rounds_incremental``.
+
+    Both are discovered by ``getattr`` (see :func:`repro.engine.resume`) —
+    they are not part of the runtime-checkable protocol, and engines whose
+    schedule has no incremental form (the lockstep/sharded ones today)
+    simply omit them.
+    """
 
     k: int
 

@@ -21,6 +21,7 @@
 from repro.iblt.batched_decode import BatchedFlatDecoder, decode_many
 from repro.iblt.hashing import KeyHasher, checksum_keys, splitmix64
 from repro.iblt.iblt import IBLT, IBLTDecodeResult
+from repro.iblt.incremental import IncrementalDecodeResult, IncrementalDecodeSession
 from repro.iblt.parallel_decode import (
     FlatParallelDecoder,
     ParallelDecodeResult,
@@ -40,6 +41,8 @@ __all__ = [
     "splitmix64",
     "IBLT",
     "IBLTDecodeResult",
+    "IncrementalDecodeResult",
+    "IncrementalDecodeSession",
     "BatchedFlatDecoder",
     "decode_many",
     "FlatParallelDecoder",

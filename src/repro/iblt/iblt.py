@@ -106,6 +106,7 @@ class IBLT:
         self.key_sum = np.zeros(self.num_cells, dtype=np.uint64)
         self.check_sum = np.zeros(self.num_cells, dtype=np.uint64)
         self._net_items = 0
+        self._session = None  # resident IncrementalDecodeSession, if any
 
     # ------------------------------------------------------------------ #
     # construction / basic properties
@@ -149,6 +150,11 @@ class IBLT:
             np.add.at(self.count, column, delta)
             np.bitwise_xor.at(self.key_sum, column, keys)
             np.bitwise_xor.at(self.check_sum, column, checks)
+        if self._session is not None:
+            # Keep the resident decode session's residual current (same
+            # scatter on its arrays) and mark the touched cells dirty, so
+            # the next incremental checkpoint re-peels only from here.
+            self._session.mirror(keys, delta, cells, checks)
 
     def insert(self, keys: Sequence[int] | np.ndarray) -> None:
         """Insert one key or a batch of keys."""
@@ -243,6 +249,7 @@ class IBLT:
         decoder: str = "serial",
         signed: bool = True,
         in_place: bool = False,
+        incremental: bool = False,
         **options,
     ):
         """Recover the table's contents with a name-selected decoder.
@@ -260,7 +267,21 @@ class IBLT:
             is identical to unsigned decoding.
         in_place:
             Operate directly on this table (leaving it empty on success);
-            by default a scratch copy is consumed instead.
+            by default a scratch copy is consumed instead.  Mutually
+            exclusive with ``incremental`` (which must keep the table
+            intact), and discards any resident session — an in-place drain
+            happens behind the session's back.
+        incremental:
+            Keep the post-decode state resident.  The first incremental
+            decode runs the named decoder from scratch and installs an
+            :class:`~repro.iblt.incremental.IncrementalDecodeSession`; later
+            ``insert``/``delete`` churn is mirrored into the session, and
+            each subsequent ``decode(incremental=True)`` checkpoint re-peels
+            only from the churn-touched cells — rounds proportional to the
+            churn, results bit-identical to a from-scratch decode of the
+            mutated table.  Incremental results are canonical (keys sorted
+            ascending) and identical for every decoder name, since the
+            decoder only governs the bootstrap.
         **options:
             Decoder-specific extras forwarded to the decoder constructor
             (e.g. ``max_rounds``, ``track_conflicts`` or ``kernel`` — the
@@ -274,11 +295,79 @@ class IBLT:
             For the parallel decoders (it exposes the same
             ``recovered``/``removed``/``success``/``rounds``/``subrounds``
             surface plus per-round stats and conflict depths).
+        IncrementalDecodeResult
+            With ``incremental=True`` (every checkpoint, including the
+            bootstrap).
         """
         from repro.iblt.registry import get_decoder  # local import avoids a cycle
 
+        if incremental:
+            if in_place:
+                raise ValueError(
+                    "incremental decode keeps the table resident; in_place is not supported"
+                )
+            return self._decode_incremental(decoder, signed=signed, **options)
+        if in_place:
+            self.discard_session()
         factory = get_decoder(decoder)
         return factory(signed=signed, **options).decode(self, in_place=in_place)
+
+    def _decode_incremental(self, decoder: str, *, signed: bool, **options):
+        """Bootstrap or checkpoint the resident incremental decode session."""
+        from repro.iblt.incremental import (  # local import avoids a cycle
+            IncrementalDecodeResult,
+            IncrementalDecodeSession,
+        )
+        from repro.kernels import get_kernel
+
+        if self._session is not None:
+            if self._session.signed != bool(signed):
+                raise ValueError(
+                    f"resident session was started with signed={self._session.signed}; "
+                    "discard_session() before switching regimes"
+                )
+            result = self._session.checkpoint()
+            if result.success:
+                return result
+            # A stalled re-peel cannot tell a genuine 2-core from the rare
+            # spurious-pure hazard: a key hashing two endpoints into the
+            # same cell cancels itself out of that cell's key_sum, so the
+            # residual can present a stale cell as pure with the wrong
+            # sign and poison the cascade — a shape a from-scratch decode
+            # of the mutated table never sees.  Rebuilding the session
+            # from scratch restores bit-identity by construction (and on
+            # a genuinely undecodable table returns exactly the partial
+            # result a from-scratch decode would).
+            self.discard_session()
+        from repro.iblt.registry import get_decoder
+
+        factory = get_decoder(decoder)
+        result = factory(signed=signed, **options).decode(self, in_place=False)
+        self._session = IncrementalDecodeSession(
+            self,
+            result,
+            signed=signed,
+            kernel=get_kernel(options.get("kernel")),
+        )
+        recovered, removed = self._session._net_contents()
+        return IncrementalDecodeResult(
+            recovered=recovered,
+            removed=removed,
+            success=bool(result.success),
+            rounds=int(result.rounds),
+            resumed_from_round=0,
+            rounds_incremental=int(result.rounds),
+            cells_scanned=int(getattr(result, "cells_scanned", 0)),
+        )
+
+    def discard_session(self) -> None:
+        """Drop the resident incremental decode session, if any.
+
+        The next ``decode(incremental=True)`` bootstraps a fresh one from
+        scratch.  Called automatically by in-place decodes, whose drain the
+        session cannot observe.
+        """
+        self._session = None
 
     @staticmethod
     def decode_many(
@@ -348,6 +437,10 @@ class IBLT:
     # ------------------------------------------------------------------ #
     _MAGIC = b"IBLT1\x00"
     _FORMAT_VERSION = 1
+    #: Every format version this build can parse.  A payload carrying any
+    #: other version byte — e.g. from a future build — is rejected up front
+    #: with a ValueError naming this list, never half-parsed.
+    _SUPPORTED_VERSIONS = (1,)
     _HEADER_BYTES = len(_MAGIC) + 1 + 5 * 8  # magic + version byte + 5 i64 fields
 
     def to_bytes(self) -> bytes:
@@ -400,10 +493,11 @@ class IBLT:
                 f"the {cls._HEADER_BYTES}-byte header"
             )
         version = payload[magic_len]
-        if version != cls._FORMAT_VERSION:
+        if version not in cls._SUPPORTED_VERSIONS:
+            supported = ", ".join(str(v) for v in cls._SUPPORTED_VERSIONS)
             raise ValueError(
-                f"unsupported IBLT format version {version} "
-                f"(this build reads version {cls._FORMAT_VERSION})"
+                f"unsupported IBLT format version {version}; this build supports "
+                f"version(s) {supported} — the payload likely comes from a newer build"
             )
         header = np.frombuffer(payload, dtype="<i8", count=5, offset=magic_len + 1)
         num_cells, r, layout_flag, seed, net_items = (int(x) for x in header)

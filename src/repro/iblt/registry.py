@@ -25,6 +25,12 @@ name is accepted, but are not listed by :func:`available_decoders`.
 
 Every decoder factory is called as ``factory(signed=..., **options)`` and
 the resulting object exposes ``decode(iblt, *, in_place=False)``.
+
+Incremental decoding (``IBLT.decode(incremental=True)``) goes through this
+registry only for its *bootstrap* decode; every later checkpoint runs the
+shared decoder-independent re-peel of
+:class:`~repro.iblt.incremental.IncrementalDecodeSession`, so incremental
+results are identical for every decoder name by construction.
 """
 
 from __future__ import annotations
@@ -53,9 +59,14 @@ class SerialDecoder:
     ----------
     signed:
         Treat ``count == −1`` cells as pure as well (difference digests).
+    kernel:
+        Accepted for interface uniformity with the parallel decoders (so
+        callers can pass ``kernel=`` regardless of the decoder name, e.g.
+        through ``decode(incremental=True)``); the worklist recovery runs
+        in pure Python and ignores it.
     """
 
-    def __init__(self, *, signed: bool = True) -> None:
+    def __init__(self, *, signed: bool = True, kernel=None) -> None:
         self.signed = bool(signed)
 
     def decode(self, iblt: IBLT, *, in_place: bool = False) -> IBLTDecodeResult:

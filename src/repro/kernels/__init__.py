@@ -35,7 +35,7 @@ import shutil
 
 from repro.kernels.arena import RoundArena, default_arena
 from repro.kernels.base import EdgeEffect, PeelingKernel
-from repro.kernels.batched import BatchedPeelState, batched_peel
+from repro.kernels.batched import BatchedPeelCheckpoint, BatchedPeelState, batched_peel
 from repro.kernels.numpy_backend import NumpyKernel
 from repro.kernels.registry import (
     DEFAULT_KERNEL,
@@ -48,8 +48,14 @@ from repro.kernels.registry import (
     register_lazy_kernel,
     unregister_kernel,
 )
-from repro.kernels.rounds import SubroundOutcome, peel_subround, remove_hyperedges
-from repro.kernels.state import PeelState
+from repro.kernels.rounds import (
+    SubroundOutcome,
+    drop_edges,
+    peel_subround,
+    remove_hyperedges,
+    reseed_frontier,
+)
+from repro.kernels.state import PeelCheckpoint, PeelState
 
 
 def _load_numba_kernel() -> KernelFactory:
@@ -98,8 +104,10 @@ def __getattr__(name: str):
 
 __all__ = [
     "PeelState",
+    "PeelCheckpoint",
     "RoundArena",
     "default_arena",
+    "BatchedPeelCheckpoint",
     "BatchedPeelState",
     "batched_peel",
     "PeelingKernel",
@@ -108,8 +116,10 @@ __all__ = [
     "NumbaKernel",
     "CffiKernel",
     "SubroundOutcome",
+    "drop_edges",
     "peel_subround",
     "remove_hyperedges",
+    "reseed_frontier",
     "DEFAULT_KERNEL",
     "KernelFactory",
     "KernelUnavailableError",

@@ -65,6 +65,14 @@ class PeelingKernel(Protocol):
         Force any one-time JIT / shared-library compilation on tiny inputs
         so benchmark harnesses can pay (and report) the compile cost
         outside the timed region.
+
+    ``reseed_frontier(state, dirty) -> np.ndarray``
+        Resume primitive: replace ``state.frontier`` with the deduplicated
+        live members of ``dirty`` (the vertices whose degree changed under
+        churn) and return the new frontier, so a resumed schedule examines
+        churn-proportional work.  Backends without the hook decline to the
+        generic NumPy fallback in :func:`~repro.kernels.rounds.reseed_frontier`
+        — the same decline-to-generic contract as the fused hooks.
     """
 
     name: str

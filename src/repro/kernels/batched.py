@@ -54,11 +54,20 @@ from repro.core.results import UNPEELED, PeelingResult, RoundStats
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.kernels.arena import RoundArena, default_arena
 from repro.kernels.base import PeelingKernel
-from repro.kernels.state import PeelState
+from repro.kernels.state import PeelCheckpoint, PeelState
 
 _INT32_LIMIT = np.iinfo(np.int32).max
 
-__all__ = ["BatchedPeelState", "batched_peel"]
+__all__ = ["BatchedPeelCheckpoint", "BatchedPeelState", "batched_peel"]
+
+
+@dataclass(frozen=True)
+class BatchedPeelCheckpoint:
+    """Owning snapshot of a :class:`BatchedPeelState` (flat state + per-graph counters)."""
+
+    state: PeelCheckpoint
+    vertices_remaining: np.ndarray
+    edges_remaining: np.ndarray
 
 
 @dataclass
@@ -234,6 +243,25 @@ class BatchedPeelState:
             incidence_ptr=incidence_ptr,
             incidence_edges=incidence_edges,
         )
+
+    def checkpoint(self) -> BatchedPeelCheckpoint:
+        """Snapshot the flat state plus the per-graph live counters.
+
+        Delegates the columnar copies to :meth:`PeelState.checkpoint`; the
+        offset tables and CSR index are immutable and not captured.
+        """
+        return BatchedPeelCheckpoint(
+            state=self.state.checkpoint(),
+            vertices_remaining=self.vertices_remaining.copy(),
+            edges_remaining=self.edges_remaining.copy(),
+        )
+
+    def resume(self, checkpoint: BatchedPeelCheckpoint) -> "BatchedPeelState":
+        """Restore the flat state and per-graph counters from ``checkpoint``, in place."""
+        self.state.resume(checkpoint.state)
+        np.copyto(self.vertices_remaining, checkpoint.vertices_remaining)
+        np.copyto(self.edges_remaining, checkpoint.edges_remaining)
+        return self
 
     def incident_edges_of(self, vertices: np.ndarray) -> np.ndarray:
         """Flat gather of every edge incident to ``vertices`` (with repeats).

@@ -109,6 +109,14 @@ class NumpyKernel:
             touched = np.empty(0, dtype=np.int64)
         state.frontier = touched[state.vertex_alive[touched]] if touched.size else touched
 
+    def reseed_frontier(self, state: PeelState, dirty: np.ndarray) -> np.ndarray:
+        # Resume primitive: install the (deduplicated, live) degree-changed
+        # vertices as the frontier so a resumed schedule starts from the
+        # churn instead of re-scanning the fixed point.
+        dirty = np.unique(np.asarray(dirty, dtype=np.int64))
+        state.frontier = dirty[state.vertex_alive[dirty]] if dirty.size else dirty
+        return state.frontier
+
     # ------------------------------------------------------------------ #
     # scatter primitives
     # ------------------------------------------------------------------ #

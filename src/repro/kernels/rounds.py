@@ -17,11 +17,18 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.results import DROPPED
 from repro.kernels.arena import RoundArena
 from repro.kernels.base import EdgeEffect, PeelingKernel
 from repro.kernels.state import PeelState
 
-__all__ = ["SubroundOutcome", "peel_subround", "remove_hyperedges"]
+__all__ = [
+    "SubroundOutcome",
+    "drop_edges",
+    "peel_subround",
+    "remove_hyperedges",
+    "reseed_frontier",
+]
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
@@ -145,6 +152,61 @@ def peel_subround(
     return SubroundOutcome(
         removable, int(dying.size), touched if touched is not None else _EMPTY, examined
     )
+
+
+def reseed_frontier(
+    kernel: PeelingKernel,
+    state: PeelState,
+    dirty: np.ndarray,
+) -> np.ndarray:
+    """Reseed ``state.frontier`` from a set of dirty vertices and return it.
+
+    After churn mutates the graph under a checkpointed fixed point, only the
+    vertices whose degree changed (``dirty``) can become newly removable —
+    the fixed point is monotone everywhere else.  This primitive installs
+    exactly those (deduplicated, live) vertices as the frontier so a resumed
+    frontier schedule examines churn-proportional work instead of the whole
+    vertex set.
+
+    Backends may expose an optional ``reseed_frontier(state, dirty)`` hook
+    (see :class:`~repro.kernels.base.PeelingKernel`); backends without one
+    (the compiled tiers decline-to-generic) fall back to the NumPy path
+    below, which is the reference semantics.
+    """
+    hook = getattr(kernel, "reseed_frontier", None)
+    if hook is not None:
+        return hook(state, dirty)
+    dirty = np.unique(np.asarray(dirty, dtype=np.int64))
+    state.frontier = dirty[state.vertex_alive[dirty]] if dirty.size else dirty
+    return state.frontier
+
+
+def drop_edges(
+    kernel: PeelingKernel,
+    state: PeelState,
+    edge_ids: np.ndarray,
+) -> np.ndarray:
+    """Delete edges from a (possibly checkpointed) state as *churn*, not peeling.
+
+    The edges are marked dead and their endpoints' degrees decremented, but
+    their peel-round stamp is the :data:`~repro.core.results.DROPPED`
+    sentinel, not a round number — these edges were removed by the mutation
+    stream, not by the process, so they appear in neither the rounds
+    accounting nor the core masks.  Returns the unique endpoints of the
+    dropped edges (int64): exactly the dirty-vertex set to hand to
+    :func:`reseed_frontier` / ``engine.resume``.  Already-dead edges are
+    ignored, so callers can pass raw churn ids without filtering.
+    """
+    edge_ids = np.unique(np.asarray(edge_ids, dtype=np.int64))
+    live = edge_ids[state.edge_alive[edge_ids]] if edge_ids.size else edge_ids
+    if live.size == 0:
+        return _EMPTY
+    state.edge_alive[live] = False
+    state.edge_peel_round[live] = DROPPED
+    state.edges_remaining -= int(live.size)
+    endpoints = state.edges[live].reshape(-1)
+    kernel.scatter_degree_updates(state.degrees, endpoints)
+    return kernel.unique(endpoints).astype(np.int64, copy=False)
 
 
 def remove_hyperedges(

@@ -21,7 +21,29 @@ from repro.core.results import UNPEELED
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.kernels.arena import RoundArena
 
-__all__ = ["PeelState"]
+__all__ = ["PeelCheckpoint", "PeelState"]
+
+
+@dataclass(frozen=True)
+class PeelCheckpoint:
+    """Owning snapshot of a :class:`PeelState` at a fixed point (or any round).
+
+    Every mutable column is copied out of the (possibly arena-backed) state,
+    so a checkpoint survives arena reuse and later resumed rounds: restoring
+    it with :meth:`PeelState.resume` rewinds the state bit-for-bit to the
+    captured round.  The immutable ``edges`` / incidence arrays are *not*
+    captured — they belong to the graph and never change.
+    """
+
+    degrees: np.ndarray
+    vertex_alive: np.ndarray
+    edge_alive: np.ndarray
+    vertex_peel_round: np.ndarray
+    edge_peel_round: np.ndarray
+    vertices_remaining: int
+    edges_remaining: int
+    rounds_completed: int
+    frontier: Optional[np.ndarray] = None
 
 
 @dataclass
@@ -61,6 +83,12 @@ class PeelState:
         the pool's reusable buffers, so anything that must outlive this
         state (the result peel-round arrays) goes through
         :meth:`result_peel_rounds`, which copies exactly when needed.
+    rounds_completed:
+        Rounds executed on this state so far.  0 for a fresh state; a state
+        restored via :meth:`resume` (or kept resident between
+        :meth:`checkpoint` calls) carries the round it stopped at, so a
+        resumed engine continues stamping peel rounds where the previous
+        fixed point left off instead of restarting at round 1.
 
     Dtypes
     ------
@@ -87,6 +115,7 @@ class PeelState:
     incidence_ptr: Optional[np.ndarray] = field(default=None)
     incidence_edges: Optional[np.ndarray] = field(default=None)
     arena: Optional[RoundArena] = field(default=None, repr=False)
+    rounds_completed: int = 0
 
     @classmethod
     def from_graph(
@@ -152,7 +181,60 @@ class PeelState:
                 state.incidence_edges = graph.incidence_edges
         return state
 
-    def result_peel_rounds(self) -> tuple:
+    def checkpoint(self) -> PeelCheckpoint:
+        """Snapshot the mutable columns so this round can be returned to.
+
+        The copies own their memory, so checkpoints taken from arena-backed
+        states stay valid after the arena recycles the buffers for the next
+        trial.  The frontier (when present) is widened to the int64 boundary
+        dtype like every other index array that crosses the kernel boundary.
+        """
+        return PeelCheckpoint(
+            degrees=self.degrees.copy(),
+            vertex_alive=self.vertex_alive.copy(),
+            edge_alive=self.edge_alive.copy(),
+            vertex_peel_round=self.vertex_peel_round.copy(),
+            edge_peel_round=self.edge_peel_round.copy(),
+            vertices_remaining=int(self.vertices_remaining),
+            edges_remaining=int(self.edges_remaining),
+            rounds_completed=int(self.rounds_completed),
+            frontier=None
+            if self.frontier is None
+            else self.frontier.astype(np.int64, copy=True),
+        )
+
+    def resume(self, checkpoint: PeelCheckpoint) -> "PeelState":
+        """Restore the mutable columns from ``checkpoint``, in place.
+
+        Copies back *into* the existing buffers (arena-backed or owned), so
+        the state object keeps aliasing whatever storage it was built on.
+        Shapes must match the checkpointed run; a checkpoint taken from a
+        different graph raises ``ValueError`` instead of silently writing
+        garbage.  Returns ``self`` for chaining.
+        """
+        if (
+            checkpoint.degrees.shape != self.degrees.shape
+            or checkpoint.edge_alive.shape != self.edge_alive.shape
+        ):
+            raise ValueError(
+                "checkpoint shapes "
+                f"(n={checkpoint.degrees.shape[0]}, m={checkpoint.edge_alive.shape[0]}) "
+                f"do not match this state (n={self.num_vertices}, m={self.num_edges})"
+            )
+        np.copyto(self.degrees, checkpoint.degrees, casting="same_kind")
+        np.copyto(self.vertex_alive, checkpoint.vertex_alive)
+        np.copyto(self.edge_alive, checkpoint.edge_alive)
+        np.copyto(self.vertex_peel_round, checkpoint.vertex_peel_round, casting="same_kind")
+        np.copyto(self.edge_peel_round, checkpoint.edge_peel_round, casting="same_kind")
+        self.vertices_remaining = checkpoint.vertices_remaining
+        self.edges_remaining = checkpoint.edges_remaining
+        self.rounds_completed = checkpoint.rounds_completed
+        self.frontier = (
+            None if checkpoint.frontier is None else checkpoint.frontier.copy()
+        )
+        return self
+
+    def result_peel_rounds(self, *, force_copy: bool = False) -> tuple:
         """``(vertex_peel_round, edge_peel_round)`` safe to hand to results.
 
         Results are int64 regardless of the working layout (the golden
@@ -160,10 +242,12 @@ class PeelState:
         must not alias arena buffers that the next trial will overwrite.
         Copies happen exactly when one of those forces them — the wide,
         owned state hands its arrays over untouched like it always did.
+        Resumable engines pass ``force_copy=True`` because their owned state
+        outlives the result and keeps mutating across later ``resume`` calls.
         """
         vertex_rounds = self.vertex_peel_round
         edge_rounds = self.edge_peel_round
-        if vertex_rounds.dtype != np.int64 or self.arena is not None:
+        if vertex_rounds.dtype != np.int64 or self.arena is not None or force_copy:
             return (
                 vertex_rounds.astype(np.int64),
                 edge_rounds.astype(np.int64),

@@ -75,10 +75,19 @@ class DecodeClient:
     # ------------------------------------------------------------------ #
     # requests
     # ------------------------------------------------------------------ #
-    async def decode(self, table: IBLT, *, signed: bool = True) -> RemoteDecodeResult:
+    async def decode(
+        self, table: IBLT, *, signed: bool = True, session: bool = False
+    ) -> RemoteDecodeResult:
         """Decode one table on the server; raises :class:`RemoteDecodeError`
-        if the server answered with an error frame."""
-        payload = protocol.encode_decode_request(table, signed=signed)
+        if the server answered with an error frame.
+
+        ``session=True`` asks the server to keep the decode state resident
+        on this connection: ship the same (mutated) table again with the
+        flag set and the server re-peels only what changed since the last
+        shipment, answering bit-identically to a from-scratch decode.
+        Session requests are answered in shipment order.
+        """
+        payload = protocol.encode_decode_request(table, signed=signed, session=session)
         return await self._request(protocol.FRAME_DECODE_REQUEST, payload)
 
     async def decode_many(

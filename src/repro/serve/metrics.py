@@ -36,6 +36,8 @@ class ServeMetrics:
         self.window_flushes = 0  # flushes triggered by the latency budget
         self.size_flushes = 0  # flushes triggered by the max batch size
         self.drain_flushes = 0  # flushes triggered by shutdown drain
+        self.session_requests = 0  # decode requests served from a resident session
+        self.session_bootstraps = 0  # session requests that decoded from scratch
         self._latencies: deque = deque(maxlen=latency_window)
 
     # ------------------------------------------------------------------ #
@@ -66,6 +68,12 @@ class ServeMetrics:
             self.size_flushes += 1
         else:
             self.drain_flushes += 1
+
+    def observe_session(self, *, bootstrap: bool) -> None:
+        """Record one session-flagged decode request."""
+        self.session_requests += 1
+        if bootstrap:
+            self.session_bootstraps += 1
 
     def observe_latency(self, seconds: float) -> None:
         self._latencies.append(float(seconds))
@@ -106,6 +114,8 @@ class ServeMetrics:
                 "size": self.size_flushes,
                 "drain": self.drain_flushes,
             },
+            "session_requests": self.session_requests,
+            "session_bootstraps": self.session_bootstraps,
             "latency_ms": self.latency_percentiles_ms(),
             "latency_samples": len(self._latencies),
         }

@@ -13,8 +13,11 @@ completes requests batch by batch, not in arrival order).
 Frame types
 -----------
 ``DECODE_REQUEST``
-    payload = 1 flags byte (bit 0: signed decoding) followed by the
-    :meth:`repro.iblt.IBLT.to_bytes` encoding of the table to decode.
+    payload = 1 flags byte (bit 0: signed decoding; bit 1: session — the
+    server keeps the decode state resident per connection and decodes
+    repeated shipments of the same evolving table incrementally) followed
+    by the :meth:`repro.iblt.IBLT.to_bytes` encoding of the table to
+    decode.
 ``DECODE_RESULT``
     payload = ``!BIII`` (success, rounds, num_recovered, num_removed)
     followed by the recovered then removed keys as little-endian uint64.
@@ -155,13 +158,19 @@ async def read_frame(
 # payload codecs
 # --------------------------------------------------------------------- #
 
-def encode_decode_request(table: IBLT, *, signed: bool = True) -> bytes:
-    """Payload of a ``DECODE_REQUEST``: flags byte + serialized table."""
-    return bytes([1 if signed else 0]) + table.to_bytes()
+def encode_decode_request(table: IBLT, *, signed: bool = True, session: bool = False) -> bytes:
+    """Payload of a ``DECODE_REQUEST``: flags byte + serialized table.
+
+    ``session`` sets flag bit 1: the server decodes this table against the
+    connection's resident session state (incremental re-peel of whatever
+    changed since the previous shipment of the same-geometry table) instead
+    of from scratch.
+    """
+    return bytes([(1 if signed else 0) | (2 if session else 0)]) + table.to_bytes()
 
 
-def decode_decode_request(payload: bytes) -> "tuple[IBLT, bool]":
-    """Parse a ``DECODE_REQUEST`` payload into ``(table, signed)``.
+def decode_decode_request(payload: bytes) -> "tuple[IBLT, bool, bool]":
+    """Parse a ``DECODE_REQUEST`` payload into ``(table, signed, session)``.
 
     Raises ``ValueError`` on anything malformed; the table bytes go
     through the hardened :meth:`IBLT.from_bytes` validation.
@@ -169,10 +178,10 @@ def decode_decode_request(payload: bytes) -> "tuple[IBLT, bool]":
     if len(payload) < 1:
         raise ValueError("empty decode request (missing flags byte)")
     flags = payload[0]
-    if flags not in (0, 1):
+    if flags not in (0, 1, 2, 3):
         raise ValueError(f"invalid decode-request flags byte {flags}")
     table = IBLT.from_bytes(payload[1:])
-    return table, bool(flags & 1)
+    return table, bool(flags & 1), bool(flags & 2)
 
 
 def encode_decode_result(result) -> bytes:

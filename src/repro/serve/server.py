@@ -13,6 +13,17 @@ fails that request with an ``ERROR`` frame and the connection keeps
 serving; an unframeable *stream* (bad length prefix, oversized frame,
 unknown frame type) closes that connection — never the server.
 
+Session requests (flags bit 1) take a different path from the batcher:
+each connection keeps the latest shipment of every table geometry it has
+sent plus that table's resident
+:class:`~repro.iblt.incremental.IncrementalDecodeSession`; a repeated
+shipment is diffed cell-by-cell against the resident copy, the delta is
+applied to the session, and only the dirty neighbourhood is re-peeled.
+Session requests are answered *in shipment order* (the read loop awaits
+them inline rather than spawning a task — an old shipment applied after
+a newer one would corrupt the resident state), with the numpy work still
+offloaded to the decode executor.
+
 Graceful shutdown (:meth:`DecodeServer.stop`, wired to SIGINT/SIGTERM by
 :func:`run_server`): stop accepting, let in-flight requests finish,
 drain the batcher, close connections, and dump the metrics snapshot.
@@ -25,8 +36,11 @@ import json
 import signal
 import sys
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, Optional, Set
+from typing import Any, Dict, Optional, Set, Tuple
 
+import numpy as np
+
+from repro.iblt.iblt import IBLT
 from repro.serve import protocol
 from repro.serve.batcher import MicroBatcher
 from repro.serve.metrics import ServeMetrics
@@ -88,6 +102,8 @@ class DecodeServer:
             decoder=decoder,
             kernel=kernel,
         )
+        self._decoder = decoder
+        self._decode_options: Dict[str, Any] = {} if kernel is None else {"kernel": kernel}
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Set[asyncio.Task] = set()
         self._admission: Optional[asyncio.Semaphore] = None  # created in start()
@@ -154,6 +170,10 @@ class DecodeServer:
     ) -> None:
         write_lock = asyncio.Lock()  # responses interleave; frames must not
         requests: Set[asyncio.Task] = set()
+        # Resident incremental state, one entry per table geometry this
+        # connection has shipped with the session flag.  The keyed value is
+        # the latest shipment of that table, carrying its decode session.
+        sessions: Dict[Tuple[int, int, str, int, bool], IBLT] = {}
         try:
             while not self._stopping:
                 try:
@@ -175,6 +195,18 @@ class DecodeServer:
                     # pushes the backpressure to the client.
                     await self._admission.acquire()
                     self.metrics.observe_request()
+                    if payload and payload[0] & 2:
+                        # Session requests mutate per-connection resident
+                        # state, so they must apply in shipment order:
+                        # answer inline instead of spawning a task.  The
+                        # numpy work still runs on the decode executor.
+                        try:
+                            await self._handle_session_decode(
+                                writer, write_lock, request_id, payload, sessions
+                            )
+                        finally:
+                            self._admission.release()
+                        continue
                     task = asyncio.ensure_future(
                         self._handle_decode(writer, write_lock, request_id, payload)
                     )
@@ -221,7 +253,7 @@ class DecodeServer:
         frame with its id and the connection keeps serving.
         """
         try:
-            table, signed = protocol.decode_decode_request(payload)
+            table, signed, _session = protocol.decode_decode_request(payload)
             result = await self.batcher.submit(table, signed=signed)
             body = protocol.encode_decode_result(result)
             await self._send(
@@ -238,6 +270,89 @@ class DecodeServer:
                 )
             except (ConnectionResetError, BrokenPipeError):
                 pass
+
+    async def _handle_session_decode(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        request_id: int,
+        payload: bytes,
+        sessions: Dict[Tuple[int, int, str, int, bool], IBLT],
+    ) -> None:
+        """One session request: diff against the resident table, re-peel.
+
+        The first shipment of a geometry bootstraps a resident
+        :class:`~repro.iblt.incremental.IncrementalDecodeSession`; every
+        later shipment of the same geometry is reduced to the cells whose
+        ``count``/``key_sum``/``check_sum`` differ from the resident copy,
+        applied as a cell delta, and answered by an incremental checkpoint
+        that re-peels only the dirty neighbourhood.  The answer is always
+        bit-identical to a from-scratch decode of the shipped table.
+        """
+        try:
+            table, signed, _session = protocol.decode_decode_request(payload)
+            key = (table.num_cells, table.r, table.layout, table.hasher.seed, signed)
+            resident = sessions.get(key)
+            loop = asyncio.get_running_loop()
+            if resident is None:
+                result = await loop.run_in_executor(
+                    self._executor, self._session_bootstrap, table, signed
+                )
+                sessions[key] = table
+                self.metrics.observe_session(bootstrap=True)
+            else:
+                result = await loop.run_in_executor(
+                    self._executor, self._session_checkpoint, resident, table, signed
+                )
+                self.metrics.observe_session(bootstrap=False)
+            body = protocol.encode_decode_result(result)
+            await self._send(
+                writer, write_lock, protocol.FRAME_DECODE_RESULT, request_id, body
+            )
+            self.metrics.observe_response()
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - isolation boundary
+            self.metrics.observe_error()
+            try:
+                await self._send(
+                    writer, write_lock, protocol.FRAME_ERROR, request_id, str(exc).encode()
+                )
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _session_bootstrap(self, table: IBLT, signed: bool):
+        """Executor half of a first session shipment: full decode, state kept."""
+        return table.decode(
+            decoder=self._decoder,
+            signed=signed,
+            incremental=True,
+            **self._decode_options,
+        )
+
+    def _session_checkpoint(self, resident: IBLT, shipped: IBLT, signed: bool):
+        """Executor half of a repeat shipment: cell diff → delta → re-peel."""
+        dirty = np.flatnonzero(
+            (shipped.count != resident.count)
+            | (shipped.key_sum != resident.key_sum)
+            | (shipped.check_sum != resident.check_sum)
+        )
+        if dirty.size:
+            resident._session.apply_cell_delta(
+                dirty,
+                shipped.count[dirty] - resident.count[dirty],
+                shipped.key_sum[dirty] ^ resident.key_sum[dirty],
+                shipped.check_sum[dirty] ^ resident.check_sum[dirty],
+            )
+            resident.count[dirty] = shipped.count[dirty]
+            resident.key_sum[dirty] = shipped.key_sum[dirty]
+            resident.check_sum[dirty] = shipped.check_sum[dirty]
+        return resident.decode(
+            decoder=self._decoder,
+            signed=signed,
+            incremental=True,
+            **self._decode_options,
+        )
 
     @staticmethod
     async def _send(

@@ -33,7 +33,7 @@ class TestRunBenchmarks:
         sections = {record["section"] for record in payload["results"]}
         assert sections == {
             "peel", "peel_many", "iblt_decode", "intra_trial", "batched", "serve",
-            "memory",
+            "memory", "incremental",
         }
 
     def test_batched_section_pairs_loop_with_fused(self, payload):
@@ -57,6 +57,21 @@ class TestRunBenchmarks:
             assert set(record["latency_ms"]) == {"p50", "p95", "p99"}
             # 8 concurrent requests inside a 2 ms window must coalesce
             assert record["mean_batch_size"] > 1
+
+    def test_incremental_section_pairs_scratch_with_incremental(self, payload):
+        records = [r for r in payload["results"] if r["section"] == "incremental"]
+        combos = {(r["engine"], r["churn"]) for r in records}
+        assert combos == {
+            (mode, churn)
+            for mode in ("scratch", "incremental")
+            for churn in (0.001, 0.01, 0.1)
+        }
+        for record in records:
+            assert record["success"]
+            assert record["kernel"] == "numpy"
+            if record["engine"] == "incremental":
+                assert record["cells_scanned"] >= 0
+                assert record["rounds_incremental"] >= 0
 
     def test_peel_covers_engines_times_kernels(self, payload):
         combos = {
@@ -112,12 +127,13 @@ class TestRunBenchmarks:
         report = format_results(payload)
         for section in (
             "peel", "peel_many", "iblt_decode", "intra_trial", "batched", "serve",
-            "memory",
+            "memory", "incremental",
         ):
             assert section in report
         assert "shm-parallel[w=2]" in report
         assert "batched[B=4]" in report
         assert "[win=2ms]" in report
+        assert "[churn=0.01]" in report
 
 
 class TestComparePayloads:

@@ -1,0 +1,128 @@
+"""Property-based tests (hypothesis) for incremental decoding under churn.
+
+Random interleavings of inserts and deletes, checkpointed at random
+points, must round-trip identically across every decoder name — including
+signed difference digests (net deletes) and tables whose layout maps a
+key to duplicate cell endpoints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iblt import IBLT
+
+DECODERS = ("serial", "flat", "batched")
+
+key_pools = st.lists(
+    st.integers(min_value=1, max_value=2**62), min_size=10, max_size=80, unique=True
+)
+# A churn script: at each step insert some fraction of the unused pool and
+# delete some of the live keys, then checkpoint.
+churn_scripts = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=6),  # inserts this step
+        st.integers(min_value=0, max_value=4),  # deletes this step
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def canonical(result):
+    return (
+        sorted(map(int, np.asarray(result.recovered, dtype=np.uint64))),
+        sorted(map(int, np.asarray(result.removed, dtype=np.uint64))),
+    )
+
+
+def scratch(table, *, signed=True):
+    return IBLT.from_bytes(table.to_bytes()).decode(decoder="flat", signed=signed)
+
+
+def run_churn_script(table, pool, script, *, decoder, seed):
+    """Apply ``script`` step by step, checkpointing after each step.
+
+    Returns the list of (checkpoint, from-scratch) canonical pairs.
+    """
+    rng = np.random.default_rng(seed)
+    live = list(pool[: len(pool) // 2])
+    unused = list(pool[len(pool) // 2:])
+    table.insert(np.asarray(live, dtype=np.uint64))
+    table.decode(decoder=decoder, signed=True, incremental=True)
+    pairs = []
+    for num_ins, num_del in script:
+        inserts = [unused.pop() for _ in range(min(num_ins, len(unused)))]
+        deletes = [
+            live.pop(int(rng.integers(len(live))))
+            for _ in range(min(num_del, len(live)))
+        ]
+        if inserts:
+            table.insert(np.asarray(inserts, dtype=np.uint64))
+            live.extend(inserts)
+        if deletes:
+            table.delete(np.asarray(deletes, dtype=np.uint64))
+        checkpoint = table.decode(decoder=decoder, signed=True, incremental=True)
+        pairs.append((canonical(checkpoint), canonical(scratch(table)), sorted(live)))
+    return pairs
+
+
+class TestChurnProperties:
+    @given(pool=key_pools, script=churn_scripts, seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_interleaved_churn_round_trips_across_decoders(self, pool, script, seed):
+        for decoder in DECODERS:
+            table = IBLT(300, 3, seed=seed % 17)
+            for got, want, live in run_churn_script(
+                table, pool, script, decoder=decoder, seed=seed
+            ):
+                assert got == want
+                assert got[0] == live
+
+    @given(pool=key_pools, seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_signed_digest_with_net_deletes(self, pool, seed):
+        # Delete keys never inserted: the signed session must keep reporting
+        # them as removed at every later checkpoint, like from-scratch.
+        half = len(pool) // 2
+        inserted = np.asarray(pool[:half], dtype=np.uint64)
+        ghosts = np.asarray(pool[half:], dtype=np.uint64)
+        table = IBLT(300, 3, seed=seed % 17)
+        table.insert(inserted)
+        table.decode(decoder="serial", signed=True, incremental=True)
+        table.delete(ghosts)
+        first = table.decode(decoder="serial", signed=True, incremental=True)
+        assert canonical(first) == canonical(scratch(table))
+        assert first.success
+        assert canonical(first)[1] == sorted(map(int, ghosts))
+        # Re-inserting the ghosts cancels the negatives entirely.
+        table.insert(ghosts)
+        second = table.decode(decoder="serial", signed=True, incremental=True)
+        assert canonical(second) == canonical(scratch(table))
+        assert canonical(second)[1] == []
+
+    @given(
+        keys=st.lists(
+            st.integers(min_value=1, max_value=2**62),
+            min_size=4, max_size=30, unique=True,
+        ),
+        seed=st.integers(0, 200),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_duplicate_endpoint_keys_in_flat_layout(self, keys, seed):
+        # The flat layout draws r cells independently, so a key can hash two
+        # of its endpoints into the same cell; churn over such keys must
+        # still round-trip (the small cell count makes collisions common).
+        table = IBLT(24, 3, layout="flat", seed=seed)
+        arr = np.asarray(keys, dtype=np.uint64)
+        half = arr.size // 2
+        table.insert(arr[:half])
+        table.decode(decoder="flat", signed=True, incremental=True)
+        table.insert(arr[half:])
+        table.delete(arr[:2])
+        got = table.decode(decoder="flat", signed=True, incremental=True)
+        want = scratch(table)
+        assert got.success == want.success
+        assert canonical(got) == canonical(want)

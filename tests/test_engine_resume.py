@@ -1,0 +1,229 @@
+"""Checkpoint/resume of the peeling state and the resumable engines.
+
+The contract under test: ``peel_resumable`` returns the same result a
+plain ``peel`` would, plus a live state; after mutating that state with
+``drop_edges`` and re-peeling via ``resume``, the surviving core is
+identical to a from-scratch peel of the mutated graph — the incremental
+path may never change *what* is peeled, only how much work finding it
+takes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.results import DROPPED, UNPEELED
+from repro.engine import peel, peel_resumable, resume
+from repro.hypergraph import hypergraph_from_edges, random_hypergraph
+from repro.kernels import (
+    BatchedPeelState,
+    PeelCheckpoint,
+    PeelState,
+    drop_edges,
+    get_kernel,
+    reseed_frontier,
+)
+
+RESUMABLE_ENGINES = ("parallel", "sequential")
+
+
+def _mutated_graph(graph, dropped):
+    keep = np.setdiff1d(np.arange(graph.num_edges, dtype=np.int64), dropped)
+    return hypergraph_from_edges(graph.num_vertices, graph.edges[keep]), keep
+
+
+def _drop_and_resume(engine, graph, *, k, churn, seed):
+    result, state = peel_resumable(graph, engine, k=k)
+    m = graph.num_edges
+    rng = np.random.default_rng(seed)
+    dropped = np.sort(rng.choice(m, size=max(1, int(churn * m)), replace=False))
+    dirty = drop_edges(get_kernel(None), state, dropped)
+    resumed = resume(state, dirty, engine, k=k)
+    return result, dropped, resumed
+
+
+class TestPeelStateCheckpoint:
+    def test_checkpoint_roundtrip_restores_all_columns(self):
+        graph = random_hypergraph(2_000, 0.9, 4, seed=3)
+        result, state = peel_resumable(graph, "parallel", k=2)
+        saved = state.checkpoint()
+        assert isinstance(saved, PeelCheckpoint)
+        before = {
+            "degrees": state.degrees.copy(),
+            "vertex_alive": state.vertex_alive.copy(),
+            "edge_alive": state.edge_alive.copy(),
+            "vertex_peel_round": state.vertex_peel_round.copy(),
+            "edge_peel_round": state.edge_peel_round.copy(),
+            "vertices_remaining": state.vertices_remaining,
+            "edges_remaining": state.edges_remaining,
+            "rounds_completed": state.rounds_completed,
+        }
+        # Mutate the live state, then restore.
+        drop_edges(get_kernel(None), state, np.arange(50, dtype=np.int64))
+        state.rounds_completed += 3
+        assert state.resume(saved) is state
+        np.testing.assert_array_equal(state.degrees, before["degrees"])
+        np.testing.assert_array_equal(state.vertex_alive, before["vertex_alive"])
+        np.testing.assert_array_equal(state.edge_alive, before["edge_alive"])
+        np.testing.assert_array_equal(state.vertex_peel_round, before["vertex_peel_round"])
+        np.testing.assert_array_equal(state.edge_peel_round, before["edge_peel_round"])
+        assert state.vertices_remaining == before["vertices_remaining"]
+        assert state.edges_remaining == before["edges_remaining"]
+        assert state.rounds_completed == before["rounds_completed"]
+
+    def test_checkpoint_is_a_snapshot_not_a_view(self):
+        graph = random_hypergraph(500, 0.9, 3, seed=4)
+        _, state = peel_resumable(graph, "parallel", k=2)
+        saved = state.checkpoint()
+        degrees_at_save = saved.degrees.copy()
+        drop_edges(get_kernel(None), state, np.arange(20, dtype=np.int64))
+        np.testing.assert_array_equal(saved.degrees, degrees_at_save)
+
+    def test_resume_rejects_foreign_shapes(self):
+        _, state_a = peel_resumable(random_hypergraph(500, 0.9, 3, seed=5), "parallel", k=2)
+        _, state_b = peel_resumable(random_hypergraph(600, 0.9, 3, seed=5), "parallel", k=2)
+        with pytest.raises(ValueError, match="shape"):
+            state_a.resume(state_b.checkpoint())
+
+    def test_batched_checkpoint_roundtrip(self):
+        graphs = [random_hypergraph(300, 0.9, 3, seed=10 + i) for i in range(3)]
+        state = BatchedPeelState.from_graphs(graphs)
+        saved = state.checkpoint()
+        before_remaining = state.vertices_remaining.copy()
+        before_degrees = state.state.degrees.copy()
+        state.state.degrees[:] = -1
+        state.vertices_remaining[:] = 0
+        state.resume(saved)
+        np.testing.assert_array_equal(state.state.degrees, before_degrees)
+        np.testing.assert_array_equal(state.vertices_remaining, before_remaining)
+
+
+class TestReseedFrontier:
+    def test_reseed_keeps_only_live_vertices(self):
+        graph = random_hypergraph(1_000, 0.7, 3, seed=6)
+        _, state = peel_resumable(graph, "parallel", k=2)
+        # Subcritical: everything peeled, so no vertex is alive.
+        frontier = reseed_frontier(get_kernel(None), state, np.arange(100, dtype=np.int64))
+        assert frontier.size == 0
+        np.testing.assert_array_equal(state.frontier, frontier)
+
+    def test_reseed_deduplicates(self):
+        graph = random_hypergraph(1_000, 1.1, 3, seed=6)
+        _, state = peel_resumable(graph, "parallel", k=2)
+        live = np.flatnonzero(state.vertex_alive)[:5]
+        frontier = reseed_frontier(get_kernel(None), state, np.repeat(live, 3))
+        np.testing.assert_array_equal(frontier, live)
+
+
+class TestDropEdges:
+    def test_drop_marks_edges_and_fixes_degrees(self):
+        graph = random_hypergraph(1_000, 1.1, 3, seed=7)
+        _, state = peel_resumable(graph, "parallel", k=2)
+        live_edges = np.flatnonzero(state.edge_alive)[:10]
+        before_remaining = state.edges_remaining
+        dirty = drop_edges(get_kernel(None), state, live_edges)
+        assert state.edges_remaining == before_remaining - live_edges.size
+        assert not state.edge_alive[live_edges].any()
+        assert (state.edge_peel_round[live_edges] == DROPPED).all()
+        # Every reported dirty vertex is an endpoint of a dropped edge.
+        endpoints = np.unique(graph.edges[live_edges].reshape(-1))
+        assert np.isin(dirty, endpoints).all()
+
+    def test_drop_is_idempotent_on_dead_edges(self):
+        graph = random_hypergraph(1_000, 1.1, 3, seed=7)
+        _, state = peel_resumable(graph, "parallel", k=2)
+        live_edges = np.flatnonzero(state.edge_alive)[:10]
+        drop_edges(get_kernel(None), state, live_edges)
+        before = state.degrees.copy()
+        dirty = drop_edges(get_kernel(None), state, live_edges)
+        assert dirty.size == 0
+        np.testing.assert_array_equal(state.degrees, before)
+
+
+class TestEngineResume:
+    @pytest.mark.parametrize("engine", RESUMABLE_ENGINES)
+    def test_peel_resumable_matches_peel(self, engine):
+        graph = random_hypergraph(5_000, 0.9, 3, seed=8)
+        plain = peel(graph, engine, k=2)
+        resumable, state = peel_resumable(graph, engine, k=2)
+        assert resumable.success == plain.success
+        assert resumable.num_rounds == plain.num_rounds
+        np.testing.assert_array_equal(resumable.vertex_peel_round, plain.vertex_peel_round)
+        np.testing.assert_array_equal(resumable.edge_peel_round, plain.edge_peel_round)
+        assert state.rounds_completed >= 0
+
+    @pytest.mark.parametrize("engine", RESUMABLE_ENGINES)
+    @pytest.mark.parametrize("c", [0.7, 0.95, 1.1])
+    def test_resume_after_churn_matches_scratch(self, engine, c):
+        graph = random_hypergraph(5_000, c, 3, seed=9)
+        _, dropped, resumed = _drop_and_resume(engine, graph, k=2, churn=0.01, seed=20)
+        mutated, keep = _mutated_graph(graph, dropped)
+        scratch = peel(mutated, engine, k=2)
+        assert resumed.core_size == scratch.core_size
+        np.testing.assert_array_equal(resumed.core_vertex_mask, scratch.core_vertex_mask)
+        np.testing.assert_array_equal(resumed.core_edge_mask[keep], scratch.core_edge_mask)
+        # Dropped edges are never reported as core.
+        assert not resumed.core_edge_mask[dropped].any()
+
+    def test_parallel_resume_accounting(self):
+        graph = random_hypergraph(20_000, 0.9, 3, seed=10)
+        full, dropped, resumed = _drop_and_resume("parallel", graph, k=2, churn=0.01, seed=21)
+        assert resumed.resumed_from_round == full.num_rounds
+        assert resumed.num_rounds >= resumed.resumed_from_round
+        assert resumed.rounds_incremental == resumed.num_rounds - resumed.resumed_from_round
+        assert "resumed_from_round" in resumed.summary()
+        # Incremental work must stay far below a from-scratch re-peel.
+        assert resumed.rounds_incremental <= full.num_rounds
+
+    @pytest.mark.parametrize("engine", RESUMABLE_ENGINES)
+    def test_resume_with_empty_dirty_set_changes_nothing(self, engine):
+        graph = random_hypergraph(2_000, 1.1, 3, seed=11)
+        full, state = peel_resumable(graph, engine, k=2)
+        resumed = resume(state, np.empty(0, dtype=np.int64), engine, k=2)
+        assert resumed.core_size == full.core_size
+        np.testing.assert_array_equal(resumed.core_vertex_mask, full.core_vertex_mask)
+
+    def test_repeated_resumes_accumulate(self):
+        # Two churn batches applied one after the other end where a single
+        # from-scratch peel of the twice-mutated graph ends.
+        graph = random_hypergraph(5_000, 0.95, 3, seed=12)
+        _, state = peel_resumable(graph, "parallel", k=2)
+        rng = np.random.default_rng(30)
+        all_dropped = []
+        for _ in range(2):
+            candidates = np.flatnonzero(state.edge_alive)
+            batch = np.sort(rng.choice(candidates, size=40, replace=False))
+            all_dropped.append(batch)
+            dirty = drop_edges(get_kernel(None), state, batch)
+            resumed = resume(state, dirty, "parallel", k=2)
+        mutated, keep = _mutated_graph(graph, np.concatenate(all_dropped))
+        scratch = peel(mutated, "parallel", k=2)
+        assert resumed.core_size == scratch.core_size
+        np.testing.assert_array_equal(resumed.core_edge_mask[keep], scratch.core_edge_mask)
+
+    def test_non_resumable_engine_raises(self):
+        graph = random_hypergraph(300, 0.7, 4, seed=13)
+        with pytest.raises(ValueError, match="parallel"):
+            peel_resumable(graph, "subtable", k=2)
+
+    def test_result_is_isolated_from_later_resumes(self):
+        graph = random_hypergraph(3_000, 0.95, 3, seed=14)
+        first, state = peel_resumable(graph, "parallel", k=2)
+        saved_rounds = first.edge_peel_round.copy()
+        dirty = drop_edges(
+            get_kernel(None), state, np.flatnonzero(state.edge_alive)[:30]
+        )
+        resume(state, dirty, "parallel", k=2)
+        np.testing.assert_array_equal(first.edge_peel_round, saved_rounds)
+
+
+class TestSentinels:
+    def test_dropped_sentinel_distinct_from_unpeeled(self):
+        assert DROPPED != UNPEELED
+        assert DROPPED < 0 and UNPEELED < 0
+
+    def test_state_from_graph_starts_at_round_zero(self):
+        graph = random_hypergraph(100, 0.7, 3, seed=15)
+        state = PeelState.from_graph(graph)
+        assert state.rounds_completed == 0

@@ -123,6 +123,12 @@ class TestFromBytesHardening:
         with pytest.raises(ValueError, match="version 2"):
             IBLT.from_bytes(self._forge(version=2))
 
+    def test_rejection_names_supported_versions(self):
+        # The error must tell the operator which versions this build parses.
+        supported = ", ".join(str(v) for v in IBLT._SUPPORTED_VERSIONS)
+        with pytest.raises(ValueError, match=f"supports\\s+version\\(s\\) {supported}"):
+            IBLT.from_bytes(self._forge(version=255))
+
     def test_version_zero_rejected(self):
         with pytest.raises(ValueError, match="unsupported IBLT format version"):
             IBLT.from_bytes(self._forge(version=0))

@@ -94,10 +94,20 @@ class TestProtocol:
     def test_decode_request_roundtrip(self):
         table = make_table()
         payload = protocol.encode_decode_request(table, signed=False)
-        parsed, signed = protocol.decode_decode_request(payload)
+        parsed, signed, session = protocol.decode_decode_request(payload)
         assert signed is False
+        assert session is False
         assert np.array_equal(parsed.count, table.count)
         assert np.array_equal(parsed.key_sum, table.key_sum)
+
+    def test_decode_request_session_flag_roundtrip(self):
+        table = make_table()
+        for want_signed in (False, True):
+            payload = protocol.encode_decode_request(table, signed=want_signed, session=True)
+            parsed, signed, session = protocol.decode_decode_request(payload)
+            assert signed is want_signed
+            assert session is True
+            assert np.array_equal(parsed.count, table.count)
 
     def test_decode_request_bad_flags(self):
         with pytest.raises(ValueError, match="flags"):
@@ -281,6 +291,69 @@ class TestServerClient:
             assert results_identical(got, want)
         assert stats["mean_batch_size"] > 1
         assert stats["responses_sent"] == 32
+
+    def test_session_checkpoints_match_from_scratch(self):
+        """A session-flagged connection ships an evolving table; every answer
+        must be bit-identical (as a key set) to a from-scratch decode of the
+        shipped table, with exactly one server-side bootstrap."""
+        rng = np.random.default_rng(11)
+        keys = random_distinct_keys(90, seed=3)
+        table = make_table(num_cells=240, r=3, seed=7, num_keys=0)
+        table.insert(keys)
+
+        async def run():
+            server = DecodeServer(port=0, batch_window_ms=1.0)
+            await server.start()
+            answers, expected = [], []
+            try:
+                async with await DecodeClient.connect("127.0.0.1", server.port) as client:
+                    current = keys
+                    for step in range(4):
+                        if step:  # churn before every re-shipment
+                            drop = rng.choice(current.size, size=4, replace=False)
+                            fresh = random_distinct_keys(5, seed=100 + step)
+                            table.delete(current[drop])
+                            table.insert(fresh)
+                            current = np.concatenate([np.delete(current, drop), fresh])
+                        answers.append(await client.decode(table, session=True))
+                        expected.append(
+                            IBLT.from_bytes(table.to_bytes()).decode(decoder="flat")
+                        )
+                    stats = await client.stats()
+            finally:
+                await server.stop()
+            return answers, expected, stats
+
+        answers, expected, stats = asyncio.run(run())
+        for got, want in zip(answers, expected):
+            assert got.success == want.success
+            assert sorted(map(int, got.recovered)) == sorted(map(int, want.recovered))
+            assert sorted(map(int, got.removed)) == sorted(map(int, want.removed))
+        assert stats["session_requests"] == 4
+        assert stats["session_bootstraps"] == 1
+
+    def test_sessions_are_per_connection(self):
+        """The resident state is connection-scoped: a second client shipping
+        the same geometry bootstraps its own session."""
+        table = make_table(num_cells=240, r=3, seed=7, num_keys=40)
+
+        async def run():
+            server = DecodeServer(port=0, batch_window_ms=1.0)
+            await server.start()
+            try:
+                async with await DecodeClient.connect("127.0.0.1", server.port) as a:
+                    async with await DecodeClient.connect("127.0.0.1", server.port) as b:
+                        first = await a.decode(table, session=True)
+                        second = await b.decode(table, session=True)
+                        stats = await a.stats()
+            finally:
+                await server.stop()
+            return first, second, stats
+
+        first, second, stats = asyncio.run(run())
+        assert first.success and second.success
+        assert sorted(map(int, first.recovered)) == sorted(map(int, second.recovered))
+        assert stats["session_bootstraps"] == 2
 
     def test_concurrent_connections_isolate_results(self):
         """Three clients with distinct workloads sharing one server: every

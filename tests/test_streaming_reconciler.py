@@ -1,0 +1,120 @@
+"""Streaming set reconciliation against a fixed peer digest.
+
+The contract: a ``StreamingSetReconciler`` fed a live insert/delete stream
+must report, at every ``checkpoint()``, exactly the difference sets a
+from-scratch ``SetReconciler.reconcile`` of the *current* local set against
+the same peer would — while the incremental accounting shows checkpoint
+cost scaling with the mutation batch, not the digest size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.set_reconciliation import (
+    SetReconciler,
+    StreamingReconciliationResult,
+    StreamingSetReconciler,
+    random_set_pair,
+)
+from repro.apps.sparse_recovery import random_distinct_keys
+from repro.iblt import IBLT
+
+
+def canonical(result):
+    return (
+        sorted(map(int, np.asarray(result.a_minus_b, dtype=np.uint64))),
+        sorted(map(int, np.asarray(result.b_minus_a, dtype=np.uint64))),
+    )
+
+
+def scratch(reconciler, local, remote):
+    return reconciler.reconcile(local, remote, decoder="flat")
+
+
+class TestStreamingSetReconciler:
+    def test_bootstrap_matches_plain_reconcile(self):
+        a, b = random_set_pair(200, 15, 12, seed=1)
+        reconciler = SetReconciler(240, 3, seed=4)
+        stream = reconciler.streaming(a, reconciler.digest(b))
+        first = stream.checkpoint()
+        assert isinstance(first, StreamingReconciliationResult)
+        assert first.success
+        assert first.resumed_from_round == 0
+        assert canonical(first) == canonical(scratch(reconciler, a, b))
+
+    def test_mutation_batches_match_from_scratch_at_every_checkpoint(self):
+        pool = random_distinct_keys(400, seed=2)
+        local = list(map(int, pool[:150]))
+        remote = list(map(int, pool[100:260]))
+        fresh = list(map(int, pool[260:]))
+        reconciler = SetReconciler(300, 3, seed=7)
+        remote_digest = reconciler.digest(remote)
+        stream = reconciler.streaming(local, remote_digest)
+        stream.checkpoint()
+        rng = np.random.default_rng(3)
+        for _ in range(4):
+            inserts = [fresh.pop() for _ in range(5)]
+            deletes = [local.pop(int(rng.integers(len(local)))) for _ in range(4)]
+            local.extend(inserts)
+            stream.apply(inserts=inserts, deletes=deletes)
+            got = stream.checkpoint()
+            want = scratch(reconciler, local, remote)
+            assert got.success == want.success
+            assert canonical(got) == canonical(want)
+
+    def test_checkpoint_cost_scales_with_batch_not_digest(self):
+        a, b = random_set_pair(2_000, 40, 40, seed=5)
+        reconciler = SetReconciler(600, 3, seed=9)
+        stream = reconciler.streaming(a, reconciler.digest(b))
+        bootstrap = stream.checkpoint()
+        extra = random_distinct_keys(3, seed=6)
+        stream.apply(inserts=extra)
+        incr = stream.checkpoint()
+        assert incr.success
+        assert incr.resumed_from_round == bootstrap.rounds
+        assert incr.rounds_incremental <= bootstrap.rounds
+
+    def test_accepts_serialized_remote_digest(self):
+        a, b = random_set_pair(50, 5, 5, seed=8)
+        reconciler = SetReconciler(120, 3, seed=2)
+        stream = reconciler.streaming(a, reconciler.digest(b).to_bytes())
+        assert canonical(stream.checkpoint()) == canonical(scratch(reconciler, a, b))
+
+    def test_delete_never_held_key_lands_in_b_minus_a(self):
+        # A local delete of a key only the peer holds deepens b\a — exactly
+        # what a from-scratch digest of the mutated local multiset encodes.
+        a, b = random_set_pair(60, 4, 4, seed=11)
+        reconciler = SetReconciler(120, 3, seed=3)
+        stream = reconciler.streaming(a, reconciler.digest(b))
+        stream.checkpoint()
+        ghost = int(np.setdiff1d(b, a)[0])
+        stream.apply(deletes=[ghost])
+        got = stream.checkpoint()
+        assert canonical(got)[1].count(ghost) == 2
+
+    def test_streaming_factory_returns_streaming_reconciler(self):
+        a, b = random_set_pair(30, 3, 3, seed=12)
+        reconciler = SetReconciler(60, 3, seed=1)
+        stream = reconciler.streaming(a, reconciler.digest(b))
+        assert isinstance(stream, StreamingSetReconciler)
+        assert stream.reconciler is reconciler
+        assert stream.mutations_applied == 0
+        stream.apply(inserts=[999], deletes=[998, 997])
+        assert stream.mutations_applied == 3
+
+    def test_mismatched_remote_digest_rejected(self):
+        reconciler = SetReconciler(120, 3, seed=2)
+        wrong_cells = IBLT(60, 3, layout="subtables", seed=2)
+        with pytest.raises(ValueError, match="hash family"):
+            reconciler.streaming([1, 2, 3], wrong_cells)
+        wrong_seed = IBLT(120, 3, layout="subtables", seed=5)
+        with pytest.raises(ValueError, match="hash family"):
+            reconciler.streaming([1, 2, 3], wrong_seed)
+
+    def test_bytes_exchanged_counts_digest_cells(self):
+        reconciler = SetReconciler(120, 3, seed=2)
+        a, b = random_set_pair(40, 4, 4, seed=13)
+        stream = reconciler.streaming(a, reconciler.digest(b))
+        assert stream.checkpoint().bytes_exchanged == 3 * 8 * 120
